@@ -1,0 +1,70 @@
+//! §VI run-time overhead and §V complexity claims.
+//!
+//! * `alg1_runtime` — one peak evaluation on the 64-core chip (paper:
+//!   23.76 µs per schedule computation).
+//! * `alg1_delta_scaling` — cost vs. rotation period δ (paper claims
+//!   `O(2δ²N²)` for the literal form; the recurrence is `O(δN²)`).
+//! * `alg1_node_scaling` — cost vs. chip size N.
+//! * `design_time` — the one-off eigendecomposition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hp_bench::{full_load_sequence, model};
+use hotpotato::RotationPeakSolver;
+
+fn bench_runtime(c: &mut Criterion) {
+    let solver = RotationPeakSolver::new(model(8, 8)).expect("decomposes");
+    let seq = full_load_sequence(64, 8, 0.5e-3);
+    c.bench_function("alg1_runtime_64core_delta8", |b| {
+        b.iter(|| solver.peak_celsius(&seq).expect("computes"))
+    });
+}
+
+fn bench_delta_scaling(c: &mut Criterion) {
+    let solver = RotationPeakSolver::new(model(8, 8)).expect("decomposes");
+    let mut g = c.benchmark_group("alg1_delta_scaling");
+    for &delta in &[2usize, 4, 8, 16, 32] {
+        let seq = full_load_sequence(64, delta, 0.5e-3);
+        g.bench_with_input(BenchmarkId::new("recurrence", delta), &delta, |b, _| {
+            b.iter(|| solver.peak_celsius(&seq).expect("computes"))
+        });
+        if delta <= 8 {
+            g.bench_with_input(BenchmarkId::new("literal_eq10", delta), &delta, |b, _| {
+                b.iter(|| solver.peak_reference(&seq).expect("computes"))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_node_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alg1_node_scaling");
+    for &(w, h) in &[(4usize, 4usize), (6, 6), (8, 8), (10, 10)] {
+        let solver = RotationPeakSolver::new(model(w, h)).expect("decomposes");
+        let seq = full_load_sequence(w * h, 8, 0.5e-3);
+        g.bench_with_input(BenchmarkId::from_parameter(3 * w * h), &w, |b, _| {
+            b.iter(|| solver.peak_celsius(&seq).expect("computes"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_design_time(c: &mut Criterion) {
+    let mut g = c.benchmark_group("design_time");
+    g.sample_size(10);
+    for &(w, h) in &[(4usize, 4usize), (8, 8)] {
+        let m = model(w, h);
+        g.bench_with_input(BenchmarkId::from_parameter(3 * w * h), &w, |b, _| {
+            b.iter(|| RotationPeakSolver::new(m.clone()).expect("decomposes"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_runtime,
+    bench_delta_scaling,
+    bench_node_scaling,
+    bench_design_time
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Thermal solver benchmarks: steady state, exact transient step and TSP
+//! budgeting at the paper's chip sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hp_bench::model;
+use hp_floorplan::CoreId;
+use hp_linalg::Vector;
+use hp_thermal::{tsp, TransientSolver};
+
+fn bench_steady(c: &mut Criterion) {
+    let mut g = c.benchmark_group("steady_state");
+    for &(w, h) in &[(4usize, 4usize), (8, 8), (10, 10)] {
+        let m = model(w, h);
+        let p = Vector::from_fn(w * h, |i| if i % 3 == 0 { 7.0 } else { 0.3 });
+        g.bench_with_input(BenchmarkId::from_parameter(w * h), &w, |b, _| {
+            b.iter(|| m.steady_state(&p).expect("solves"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transient_step");
+    for &(w, h) in &[(4usize, 4usize), (8, 8)] {
+        let m = model(w, h);
+        let solver = TransientSolver::new(&m).expect("decomposes");
+        let p = Vector::from_fn(w * h, |i| if i % 3 == 0 { 7.0 } else { 0.3 });
+        let t0 = m.ambient_state();
+        g.bench_with_input(BenchmarkId::from_parameter(w * h), &w, |b, _| {
+            b.iter(|| solver.step(&m, &t0, &p, 1e-4).expect("steps"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_tsp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tsp_budget");
+    for &(w, h) in &[(4usize, 4usize), (8, 8)] {
+        let m = model(w, h);
+        let active: Vec<CoreId> = (0..w * h).step_by(2).map(CoreId).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(w * h), &w, |b, _| {
+            b.iter(|| tsp::budget(&m, &active, 70.0, 0.3).expect("budgets"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_steady, bench_transient, bench_tsp);
+criterion_main!(benches);

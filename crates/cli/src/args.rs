@@ -1,0 +1,173 @@
+//! Minimal hand-rolled argument parsing (no external CLI dependency —
+//! DESIGN.md restricts third-party crates to the numerics/test stack).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedArgs {
+    command: String,
+    options: BTreeMap<String, String>,
+}
+
+/// A malformed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArgsError(pub String);
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseArgsError {}
+
+impl ParsedArgs {
+    /// Parses `args` (without the program name): first token is the
+    /// subcommand, the rest must be `--key value` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError`] when the subcommand is missing, an
+    /// option lacks its value, or a bare token appears where an option
+    /// was expected.
+    pub fn parse<I, S>(args: I) -> Result<Self, ParseArgsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut it = args.into_iter().map(Into::into);
+        let command = it
+            .next()
+            .ok_or_else(|| ParseArgsError("missing subcommand".into()))?;
+        let mut options = BTreeMap::new();
+        while let Some(token) = it.next() {
+            let key = token
+                .strip_prefix("--")
+                .ok_or_else(|| ParseArgsError(format!("expected --option, got `{token}`")))?
+                .to_string();
+            let value = it
+                .next()
+                .ok_or_else(|| ParseArgsError(format!("--{key} needs a value")))?;
+            options.insert(key, value);
+        }
+        Ok(ParsedArgs { command, options })
+    }
+
+    /// The subcommand.
+    pub fn command(&self) -> &str {
+        &self.command
+    }
+
+    /// A raw string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A typed option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError`] when the value does not parse as `T`.
+    pub fn get_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, ParseArgsError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ParseArgsError(format!("--{key}: cannot parse `{raw}`"))),
+        }
+    }
+
+    /// `WxH` grid option (e.g. `8x8`), defaulting to `(w, h)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError`] on malformed or zero dimensions.
+    pub fn grid_or(&self, key: &str, w: usize, h: usize) -> Result<(usize, usize), ParseArgsError> {
+        match self.get(key) {
+            None => Ok((w, h)),
+            Some(raw) => {
+                let (a, b) = raw
+                    .split_once(['x', 'X'])
+                    .ok_or_else(|| ParseArgsError(format!("--{key}: expected WxH, got `{raw}`")))?;
+                let w: usize = a
+                    .parse()
+                    .map_err(|_| ParseArgsError(format!("--{key}: bad width `{a}`")))?;
+                let h: usize = b
+                    .parse()
+                    .map_err(|_| ParseArgsError(format!("--{key}: bad height `{b}`")))?;
+                if w == 0 || h == 0 {
+                    return Err(ParseArgsError(format!("--{key}: dimensions must be non-zero")));
+                }
+                Ok((w, h))
+            }
+        }
+    }
+
+    /// Comma-separated list of floats (e.g. `7.0,7.0,2.5`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError`] on malformed entries.
+    pub fn floats_or(&self, key: &str, default: &[f64]) -> Result<Vec<f64>, ParseArgsError> {
+        match self.get(key) {
+            None => Ok(default.to_vec()),
+            Some(raw) => raw
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse::<f64>()
+                        .map_err(|_| ParseArgsError(format!("--{key}: bad number `{s}`")))
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = ParsedArgs::parse(["peak", "--grid", "8x8", "--tau-ms", "0.5"]).unwrap();
+        assert_eq!(a.command(), "peak");
+        assert_eq!(a.get("grid"), Some("8x8"));
+        assert_eq!(a.get_or("tau-ms", 1.0).unwrap(), 0.5);
+        assert_eq!(a.get_or("missing", 7u32).unwrap(), 7);
+    }
+
+    #[test]
+    fn grid_parsing() {
+        let a = ParsedArgs::parse(["rings", "--grid", "6X4"]).unwrap();
+        assert_eq!(a.grid_or("grid", 8, 8).unwrap(), (6, 4));
+        let a = ParsedArgs::parse(["rings"]).unwrap();
+        assert_eq!(a.grid_or("grid", 8, 8).unwrap(), (8, 8));
+    }
+
+    #[test]
+    fn float_lists() {
+        let a = ParsedArgs::parse(["peak", "--watts", "7.0, 2.5,1"]).unwrap();
+        assert_eq!(a.floats_or("watts", &[]).unwrap(), vec![7.0, 2.5, 1.0]);
+        let a = ParsedArgs::parse(["peak"]).unwrap();
+        assert_eq!(a.floats_or("watts", &[6.0]).unwrap(), vec![6.0]);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(ParsedArgs::parse(Vec::<String>::new()).is_err());
+        assert!(ParsedArgs::parse(["peak", "stray"]).is_err());
+        assert!(ParsedArgs::parse(["peak", "--grid"]).is_err());
+        let a = ParsedArgs::parse(["peak", "--grid", "8by8"]).unwrap();
+        assert!(a.grid_or("grid", 8, 8).is_err());
+        let a = ParsedArgs::parse(["peak", "--grid", "0x4"]).unwrap();
+        assert!(a.grid_or("grid", 8, 8).is_err());
+        let a = ParsedArgs::parse(["peak", "--tau-ms", "fast"]).unwrap();
+        assert!(a.get_or("tau-ms", 1.0).is_err());
+    }
+}

@@ -1,0 +1,308 @@
+//! Subcommand implementations.
+
+use std::error::Error;
+use std::fs::File;
+use std::io::BufWriter;
+
+use hp_floorplan::{CoreId, GridFloorplan};
+use hp_linalg::Vector;
+use hp_manycore::{ArchConfig, Machine};
+use hp_sched::{HotPotatoDvfs, PcGov, PcMig, PcMigConfig, TspUniform};
+use hp_sim::schedulers::PinnedScheduler;
+use hp_sim::{Scheduler, SimConfig, Simulation};
+use hp_thermal::{tsp, RcThermalModel, ThermalConfig};
+use hp_workload::{closed_batch, open_poisson, Benchmark, Job, JobId};
+use hotpotato::{EpochPowerSequence, HotPotato, HotPotatoConfig, RotationPeakSolver};
+
+use crate::args::ParsedArgs;
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+fn machine(w: usize, h: usize) -> Result<Machine, Box<dyn Error>> {
+    Ok(Machine::new(ArchConfig {
+        grid_width: w,
+        grid_height: h,
+        ..ArchConfig::default()
+    })?)
+}
+
+fn model(w: usize, h: usize) -> Result<RcThermalModel, Box<dyn Error>> {
+    Ok(RcThermalModel::new(
+        &GridFloorplan::new(w, h)?,
+        &ThermalConfig::default(),
+    )?)
+}
+
+/// `rings`: print the AMD ring decomposition.
+pub fn rings(args: &ParsedArgs) -> CliResult {
+    let (w, h) = args.grid_or("grid", 8, 8)?;
+    let machine = machine(w, h)?;
+    let fp = machine.floorplan();
+    let rings = machine.rings();
+    println!("{w}x{h} grid, {} AMD rings", rings.len());
+    for y in 0..h {
+        let row: Vec<String> = (0..w)
+            .map(|x| {
+                let core = fp.core_at(x, y).expect("coordinate in range");
+                format!("{:>2}", rings.ring_of(core).index())
+            })
+            .collect();
+        println!("  {}", row.join(" "));
+    }
+    println!("{:>5} {:>6} {:>7} {:>10}", "ring", "slots", "AMD", "LLC ns");
+    for (i, ring) in rings.iter().enumerate() {
+        println!(
+            "{:>5} {:>6} {:>7.2} {:>10.1}",
+            i,
+            ring.capacity(),
+            ring.amd(),
+            machine.llc_latency_ns(ring.cores()[0])?
+        );
+    }
+    Ok(())
+}
+
+/// `peak`: steady-cycle peak of a rotation on one ring.
+pub fn peak(args: &ParsedArgs) -> CliResult {
+    let (w, h) = args.grid_or("grid", 8, 8)?;
+    let ring_idx: usize = args.get_or("ring", 0)?;
+    let tau_ms: f64 = args.get_or("tau-ms", 0.5)?;
+    let watts = args.floats_or("watts", &[7.0, 7.0])?;
+    let idle: f64 = args.get_or("idle", 0.3)?;
+
+    let machine = machine(w, h)?;
+    let rings = machine.rings();
+    if ring_idx >= rings.len() {
+        return Err(format!("--ring {ring_idx}: chip has {} rings", rings.len()).into());
+    }
+    let ring = rings.ring(ring_idx);
+    if watts.len() > ring.capacity() {
+        return Err(format!(
+            "{} threads cannot rotate on a {}-slot ring",
+            watts.len(),
+            ring.capacity()
+        )
+        .into());
+    }
+    let solver = RotationPeakSolver::new(model(w, h)?)?;
+    let delta = ring.capacity();
+    // Spread the threads evenly over the ring's slots.
+    let slots: Vec<usize> = (0..watts.len())
+        .map(|i| i * delta / watts.len())
+        .collect();
+    let epochs: Vec<Vector> = (0..delta)
+        .map(|e| {
+            let mut p = Vector::constant(machine.core_count(), idle);
+            for (i, &watt) in watts.iter().enumerate() {
+                let core = ring.cores()[(slots[i] + e) % delta];
+                p[core.index()] = watt;
+            }
+            p
+        })
+        .collect();
+    let seq = EpochPowerSequence::new(tau_ms * 1e-3, epochs)?;
+    let report = solver.peak(&seq)?;
+    println!(
+        "rotating {:?} W on ring {ring_idx} ({} slots) at tau = {tau_ms} ms:",
+        watts,
+        ring.capacity()
+    );
+    println!(
+        "  steady-cycle peak {:.2} C at {} (epoch {})",
+        report.peak_celsius, report.critical_core, report.critical_epoch
+    );
+    let pinned = solver.peak_celsius(&EpochPowerSequence::new(
+        tau_ms * 1e-3,
+        vec![seq.epoch(0).clone()],
+    )?)?;
+    println!("  pinned (no rotation):   {pinned:.2} C");
+    println!("  rotation saves:         {:.2} C", pinned - report.peak_celsius);
+    Ok(())
+}
+
+/// `tsp`: uniform and per-core budgets for a centre-packed active set.
+pub fn tsp(args: &ParsedArgs) -> CliResult {
+    let (w, h) = args.grid_or("grid", 8, 8)?;
+    let n = w * h;
+    let active_n: usize = args.get_or("active", n)?;
+    let t_dtm: f64 = args.get_or("t-dtm", 70.0)?;
+    if active_n == 0 || active_n > n {
+        return Err(format!("--active must be in 1..={n}").into());
+    }
+    let model = model(w, h)?;
+    let wc = tsp::worst_case_budget(&model, active_n, t_dtm, 0.3)?;
+    println!(
+        "{w}x{h} chip, {active_n} active cores (worst-case packing), threshold {t_dtm} C:"
+    );
+    println!(
+        "  uniform TSP budget: {:.2} W/core (critical {})",
+        wc.per_core_watts, wc.critical_core
+    );
+    // Per-core budgets for the same mapping.
+    let mut order: Vec<CoreId> = (0..n).map(CoreId).collect();
+    // Reuse worst-case mapping: hottest-sensitivity cores (as in worst_case_budget).
+    let sens = {
+        let all = Vector::constant(n, 1.0);
+        let p = model.expand_power(&all)?;
+        model.b_lu().solve(&p)?
+    };
+    order.sort_by(|&a, &b| {
+        sens[b.index()]
+            .partial_cmp(&sens[a.index()])
+            .expect("finite sensitivity")
+    });
+    let active = &order[..active_n];
+    let budgets = tsp::per_core_budgets(&model, active, t_dtm, 0.3)?;
+    let total: f64 = budgets.iter().sum();
+    println!(
+        "  per-core (water-filling): total {:.1} W vs uniform total {:.1} W ({:+.2} %)",
+        total,
+        wc.per_core_watts * active_n as f64,
+        (total / (wc.per_core_watts * active_n as f64) - 1.0) * 100.0
+    );
+    Ok(())
+}
+
+/// `simulate`: run a workload under a chosen scheduler.
+pub fn simulate(args: &ParsedArgs) -> CliResult {
+    let (w, h) = args.grid_or("grid", 8, 8)?;
+    let n = w * h;
+    let scheduler_name = args.get("scheduler").unwrap_or("hotpotato").to_string();
+    let benchmark_name = args.get("benchmark").unwrap_or("blackscholes").to_string();
+    let cores: usize = args.get_or("cores", n)?;
+    let jobs_n: usize = args.get_or("jobs", 0)?;
+    let rate: f64 = args.get_or("rate", 40.0)?;
+
+    let jobs: Vec<Job> = if benchmark_name == "mixed" {
+        let count = if jobs_n == 0 { 10 } else { jobs_n };
+        open_poisson(count, rate, 42)
+    } else {
+        let benchmark = parse_benchmark(&benchmark_name)?;
+        if jobs_n > 0 {
+            (0..jobs_n)
+                .map(|i| Job {
+                    id: JobId(i),
+                    benchmark,
+                    spec: benchmark.spec((cores / jobs_n).max(1)),
+                    arrival: 0.0,
+                })
+                .collect()
+        } else {
+            closed_batch(benchmark, cores.min(n), 42)
+        }
+    };
+
+    let sim_config = SimConfig {
+        horizon: 600.0,
+        record_trace: args.get("trace").is_some(),
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(machine(w, h)?, ThermalConfig::default(), sim_config)?;
+
+    let mut scheduler: Box<dyn Scheduler> = match scheduler_name.as_str() {
+        "hotpotato" => Box::new(HotPotato::new(model(w, h)?, HotPotatoConfig::default())?),
+        "hybrid" => Box::new(HotPotatoDvfs::new(model(w, h)?, HotPotatoConfig::default())?),
+        "pcmig" => Box::new(PcMig::new(model(w, h)?, PcMigConfig::default())),
+        "pcgov" => Box::new(PcGov::new(model(w, h)?, 70.0, 0.3)),
+        "tsp" => Box::new(TspUniform::new(model(w, h)?, 70.0, 0.3)),
+        "pinned" => Box::new(PinnedScheduler::new()),
+        other => return Err(format!("unknown scheduler `{other}`").into()),
+    };
+
+    let metrics = sim.run(jobs, scheduler.as_mut())?;
+    println!("scheduler {scheduler_name} on {w}x{h} chip:");
+    println!(
+        "  makespan {:.1} ms | mean response {:.1} ms | peak {:.1} C",
+        metrics.makespan * 1e3,
+        metrics.mean_response_time().unwrap_or(f64::NAN) * 1e3,
+        metrics.peak_temperature
+    );
+    println!(
+        "  DTM intervals {} | migrations {} | avg freq {:.2} GHz | energy {:.1} J",
+        metrics.dtm_intervals, metrics.migrations, metrics.avg_frequency_ghz, metrics.energy
+    );
+    for job in &metrics.jobs {
+        println!(
+            "    {} x{}: {:.1} ms, {} migrations",
+            job.benchmark,
+            job.threads,
+            job.response_time().map_or(f64::NAN, |t| t * 1e3),
+            job.migrations
+        );
+    }
+    if let Some(path) = args.get("trace") {
+        let file = File::create(path)?;
+        sim.trace().write_csv(BufWriter::new(file))?;
+        println!("  temperature trace written to {path}");
+    }
+    Ok(())
+}
+
+fn parse_benchmark(name: &str) -> Result<Benchmark, Box<dyn Error>> {
+    Benchmark::all()
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| format!("unknown benchmark `{name}`").into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_parsing() {
+        assert_eq!(parse_benchmark("canneal").unwrap(), Benchmark::Canneal);
+        assert!(parse_benchmark("quake").is_err());
+    }
+
+    #[test]
+    fn rings_command_runs() {
+        let args = ParsedArgs::parse(["rings", "--grid", "4x4"]).unwrap();
+        rings(&args).unwrap();
+    }
+
+    #[test]
+    fn peak_command_runs_and_validates() {
+        let args =
+            ParsedArgs::parse(["peak", "--grid", "4x4", "--watts", "7,7"]).unwrap();
+        peak(&args).unwrap();
+        let bad = ParsedArgs::parse(["peak", "--grid", "4x4", "--ring", "99"]).unwrap();
+        assert!(peak(&bad).is_err());
+        let too_many =
+            ParsedArgs::parse(["peak", "--grid", "4x4", "--watts", "1,1,1,1,1"]).unwrap();
+        assert!(peak(&too_many).is_err());
+    }
+
+    #[test]
+    fn tsp_command_runs_and_validates() {
+        let args = ParsedArgs::parse(["tsp", "--grid", "4x4", "--active", "8"]).unwrap();
+        tsp(&args).unwrap();
+        let bad = ParsedArgs::parse(["tsp", "--grid", "4x4", "--active", "99"]).unwrap();
+        assert!(tsp(&bad).is_err());
+    }
+
+    #[test]
+    fn simulate_command_small_run() {
+        let args = ParsedArgs::parse([
+            "simulate",
+            "--grid",
+            "4x4",
+            "--benchmark",
+            "canneal",
+            "--cores",
+            "4",
+            "--scheduler",
+            "pinned",
+        ])
+        .unwrap();
+        simulate(&args).unwrap();
+    }
+
+    #[test]
+    fn simulate_rejects_unknowns() {
+        let args = ParsedArgs::parse(["simulate", "--scheduler", "magic"]).unwrap();
+        assert!(simulate(&args).is_err());
+        let args = ParsedArgs::parse(["simulate", "--benchmark", "quake"]).unwrap();
+        assert!(simulate(&args).is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! `hotpotato-cli` — explore AMD rings, check rotation safety, and run
+//! scheduler comparisons from the shell.
+//!
+//! ```text
+//! hotpotato-cli rings    [--grid WxH]
+//! hotpotato-cli peak     [--grid WxH] [--ring R] [--tau-ms T] [--watts a,b,...]
+//! hotpotato-cli tsp      [--grid WxH] [--active N] [--t-dtm C]
+//! hotpotato-cli simulate [--grid WxH] [--scheduler NAME] [--benchmark NAME]
+//!                        [--cores N] [--jobs J] [--rate R] [--trace FILE]
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+use args::ParsedArgs;
+
+const USAGE: &str = "\
+hotpotato-cli — thermal management for S-NUCA many-cores
+
+USAGE:
+  hotpotato-cli rings    [--grid WxH]
+  hotpotato-cli peak     [--grid WxH] [--ring R] [--tau-ms T] [--watts a,b,..]
+  hotpotato-cli tsp      [--grid WxH] [--active N] [--t-dtm C]
+  hotpotato-cli simulate [--grid WxH] [--scheduler NAME] [--benchmark NAME]
+                         [--cores N] [--jobs J] [--rate R] [--trace FILE]
+
+SCHEDULERS: hotpotato (default), hybrid, pcmig, pcgov, tsp, pinned
+BENCHMARKS: blackscholes bodytrack canneal dedup fluidanimate
+            streamcluster swaptions x264 (or `mixed` with --jobs/--rate)
+
+EXAMPLES:
+  hotpotato-cli rings --grid 8x8
+  hotpotato-cli peak --grid 4x4 --ring 0 --tau-ms 0.5 --watts 7,7
+  hotpotato-cli simulate --benchmark swaptions --cores 16 --scheduler hybrid
+  hotpotato-cli simulate --benchmark mixed --jobs 12 --rate 40 --trace t.csv
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "help" {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let parsed = match ParsedArgs::parse(argv) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match parsed.command() {
+        "rings" => commands::rings(&parsed),
+        "peak" => commands::peak(&parsed),
+        "tsp" => commands::tsp(&parsed),
+        "simulate" => commands::simulate(&parsed),
+        other => Err(format!("unknown subcommand `{other}`").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

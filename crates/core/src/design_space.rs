@@ -1,0 +1,314 @@
+//! Exhaustive exploration of the ring-assignment design space.
+//!
+//! §V of the paper notes the design space for assigning `n_active` threads
+//! to `R` AMD rings is combinatorial and finding the performance-optimal
+//! thermally-safe schedule is NP-hard, which is why HotPotato is a greedy
+//! heuristic. For *small* instances the space can be enumerated outright,
+//! which gives an oracle to measure the heuristic against — the
+//! "near-optimal" claim, quantified (see the `oracle_gap` experiment and
+//! the tests below).
+
+use hp_linalg::Vector;
+
+use crate::{EpochPowerSequence, Result, RotationPeakSolver};
+
+/// One thread to place: its estimated power draw and its predicted
+/// instructions-per-second on each ring (index = ring).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadDemand {
+    /// Estimated power at peak frequency, W.
+    pub watts: f64,
+    /// Predicted IPS per ring (performance of the ring's cores for this
+    /// thread's work point).
+    pub ips_per_ring: Vec<f64>,
+}
+
+/// The outcome of an exhaustive search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleResult {
+    /// Ring index per thread (same order as the input demands).
+    pub assignment: Vec<usize>,
+    /// Total predicted IPS of the best thermally safe assignment.
+    pub total_ips: f64,
+    /// Algorithm-1 peak of that assignment, °C.
+    pub peak_celsius: f64,
+    /// Number of assignments enumerated.
+    pub explored: usize,
+}
+
+/// Exhaustively searches all assignments of `demands` threads to rings
+/// (respecting ring capacities) for the highest total IPS whose rotation
+/// peak stays below `t_dtm − delta`.
+///
+/// Rotation semantics match the HotPotato scheduler's evaluator: each
+/// ring rotates its own threads with period = ring capacity; other rings
+/// contribute their time-averaged power.
+///
+/// Returns `None` when no assignment is thermally safe. Complexity is
+/// `O(R^k)` peak evaluations — strictly a small-instance oracle.
+///
+/// # Errors
+///
+/// Propagates peak-solver failures.
+///
+/// # Panics
+///
+/// Panics if a demand's `ips_per_ring` length differs from the ring count
+/// implied by `ring_capacities`.
+pub fn exhaustive_best_assignment(
+    solver: &RotationPeakSolver,
+    ring_cores: &[Vec<usize>],
+    demands: &[ThreadDemand],
+    tau: f64,
+    idle_power: f64,
+    t_dtm: f64,
+    delta: f64,
+) -> Result<Option<OracleResult>> {
+    let rings = ring_cores.len();
+    for d in demands {
+        assert_eq!(
+            d.ips_per_ring.len(),
+            rings,
+            "demand must predict IPS for every ring"
+        );
+    }
+    let k = demands.len();
+    let mut assignment = vec![0usize; k];
+    let mut best: Option<OracleResult> = None;
+    let mut explored = 0usize;
+
+    // Odometer enumeration of ring indices, pruning capacity violations.
+    loop {
+        // Capacity check.
+        let mut counts = vec![0usize; rings];
+        for &r in &assignment {
+            counts[r] += 1;
+        }
+        let feasible = counts
+            .iter()
+            .zip(ring_cores)
+            .all(|(&c, cores)| c <= cores.len());
+        if feasible {
+            explored += 1;
+            let peak = evaluate_assignment(
+                solver,
+                ring_cores,
+                demands,
+                &assignment,
+                tau,
+                idle_power,
+            )?;
+            if peak + delta < t_dtm {
+                let total_ips: f64 = demands
+                    .iter()
+                    .zip(&assignment)
+                    .map(|(d, &r)| d.ips_per_ring[r])
+                    .sum();
+                let better = best
+                    .as_ref()
+                    .is_none_or(|b| total_ips > b.total_ips);
+                if better {
+                    best = Some(OracleResult {
+                        assignment: assignment.clone(),
+                        total_ips,
+                        peak_celsius: peak,
+                        explored: 0,
+                    });
+                }
+            }
+        }
+        // Advance the odometer.
+        let mut i = 0;
+        loop {
+            if i == k {
+                if let Some(b) = &mut best {
+                    b.explored = explored;
+                }
+                return Ok(best);
+            }
+            assignment[i] += 1;
+            if assignment[i] < rings {
+                break;
+            }
+            assignment[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Algorithm-1 peak for an explicit thread→ring assignment, with the same
+/// per-ring evaluation the HotPotato scheduler uses.
+pub fn evaluate_assignment(
+    solver: &RotationPeakSolver,
+    ring_cores: &[Vec<usize>],
+    demands: &[ThreadDemand],
+    assignment: &[usize],
+    tau: f64,
+    idle_power: f64,
+) -> Result<f64> {
+    let n = solver.model().core_count();
+
+    // Ring-averaged background.
+    let mut background = Vector::constant(n, idle_power);
+    for (r, cores) in ring_cores.iter().enumerate() {
+        let members: Vec<f64> = demands
+            .iter()
+            .zip(assignment)
+            .filter(|(_, &a)| a == r)
+            .map(|(d, _)| d.watts)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let avg = (members.iter().sum::<f64>()
+            + (cores.len() - members.len()) as f64 * idle_power)
+            / cores.len() as f64;
+        for &c in cores {
+            background[c] = avg;
+        }
+    }
+
+    let mut worst = f64::NEG_INFINITY;
+    for (r, cores) in ring_cores.iter().enumerate() {
+        let members: Vec<f64> = demands
+            .iter()
+            .zip(assignment)
+            .filter(|(_, &a)| a == r)
+            .map(|(d, _)| d.watts)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let delta_epochs = cores.len();
+        // Spread members over the ring's slots (maximal separation).
+        let slots: Vec<usize> = (0..members.len())
+            .map(|i| i * delta_epochs / members.len())
+            .collect();
+        let epochs: Vec<Vector> = (0..delta_epochs)
+            .map(|e| {
+                let mut p = background.clone();
+                for &c in cores {
+                    p[c] = idle_power;
+                }
+                for (i, &w) in members.iter().enumerate() {
+                    p[cores[(slots[i] + e) % delta_epochs]] = w;
+                }
+                p
+            })
+            .collect();
+        let seq = EpochPowerSequence::new(tau, epochs)?;
+        worst = worst.max(solver.peak_celsius(&seq)?);
+    }
+    if worst == f64::NEG_INFINITY {
+        // Idle chip.
+        let seq = EpochPowerSequence::new(tau, vec![Vector::constant(n, idle_power)])?;
+        worst = solver.peak_celsius(&seq)?;
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_floorplan::GridFloorplan;
+    use hp_thermal::{RcThermalModel, ThermalConfig};
+
+    fn solver() -> RotationPeakSolver {
+        let model = RcThermalModel::new(
+            &GridFloorplan::new(4, 4).expect("grid"),
+            &ThermalConfig::default(),
+        )
+        .expect("valid config");
+        RotationPeakSolver::new(model).expect("decomposes")
+    }
+
+    fn rings_4x4() -> Vec<Vec<usize>> {
+        let fp = GridFloorplan::new(4, 4).expect("grid");
+        fp.amd_rings()
+            .iter()
+            .map(|r| r.cores().iter().map(|c| c.index()).collect())
+            .collect()
+    }
+
+    fn demand(watts: f64, ips: [f64; 3]) -> ThreadDemand {
+        ThreadDemand {
+            watts,
+            ips_per_ring: ips.to_vec(),
+        }
+    }
+
+    #[test]
+    fn cool_thread_lands_on_the_fastest_ring() {
+        let s = solver();
+        let demands = vec![demand(2.0, [3.0, 2.5, 2.0])];
+        let best =
+            exhaustive_best_assignment(&s, &rings_4x4(), &demands, 0.5e-3, 0.3, 70.0, 1.0)
+                .expect("search runs")
+                .expect("safe assignment exists");
+        assert_eq!(best.assignment, vec![0], "inner ring is fastest and safe");
+        assert_eq!(best.total_ips, 3.0);
+        assert!(best.explored >= 3);
+    }
+
+    #[test]
+    fn unsafe_everywhere_returns_none() {
+        let s = solver();
+        // Four 9 W threads on every ring violate any threshold of 50 C.
+        let demands = vec![
+            demand(9.0, [1.0, 1.0, 1.0]),
+            demand(9.0, [1.0, 1.0, 1.0]),
+            demand(9.0, [1.0, 1.0, 1.0]),
+            demand(9.0, [1.0, 1.0, 1.0]),
+        ];
+        let best =
+            exhaustive_best_assignment(&s, &rings_4x4(), &demands, 0.5e-3, 0.3, 50.0, 1.0)
+                .expect("search runs");
+        assert!(best.is_none());
+    }
+
+    #[test]
+    fn hot_pair_splits_or_spreads_when_needed() {
+        let s = solver();
+        // Two hot threads: inner-ring rotation keeps them safe, so the
+        // oracle should still prefer ring 0 for both (IPS dominates).
+        let demands = vec![
+            demand(7.0, [3.0, 2.5, 2.0]),
+            demand(7.0, [3.0, 2.5, 2.0]),
+        ];
+        let best =
+            exhaustive_best_assignment(&s, &rings_4x4(), &demands, 0.5e-3, 0.3, 70.0, 1.0)
+                .expect("search runs")
+                .expect("safe assignment exists");
+        assert_eq!(best.assignment, vec![0, 0]);
+        assert!(best.peak_celsius < 69.0);
+    }
+
+    #[test]
+    fn capacity_constraints_respected() {
+        let s = solver();
+        // Six cool threads cannot all fit the 4-slot inner ring.
+        let demands: Vec<ThreadDemand> =
+            (0..6).map(|_| demand(1.0, [3.0, 2.5, 2.0])).collect();
+        let best =
+            exhaustive_best_assignment(&s, &rings_4x4(), &demands, 0.5e-3, 0.3, 70.0, 1.0)
+                .expect("search runs")
+                .expect("safe assignment exists");
+        let inner = best.assignment.iter().filter(|&&r| r == 0).count();
+        assert!(inner <= 4, "inner ring holds at most 4 threads");
+        assert_eq!(best.total_ips, 4.0 * 3.0 + 2.0 * 2.5);
+    }
+
+    #[test]
+    fn evaluate_assignment_matches_oracle_peak() {
+        let s = solver();
+        let rings = rings_4x4();
+        let demands = vec![demand(7.0, [3.0, 2.5, 2.0])];
+        let best = exhaustive_best_assignment(&s, &rings, &demands, 0.5e-3, 0.3, 70.0, 1.0)
+            .expect("search runs")
+            .expect("safe");
+        let peak =
+            evaluate_assignment(&s, &rings, &demands, &best.assignment, 0.5e-3, 0.3)
+                .expect("evaluates");
+        assert!((peak - best.peak_celsius).abs() < 1e-12);
+    }
+}

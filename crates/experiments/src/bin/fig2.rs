@@ -1,0 +1,126 @@
+//! Fig. 2 — thermal traces of a two-threaded *blackscholes* on the centre
+//! cores of a 16-core chip under three managers:
+//!
+//! (a) unmanaged at peak frequency (pinned on cores 5 and 10),
+//! (b) TSP power budgeting (DVFS),
+//! (c) synchronous thread rotation (HotPotato).
+//!
+//! The paper reports 68 ms / 84 ms / 74 ms response times with (a)
+//! violating the 70 °C threshold (~80 °C) and (b), (c) staying below it.
+
+use hp_experiments::plot::ascii_chart;
+use hp_experiments::{motivational_machine, thermal_model_for_grid};
+use hp_floorplan::CoreId;
+use hp_sched::TspUniform;
+use hp_sim::schedulers::PinnedScheduler;
+use hp_sim::SimConfig;
+use hp_workload::{Benchmark, Job, JobId};
+use hotpotato::{HotPotato, HotPotatoConfig};
+
+fn job() -> Vec<Job> {
+    vec![Job {
+        id: JobId(0),
+        benchmark: Benchmark::Blackscholes,
+        spec: Benchmark::Blackscholes.spec(2),
+        arrival: 0.0,
+    }]
+}
+
+fn run_traced(
+    cfg: SimConfig,
+    scheduler: &mut dyn hp_sim::Scheduler,
+) -> (hp_sim::Metrics, Vec<f64>) {
+    let mut sim = hp_sim::Simulation::new(
+        motivational_machine(),
+        hp_thermal::ThermalConfig::default(),
+        cfg,
+    )
+    .expect("valid simulation config");
+    let metrics = sim.run(job(), scheduler).expect("run completes");
+    (metrics, sim.trace().peak_series())
+}
+
+fn main() {
+    let trace_cfg = SimConfig {
+        record_trace: true,
+        ..SimConfig::default()
+    };
+
+    // (a) Unmanaged: DTM disabled so the overshoot is observable, as in
+    // the paper's trace.
+    let unmanaged_cfg = SimConfig {
+        dtm_enabled: false,
+        ..trace_cfg
+    };
+    let mut pinned =
+        PinnedScheduler::with_preferred_cores(vec![CoreId(5), CoreId(10)]);
+    let (a, trace_a) = run_traced(unmanaged_cfg, &mut pinned);
+
+    // (b) TSP DVFS budgeting, pinned on the same cores.
+    let mut tsp = TspUniform::new(thermal_model_for_grid(4, 4), 70.0, 0.3)
+        .with_preferred_cores(vec![CoreId(5), CoreId(10)]);
+    let (b, trace_b) = run_traced(trace_cfg, &mut tsp);
+
+    // (c) HotPotato synchronous rotation at the paper's fixed τ = 0.5 ms
+    // ("rotated ... at a rotation interval of 0.5 ms in every phase").
+    let fixed_tau = HotPotatoConfig {
+        tau_levels: vec![0.5e-3],
+        initial_tau_index: 0,
+        ..HotPotatoConfig::default()
+    };
+    let mut hp = HotPotato::new(thermal_model_for_grid(4, 4), fixed_tau)
+        .expect("valid HotPotato config");
+    let (c, trace_c) = run_traced(trace_cfg, &mut hp);
+
+    println!("Fig. 2 — two-threaded blackscholes on a 16-core chip (threshold 70 C)");
+    println!(
+        "{:<28} {:>12} {:>10} {:>6} {:>11}",
+        "manager", "response ms", "peak C", "DTM", "migrations"
+    );
+    for (label, m) in [
+        ("(a) unmanaged @ 4 GHz", &a),
+        ("(b) TSP power budgeting", &b),
+        ("(c) synchronous rotation", &c),
+    ] {
+        println!(
+            "{:<28} {:>12.1} {:>10.1} {:>6} {:>11}",
+            label,
+            m.makespan * 1e3,
+            m.peak_temperature,
+            m.dtm_intervals,
+            m.migrations
+        );
+        println!(
+            "csv,fig2,{},{:.4},{:.2},{},{}",
+            label.split_whitespace().next().expect("label"),
+            m.makespan * 1e3,
+            m.peak_temperature,
+            m.dtm_intervals,
+            m.migrations
+        );
+    }
+    println!();
+    println!("hottest-junction traces (a = unmanaged, b = TSP, c = rotation):");
+    print!(
+        "{}",
+        ascii_chart(
+            &[('a', &trace_a), ('b', &trace_b), ('c', &trace_c)],
+            70,
+            12
+        )
+    );
+    println!();
+    println!(
+        "rotation penalty vs unmanaged: {:+.1}%  (paper: +8.1%)",
+        (c.makespan / a.makespan - 1.0) * 100.0
+    );
+    println!(
+        "rotation speedup vs TSP/DVFS:  {:+.1}%  (paper: +11.9%)",
+        (b.makespan / c.makespan - 1.0) * 100.0
+    );
+    println!(
+        "csv,fig2-summary,{:.4},{:.4}",
+        (c.makespan / a.makespan - 1.0) * 100.0,
+        (b.makespan / c.makespan - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,86 @@
+//! Fig. 3 — the concentric AMD-based rotation rings of the 64-core chip,
+//! plus the performance/thermal gradient across them (inner rings: lower
+//! AMD ⇒ faster LLC but thermally constrained; outer rings: the reverse).
+
+use hp_experiments::{paper_machine, thermal_model};
+use hp_floorplan::CoreId;
+use hp_linalg::Vector;
+use hp_manycore::WorkPoint;
+
+fn main() {
+    let machine = paper_machine();
+    let model = thermal_model(&machine);
+    let rings = machine.rings();
+    let fp = machine.floorplan();
+
+    println!("Fig. 3 — concentric AMD rings of the 8x8 S-NUCA chip");
+    println!(
+        "{:>5} {:>6} {:>6} {:>14} {:>16}",
+        "ring", "cores", "AMD", "LLC ns (avg)", "loaded T (C)"
+    );
+    for (i, ring) in rings.iter().enumerate() {
+        let llc: f64 = ring
+            .cores()
+            .iter()
+            .map(|&c| machine.llc_latency_ns(c).expect("core in range"))
+            .sum::<f64>()
+            / ring.capacity() as f64;
+        // Thermal severity under load: with the whole chip drawing a
+        // uniform 2.5 W background, adding a 7 W thread on this ring —
+        // inner rings are thermally constrained, outer rings relaxed
+        // (the gradient HotPotato's ring escalation exploits).
+        let hot = ring
+            .cores()
+            .iter()
+            .map(|&c| {
+                let mut p = Vector::constant(machine.core_count(), 2.5);
+                p[c.index()] = 7.0;
+                let t = model.steady_state(&p).expect("steady state solves");
+                t[c.index()]
+            })
+            .sum::<f64>()
+            / ring.capacity() as f64;
+        println!(
+            "{:>5} {:>6} {:>6.2} {:>14.1} {:>16.1}",
+            i,
+            ring.capacity(),
+            ring.amd(),
+            llc,
+            hot
+        );
+        println!(
+            "csv,fig3,{},{},{:.3},{:.2},{:.2}",
+            i,
+            ring.capacity(),
+            ring.amd(),
+            llc,
+            hot
+        );
+    }
+
+    println!();
+    println!("Ring map (core -> ring index):");
+    for y in 0..fp.height() {
+        let row: Vec<String> = (0..fp.width())
+            .map(|x| {
+                let core = fp.core_at(x, y).expect("coordinate in range");
+                format!("{:>2}", rings.ring_of(core).index())
+            })
+            .collect();
+        println!("  {}", row.join(" "));
+    }
+
+    // The per-ring performance of a memory-bound thread (the quantity the
+    // CPI-sorted promotions in Algorithm 2 exploit).
+    println!();
+    println!("Memory-bound thread IPS by ring (4 GHz):");
+    for (i, ring) in rings.iter().enumerate() {
+        let core = ring.cores()[0];
+        let ips = machine
+            .cpi_stack(&WorkPoint::memory_bound(), core, 4.0)
+            .expect("core in range")
+            .ips();
+        println!("  ring {i}: {:.2} GIPS", ips / 1e9);
+    }
+    let _ = CoreId(0);
+}

@@ -1,0 +1,50 @@
+//! Table I — the simulated S-NUCA processor configuration, printed from
+//! the live `ArchConfig` defaults so the reproduction cannot drift from
+//! the documentation.
+
+use hp_experiments::paper_machine;
+
+fn main() {
+    let machine = paper_machine();
+    let cfg = machine.config();
+    let ladder = &cfg.dvfs;
+    println!("Table I — core parameters of the simulated S-NUCA processor");
+    println!("{:<22} {}", "Number of cores", cfg.core_count());
+    println!(
+        "{:<22} x86-like OoO interval model, {:.1}-{:.1} GHz DVFS ({} levels)",
+        "Core model",
+        ladder.frequency_ghz(ladder.min_level()),
+        ladder.frequency_ghz(ladder.max_level()),
+        ladder.level_count()
+    );
+    println!(
+        "{:<22} {}/{} KB, 8/8-way, {} B blocks",
+        "L1 I/D cache", cfg.l1_kb, cfg.l1_kb, cfg.block_bytes
+    );
+    println!(
+        "{:<22} {} KB per core, 16-way, {} B blocks",
+        "LLC", cfg.llc_kb_per_core, cfg.block_bytes
+    );
+    println!("{:<22} {} ns per hop", "NoC latency", cfg.noc_hop_ns);
+    println!("{:<22} 256 bit", "NoC link width");
+    println!("{:<22} {} mm^2", "Core area", cfg.core_area_mm2);
+    println!();
+    println!(
+        "Derived: centre-core LLC round trip {:.1} ns, corner-core {:.1} ns",
+        machine
+            .llc_latency_ns(hp_floorplan::CoreId(27))
+            .expect("core 27 exists"),
+        machine
+            .llc_latency_ns(hp_floorplan::CoreId(0))
+            .expect("core 0 exists"),
+    );
+    println!(
+        "csv,table1,{},{},{},{},{},{}",
+        cfg.core_count(),
+        cfg.l1_kb,
+        cfg.llc_kb_per_core,
+        cfg.noc_hop_ns,
+        cfg.block_bytes,
+        cfg.core_area_mm2
+    );
+}

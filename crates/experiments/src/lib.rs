@@ -1,0 +1,96 @@
+//! Shared harness code for the experiment binaries that regenerate the
+//! paper's tables and figures.
+//!
+//! Each binary in `src/bin/` reproduces one evaluation artefact:
+//!
+//! | Binary     | Paper artefact |
+//! |------------|----------------|
+//! | `table1`   | Table I — simulated processor configuration |
+//! | `fig2`     | Fig. 2 — thermal traces & response times (unmanaged / TSP / rotation) |
+//! | `fig3`     | Fig. 3 — concentric AMD rings of the 64-core chip |
+//! | `fig4a`    | Fig. 4(a) — homogeneous workloads, HotPotato vs PCMig |
+//! | `fig4b`    | Fig. 4(b) — heterogeneous open system, speedup vs arrival rate |
+//! | `overhead` | §VI run-time overhead of Algorithm 1 + Algorithm 2 |
+//! | `ablations`| design-choice sweeps (τ, Δ, threshold, migration cost, DTM scope, prewarm) |
+//! | `oracle_gap` | §V "near-optimal" claim: greedy vs exhaustive ring assignment |
+//! | `stacked3d`| §VII future work: rotation on a 3D-stacked chip |
+//!
+//! Outputs go to stdout as aligned text tables plus machine-readable CSV
+//! lines prefixed with `csv,` so EXPERIMENTS.md can quote either.
+
+pub mod plot;
+
+use hp_floorplan::GridFloorplan;
+use hp_manycore::{ArchConfig, Machine};
+use hp_sim::{Metrics, Scheduler, SimConfig, Simulation};
+use hp_thermal::{RcThermalModel, ThermalConfig};
+use hp_workload::Job;
+
+/// The paper's evaluation chip: a 64-core (8×8) S-NUCA processor
+/// (Table I).
+pub fn paper_machine() -> Machine {
+    Machine::new(ArchConfig::default()).expect("default config is valid")
+}
+
+/// A 16-core (4×4) chip for the Fig. 1 / Fig. 2 motivational setup.
+pub fn motivational_machine() -> Machine {
+    Machine::new(ArchConfig {
+        grid_width: 4,
+        grid_height: 4,
+        ..ArchConfig::default()
+    })
+    .expect("4x4 config is valid")
+}
+
+/// The thermal model matching `machine`.
+pub fn thermal_model(machine: &Machine) -> RcThermalModel {
+    RcThermalModel::new(machine.floorplan(), &ThermalConfig::default())
+        .expect("default thermal config is valid")
+}
+
+/// Builds a fresh thermal model for a given grid (helper for schedulers
+/// that own their model).
+pub fn thermal_model_for_grid(width: usize, height: usize) -> RcThermalModel {
+    let fp = GridFloorplan::new(width, height).expect("non-empty grid");
+    RcThermalModel::new(&fp, &ThermalConfig::default()).expect("valid thermal config")
+}
+
+/// Runs `jobs` on `machine` under `scheduler` with the given config and
+/// returns the metrics.
+///
+/// # Panics
+///
+/// Panics (with the engine's error) if the run fails — experiment binaries
+/// are expected to abort loudly on harness bugs.
+pub fn run(
+    machine: Machine,
+    sim_config: SimConfig,
+    jobs: Vec<Job>,
+    scheduler: &mut dyn Scheduler,
+) -> Metrics {
+    let mut sim = Simulation::new(machine, ThermalConfig::default(), sim_config)
+        .expect("valid simulation config");
+    sim.run(jobs, scheduler).expect("simulation run succeeds")
+}
+
+/// Formats a fraction as a signed percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:+.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machines_build() {
+        assert_eq!(paper_machine().core_count(), 64);
+        assert_eq!(motivational_machine().core_count(), 16);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.1072), "+10.72%");
+        assert_eq!(pct(-0.05), "-5.00%");
+    }
+}

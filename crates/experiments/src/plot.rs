@@ -1,0 +1,136 @@
+//! Terminal line charts for the experiment binaries — good enough to see
+//! the *shape* of a figure without leaving the shell.
+
+/// Renders one or more series as an ASCII line chart.
+///
+/// Each series is `(glyph, values)`; all series share the x-axis (sample
+/// index) and the y-axis is scaled to the joint min/max. Returns the
+/// rendered chart as a `String` (one trailing newline).
+///
+/// # Panics
+///
+/// Panics if `width` or `height` is zero.
+///
+/// # Example
+///
+/// ```
+/// use hp_experiments::plot::ascii_chart;
+///
+/// let up: Vec<f64> = (0..50).map(|i| i as f64).collect();
+/// let chart = ascii_chart(&[('*', &up)], 40, 8);
+/// assert!(chart.lines().count() > 8); // plot rows + axis
+/// assert!(chart.contains('*'));
+/// ```
+pub fn ascii_chart(series: &[(char, &[f64])], width: usize, height: usize) -> String {
+    assert!(width > 0 && height > 0, "chart needs a non-zero canvas");
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let mut longest = 0usize;
+    for (_, values) in series {
+        longest = longest.max(values.len());
+        for &v in *values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if longest == 0 || !lo.is_finite() {
+        return String::from("(no data)\n");
+    }
+    if (hi - lo).abs() < 1e-12 {
+        hi = lo + 1.0;
+    }
+
+    let mut canvas = vec![vec![' '; width]; height];
+    for (glyph, values) in series {
+        if values.is_empty() {
+            continue;
+        }
+        // `col` drives the bucket arithmetic, not just the indexing.
+        #[allow(clippy::needless_range_loop)]
+        for col in 0..width {
+            // Down-sample: take the max of the bucket so spikes survive.
+            let start = col * values.len() / width;
+            let end = (((col + 1) * values.len()) / width).max(start + 1);
+            let Some(bucket) = values.get(start..end.min(values.len())) else {
+                continue;
+            };
+            if bucket.is_empty() {
+                continue;
+            }
+            let v = bucket.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x));
+            let frac = (v - lo) / (hi - lo);
+            let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            canvas[row.min(height - 1)][col] = *glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in canvas.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{hi:8.1} |")
+        } else if r == height - 1 {
+            format!("{lo:8.1} |")
+        } else {
+            "         |".to_string()
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("         +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_extremes_on_correct_rows() {
+        let ramp: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let chart = ascii_chart(&[('x', &ramp)], 50, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        // Top row holds the max, bottom plot row the min.
+        assert!(lines[0].contains('x'));
+        assert!(lines[9].contains('x'));
+        assert!(lines[0].trim_start().starts_with("99.0"));
+        assert!(lines[9].trim_start().starts_with("0.0"));
+    }
+
+    #[test]
+    fn two_series_both_visible() {
+        let a = vec![1.0; 60];
+        let b = vec![2.0; 60];
+        let chart = ascii_chart(&[('a', &a), ('b', &b)], 30, 6);
+        assert!(chart.contains('a'));
+        assert!(chart.contains('b'));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let flat = vec![5.0; 10];
+        let chart = ascii_chart(&[('f', &flat)], 20, 4);
+        assert!(chart.contains('f'));
+    }
+
+    #[test]
+    fn empty_series_is_graceful() {
+        assert_eq!(ascii_chart(&[('x', &[])], 20, 4), "(no data)\n");
+    }
+
+    #[test]
+    fn spikes_survive_downsampling() {
+        let mut v = vec![0.0; 1000];
+        v[500] = 100.0;
+        let chart = ascii_chart(&[('s', &v)], 40, 8);
+        // The spike must appear on the top row despite 25:1 downsampling.
+        assert!(chart.lines().next().expect("rows").contains('s'));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero canvas")]
+    fn zero_canvas_panics() {
+        let _ = ascii_chart(&[('x', &[1.0])], 0, 4);
+    }
+}

@@ -1,0 +1,60 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or querying floorplans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FloorplanError {
+    /// A grid dimension was zero.
+    EmptyGrid,
+    /// A core index was out of range for the floorplan.
+    CoreOutOfRange {
+        /// The offending core index.
+        core: usize,
+        /// Number of cores in the floorplan.
+        cores: usize,
+    },
+    /// A coordinate was outside the grid.
+    CoordOutOfRange {
+        /// The offending coordinate.
+        x: usize,
+        /// The offending coordinate.
+        y: usize,
+        /// Grid width.
+        width: usize,
+        /// Grid height.
+        height: usize,
+    },
+}
+
+impl fmt::Display for FloorplanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FloorplanError::EmptyGrid => write!(f, "grid dimensions must be non-zero"),
+            FloorplanError::CoreOutOfRange { core, cores } => {
+                write!(f, "core {core} out of range (floorplan has {cores} cores)")
+            }
+            FloorplanError::CoordOutOfRange {
+                x,
+                y,
+                width,
+                height,
+            } => write!(f, "coordinate ({x}, {y}) outside {width}x{height} grid"),
+        }
+    }
+}
+
+impl Error for FloorplanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(FloorplanError::EmptyGrid.to_string().contains("non-zero"));
+        assert!(FloorplanError::CoreOutOfRange { core: 70, cores: 64 }
+            .to_string()
+            .contains("70"));
+    }
+}

@@ -1,0 +1,37 @@
+//! Grid floorplans and the AMD (Average Manhattan Distance) geometry of
+//! S-NUCA many-cores.
+//!
+//! On an S-NUCA many-core the last-level cache is statically distributed
+//! across all cores' banks, so every memory access travels on average
+//! `AMD(core) × hop latency` through the NoC. The AMD of a core therefore
+//! determines both its *performance* (lower AMD ⇒ faster LLC) and its
+//! *thermal* situation (low-AMD cores sit in the die centre and are hotter).
+//! The HotPotato scheduler exploits the resulting **concentric AMD rings**
+//! (paper Fig. 3): cores with equal AMD are performance- and thermal-wise
+//! homogeneous and form natural rotation groups.
+//!
+//! # Example
+//!
+//! ```
+//! use hp_floorplan::GridFloorplan;
+//!
+//! # fn main() -> Result<(), hp_floorplan::FloorplanError> {
+//! let fp = GridFloorplan::new(8, 8)?; // the paper's 64-core chip
+//! let rings = fp.amd_rings();
+//! assert_eq!(rings.total_cores(), 64);
+//! // Innermost ring has the lowest AMD: the four centre cores.
+//! assert_eq!(rings.ring(0).cores().len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod grid;
+mod rings;
+
+pub use error::FloorplanError;
+pub use grid::{Coord, CoreId, GridFloorplan};
+pub use rings::{AmdRing, RingIndex, RingSet};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, FloorplanError>;

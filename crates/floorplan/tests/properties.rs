@@ -1,0 +1,115 @@
+//! Property-based tests for floorplan geometry and AMD rings.
+
+use hp_floorplan::{CoreId, GridFloorplan};
+use proptest::prelude::*;
+
+fn grids() -> impl Strategy<Value = GridFloorplan> {
+    (1usize..=10, 1usize..=10)
+        .prop_map(|(w, h)| GridFloorplan::new(w, h).expect("non-empty grid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hops_are_a_metric(fp in grids(), a in 0usize..100, b in 0usize..100, c in 0usize..100) {
+        let n = fp.core_count();
+        let (a, b, c) = (CoreId(a % n), CoreId(b % n), CoreId(c % n));
+        let d_ab = fp.hops(a, b).unwrap();
+        let d_ba = fp.hops(b, a).unwrap();
+        let d_ac = fp.hops(a, c).unwrap();
+        let d_cb = fp.hops(c, b).unwrap();
+        prop_assert_eq!(d_ab, d_ba);                       // symmetry
+        prop_assert_eq!(fp.hops(a, a).unwrap(), 0);        // identity
+        prop_assert!(d_ab <= d_ac + d_cb);                 // triangle
+    }
+
+    #[test]
+    fn amd_bounded_by_extremes(fp in grids(), core in 0usize..100) {
+        let n = fp.core_count();
+        let core = CoreId(core % n);
+        let amd = fp.amd(core).unwrap();
+        let max_hops = (fp.width() - 1 + fp.height() - 1) as f64;
+        prop_assert!(amd >= 0.0);
+        prop_assert!(amd <= max_hops);
+        if n > 1 {
+            prop_assert!(amd >= 1.0 - 1e-12, "other cores are at least 1 hop away");
+        }
+    }
+
+    #[test]
+    fn rings_partition_and_sort(fp in grids()) {
+        let rings = fp.amd_rings();
+        prop_assert_eq!(rings.total_cores(), fp.core_count());
+        let mut seen = vec![false; fp.core_count()];
+        let mut last_amd = f64::NEG_INFINITY;
+        for ring in &rings {
+            prop_assert!(ring.amd() > last_amd);
+            last_amd = ring.amd();
+            for &c in ring.cores() {
+                prop_assert!(!seen[c.index()]);
+                seen[c.index()] = true;
+                // Each member really has the ring's AMD.
+                prop_assert!((fp.amd(c).unwrap() - ring.amd()).abs() < 1e-6);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn ring_rotation_orders_are_cyclic(fp in grids()) {
+        for ring in &fp.amd_rings() {
+            let k = ring.capacity();
+            let mut slot = 0usize;
+            for _ in 0..k {
+                slot = ring.next_slot(slot);
+            }
+            prop_assert_eq!(slot, 0);
+        }
+    }
+
+    #[test]
+    fn symmetric_grids_have_symmetric_amd(side in 1usize..=9) {
+        // On a square grid, AMD is invariant under the 4 reflections.
+        let fp = GridFloorplan::new(side, side).expect("grid");
+        for core in fp.cores() {
+            let c = fp.coord(core).expect("in range");
+            let mirror_x = fp.core_at(side - 1 - c.x, c.y).expect("in range");
+            let mirror_y = fp.core_at(c.x, side - 1 - c.y).expect("in range");
+            let transpose = fp.core_at(c.y, c.x).expect("in range");
+            let amd = fp.amd(core).expect("in range");
+            prop_assert!((fp.amd(mirror_x).unwrap() - amd).abs() < 1e-9);
+            prop_assert!((fp.amd(mirror_y).unwrap() - amd).abs() < 1e-9);
+            prop_assert!((fp.amd(transpose).unwrap() - amd).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_distance_one(fp in grids(), core in 0usize..100) {
+        let n = fp.core_count();
+        let core = CoreId(core % n);
+        for nb in fp.neighbors(core).unwrap() {
+            prop_assert_eq!(fp.hops(core, nb).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn amd_increases_from_center(fp in grids()) {
+        // The minimum-AMD core is always one of the central cores.
+        let n = fp.core_count();
+        if n < 4 {
+            return Ok(());
+        }
+        let min_core = fp
+            .cores()
+            .min_by(|&a, &b| {
+                fp.amd(a).unwrap().partial_cmp(&fp.amd(b).unwrap()).unwrap()
+            })
+            .unwrap();
+        let c = fp.coord(min_core).unwrap();
+        let cx = (fp.width() as f64 - 1.0) / 2.0;
+        let cy = (fp.height() as f64 - 1.0) / 2.0;
+        prop_assert!((c.x as f64 - cx).abs() <= 0.5 + 1e-9);
+        prop_assert!((c.y as f64 - cy).abs() <= 0.5 + 1e-9);
+    }
+}

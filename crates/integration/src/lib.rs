@@ -1,0 +1,4 @@
+//! Anchor crate for the workspace-level integration tests in `tests/`.
+//!
+//! The tests themselves exercise the public APIs of every other crate in
+//! the workspace; this library is intentionally empty.

@@ -1,0 +1,432 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method, plus the
+//! diagonal-congruence transform that factorizes the thermal system matrix
+//! `C = -A⁻¹B`.
+//!
+//! `A` (thermal capacitances) is diagonal with strictly positive entries and
+//! `B` (thermal conductances) is symmetric positive definite, so `C` is
+//! similar to the symmetric negative definite matrix `-S` with
+//! `S = A^{-1/2} B A^{-1/2}`:
+//!
+//! ```text
+//! C = -A⁻¹B = A^{-1/2} · (-S) · A^{1/2}
+//! ```
+//!
+//! Jacobi-decomposing `S = Q Λ Qᵀ` yields `C = V (-Λ) V⁻¹` with
+//! `V = A^{-1/2} Q` and `V⁻¹ = Qᵀ A^{1/2}` — no general (nonsymmetric)
+//! eigensolver is ever needed, and all eigenvalues of `C` are provably
+//! negative, which is what makes the geometric-series closed forms of the
+//! paper's Eq. (9) legitimate.
+
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// Maximum number of full Jacobi sweeps before declaring non-convergence.
+const MAX_SWEEPS: usize = 64;
+
+/// Eigendecomposition `M = Q Λ Qᵀ` of a symmetric matrix, with `Q` orthogonal.
+///
+/// Produced by [`Matrix::symmetric_eigen`] or [`SymmetricEigen::new`].
+/// Eigenpairs are sorted by ascending eigenvalue.
+///
+/// # Example
+///
+/// ```
+/// use hp_linalg::Matrix;
+///
+/// # fn main() -> Result<(), hp_linalg::LinalgError> {
+/// let m = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]])?;
+/// let eig = m.symmetric_eigen()?;
+/// assert!((eig.eigenvalues()[0] - 1.0).abs() < 1e-10);
+/// assert!((eig.eigenvalues()[1] - 3.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    eigenvalues: Vector,
+    /// Columns are the eigenvectors, in the same order as `eigenvalues`.
+    eigenvectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Decomposes a symmetric matrix with the cyclic Jacobi method.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] for rectangular input.
+    /// * [`LinalgError::NotSymmetric`] if the asymmetry exceeds
+    ///   `1e-8 · ‖M‖∞`.
+    /// * [`LinalgError::NoConvergence`] if off-diagonal mass persists after
+    ///   the sweep budget (practically unreachable for symmetric input).
+    pub fn new(m: &Matrix) -> Result<Self> {
+        if !m.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: m.rows(),
+                cols: m.cols(),
+            });
+        }
+        let n = m.rows();
+        let scale = m.norm_inf().max(f64::MIN_POSITIVE);
+        // Locate the worst asymmetric pair for a useful error message.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let asym = (m[(i, j)] - m[(j, i)]).abs();
+                if asym > 1e-8 * scale {
+                    return Err(LinalgError::NotSymmetric {
+                        at: (i, j),
+                        asymmetry: asym,
+                    });
+                }
+            }
+        }
+
+        let mut a = m.clone();
+        let mut q = Matrix::identity(n);
+        let tol = 1e-14 * scale;
+
+        for _sweep in 0..MAX_SWEEPS {
+            let mut off = 0.0f64;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    off = off.max(a[(i, j)].abs());
+                }
+            }
+            if off <= tol {
+                return Ok(Self::sorted(a.diagonal(), q));
+            }
+            for p in 0..n {
+                for r in (p + 1)..n {
+                    let apr = a[(p, r)];
+                    if apr.abs() <= tol {
+                        continue;
+                    }
+                    // Classic Jacobi rotation annihilating a[p][r].
+                    let app = a[(p, p)];
+                    let arr = a[(r, r)];
+                    let theta = (arr - app) / (2.0 * apr);
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+
+                    for k in 0..n {
+                        let akp = a[(k, p)];
+                        let akr = a[(k, r)];
+                        a[(k, p)] = c * akp - s * akr;
+                        a[(k, r)] = s * akp + c * akr;
+                    }
+                    for k in 0..n {
+                        let apk = a[(p, k)];
+                        let ark = a[(r, k)];
+                        a[(p, k)] = c * apk - s * ark;
+                        a[(r, k)] = s * apk + c * ark;
+                    }
+                    for k in 0..n {
+                        let qkp = q[(k, p)];
+                        let qkr = q[(k, r)];
+                        q[(k, p)] = c * qkp - s * qkr;
+                        q[(k, r)] = s * qkp + c * qkr;
+                    }
+                }
+            }
+        }
+        Err(LinalgError::NoConvergence {
+            algorithm: "cyclic jacobi",
+            iterations: MAX_SWEEPS,
+        })
+    }
+
+    fn sorted(values: Vector, vectors: Matrix) -> Self {
+        let n = values.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("NaN eigenvalue"));
+        let eigenvalues = Vector::from_fn(n, |i| values[order[i]]);
+        let eigenvectors = Matrix::from_fn(n, n, |i, j| vectors[(i, order[j])]);
+        SymmetricEigen {
+            eigenvalues,
+            eigenvectors,
+        }
+    }
+
+    /// Eigenvalues, ascending.
+    pub fn eigenvalues(&self) -> &Vector {
+        &self.eigenvalues
+    }
+
+    /// Orthogonal eigenvector matrix `Q` (columns match `eigenvalues`).
+    pub fn eigenvectors(&self) -> &Matrix {
+        &self.eigenvectors
+    }
+
+    /// Reconstructs `Q Λ Qᵀ` (for validation).
+    pub fn reconstruct(&self) -> Matrix {
+        let lambda = Matrix::from_diagonal(&self.eigenvalues);
+        let ql = self.eigenvectors.mul_matrix(&lambda).expect("shape");
+        ql.mul_matrix(&self.eigenvectors.transpose()).expect("shape")
+    }
+}
+
+/// Eigendecomposition of the thermal system matrix `C = -A⁻¹B`.
+///
+/// Holds `C = V · diag(λ) · V⁻¹` with all `λ < 0`. Built once per chip
+/// configuration and reused by every transient and peak-temperature solve.
+///
+/// # Example
+///
+/// ```
+/// use hp_linalg::{eigen::SystemEigen, Matrix, Vector};
+///
+/// # fn main() -> Result<(), hp_linalg::LinalgError> {
+/// let a_diag = Vector::from(vec![1.0, 2.0]);
+/// let b = Matrix::from_rows(&[&[3.0, -1.0], &[-1.0, 2.0]])?;
+/// let sys = SystemEigen::new(&a_diag, &b)?;
+/// assert!(sys.eigenvalues().iter().all(|&l| l < 0.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemEigen {
+    eigenvalues: Vector,
+    v: Matrix,
+    v_inv: Matrix,
+}
+
+impl SystemEigen {
+    /// Builds the decomposition from the diagonal of `A` and the symmetric
+    /// conductance matrix `B`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::InvalidInput`] if any capacitance is non-positive or
+    ///   dimensions disagree.
+    /// * Errors from the underlying Jacobi decomposition.
+    pub fn new(a_diag: &Vector, b: &Matrix) -> Result<Self> {
+        let n = a_diag.len();
+        if b.rows() != n || b.cols() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "system eigendecomposition",
+                left: (n, 1),
+                right: (b.rows(), b.cols()),
+            });
+        }
+        if a_diag.iter().any(|&c| c <= 0.0 || !c.is_finite()) {
+            return Err(LinalgError::InvalidInput(
+                "thermal capacitances must be positive and finite",
+            ));
+        }
+        let inv_sqrt = Vector::from_fn(n, |i| 1.0 / a_diag[i].sqrt());
+        let sqrt_a = Vector::from_fn(n, |i| a_diag[i].sqrt());
+        // S = A^{-1/2} B A^{-1/2}, symmetric by construction.
+        let s = Matrix::from_fn(n, n, |i, j| inv_sqrt[i] * b[(i, j)] * inv_sqrt[j]);
+        // Numerical symmetrization guards against round-off in B's assembly.
+        let s = Matrix::from_fn(n, n, |i, j| 0.5 * (s[(i, j)] + s[(j, i)]));
+        let eig = SymmetricEigen::new(&s)?;
+        let q = eig.eigenvectors();
+        let v = Matrix::from_fn(n, n, |i, j| inv_sqrt[i] * q[(i, j)]);
+        let v_inv = Matrix::from_fn(n, n, |i, j| q[(j, i)] * sqrt_a[j]);
+        let eigenvalues = Vector::from_fn(n, |i| -eig.eigenvalues()[i]);
+        Ok(SystemEigen {
+            eigenvalues,
+            v,
+            v_inv,
+        })
+    }
+
+    /// Dimension `N` of the system.
+    pub fn dim(&self) -> usize {
+        self.eigenvalues.len()
+    }
+
+    /// Eigenvalues of `C` (all negative for a physical RC model).
+    pub fn eigenvalues(&self) -> &Vector {
+        &self.eigenvalues
+    }
+
+    /// Eigenvector matrix `V`.
+    pub fn v(&self) -> &Matrix {
+        &self.v
+    }
+
+    /// Inverse eigenvector matrix `V⁻¹`.
+    pub fn v_inv(&self) -> &Matrix {
+        &self.v_inv
+    }
+
+    /// Evaluates `e^{C·t} · x` without forming the full exponential.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn exp_apply(&self, t: f64, x: &Vector) -> Vector {
+        let y = self.v_inv.mul_vector(x);
+        let scaled = Vector::from_fn(self.dim(), |i| (self.eigenvalues[i] * t).exp() * y[i]);
+        self.v.mul_vector(&scaled)
+    }
+
+    /// Forms the dense matrix `e^{C·t}`.
+    pub fn exp_matrix(&self, t: f64) -> Matrix {
+        let n = self.dim();
+        let d = Vector::from_fn(n, |i| (self.eigenvalues[i] * t).exp());
+        // V · diag(d) · V⁻¹ computed without an intermediate product.
+        Matrix::from_fn(n, n, |i, j| {
+            (0..n).map(|k| self.v[(i, k)] * d[k] * self.v_inv[(k, j)]).sum()
+        })
+    }
+
+    /// Forms `V · diag(d) · V⁻¹` for an arbitrary spectral filter `d`.
+    ///
+    /// This is the workhorse of the rotation peak-temperature closed form
+    /// (paper Eq. 10), where `d` is e.g. `1 / (1 - e^{δλτ})`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len() != self.dim()`.
+    pub fn spectral_filter(&self, d: &Vector) -> Matrix {
+        let n = self.dim();
+        assert_eq!(d.len(), n, "spectral filter length mismatch");
+        Matrix::from_fn(n, n, |i, j| {
+            (0..n).map(|k| self.v[(i, k)] * d[k] * self.v_inv[(k, j)]).sum()
+        })
+    }
+
+    /// Applies `V · diag(d) · V⁻¹ · x` without forming the matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len()` or `x.len()` differ from `self.dim()`.
+    pub fn spectral_apply(&self, d: &Vector, x: &Vector) -> Vector {
+        let y = self.v_inv.mul_vector(x);
+        let filtered = Vector::from_fn(self.dim(), |i| d[i] * y[i]);
+        self.v.mul_vector(&filtered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_2x2_known() {
+        let m = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let eig = m.symmetric_eigen().unwrap();
+        assert!((eig.eigenvalues()[0] - 1.0).abs() < 1e-12);
+        assert!((eig.eigenvalues()[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jacobi_reconstruction() {
+        let m = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, 0.2],
+            &[0.5, 0.2, 5.0],
+        ])
+        .unwrap();
+        let eig = m.symmetric_eigen().unwrap();
+        let err = (&eig.reconstruct() - &m).norm_inf();
+        assert!(err < 1e-10, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn jacobi_orthogonality() {
+        let m = Matrix::from_fn(6, 6, |i, j| 1.0 / (1.0 + (i + j) as f64));
+        let eig = m.symmetric_eigen().unwrap();
+        let q = eig.eigenvectors();
+        let qtq = q.transpose().mul_matrix(q).unwrap();
+        let err = (&qtq - &Matrix::identity(6)).norm_inf();
+        assert!(err < 1e-10, "orthogonality error {err}");
+    }
+
+    #[test]
+    fn jacobi_rejects_asymmetric() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).unwrap();
+        assert!(matches!(
+            m.symmetric_eigen(),
+            Err(LinalgError::NotSymmetric { .. })
+        ));
+    }
+
+    #[test]
+    fn jacobi_diagonal_is_trivial() {
+        let m = Matrix::from_diagonal(&Vector::from(vec![3.0, 1.0, 2.0]));
+        let eig = m.symmetric_eigen().unwrap();
+        assert_eq!(eig.eigenvalues().as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn system_eigen_matches_direct_c() {
+        let a_diag = Vector::from(vec![1.0, 2.0, 0.5]);
+        let b = Matrix::from_rows(&[
+            &[3.0, -1.0, 0.0],
+            &[-1.0, 2.5, -0.5],
+            &[0.0, -0.5, 1.5],
+        ])
+        .unwrap();
+        let sys = SystemEigen::new(&a_diag, &b).unwrap();
+        // Reconstruct C = V diag(lambda) V^{-1} and compare with -A^{-1}B.
+        let c_rebuilt = sys.spectral_filter(sys.eigenvalues());
+        let c_direct = Matrix::from_fn(3, 3, |i, j| -b[(i, j)] / a_diag[i]);
+        let err = (&c_rebuilt - &c_direct).norm_inf();
+        assert!(err < 1e-10, "C reconstruction error {err}");
+    }
+
+    #[test]
+    fn system_eigenvalues_negative() {
+        let a_diag = Vector::from(vec![0.1, 0.2, 0.3, 0.4]);
+        let b = Matrix::from_fn(4, 4, |i, j| {
+            if i == j {
+                2.0 + i as f64
+            } else if i.abs_diff(j) == 1 {
+                -0.7
+            } else {
+                0.0
+            }
+        });
+        let sys = SystemEigen::new(&a_diag, &b).unwrap();
+        assert!(sys.eigenvalues().iter().all(|&l| l < 0.0));
+    }
+
+    #[test]
+    fn exp_apply_at_zero_is_identity() {
+        let a_diag = Vector::from(vec![1.0, 1.0]);
+        let b = Matrix::from_rows(&[&[2.0, -1.0], &[-1.0, 2.0]]).unwrap();
+        let sys = SystemEigen::new(&a_diag, &b).unwrap();
+        let x = Vector::from(vec![1.0, -2.0]);
+        let y = sys.exp_apply(0.0, &x);
+        assert!((&y - &x).norm_inf() < 1e-12);
+    }
+
+    #[test]
+    fn exp_apply_decays_to_zero() {
+        let a_diag = Vector::from(vec![1.0, 1.0]);
+        let b = Matrix::from_rows(&[&[2.0, -1.0], &[-1.0, 2.0]]).unwrap();
+        let sys = SystemEigen::new(&a_diag, &b).unwrap();
+        let x = Vector::from(vec![5.0, 7.0]);
+        let y = sys.exp_apply(100.0, &x);
+        assert!(y.norm_inf() < 1e-10);
+    }
+
+    #[test]
+    fn system_rejects_nonpositive_capacitance() {
+        let a_diag = Vector::from(vec![1.0, 0.0]);
+        let b = Matrix::identity(2);
+        assert!(SystemEigen::new(&a_diag, &b).is_err());
+    }
+
+    #[test]
+    fn exp_matrix_matches_exp_apply() {
+        let a_diag = Vector::from(vec![0.5, 1.5, 1.0]);
+        let b = Matrix::from_rows(&[
+            &[2.0, -0.5, 0.0],
+            &[-0.5, 3.0, -1.0],
+            &[0.0, -1.0, 2.5],
+        ])
+        .unwrap();
+        let sys = SystemEigen::new(&a_diag, &b).unwrap();
+        let x = Vector::from(vec![1.0, 2.0, 3.0]);
+        let via_matrix = sys.exp_matrix(0.3).mul_vector(&x);
+        let via_apply = sys.exp_apply(0.3, &x);
+        assert!((&via_matrix - &via_apply).norm_inf() < 1e-12);
+    }
+}

@@ -1,0 +1,113 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the dense linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// An operation that requires a square matrix received a rectangular one.
+    NotSquare {
+        /// Rows of the offending matrix.
+        rows: usize,
+        /// Columns of the offending matrix.
+        cols: usize,
+    },
+    /// Two operands have incompatible dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Dimensions of the left operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Dimensions of the right operand as `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// A factorization encountered a (numerically) singular matrix.
+    Singular {
+        /// Pivot index at which singularity was detected.
+        pivot: usize,
+    },
+    /// An algorithm that requires a symmetric matrix received an asymmetric one.
+    NotSymmetric {
+        /// Position of the first asymmetric entry.
+        at: (usize, usize),
+        /// Magnitude of the asymmetry `|m[i][j] - m[j][i]|`.
+        asymmetry: f64,
+    },
+    /// An iterative algorithm failed to converge.
+    NoConvergence {
+        /// Name of the algorithm.
+        algorithm: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// Input data was empty or otherwise malformed.
+    InvalidInput(&'static str),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            LinalgError::DimensionMismatch { op, left, right } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular (zero pivot at index {pivot})")
+            }
+            LinalgError::NotSymmetric { at, asymmetry } => write!(
+                f,
+                "matrix is not symmetric at ({}, {}), asymmetry {asymmetry:e}",
+                at.0, at.1
+            ),
+            LinalgError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            LinalgError::InvalidInput(what) => write!(f, "invalid input: {what}"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let variants = [
+            LinalgError::NotSquare { rows: 2, cols: 3 },
+            LinalgError::DimensionMismatch {
+                op: "mul",
+                left: (2, 2),
+                right: (3, 3),
+            },
+            LinalgError::Singular { pivot: 1 },
+            LinalgError::NotSymmetric {
+                at: (0, 1),
+                asymmetry: 0.5,
+            },
+            LinalgError::NoConvergence {
+                algorithm: "jacobi",
+                iterations: 100,
+            },
+            LinalgError::InvalidInput("empty"),
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,175 @@
+//! General dense matrix exponential via scaling-and-squaring.
+//!
+//! The thermal pipeline normally computes `e^{Cτ}` through the
+//! [`SystemEigen`](crate::eigen::SystemEigen) decomposition (the MatEx route)
+//! because `C` is diagonalizable with a well-conditioned eigenbasis. This
+//! module provides an *independent* Padé scaling-and-squaring implementation
+//! used (a) to cross-validate the eigen route in tests and benches, and
+//! (b) as a fallback for matrices that are not of the RC form.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Computes `e^{M}` with a degree-6 Padé approximant plus scaling and squaring.
+///
+/// Accuracy is ~1e-12 relative for well-scaled inputs, which is ample for
+/// cross-validation of the eigendecomposition route.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] for rectangular input.
+/// * [`LinalgError::Singular`] if the Padé denominator is singular
+///   (pathological inputs only).
+///
+/// # Example
+///
+/// ```
+/// use hp_linalg::{expm, Matrix};
+///
+/// # fn main() -> Result<(), hp_linalg::LinalgError> {
+/// let zero = Matrix::zeros(3, 3);
+/// let e = expm(&zero)?;
+/// assert!((&e - &Matrix::identity(3)).norm_inf() < 1e-14);
+/// # Ok(())
+/// # }
+/// ```
+pub fn expm(m: &Matrix) -> Result<Matrix> {
+    if !m.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: m.rows(),
+            cols: m.cols(),
+        });
+    }
+    let n = m.rows();
+    if n == 0 {
+        return Ok(Matrix::zeros(0, 0));
+    }
+
+    // Scale so the scaled norm is <= 0.5, where the degree-6 Padé
+    // approximant is very accurate.
+    let norm = m.norm_inf();
+    let mut squarings = 0u32;
+    let mut scale = 1.0;
+    if norm > 0.5 {
+        squarings = (norm / 0.5).log2().ceil() as u32;
+        scale = 0.5f64.powi(squarings as i32);
+    }
+    let a = m.scaled(scale);
+
+    // Degree-7 diagonal Padé (Higham's exact integer coefficients):
+    // exp(A) ~ q(A)^{-1} p(A), p(A) = W + U, q(A) = W - U with W even, U odd.
+    const B: [f64; 8] = [
+        17_297_280.0,
+        8_648_640.0,
+        1_995_840.0,
+        277_200.0,
+        25_200.0,
+        1_512.0,
+        56.0,
+        1.0,
+    ];
+    let a2 = a.mul_matrix(&a)?;
+    let a4 = a2.mul_matrix(&a2)?;
+    let a6 = a4.mul_matrix(&a2)?;
+    let id = Matrix::identity(n);
+
+    let even = &(&(&id * B[0]) + &(&a2 * B[2])) + &(&(&a4 * B[4]) + &(&a6 * B[6]));
+    let odd_poly = &(&(&id * B[1]) + &(&a2 * B[3])) + &(&(&a4 * B[5]) + &(&a6 * B[7]));
+    let odd = a.mul_matrix(&odd_poly)?;
+
+    let p = &even + &odd;
+    let q = &even - &odd;
+    let mut result = q.lu()?.solve_matrix(&p)?;
+
+    for _ in 0..squarings {
+        result = result.mul_matrix(&result)?;
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vector;
+
+    #[test]
+    fn expm_zero_is_identity() {
+        let e = expm(&Matrix::zeros(4, 4)).unwrap();
+        assert!((&e - &Matrix::identity(4)).norm_inf() < 1e-14);
+    }
+
+    #[test]
+    fn expm_diagonal() {
+        let m = Matrix::from_diagonal(&Vector::from(vec![1.0, -2.0, 0.5]));
+        let e = expm(&m).unwrap();
+        assert!((e[(0, 0)] - 1.0f64.exp()).abs() < 1e-10);
+        assert!((e[(1, 1)] - (-2.0f64).exp()).abs() < 1e-10);
+        assert!((e[(2, 2)] - 0.5f64.exp()).abs() < 1e-10);
+        assert!(e[(0, 1)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn expm_nilpotent() {
+        // For N = [[0,1],[0,0]], exp(N) = I + N exactly.
+        let m = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).unwrap();
+        let e = expm(&m).unwrap();
+        assert!((e[(0, 0)] - 1.0).abs() < 1e-13);
+        assert!((e[(0, 1)] - 1.0).abs() < 1e-13);
+        assert!(e[(1, 0)].abs() < 1e-13);
+        assert!((e[(1, 1)] - 1.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn expm_rotation_block() {
+        // exp([[0,-t],[t,0]]) = [[cos t, -sin t],[sin t, cos t]].
+        let t = 0.7;
+        let m = Matrix::from_rows(&[&[0.0, -t], &[t, 0.0]]).unwrap();
+        let e = expm(&m).unwrap();
+        assert!((e[(0, 0)] - t.cos()).abs() < 1e-12);
+        assert!((e[(1, 0)] - t.sin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expm_additivity_on_commuting() {
+        // exp(2M) = exp(M)^2 for any M.
+        let m = Matrix::from_rows(&[&[0.3, 0.1], &[0.2, -0.4]]).unwrap();
+        let e1 = expm(&m).unwrap();
+        let e2 = expm(&m.scaled(2.0)).unwrap();
+        let e1sq = e1.mul_matrix(&e1).unwrap();
+        assert!((&e2 - &e1sq).norm_inf() < 1e-11);
+    }
+
+    #[test]
+    fn expm_agrees_with_eigen_route() {
+        use crate::eigen::SystemEigen;
+        let a_diag = Vector::from(vec![0.4, 1.1, 0.8]);
+        let b = Matrix::from_rows(&[
+            &[2.0, -0.5, -0.2],
+            &[-0.5, 1.8, -0.6],
+            &[-0.2, -0.6, 2.2],
+        ])
+        .unwrap();
+        let sys = SystemEigen::new(&a_diag, &b).unwrap();
+        let c = Matrix::from_fn(3, 3, |i, j| -b[(i, j)] / a_diag[i]);
+        let tau = 0.01;
+        let via_pade = expm(&c.scaled(tau)).unwrap();
+        let via_eigen = sys.exp_matrix(tau);
+        assert!((&via_pade - &via_eigen).norm_inf() < 1e-10);
+    }
+
+    #[test]
+    fn expm_rejects_rectangular() {
+        assert!(matches!(
+            expm(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn expm_large_norm_scaling() {
+        // Large-norm input exercises the squaring path.
+        let m = Matrix::from_diagonal(&Vector::from(vec![-30.0, -10.0]));
+        let e = expm(&m).unwrap();
+        assert!((e[(0, 0)] - (-30.0f64).exp()).abs() < 1e-18);
+        assert!((e[(1, 1)] - (-10.0f64).exp()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,60 @@
+//! Dense linear-algebra kernels used by the HotPotato thermal tool-chain.
+//!
+//! Compact RC thermal models (HotSpot-style) lead to small dense systems:
+//! a 64-core, three-layer model has `N ≈ 200` thermal nodes. At that size
+//! dense LU factorization and a cyclic Jacobi eigensolver are both simpler
+//! and faster than sparse machinery, and — crucially for the peak-temperature
+//! proofs in the paper — the Jacobi route gives us a *guaranteed orthogonal*
+//! eigenbasis of the symmetrized system matrix.
+//!
+//! The crate deliberately implements only what the tool-chain needs:
+//!
+//! * [`Matrix`] / [`Vector`] — owned, row-major dense containers with the
+//!   usual arithmetic.
+//! * [`LuDecomposition`] — partial-pivoting LU with solve / inverse /
+//!   determinant.
+//! * [`CholeskyDecomposition`] — pivot-free `L·Lᵀ` factorization for SPD
+//!   matrices; doubles as the positive-definiteness check for assembled
+//!   RC networks.
+//! * [`SymmetricEigen`] — cyclic Jacobi eigensolver for symmetric matrices,
+//!   plus the diagonal-congruence transform used to factorize `C = -A⁻¹B`
+//!   when `A` is diagonal positive and `B` is symmetric positive definite.
+//! * [`expm()`](fn@crate::expm) — matrix exponentials, both through an
+//!   eigendecomposition (the MatEx route) and through scaling-and-squaring
+//!   (validation / fallback).
+//!
+//! # Example
+//!
+//! ```
+//! use hp_linalg::{Matrix, Vector};
+//!
+//! # fn main() -> Result<(), hp_linalg::LinalgError> {
+//! let b = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let p = Vector::from(vec![1.0, 2.0]);
+//! let lu = b.lu()?;
+//! let t = lu.solve(&p)?;
+//! let residual = (&b * &t - p).norm_inf();
+//! assert!(residual < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod matrix;
+mod vector;
+
+pub mod cholesky;
+pub mod eigen;
+pub mod expm;
+pub mod lu;
+
+pub use cholesky::CholeskyDecomposition;
+pub use error::LinalgError;
+pub use expm::expm;
+pub use lu::LuDecomposition;
+pub use matrix::Matrix;
+pub use eigen::SymmetricEigen;
+pub use vector::Vector;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,265 @@
+//! Partial-pivoting LU decomposition.
+//!
+//! The thermal model's conductance matrix `B` must be inverted once per
+//! configuration (`T_steady = B⁻¹(P + T_amb·G)`, paper Eq. 3) and its
+//! factorization is reused for every steady-state solve. A dense
+//! Doolittle-style LU with partial pivoting is exact enough: `B` is
+//! symmetric positive definite and well conditioned for physical RC values.
+
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// A partial-pivoting LU decomposition `P·A = L·U` of a square matrix.
+///
+/// Factor once, then [`solve`](LuDecomposition::solve) many right-hand sides
+/// — exactly the access pattern of repeated steady-state temperature solves.
+///
+/// # Example
+///
+/// ```
+/// use hp_linalg::{Matrix, Vector};
+///
+/// # fn main() -> Result<(), hp_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]])?;
+/// let lu = a.lu()?;
+/// let x = lu.solve(&Vector::from(vec![9.0, 8.0]))?;
+/// assert!((x[0] - 2.0).abs() < 1e-12);
+/// assert!((x[1] - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Combined L (unit lower, below diagonal) and U (upper) factors.
+    factors: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (for the determinant).
+    perm_sign: f64,
+}
+
+impl LuDecomposition {
+    /// Factorizes `a` with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is rectangular.
+    /// * [`LinalgError::Singular`] if a pivot collapses to (near) zero.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut f = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        // A pivot is declared singular relative to the largest entry of the
+        // matrix, not in absolute terms, so well-scaled tiny systems factor.
+        let scale = a.norm_inf().max(f64::MIN_POSITIVE);
+        let tiny = scale * 1e-14 * (n as f64);
+
+        for k in 0..n {
+            // Find the pivot row.
+            let mut pivot_row = k;
+            let mut pivot_val = f[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = f[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val <= tiny {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = f[(k, j)];
+                    f[(k, j)] = f[(pivot_row, j)];
+                    f[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = f[(k, k)];
+            for i in (k + 1)..n {
+                let m = f[(i, k)] / pivot;
+                f[(i, k)] = m;
+                if m != 0.0 {
+                    for j in (k + 1)..n {
+                        let fkj = f[(k, j)];
+                        f[(i, j)] -= m * fkj;
+                    }
+                }
+            }
+        }
+
+        Ok(LuDecomposition {
+            factors: f,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.factors.rows()
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward/backward substitution.
+        let mut x = Vector::from_fn(n, |i| b[self.perm[i]]);
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.factors[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.factors[(i, j)] * x[j];
+            }
+            x[i] = s / self.factors[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·X = B` column-by-column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu solve_matrix",
+                left: (n, n),
+                right: (b.rows(), b.cols()),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = self.solve(&b.column(j))?;
+            for i in 0..n {
+                out[(i, j)] = col[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes the inverse `A⁻¹`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (cannot occur for a successfully factorized
+    /// matrix of matching dimension).
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Determinant of the factorized matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.dim() {
+            det *= self.factors[(i, i)];
+        }
+        det
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn solve_known_3x3() {
+        let a = Matrix::from_rows(&[
+            &[2.0, 1.0, -1.0],
+            &[-3.0, -1.0, 2.0],
+            &[-2.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        let b = Vector::from(vec![8.0, -11.0, -3.0]);
+        let x = a.lu().unwrap().solve(&b).unwrap();
+        assert_close(x[0], 2.0, 1e-12);
+        assert_close(x[1], 3.0, 1e-12);
+        assert_close(x[2], -1.0, 1e-12);
+    }
+
+    #[test]
+    fn determinant_known() {
+        let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]).unwrap();
+        assert_close(a.lu().unwrap().determinant(), -6.0, 1e-12);
+    }
+
+    #[test]
+    fn determinant_identity_is_one() {
+        assert_close(Matrix::identity(5).lu().unwrap().determinant(), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[
+            &[5.0, 2.0, 1.0],
+            &[2.0, 6.0, 3.0],
+            &[1.0, 3.0, 7.0],
+        ])
+        .unwrap();
+        let inv = a.lu().unwrap().inverse().unwrap();
+        let prod = a.mul_matrix(&inv).unwrap();
+        let err = (&prod - &Matrix::identity(3)).norm_inf();
+        assert!(err < 1e-12, "residual {err}");
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(a.lu(), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rectangular_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(a.lu(), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = a.lu().unwrap().solve(&Vector::from(vec![2.0, 3.0])).unwrap();
+        assert_close(x[0], 3.0, 1e-12);
+        assert_close(x[1], 2.0, 1e-12);
+    }
+
+    #[test]
+    fn solve_dimension_mismatch() {
+        let lu = Matrix::identity(3).lu().unwrap();
+        assert!(matches!(
+            lu.solve(&Vector::zeros(2)),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,438 @@
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+use crate::{LinalgError, LuDecomposition, Result, SymmetricEigen, Vector};
+
+/// An owned, dense, row-major matrix of `f64` values.
+///
+/// All matrices in the thermal tool-chain are small (`N ≲ 600`), so a simple
+/// contiguous row-major layout with straightforward triple-loop kernels is
+/// both adequate and cache-friendly.
+///
+/// # Example
+///
+/// ```
+/// use hp_linalg::Matrix;
+///
+/// # fn main() -> Result<(), hp_linalg::LinalgError> {
+/// let b = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]])?;
+/// let inv = b.lu()?.inverse()?;
+/// assert!((inv[(0, 0)] - 0.5).abs() < 1e-12);
+/// assert!((inv[(1, 1)] - 0.25).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a square matrix with `diag` on the diagonal.
+    pub fn from_diagonal(diag: &Vector) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = diag[i];
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f` at every `(row, col)` position.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidInput`] if `rows` is empty or the rows
+    /// have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        let nrows = rows.len();
+        if nrows == 0 {
+            return Err(LinalgError::InvalidInput("from_rows: no rows"));
+        }
+        let ncols = rows[0].len();
+        if rows.iter().any(|r| r.len() != ncols) {
+            return Err(LinalgError::InvalidInput("from_rows: ragged rows"));
+        }
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Immutable view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of bounds");
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new [`Vector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    pub fn column(&self, j: usize) -> Vector {
+        assert!(j < self.cols, "column index {j} out of bounds");
+        Vector::from_fn(self.rows, |i| self[(i, j)])
+    }
+
+    /// Copies the main diagonal into a new [`Vector`].
+    pub fn diagonal(&self) -> Vector {
+        let n = self.rows.min(self.cols);
+        Vector::from_fn(n, |i| self[(i, i)])
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Returns a copy scaled by `alpha`.
+    pub fn scaled(&self, alpha: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * alpha).collect(),
+        }
+    }
+
+    /// Matrix–vector product `self * v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vector(&self, v: &Vector) -> Vector {
+        assert_eq!(v.len(), self.cols, "mul_vector: dimension mismatch");
+        Vector::from_fn(self.rows, |i| {
+            self.row(i).iter().zip(v.iter()).map(|(a, b)| a * b).sum()
+        })
+    }
+
+    /// Matrix–matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the inner dimensions
+    /// differ.
+    pub fn mul_matrix(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matrix multiply",
+                left: (self.rows, self.cols),
+                right: (other.rows, other.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // ikj loop order keeps the inner loop streaming over contiguous rows.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a_ik = self[(i, k)];
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let other_row = other.row(k);
+                let out_row = out.row_mut(i);
+                for j in 0..other_row.len() {
+                    out_row[j] += a_ik * other_row[j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Largest absolute entry.
+    pub fn norm_inf(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, &x| m.max(x.abs()))
+    }
+
+    /// Largest absolute asymmetry `max |m[i][j] - m[j][i]|` (square matrices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn max_asymmetry(&self) -> f64 {
+        assert!(self.is_square(), "max_asymmetry requires a square matrix");
+        let mut worst = 0.0f64;
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                worst = worst.max((self[(i, j)] - self[(j, i)]).abs());
+            }
+        }
+        worst
+    }
+
+    /// Returns `true` if the matrix is symmetric up to `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        self.is_square() && self.max_asymmetry() <= tol
+    }
+
+    /// Computes the partial-pivoting LU decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for rectangular matrices and
+    /// [`LinalgError::Singular`] for singular ones.
+    pub fn lu(&self) -> Result<LuDecomposition> {
+        LuDecomposition::new(self)
+    }
+
+    /// Computes the eigendecomposition of a symmetric matrix via cyclic Jacobi.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSymmetric`] if the matrix is noticeably
+    /// asymmetric, or [`LinalgError::NoConvergence`] if Jacobi fails.
+    pub fn symmetric_eigen(&self) -> Result<SymmetricEigen> {
+        SymmetricEigen::new(self)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add: shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub: shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+
+    fn neg(self) -> Matrix {
+        self.scaled(-1.0)
+    }
+}
+
+impl Mul<&Vector> for &Matrix {
+    type Output = Vector;
+
+    fn mul(self, rhs: &Vector) -> Vector {
+        self.mul_vector(rhs)
+    }
+}
+
+impl Mul<Vector> for &Matrix {
+    type Output = Vector;
+
+    fn mul(self, rhs: Vector) -> Vector {
+        self.mul_vector(&rhs)
+    }
+}
+
+impl Mul<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions differ. Use [`Matrix::mul_matrix`] for
+    /// a fallible version.
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.mul_matrix(rhs).expect("matrix multiply shape mismatch")
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, rhs: f64) -> Matrix {
+        self.scaled(rhs)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>12.6}", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_vector_is_identity() {
+        let id = Matrix::identity(3);
+        let v = Vector::from(vec![1.0, -2.0, 3.0]);
+        assert_eq!(&id * &v, v);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
+        assert!(matches!(err, LinalgError::InvalidInput(_)));
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn multiply_known_case() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.mul_matrix(&b).unwrap();
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn multiply_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.mul_matrix(&b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 4, |i, j| (i * 7 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let s = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        assert!(s.is_symmetric(0.0));
+        let ns = Matrix::from_rows(&[&[2.0, 1.0], &[0.5, 3.0]]).unwrap();
+        assert!(!ns.is_symmetric(1e-12));
+        assert!((ns.max_asymmetry() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn diagonal_roundtrip() {
+        let d = Vector::from(vec![1.0, 2.0, 3.0]);
+        let m = Matrix::from_diagonal(&d);
+        assert_eq!(m.diagonal(), d);
+        assert_eq!(m[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn row_column_access() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        assert_eq!(a.column(0).as_slice(), &[1.0, 3.0]);
+    }
+}

@@ -1,0 +1,399 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// An owned, dense column vector of `f64` values.
+///
+/// `Vector` is the currency of the thermal tool-chain: temperature fields,
+/// power maps and conductance-to-ambient columns are all `Vector`s. It wraps
+/// a `Vec<f64>` and adds the arithmetic the solvers need.
+///
+/// # Example
+///
+/// ```
+/// use hp_linalg::Vector;
+///
+/// let t = Vector::from(vec![45.0, 52.5, 61.0]);
+/// assert_eq!(t.len(), 3);
+/// assert_eq!(t.max(), 61.0);
+/// let shifted = &t + &Vector::constant(3, 1.0);
+/// assert_eq!(shifted[0], 46.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Creates a vector of `len` zeros.
+    pub fn zeros(len: usize) -> Self {
+        Vector {
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a vector of `len` copies of `value`.
+    pub fn constant(len: usize, value: f64) -> Self {
+        Vector {
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a vector by evaluating `f` at every index.
+    pub fn from_fn<F: FnMut(usize) -> f64>(len: usize, f: F) -> Self {
+        Vector {
+            data: (0..len).map(f).collect(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector and returns the underlying storage.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Iterator over the entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.data.iter()
+    }
+
+    /// Dot product `selfᵀ · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(&self, other: &Vector) -> f64 {
+        assert_eq!(self.len(), other.len(), "dot: length mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm2(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Maximum absolute entry (infinity norm). Returns `0.0` for an empty vector.
+    pub fn norm_inf(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, &x| m.max(x.abs()))
+    }
+
+    /// Largest entry. Returns `f64::NEG_INFINITY` for an empty vector.
+    pub fn max(&self) -> f64 {
+        self.data.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x))
+    }
+
+    /// Smallest entry. Returns `f64::INFINITY` for an empty vector.
+    pub fn min(&self) -> f64 {
+        self.data.iter().fold(f64::INFINITY, |m, &x| m.min(x))
+    }
+
+    /// Index of the largest entry, or `None` for an empty vector.
+    pub fn argmax(&self) -> Option<usize> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for i in 1..self.len() {
+            if self.data[i] > self.data[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// In-place `self += alpha * other` (BLAS `axpy`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn axpy(&mut self, alpha: f64, other: &Vector) {
+        assert_eq!(self.len(), other.len(), "axpy: length mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Returns a copy scaled by `alpha`.
+    pub fn scaled(&self, alpha: f64) -> Vector {
+        Vector {
+            data: self.data.iter().map(|x| x * alpha).collect(),
+        }
+    }
+
+    /// Entry-wise product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn hadamard(&self, other: &Vector) -> Vector {
+        assert_eq!(self.len(), other.len(), "hadamard: length mismatch");
+        Vector {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a * b)
+                .collect(),
+        }
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(data: Vec<f64>) -> Self {
+        Vector { data }
+    }
+}
+
+impl From<&[f64]> for Vector {
+    fn from(data: &[f64]) -> Self {
+        Vector {
+            data: data.to_vec(),
+        }
+    }
+}
+
+impl FromIterator<f64> for Vector {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Vector {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<f64> for Vector {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.data.extend(iter);
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl<'a> IntoIterator for &'a Vector {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+impl IntoIterator for Vector {
+    type Item = f64;
+    type IntoIter = std::vec::IntoIter<f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.into_iter()
+    }
+}
+
+macro_rules! impl_vector_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait<&Vector> for &Vector {
+            type Output = Vector;
+
+            fn $method(self, rhs: &Vector) -> Vector {
+                assert_eq!(
+                    self.len(),
+                    rhs.len(),
+                    concat!(stringify!($method), ": length mismatch")
+                );
+                Vector {
+                    data: self
+                        .data
+                        .iter()
+                        .zip(&rhs.data)
+                        .map(|(a, b)| a $op b)
+                        .collect(),
+                }
+            }
+        }
+
+        impl $trait<Vector> for Vector {
+            type Output = Vector;
+
+            fn $method(self, rhs: Vector) -> Vector {
+                (&self).$method(&rhs)
+            }
+        }
+
+        impl $trait<Vector> for &Vector {
+            type Output = Vector;
+
+            fn $method(self, rhs: Vector) -> Vector {
+                self.$method(&rhs)
+            }
+        }
+
+        impl $trait<&Vector> for Vector {
+            type Output = Vector;
+
+            fn $method(self, rhs: &Vector) -> Vector {
+                (&self).$method(rhs)
+            }
+        }
+    };
+}
+
+impl_vector_binop!(Add, add, +);
+impl_vector_binop!(Sub, sub, -);
+
+impl AddAssign<&Vector> for Vector {
+    fn add_assign(&mut self, rhs: &Vector) {
+        self.axpy(1.0, rhs);
+    }
+}
+
+impl SubAssign<&Vector> for Vector {
+    fn sub_assign(&mut self, rhs: &Vector) {
+        self.axpy(-1.0, rhs);
+    }
+}
+
+impl Mul<f64> for &Vector {
+    type Output = Vector;
+
+    fn mul(self, rhs: f64) -> Vector {
+        self.scaled(rhs)
+    }
+}
+
+impl Mul<f64> for Vector {
+    type Output = Vector;
+
+    fn mul(self, rhs: f64) -> Vector {
+        self.scaled(rhs)
+    }
+}
+
+impl Neg for &Vector {
+    type Output = Vector;
+
+    fn neg(self) -> Vector {
+        self.scaled(-1.0)
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+
+    fn neg(self) -> Vector {
+        self.scaled(-1.0)
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, x) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x:.6}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Vector::zeros(3).as_slice(), &[0.0, 0.0, 0.0]);
+        assert_eq!(Vector::constant(2, 7.0).as_slice(), &[7.0, 7.0]);
+        assert_eq!(
+            Vector::from_fn(3, |i| i as f64 * 2.0).as_slice(),
+            &[0.0, 2.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Vector::from(vec![1.0, 2.0, 3.0]);
+        let b = Vector::from(vec![4.0, 5.0, 6.0]);
+        assert_eq!((&a + &b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!((&b - &a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0, 6.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0, -3.0]);
+        assert_eq!(a.dot(&b), 32.0);
+        assert_eq!(a.hadamard(&b).as_slice(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn axpy_matches_manual() {
+        let mut a = Vector::from(vec![1.0, 1.0]);
+        a.axpy(2.0, &Vector::from(vec![3.0, 4.0]));
+        assert_eq!(a.as_slice(), &[7.0, 9.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let v = Vector::from(vec![-5.0, 2.0, 3.0]);
+        assert_eq!(v.max(), 3.0);
+        assert_eq!(v.min(), -5.0);
+        assert_eq!(v.norm_inf(), 5.0);
+        assert_eq!(v.sum(), 0.0);
+        assert_eq!(v.argmax(), Some(2));
+        assert!((v.norm2() - (25.0f64 + 4.0 + 9.0).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn argmax_empty_is_none() {
+        assert_eq!(Vector::zeros(0).argmax(), None);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let v: Vector = (0..3).map(|i| i as f64).collect();
+        assert_eq!(v.as_slice(), &[0.0, 1.0, 2.0]);
+        let mut v = v;
+        v.extend([3.0]);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        Vector::zeros(2).dot(&Vector::zeros(3));
+    }
+}

@@ -1,0 +1,57 @@
+use std::error::Error;
+use std::fmt;
+
+use hp_floorplan::FloorplanError;
+
+/// Errors produced by the many-core architecture model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ManycoreError {
+    /// A configuration parameter was non-physical.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Its value.
+        value: f64,
+    },
+    /// An underlying floorplan query failed.
+    Floorplan(FloorplanError),
+}
+
+impl fmt::Display for ManycoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManycoreError::InvalidParameter { name, value } => {
+                write!(f, "architecture parameter {name} has non-physical value {value}")
+            }
+            ManycoreError::Floorplan(e) => write!(f, "floorplan failure: {e}"),
+        }
+    }
+}
+
+impl Error for ManycoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ManycoreError::Floorplan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FloorplanError> for ManycoreError {
+    fn from(e: FloorplanError) -> Self {
+        ManycoreError::Floorplan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ManycoreError::Floorplan(FloorplanError::EmptyGrid);
+        assert!(e.to_string().contains("floorplan"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,51 @@
+//! Architecture and interval performance model of the simulated S-NUCA
+//! many-core (paper Table I).
+//!
+//! This crate is the performance half of the HotSniper substitute: it turns
+//! *where a thread runs* and *at what frequency* into instructions per
+//! second and an activity factor for the power model. The S-NUCA-specific
+//! ingredient is the AMD-dependent LLC latency: cache lines are statically
+//! interleaved across all banks, so the average L1-miss round trip of a
+//! core is proportional to its Average Manhattan Distance (paper \[19\]) —
+//! which is exactly the performance heterogeneity HotPotato's rings encode.
+//!
+//! * [`ArchConfig`] — Table-I machine parameters.
+//! * [`Machine`] — floorplan + parameters; computes per-core LLC latency.
+//! * [`WorkPoint`] — an interval workload description (base CPI, miss
+//!   rates, activity); produced by the workload models.
+//! * [`CpiStack`] — the resolved cycles-per-instruction breakdown on a
+//!   specific core and frequency.
+//! * [`MigrationModel`] — flush latency and cold-cache warmup after a
+//!   thread migration.
+//!
+//! # Example
+//!
+//! ```
+//! use hp_floorplan::CoreId;
+//! use hp_manycore::{ArchConfig, Machine, WorkPoint};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let machine = Machine::new(ArchConfig::default())?;
+//! let w = WorkPoint::compute_bound();
+//! // The same thread runs faster on a centre core than on a corner core.
+//! let centre = machine.cpi_stack(&w, CoreId(27), 4.0)?;
+//! let corner = machine.cpi_stack(&w, CoreId(0), 4.0)?;
+//! assert!(centre.ips() > corner.ips());
+//! # Ok(())
+//! # }
+//! ```
+
+mod config;
+mod error;
+mod machine;
+mod migration;
+mod perf;
+
+pub use config::ArchConfig;
+pub use error::ManycoreError;
+pub use machine::Machine;
+pub use migration::MigrationModel;
+pub use perf::{CpiStack, WorkPoint};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ManycoreError>;

@@ -1,0 +1,353 @@
+use hp_floorplan::{CoreId, GridFloorplan, RingSet};
+use hp_power::DvfsLevel;
+
+use crate::{ArchConfig, CpiStack, Result, WorkPoint};
+
+/// The assembled machine: floorplan geometry plus architecture parameters.
+///
+/// `Machine` answers the two questions the interval simulator asks every
+/// epoch: *how fast does this work point run on this core at this
+/// frequency* ([`cpi_stack`](Machine::cpi_stack)) and *how much power does
+/// that draw* (via the embedded [`hp_power::PowerModel`]).
+///
+/// # Example
+///
+/// ```
+/// use hp_floorplan::CoreId;
+/// use hp_manycore::{ArchConfig, Machine, WorkPoint};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let machine = Machine::new(ArchConfig::default())?;
+/// // Memory-bound work barely benefits from frequency...
+/// let w = WorkPoint::memory_bound();
+/// let slow = machine.cpi_stack(&w, CoreId(0), 1.0)?.ips();
+/// let fast = machine.cpi_stack(&w, CoreId(0), 4.0)?.ips();
+/// assert!(fast / slow < 2.0);
+/// // ...while compute-bound work scales almost linearly.
+/// let c = WorkPoint::compute_bound();
+/// let slow = machine.cpi_stack(&c, CoreId(0), 1.0)?.ips();
+/// let fast = machine.cpi_stack(&c, CoreId(0), 4.0)?.ips();
+/// assert!(fast / slow > 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    config: ArchConfig,
+    floorplan: GridFloorplan,
+    rings: RingSet,
+    /// Average LLC round-trip latency per core, ns.
+    llc_latency_ns: Vec<f64>,
+}
+
+impl Machine {
+    /// Builds the machine from its configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ManycoreError::InvalidParameter`] for invalid
+    /// configuration.
+    pub fn new(config: ArchConfig) -> Result<Self> {
+        config.validate()?;
+        let floorplan = GridFloorplan::new(config.grid_width, config.grid_height)?;
+        let rings = floorplan.amd_rings();
+        // S-NUCA statically interleaves lines across all banks, so an L1
+        // miss travels to a uniformly random bank: average one-way distance
+        // is AMD hops (self-bank at distance 0 included via AMD-to-others
+        // times (n-1)/n; the correction is negligible and we use AMD
+        // directly, matching [19]).
+        let llc_latency_ns = floorplan
+            .cores()
+            .map(|c| {
+                let amd = floorplan.amd(c).expect("core in range");
+                2.0 * amd * config.noc_hop_ns + config.llc_bank_ns
+            })
+            .collect();
+        Ok(Machine {
+            config,
+            floorplan,
+            rings,
+            llc_latency_ns,
+        })
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &ArchConfig {
+        &self.config
+    }
+
+    /// The floorplan.
+    pub fn floorplan(&self) -> &GridFloorplan {
+        &self.floorplan
+    }
+
+    /// The concentric AMD rings.
+    pub fn rings(&self) -> &RingSet {
+        &self.rings
+    }
+
+    /// Number of cores.
+    pub fn core_count(&self) -> usize {
+        self.floorplan.core_count()
+    }
+
+    /// Average LLC round-trip latency seen from `core`, in ns
+    /// (`2 × AMD × hop + bank`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a floorplan error for out-of-range cores.
+    pub fn llc_latency_ns(&self, core: CoreId) -> Result<f64> {
+        self.floorplan.check(core)?;
+        Ok(self.llc_latency_ns[core.index()])
+    }
+
+    /// Resolves a [`WorkPoint`] into a [`CpiStack`] on `core` at
+    /// `freq_ghz`.
+    ///
+    /// Memory latencies are fixed in nanoseconds, so their CPI contribution
+    /// *grows* with frequency — the mechanism that makes DVFS cheap for
+    /// memory-bound threads and expensive for compute-bound ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns a floorplan error for out-of-range cores.
+    pub fn cpi_stack(&self, work: &WorkPoint, core: CoreId, freq_ghz: f64) -> Result<CpiStack> {
+        self.cpi_stack_loaded(work, core, freq_ghz, 0.0)
+    }
+
+    /// Like [`cpi_stack`](Machine::cpi_stack) but with NoC contention: at
+    /// network utilization `noc_load ∈ [0, 1)` every hop is stretched by
+    /// the M/M/1-style factor `1 / (1 − noc_load)` (capped at 4× — XY
+    /// meshes saturate rather than diverge).
+    ///
+    /// The paper's calibration (and the default engine) runs contention-
+    /// free (`noc_load = 0`); the loaded variant exists for sensitivity
+    /// studies on memory-heavy workloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns a floorplan error for out-of-range cores or
+    /// [`crate::ManycoreError::InvalidParameter`] for a load outside
+    /// `[0, 1)`.
+    pub fn cpi_stack_loaded(
+        &self,
+        work: &WorkPoint,
+        core: CoreId,
+        freq_ghz: f64,
+        noc_load: f64,
+    ) -> Result<CpiStack> {
+        if !(noc_load.is_finite() && (0.0..1.0).contains(&noc_load)) {
+            return Err(crate::ManycoreError::InvalidParameter {
+                name: "noc_load",
+                value: noc_load,
+            });
+        }
+        let contention = (1.0 / (1.0 - noc_load)).min(4.0);
+        let llc_ns = self.config.llc_bank_ns
+            + (self.llc_latency_ns(core)? - self.config.llc_bank_ns) * contention;
+        if work.is_idle() {
+            return Ok(CpiStack {
+                base: 0.0,
+                llc: 0.0,
+                memory: 0.0,
+                freq_ghz,
+                activity: 0.0,
+            });
+        }
+        let llc_cycles = llc_ns * freq_ghz; // ns × cycles/ns
+        let mem_cycles = self.config.memory_ns * freq_ghz;
+        let llc = work.l1_mpki / 1000.0 * llc_cycles;
+        let memory = work.llc_mpki / 1000.0 * mem_cycles;
+        let total = work.cpi_base + llc + memory;
+        let exec_frac = work.cpi_base / total;
+        let activity = work.activity_exec * exec_frac + work.activity_stall * (1.0 - exec_frac);
+        Ok(CpiStack {
+            base: work.cpi_base,
+            llc,
+            memory,
+            freq_ghz,
+            activity,
+        })
+    }
+
+    /// Convenience: the [`CpiStack`] at a DVFS level of the machine's
+    /// ladder.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range core; panics are avoided by
+    /// clamping handled in the ladder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range for the machine's ladder.
+    pub fn cpi_stack_at_level(
+        &self,
+        work: &WorkPoint,
+        core: CoreId,
+        level: DvfsLevel,
+    ) -> Result<CpiStack> {
+        let f = self.config.dvfs.frequency_ghz(level);
+        self.cpi_stack(work, core, f)
+    }
+
+    /// Core power (W) for a resolved [`CpiStack`] at DVFS `level` and
+    /// junction temperature `temp_c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range for the machine's ladder.
+    pub fn core_power(&self, stack: &CpiStack, level: DvfsLevel, temp_c: f64) -> f64 {
+        let f = self.config.dvfs.frequency_ghz(level);
+        let v = self.config.dvfs.voltage(level);
+        self.config.power.core_power(f, v, stack.activity, temp_c)
+    }
+
+    /// Idle core power (W) at junction temperature `temp_c`, assuming the
+    /// idle core stays at nominal voltage (clock-gated, not power-gated).
+    pub fn idle_power(&self, temp_c: f64) -> f64 {
+        self.config.power.leakage_power(self.config.power.v_nom, temp_c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine_8x8() -> Machine {
+        Machine::new(ArchConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn llc_latency_lower_in_center() {
+        let m = machine_8x8();
+        // Core 27 = (3,3) is one of the four centre cores of an 8x8 grid.
+        let center = m.llc_latency_ns(CoreId(27)).unwrap();
+        let corner = m.llc_latency_ns(CoreId(0)).unwrap();
+        assert!(center < corner);
+        // Sanity: with AMD around 4–8 hops and 1.5 ns/hop, round trips are
+        // in the 15–30 ns range.
+        assert!(center > 10.0 && corner < 40.0, "{center} vs {corner}");
+    }
+
+    #[test]
+    fn cpi_grows_with_amd() {
+        let m = machine_8x8();
+        let w = WorkPoint::memory_bound();
+        let center = m.cpi_stack(&w, CoreId(27), 4.0).unwrap().total();
+        let corner = m.cpi_stack(&w, CoreId(0), 4.0).unwrap().total();
+        assert!(corner > center);
+    }
+
+    #[test]
+    fn compute_bound_insensitive_to_placement() {
+        let m = machine_8x8();
+        let w = WorkPoint::compute_bound();
+        let center = m.cpi_stack(&w, CoreId(27), 4.0).unwrap().ips();
+        let corner = m.cpi_stack(&w, CoreId(0), 4.0).unwrap().ips();
+        let ratio = center / corner;
+        assert!(ratio > 1.0 && ratio < 1.15, "ratio {ratio:.3}");
+    }
+
+    #[test]
+    fn memory_bound_sensitive_to_placement() {
+        let m = machine_8x8();
+        let w = WorkPoint::memory_bound();
+        let center = m.cpi_stack(&w, CoreId(27), 4.0).unwrap().ips();
+        let corner = m.cpi_stack(&w, CoreId(0), 4.0).unwrap().ips();
+        assert!(center / corner > 1.05);
+    }
+
+    #[test]
+    fn activity_lower_when_memory_bound() {
+        let m = machine_8x8();
+        let hot = m
+            .cpi_stack(&WorkPoint::compute_bound(), CoreId(27), 4.0)
+            .unwrap();
+        let cool = m
+            .cpi_stack(&WorkPoint::memory_bound(), CoreId(27), 4.0)
+            .unwrap();
+        assert!(hot.activity > 0.85);
+        assert!(cool.activity < 0.5);
+    }
+
+    #[test]
+    fn idle_work_runs_nothing() {
+        let m = machine_8x8();
+        let s = m.cpi_stack(&WorkPoint::idle(), CoreId(0), 4.0).unwrap();
+        assert_eq!(s.ips(), 0.0);
+        assert_eq!(s.activity, 0.0);
+    }
+
+    #[test]
+    fn power_at_peak_matches_calibration() {
+        let m = machine_8x8();
+        let stack = m
+            .cpi_stack(&WorkPoint::compute_bound(), CoreId(27), 4.0)
+            .unwrap();
+        let p = m.core_power(&stack, m.config().dvfs.max_level(), 60.0);
+        assert!(p > 5.5 && p < 8.0, "peak power {p:.2}");
+    }
+
+    #[test]
+    fn power_drops_with_dvfs() {
+        let m = machine_8x8();
+        let ladder = &m.config().dvfs;
+        let lo_level = ladder.level_for_frequency(2.0).unwrap();
+        let stack_hi = m
+            .cpi_stack(&WorkPoint::compute_bound(), CoreId(27), 4.0)
+            .unwrap();
+        let stack_lo = m
+            .cpi_stack(&WorkPoint::compute_bound(), CoreId(27), 2.0)
+            .unwrap();
+        let p_hi = m.core_power(&stack_hi, ladder.max_level(), 60.0);
+        let p_lo = m.core_power(&stack_lo, lo_level, 60.0);
+        assert!(p_lo < 0.5 * p_hi);
+    }
+
+    #[test]
+    fn out_of_range_core_rejected() {
+        let m = machine_8x8();
+        assert!(m.llc_latency_ns(CoreId(64)).is_err());
+        assert!(m
+            .cpi_stack(&WorkPoint::compute_bound(), CoreId(64), 4.0)
+            .is_err());
+    }
+
+    #[test]
+    fn contention_stretches_llc_only() {
+        let m = machine_8x8();
+        let w = WorkPoint::memory_bound();
+        let free = m.cpi_stack_loaded(&w, CoreId(27), 4.0, 0.0).unwrap();
+        let busy = m.cpi_stack_loaded(&w, CoreId(27), 4.0, 0.5).unwrap();
+        assert_eq!(free.total(), m.cpi_stack(&w, CoreId(27), 4.0).unwrap().total());
+        assert!(busy.llc > free.llc, "network hops stretch under load");
+        assert_eq!(busy.memory, free.memory, "off-chip latency unaffected");
+        assert_eq!(busy.base, free.base);
+    }
+
+    #[test]
+    fn contention_factor_saturates() {
+        let m = machine_8x8();
+        let w = WorkPoint::memory_bound();
+        let c99 = m.cpi_stack_loaded(&w, CoreId(27), 4.0, 0.99).unwrap();
+        let c999 = m.cpi_stack_loaded(&w, CoreId(27), 4.0, 0.999).unwrap();
+        assert!((c99.llc - c999.llc).abs() < 1e-9, "capped at 4x");
+    }
+
+    #[test]
+    fn contention_rejects_bad_load() {
+        let m = machine_8x8();
+        let w = WorkPoint::memory_bound();
+        assert!(m.cpi_stack_loaded(&w, CoreId(0), 4.0, 1.0).is_err());
+        assert!(m.cpi_stack_loaded(&w, CoreId(0), 4.0, -0.1).is_err());
+        assert!(m.cpi_stack_loaded(&w, CoreId(0), 4.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rings_available() {
+        let m = machine_8x8();
+        assert_eq!(m.rings().total_cores(), 64);
+    }
+}

@@ -1,0 +1,60 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the DVFS and power models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// A configuration parameter was non-physical.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Its value.
+        value: f64,
+    },
+    /// A DVFS level index was out of range.
+    LevelOutOfRange {
+        /// The offending level index.
+        level: usize,
+        /// Number of levels in the ladder.
+        levels: usize,
+    },
+    /// A requested frequency lies outside the ladder's range.
+    FrequencyOutOfRange {
+        /// The requested frequency in GHz.
+        ghz: f64,
+        /// Ladder minimum in GHz.
+        min: f64,
+        /// Ladder maximum in GHz.
+        max: f64,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::InvalidParameter { name, value } => {
+                write!(f, "power parameter {name} has non-physical value {value}")
+            }
+            PowerError::LevelOutOfRange { level, levels } => {
+                write!(f, "dvfs level {level} out of range (ladder has {levels} levels)")
+            }
+            PowerError::FrequencyOutOfRange { ghz, min, max } => {
+                write!(f, "frequency {ghz} GHz outside ladder range [{min}, {max}] GHz")
+            }
+        }
+    }
+}
+
+impl Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let e = PowerError::LevelOutOfRange { level: 31, levels: 31 };
+        assert!(e.to_string().contains("31"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Shared DVFS budgeting helpers for the TSP-based baselines.
+
+use hp_floorplan::CoreId;
+use hp_manycore::{Machine, WorkPoint};
+use hp_power::DvfsLevel;
+use hp_sim::{Action, SimView};
+use hp_thermal::{tsp, RcThermalModel};
+
+/// Cache for the expensive per-core (water-filling) budgets, keyed on the
+/// executing core set.
+#[derive(Debug, Default)]
+pub(crate) struct BudgetCache {
+    key: Vec<usize>,
+    budgets: Vec<f64>,
+}
+
+/// Like [`assign_levels_for_budget`] but with PCGov's Pareto-optimal
+/// *per-core* budgets ([`tsp::per_core_budgets`]): cooler peripheral
+/// cores receive a larger share, so the mapping extracts more total power
+/// at the same threshold. Falls back to the uniform budget when the
+/// water-filling iteration fails.
+pub(crate) fn assign_levels_per_core(
+    view: &SimView<'_>,
+    model: &RcThermalModel,
+    t_dtm: f64,
+    idle_power: f64,
+    cache: &mut BudgetCache,
+) -> Vec<Action> {
+    let machine = view.machine;
+    let ladder = &machine.config().dvfs;
+    let mut active: Vec<CoreId> = view
+        .threads
+        .iter()
+        .filter(|t| !t.work.is_idle())
+        .map(|t| t.core)
+        .collect();
+    active.sort();
+    let mut actions = Vec::new();
+    if active.is_empty() {
+        actions.push(Action::SetAllLevels {
+            level: ladder.max_level(),
+        });
+        return actions;
+    }
+    let key: Vec<usize> = active.iter().map(|c| c.index()).collect();
+    if cache.key != key {
+        let budgets = tsp::per_core_budgets(model, &active, t_dtm, idle_power)
+            .or_else(|_| {
+                tsp::budget(model, &active, t_dtm, idle_power)
+                    .map(|b| vec![b.per_core_watts; active.len()])
+            })
+            .unwrap_or_else(|_| vec![idle_power; active.len()]);
+        cache.key = key;
+        cache.budgets = budgets;
+    }
+
+    for t in view.threads {
+        if t.work.is_idle() {
+            actions.push(Action::SetLevel {
+                core: t.core,
+                level: ladder.max_level(),
+            });
+            continue;
+        }
+        let k = active
+            .binary_search(&t.core)
+            .expect("active contains every executing core");
+        let level =
+            fastest_level_within(machine, &t.work, t.core, cache.budgets[k], t_dtm);
+        actions.push(Action::SetLevel {
+            core: t.core,
+            level,
+        });
+    }
+    actions
+}
+
+/// Computes the TSP budget for the currently *executing* cores and emits
+/// one [`Action::SetLevel`] per core: active cores run at the fastest
+/// level whose power fits the budget, idle/free cores at the top level
+/// (they are clock-gated and draw only leakage).
+///
+/// Returns an empty vector when nothing is running.
+pub fn assign_levels_for_budget(
+    view: &SimView<'_>,
+    model: &RcThermalModel,
+    t_dtm: f64,
+    idle_power: f64,
+) -> Vec<Action> {
+    let machine = view.machine;
+    let ladder = &machine.config().dvfs;
+    // Active = cores whose occupant is executing (not barrier-idle).
+    let active: Vec<CoreId> = view
+        .threads
+        .iter()
+        .filter(|t| !t.work.is_idle())
+        .map(|t| t.core)
+        .collect();
+    let mut actions = Vec::new();
+    if active.is_empty() {
+        // Nothing draws dynamic power; release all cores to peak.
+        actions.push(Action::SetAllLevels {
+            level: ladder.max_level(),
+        });
+        return actions;
+    }
+    let Ok(budget) = tsp::budget(model, &active, t_dtm, idle_power) else {
+        // Threshold unreachable even at idle: crash everything to minimum.
+        actions.push(Action::SetAllLevels {
+            level: ladder.min_level(),
+        });
+        return actions;
+    };
+
+    for t in view.threads {
+        if t.work.is_idle() {
+            actions.push(Action::SetLevel {
+                core: t.core,
+                level: ladder.max_level(),
+            });
+            continue;
+        }
+        let level = fastest_level_within(machine, &t.work, t.core, budget.per_core_watts, t_dtm);
+        actions.push(Action::SetLevel {
+            core: t.core,
+            level,
+        });
+    }
+    actions
+}
+
+/// The fastest DVFS level at which `work` on `core` stays within
+/// `budget_watts` (assuming worst-case junction temperature `temp_c` for
+/// the leakage term). Falls back to the minimum level when even that
+/// exceeds the budget.
+pub(crate) fn fastest_level_within(
+    machine: &Machine,
+    work: &WorkPoint,
+    core: CoreId,
+    budget_watts: f64,
+    temp_c: f64,
+) -> DvfsLevel {
+    let ladder = &machine.config().dvfs;
+    let mut best = ladder.min_level();
+    for level in ladder.levels() {
+        let Ok(stack) = machine.cpi_stack_at_level(work, core, level) else {
+            break;
+        };
+        let p = machine.core_power(&stack, level, temp_c);
+        if p <= budget_watts {
+            best = level;
+        } else {
+            break; // power is monotone in level
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_manycore::ArchConfig;
+
+    fn machine() -> Machine {
+        Machine::new(ArchConfig {
+            grid_width: 4,
+            grid_height: 4,
+            ..ArchConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn generous_budget_allows_peak() {
+        let m = machine();
+        let level = fastest_level_within(&m, &WorkPoint::compute_bound(), CoreId(5), 100.0, 70.0);
+        assert_eq!(level, m.config().dvfs.max_level());
+    }
+
+    #[test]
+    fn tiny_budget_forces_minimum() {
+        let m = machine();
+        let level = fastest_level_within(&m, &WorkPoint::compute_bound(), CoreId(5), 0.1, 70.0);
+        assert_eq!(level, m.config().dvfs.min_level());
+    }
+
+    #[test]
+    fn moderate_budget_throttles_partially() {
+        let m = machine();
+        let level = fastest_level_within(&m, &WorkPoint::compute_bound(), CoreId(5), 3.0, 70.0);
+        assert!(level > m.config().dvfs.min_level());
+        assert!(level < m.config().dvfs.max_level());
+    }
+
+    #[test]
+    fn memory_bound_work_tolerates_smaller_budget_at_higher_level() {
+        // Memory-bound work draws less power, so the same budget admits a
+        // higher frequency.
+        let m = machine();
+        let b = 3.0;
+        let hot = fastest_level_within(&m, &WorkPoint::compute_bound(), CoreId(5), b, 70.0);
+        let cool = fastest_level_within(&m, &WorkPoint::memory_bound(), CoreId(5), b, 70.0);
+        assert!(cool > hot);
+    }
+}

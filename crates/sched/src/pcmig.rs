@@ -1,0 +1,306 @@
+use hp_floorplan::CoreId;
+use hp_sim::{Action, Scheduler, SimView};
+use hp_thermal::RcThermalModel;
+
+use crate::budget::{assign_levels_for_budget, assign_levels_per_core, BudgetCache};
+use crate::tsp_uniform::TspUniform;
+
+/// Configuration of the [`PcMig`] baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcMigConfig {
+    /// DTM threshold, °C.
+    pub t_dtm: f64,
+    /// Idle-core power, W.
+    pub idle_power: f64,
+    /// Prediction horizon for the linear temperature extrapolation, s.
+    pub predict_horizon: f64,
+    /// Safety margin below the threshold that triggers a migration, °C.
+    pub migration_margin: f64,
+    /// Minimum time between two migrations of the same thread, s
+    /// (on-demand migrations are a measure of last resort, not a rotation).
+    pub migration_cooldown: f64,
+}
+
+impl Default for PcMigConfig {
+    fn default() -> Self {
+        PcMigConfig {
+            t_dtm: 70.0,
+            idle_power: 0.3,
+            predict_horizon: 5e-3,
+            migration_margin: 1.0,
+            migration_cooldown: 10e-3,
+        }
+    }
+}
+
+/// The PCGov scheduler \[6\], \[20\]: cache-aware lowest-AMD-first placement
+/// with Pareto-optimal per-core DVFS budgets (water-filling TSP). No
+/// migrations.
+///
+/// # Example
+///
+/// ```
+/// use hp_floorplan::GridFloorplan;
+/// use hp_sched::PcGov;
+/// use hp_thermal::{RcThermalModel, ThermalConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = RcThermalModel::new(&GridFloorplan::new(4, 4)?, &ThermalConfig::default())?;
+/// let _sched = PcGov::new(model, 70.0, 0.3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PcGov {
+    model: RcThermalModel,
+    t_dtm: f64,
+    idle_power: f64,
+    preferred: Option<Vec<CoreId>>,
+    cache: BudgetCache,
+}
+
+impl PcGov {
+    /// Creates the scheduler.
+    pub fn new(model: RcThermalModel, t_dtm: f64, idle_power: f64) -> Self {
+        PcGov {
+            model,
+            t_dtm,
+            idle_power,
+            preferred: None,
+            cache: BudgetCache::default(),
+        }
+    }
+}
+
+impl Scheduler for PcGov {
+    fn name(&self) -> &str {
+        "pcgov"
+    }
+
+    fn schedule(&mut self, view: &SimView<'_>) -> Vec<Action> {
+        let mut actions = TspUniform::place_pending(view, &mut self.preferred);
+        actions.extend(assign_levels_per_core(
+            view,
+            &self.model,
+            self.t_dtm,
+            self.idle_power,
+            &mut self.cache,
+        ));
+        actions
+    }
+}
+
+/// The PCMig scheduler \[10\], \[21\] — the paper's state-of-the-art baseline:
+/// PCGov's DVFS budgeting plus **asynchronous on-demand thread
+/// migrations**.
+///
+/// Every period each core's temperature trend is extrapolated
+/// `predict_horizon` seconds ahead; a thread whose core is predicted to
+/// cross `t_dtm − migration_margin` is migrated to the coolest free core
+/// (if any), with a per-thread cooldown so migration remains the last
+/// resort it is in the original. The original's neural-network
+/// temperature predictor is replaced by this linear extrapolation
+/// (DESIGN.md §2).
+///
+/// # Example
+///
+/// ```
+/// use hp_floorplan::GridFloorplan;
+/// use hp_sched::{PcMig, PcMigConfig};
+/// use hp_thermal::{RcThermalModel, ThermalConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = RcThermalModel::new(&GridFloorplan::new(4, 4)?, &ThermalConfig::default())?;
+/// let _sched = PcMig::new(model, PcMigConfig::default());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PcMig {
+    model: RcThermalModel,
+    config: PcMigConfig,
+    preferred: Option<Vec<CoreId>>,
+    /// Last observed core temperatures and their timestamp.
+    last_temps: Option<(f64, Vec<f64>)>,
+    /// Per-thread time of last migration.
+    last_migration: std::collections::BTreeMap<hp_sim::ThreadId, f64>,
+    migrations_issued: u64,
+}
+
+impl PcMig {
+    /// Creates the scheduler.
+    pub fn new(model: RcThermalModel, config: PcMigConfig) -> Self {
+        PcMig {
+            model,
+            config,
+            preferred: None,
+            last_temps: None,
+            last_migration: std::collections::BTreeMap::new(),
+            migrations_issued: 0,
+        }
+    }
+
+    /// Pins the first job exactly on `cores`.
+    pub fn with_preferred_cores(mut self, cores: Vec<CoreId>) -> Self {
+        self.preferred = Some(cores);
+        self
+    }
+
+    /// Total on-demand migrations issued so far.
+    pub fn migrations_issued(&self) -> u64 {
+        self.migrations_issued
+    }
+}
+
+impl Scheduler for PcMig {
+    fn name(&self) -> &str {
+        "pcmig"
+    }
+
+    fn schedule(&mut self, view: &SimView<'_>) -> Vec<Action> {
+        let mut actions = TspUniform::place_pending(view, &mut self.preferred);
+
+        // Linear temperature prediction per core.
+        let n = view.machine.core_count();
+        let now = view.time;
+        let current: Vec<f64> = (0..n).map(|c| view.core_temps[c]).collect();
+        let predicted: Vec<f64> = match &self.last_temps {
+            Some((t0, prev)) if now > *t0 => {
+                let dt = now - t0;
+                (0..n)
+                    .map(|c| {
+                        let slope = (current[c] - prev[c]) / dt;
+                        current[c] + slope * self.config.predict_horizon
+                    })
+                    .collect()
+            }
+            _ => current.clone(),
+        };
+        self.last_temps = Some((now, current.clone()));
+
+        // On-demand migrations: hottest predicted core first.
+        let trigger = self.config.t_dtm - self.config.migration_margin;
+        let mut hot_threads: Vec<(f64, hp_sim::ThreadId, CoreId)> = view
+            .threads
+            .iter()
+            .filter(|t| predicted[t.core.index()] > trigger)
+            .filter(|t| {
+                self.last_migration
+                    .get(&t.id)
+                    .is_none_or(|&last| now - last >= self.config.migration_cooldown)
+            })
+            .map(|t| (predicted[t.core.index()], t.id, t.core))
+            .collect();
+        hot_threads.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite prediction"));
+
+        let mut free = view.free_cores();
+        // Cores claimed by placements in this very call are not free.
+        for a in &actions {
+            if let Action::PlaceJob { cores, .. } = a {
+                free.retain(|c| !cores.contains(c));
+            }
+        }
+        // Coolest (predicted) free cores first.
+        free.sort_by(|a, b| {
+            predicted[a.index()]
+                .partial_cmp(&predicted[b.index()])
+                .expect("finite prediction")
+        });
+        for (_, tid, from) in hot_threads {
+            let Some(pos) = free
+                .iter()
+                .position(|c| predicted[c.index()] < predicted[from.index()] - 2.0)
+            else {
+                continue;
+            };
+            let to = free.remove(pos);
+            actions.push(Action::Migrate { thread: tid, to });
+            self.last_migration.insert(tid, now);
+            self.migrations_issued += 1;
+            // The vacated core is now free (and hot).
+            free.push(from);
+        }
+
+        // TSP budgeting for the (possibly updated) mapping. Note the
+        // budget is computed against current cores; next period corrects
+        // for the migrations.
+        actions.extend(assign_levels_for_budget(
+            view,
+            &self.model,
+            self.config.t_dtm,
+            self.config.idle_power,
+        ));
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_floorplan::GridFloorplan;
+    use hp_manycore::{ArchConfig, Machine};
+    use hp_sim::{SimConfig, Simulation};
+    use hp_thermal::ThermalConfig;
+    use hp_workload::{closed_batch, Benchmark, Job, JobId};
+
+    fn setup() -> (Simulation, RcThermalModel) {
+        let machine = Machine::new(ArchConfig {
+            grid_width: 4,
+            grid_height: 4,
+            ..ArchConfig::default()
+        })
+        .unwrap();
+        let model = RcThermalModel::new(
+            &GridFloorplan::new(4, 4).unwrap(),
+            &ThermalConfig::default(),
+        )
+        .unwrap();
+        let sim = Simulation::new(machine, ThermalConfig::default(), SimConfig::default())
+            .unwrap();
+        (sim, model)
+    }
+
+    #[test]
+    fn pcgov_completes_safely() {
+        let (mut sim, model) = setup();
+        let mut sched = PcGov::new(model, 70.0, 0.3);
+        let jobs = vec![Job {
+            id: JobId(0),
+            benchmark: Benchmark::Swaptions,
+            spec: Benchmark::Swaptions.spec(4),
+            arrival: 0.0,
+        }];
+        let m = sim.run(jobs, &mut sched).unwrap();
+        assert_eq!(m.completed_jobs(), 1);
+        assert!(m.peak_temperature <= 70.2, "peak {:.2}", m.peak_temperature);
+    }
+
+    #[test]
+    fn pcmig_migrates_on_demand() {
+        let (mut sim, model) = setup();
+        let mut sched = PcMig::new(model, PcMigConfig::default());
+        // A batch load leaves free cores to migrate to.
+        let jobs = closed_batch(Benchmark::Blackscholes, 8, 3);
+        let m = sim.run(jobs, &mut sched).unwrap();
+        assert_eq!(m.completed_jobs(), m.jobs.len());
+        assert!(m.peak_temperature <= 70.5, "peak {:.2}", m.peak_temperature);
+    }
+
+    #[test]
+    fn pcmig_migration_count_is_bounded() {
+        // Asynchronous on-demand migration is a last resort: the cooldown
+        // keeps the count far below a synchronous rotation's.
+        let (mut sim, model) = setup();
+        let mut sched = PcMig::new(model, PcMigConfig::default());
+        let jobs = vec![Job {
+            id: JobId(0),
+            benchmark: Benchmark::Blackscholes,
+            spec: Benchmark::Blackscholes.spec(2),
+            arrival: 0.0,
+        }];
+        let m = sim.run(jobs, &mut sched).unwrap();
+        assert_eq!(m.completed_jobs(), 1);
+        // ~55 ms run, 10 ms cooldown, 2 threads => at most ~12 migrations.
+        assert!(m.migrations <= 14, "{} migrations", m.migrations);
+    }
+}

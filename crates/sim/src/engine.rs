@@ -1,0 +1,470 @@
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use hp_floorplan::CoreId;
+use hp_linalg::Vector;
+use hp_manycore::Machine;
+use hp_power::DvfsLevel;
+use hp_thermal::{RcThermalModel, ThermalConfig, TransientSolver};
+use hp_workload::{Job, JobId};
+
+use crate::job::{JobRuntime, ThreadId, ThreadPhaseState};
+use crate::metrics::{JobRecord, Metrics};
+use crate::scheduler::{Action, PendingJobView, Scheduler, SimView, ThreadView};
+use crate::trace::TemperatureTrace;
+use crate::{Result, SimConfig, SimError};
+
+/// The interval simulation engine.
+///
+/// Owns the machine, the thermal model and its transient solver; a run
+/// processes a workload to completion under a [`Scheduler`] and produces
+/// [`Metrics`]. See the [crate docs](crate) for the per-interval loop.
+#[derive(Debug)]
+pub struct Simulation {
+    machine: Machine,
+    thermal: RcThermalModel,
+    solver: TransientSolver,
+    config: SimConfig,
+    trace: TemperatureTrace,
+}
+
+impl Simulation {
+    /// Builds an engine for `machine` with the given thermal and engine
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and model-construction failures.
+    pub fn new(machine: Machine, thermal: ThermalConfig, config: SimConfig) -> Result<Self> {
+        config.validate()?;
+        let model = RcThermalModel::new(machine.floorplan(), &thermal)?;
+        let solver = TransientSolver::new(&model)?;
+        Ok(Simulation {
+            machine,
+            thermal: model,
+            solver,
+            config,
+            trace: TemperatureTrace::new(),
+        })
+    }
+
+    /// The machine under simulation.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The thermal model in use.
+    pub fn thermal(&self) -> &RcThermalModel {
+        &self.thermal
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The temperature trace of the last run (empty unless
+    /// [`SimConfig::record_trace`] was set).
+    pub fn trace(&self) -> &TemperatureTrace {
+        &self.trace
+    }
+
+    /// Runs `jobs` to completion under `scheduler`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::HorizonExceeded`] if jobs remain unfinished at the
+    ///   configured horizon.
+    /// * Validation errors for malformed scheduler actions
+    ///   ([`SimError::CoreConflict`], [`SimError::PlacementArity`], …).
+    pub fn run(&mut self, mut jobs: Vec<Job>, scheduler: &mut dyn Scheduler) -> Result<Metrics> {
+        jobs.sort_by(|a, b| {
+            a.arrival
+                .partial_cmp(&b.arrival)
+                .expect("finite arrival times")
+        });
+        let total_jobs = jobs.len();
+        let mut arrivals: VecDeque<Job> = jobs.into();
+
+        let n = self.machine.core_count();
+        let dt = self.config.dt;
+        let sched_every = (self.config.sched_period / dt).round().max(1.0) as u64;
+
+        let mut node_temps = match self.config.prewarm_power {
+            None => self.thermal.ambient_state(),
+            Some(p) => self
+                .thermal
+                .steady_state(&Vector::constant(n, p))?,
+        };
+        let mut levels = vec![self.machine.config().dvfs.max_level(); n];
+        let mut occupancy: Vec<Option<ThreadId>> = vec![None; n];
+        let mut pending: VecDeque<Job> = VecDeque::new();
+        let mut active: BTreeMap<JobId, JobRuntime> = BTreeMap::new();
+        let mut records: BTreeMap<JobId, JobRecord> = BTreeMap::new();
+
+        self.trace = TemperatureTrace::new();
+        let mut metrics = Metrics {
+            scheduler: scheduler.name().to_string(),
+            ..Metrics::default()
+        };
+        let mut completed = 0usize;
+        let mut step: u64 = 0;
+        let mut dtm_last_interval = false;
+        let mut busy_freq_integral = 0.0f64;
+        let mut busy_time = 0.0f64;
+
+        loop {
+            let now = step as f64 * dt;
+            if completed == total_jobs {
+                metrics.simulated_time = now;
+                break;
+            }
+            if now > self.config.horizon {
+                return Err(SimError::HorizonExceeded {
+                    horizon: self.config.horizon,
+                    unfinished: total_jobs - completed,
+                });
+            }
+
+            // 1. Admission: move arrived jobs into the pending queue.
+            while arrivals
+                .front()
+                .is_some_and(|j| j.arrival <= now + 1e-12)
+            {
+                pending.push_back(arrivals.pop_front().expect("checked non-empty"));
+            }
+
+            // 2. Scheduling hook.
+            if step.is_multiple_of(sched_every) {
+                let core_temps = self.thermal.core_temperatures(&node_temps);
+                let thread_views = build_thread_views(&active);
+                let pending_views: Vec<PendingJobView> = pending
+                    .iter()
+                    .map(|j| PendingJobView {
+                        job: j.id,
+                        benchmark: j.benchmark,
+                        threads: j.spec.thread_count(),
+                        arrival: j.arrival,
+                    })
+                    .collect();
+                let actions = {
+                    let view = SimView {
+                        time: now,
+                        machine: &self.machine,
+                        core_temps: &core_temps,
+                        levels: &levels,
+                        occupancy: &occupancy,
+                        threads: &thread_views,
+                        pending: &pending_views,
+                        t_dtm: self.config.t_dtm,
+                        dtm_active: dtm_last_interval,
+                    };
+                    scheduler.schedule(&view)
+                };
+                self.apply_actions(
+                    actions,
+                    now,
+                    &mut pending,
+                    &mut active,
+                    &mut records,
+                    &mut occupancy,
+                    &mut levels,
+                    &mut metrics,
+                )?;
+            }
+
+            // 3. Hardware DTM: frequency crash while too hot (chip-wide
+            // or per-core, per configuration).
+            let core_temps = self.thermal.core_temperatures(&node_temps);
+            let dtm_now =
+                self.config.dtm_enabled && core_temps.max() >= self.config.t_dtm;
+            if dtm_now {
+                metrics.dtm_intervals += 1;
+            }
+            dtm_last_interval = dtm_now;
+            let min_level = self.machine.config().dvfs.min_level();
+            let throttled = |core: usize| match self.config.dtm_scope {
+                crate::DtmScope::Chip => dtm_now,
+                crate::DtmScope::PerCore => {
+                    self.config.dtm_enabled && core_temps[core] >= self.config.t_dtm
+                }
+            };
+
+            // 4. Performance + power for this interval.
+            let mut power = Vector::zeros(n);
+            for core in 0..n {
+                let temp = core_temps[core];
+                let level = if throttled(core) { min_level } else { levels[core] };
+                match occupancy[core] {
+                    None => {
+                        power[core] = self.machine.idle_power(temp);
+                    }
+                    Some(tid) => {
+                        let jr = active.get_mut(&tid.job).expect("occupant job active");
+                        let nominal = jr.work_point(tid.index);
+                        let t = &mut jr.threads[tid.index];
+                        // Migration flush stall eats into the interval.
+                        let exec_start = t.stall_until.max(now);
+                        let exec_time = ((now + dt) - exec_start).clamp(0.0, dt);
+                        let nominal_stack = self
+                            .machine
+                            .cpi_stack_at_level(&nominal, CoreId(core), level)?;
+                        let effective = if now < t.warmup_until {
+                            // Cold private caches: the flushed lines refill
+                            // through the LLC, bounded by cache capacity.
+                            let extra = self
+                                .machine
+                                .config()
+                                .migration
+                                .warmup_extra_mpki(nominal_stack.ips());
+                            nominal.with_extra_l1_mpki(extra)
+                        } else {
+                            nominal
+                        };
+                        let stack = self
+                            .machine
+                            .cpi_stack_at_level(&effective, CoreId(core), level)?;
+                        let retired = (stack.ips() * exec_time) as u64;
+                        if let ThreadPhaseState::Running { remaining } = t.state {
+                            let done = retired.min(remaining);
+                            t.instructions_retired += done;
+                            let left = remaining - done;
+                            t.state = if left == 0 {
+                                ThreadPhaseState::AtBarrier
+                            } else {
+                                ThreadPhaseState::Running { remaining: left }
+                            };
+                        }
+                        t.last_cpi = if nominal.is_idle() {
+                            f64::INFINITY
+                        } else {
+                            nominal_stack.total()
+                        };
+                        let watts = self.machine.core_power(&stack, level, temp);
+                        t.history.push(dt, watts);
+                        t.energy += watts * dt;
+                        power[core] = watts;
+                        if !nominal.is_idle() {
+                            busy_freq_integral +=
+                                self.machine.config().dvfs.frequency_ghz(level) * dt;
+                            busy_time += dt;
+                        }
+                    }
+                }
+            }
+
+            // 5. Exact thermal step for the interval.
+            node_temps = self.solver.step(&self.thermal, &node_temps, &power, dt)?;
+            let after = self.thermal.core_temperatures(&node_temps);
+            metrics.peak_temperature = metrics.peak_temperature.max(after.max());
+            metrics.energy += power.sum() * dt;
+            if self.config.record_trace {
+                self.trace.push(now + dt, after.into_inner());
+            }
+
+            // 6. Barrier release / phase advance / completion.
+            let done_ids: Vec<JobId> = active
+                .iter_mut()
+                .filter_map(|(&id, jr)| {
+                    while jr.phase_done() {
+                        if !jr.advance_phase() {
+                            jr.completed = Some(now + dt);
+                            return Some(id);
+                        }
+                    }
+                    None
+                })
+                .collect();
+            for id in done_ids {
+                let jr = active.remove(&id).expect("completing job active");
+                for t in &jr.threads {
+                    occupancy[t.core.index()] = None;
+                }
+                let rec = records.get_mut(&id).expect("record exists");
+                rec.completed = jr.completed;
+                rec.instructions = jr.threads.iter().map(|t| t.instructions_retired).sum();
+                rec.migrations = jr.threads.iter().map(|t| t.migrations).sum();
+                rec.energy = jr.threads.iter().map(|t| t.energy).sum();
+                metrics.makespan = metrics.makespan.max(jr.completed.expect("just set"));
+                completed += 1;
+            }
+
+            step += 1;
+        }
+
+        metrics.avg_frequency_ghz = if busy_time > 0.0 {
+            busy_freq_integral / busy_time
+        } else {
+            0.0
+        };
+        metrics.jobs = records.into_values().collect();
+        Ok(metrics)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_actions(
+        &self,
+        actions: Vec<Action>,
+        now: f64,
+        pending: &mut VecDeque<Job>,
+        active: &mut BTreeMap<JobId, JobRuntime>,
+        records: &mut BTreeMap<JobId, JobRecord>,
+        occupancy: &mut [Option<ThreadId>],
+        levels: &mut [DvfsLevel],
+        metrics: &mut Metrics,
+    ) -> Result<()> {
+        let n = occupancy.len();
+        // Phase 1: placements.
+        let mut migrations: Vec<(ThreadId, CoreId)> = Vec::new();
+        for action in actions {
+            match action {
+                Action::PlaceJob { job, cores } => {
+                    let pos = pending
+                        .iter()
+                        .position(|j| j.id == job)
+                        .ok_or(SimError::UnknownJob(job))?;
+                    let j = pending.remove(pos).expect("position valid");
+                    if cores.len() != j.spec.thread_count() {
+                        return Err(SimError::PlacementArity {
+                            job,
+                            threads: j.spec.thread_count(),
+                            cores: cores.len(),
+                        });
+                    }
+                    let mut claimed = vec![false; n];
+                    for &c in &cores {
+                        if c.index() >= n {
+                            return Err(SimError::Floorplan(
+                                hp_floorplan::FloorplanError::CoreOutOfRange {
+                                    core: c.index(),
+                                    cores: n,
+                                },
+                            ));
+                        }
+                        // Conflicts both with running threads and with
+                        // duplicates inside this very placement.
+                        if occupancy[c.index()].is_some() || claimed[c.index()] {
+                            return Err(SimError::CoreConflict { core: c });
+                        }
+                        claimed[c.index()] = true;
+                    }
+                    let rt =
+                        JobRuntime::start(j, &cores, self.config.power_history_window);
+                    for t in &rt.threads {
+                        occupancy[t.core.index()] = Some(t.id);
+                    }
+                    records.insert(
+                        job,
+                        JobRecord {
+                            job,
+                            benchmark: rt.job.benchmark.name().to_string(),
+                            threads: rt.threads.len(),
+                            arrival: rt.job.arrival,
+                            started: now,
+                            completed: None,
+                            instructions: 0,
+                            migrations: 0,
+                            energy: 0.0,
+                        },
+                    );
+                    active.insert(job, rt);
+                }
+                Action::Migrate { thread, to } => migrations.push((thread, to)),
+                Action::SetLevel { core, level } => {
+                    if core.index() >= n {
+                        return Err(SimError::Floorplan(
+                            hp_floorplan::FloorplanError::CoreOutOfRange {
+                                core: core.index(),
+                                cores: n,
+                            },
+                        ));
+                    }
+                    self.machine.config().dvfs.check(level).map_err(|_| {
+                        SimError::InvalidParameter {
+                            name: "dvfs level",
+                            value: level.index() as f64,
+                        }
+                    })?;
+                    levels[core.index()] = level;
+                }
+                Action::SetAllLevels { level } => {
+                    self.machine.config().dvfs.check(level).map_err(|_| {
+                        SimError::InvalidParameter {
+                            name: "dvfs level",
+                            value: level.index() as f64,
+                        }
+                    })?;
+                    levels.fill(level);
+                }
+            }
+        }
+
+        // Phase 2: migrations, applied as one atomic batch so synchronous
+        // rotations (cyclic permutations) are expressible.
+        if !migrations.is_empty() {
+            // Validate sources.
+            let mut staged: Vec<(ThreadId, CoreId, CoreId)> = Vec::new(); // (thread, from, to)
+            for &(tid, to) in &migrations {
+                let jr = active.get(&tid.job).ok_or(SimError::UnknownThread(tid))?;
+                let t = jr
+                    .threads
+                    .get(tid.index)
+                    .ok_or(SimError::UnknownThread(tid))?;
+                if to.index() >= n {
+                    return Err(SimError::Floorplan(
+                        hp_floorplan::FloorplanError::CoreOutOfRange {
+                            core: to.index(),
+                            cores: n,
+                        },
+                    ));
+                }
+                staged.push((tid, t.core, to));
+            }
+            // Simulate the batch on a copy of the occupancy.
+            let mut next: Vec<Option<ThreadId>> = occupancy.to_vec();
+            for &(_, from, _) in &staged {
+                next[from.index()] = None;
+            }
+            for &(tid, _, to) in &staged {
+                if next[to.index()].is_some() {
+                    return Err(SimError::CoreConflict { core: to });
+                }
+                next[to.index()] = Some(tid);
+            }
+            occupancy.copy_from_slice(&next);
+            let flush = self.machine.config().migration.flush_seconds();
+            let warmup = self.machine.config().migration.warmup_seconds();
+            for (tid, from, to) in staged {
+                if from == to {
+                    continue; // no-op migration costs nothing
+                }
+                let jr = active.get_mut(&tid.job).expect("validated");
+                let t = &mut jr.threads[tid.index];
+                t.core = to;
+                t.stall_until = now + flush;
+                t.warmup_until = now + flush + warmup;
+                t.migrations += 1;
+                metrics.migrations += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn build_thread_views(active: &BTreeMap<JobId, JobRuntime>) -> Vec<ThreadView> {
+    let mut out = Vec::new();
+    for jr in active.values() {
+        for (i, t) in jr.threads.iter().enumerate() {
+            let work = jr.work_point(i);
+            out.push(ThreadView {
+                id: t.id,
+                benchmark: jr.job.benchmark,
+                core: t.core,
+                work,
+                last_cpi: t.last_cpi,
+                avg_power: t.history.average(),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,137 @@
+use std::error::Error;
+use std::fmt;
+
+use hp_floorplan::{CoreId, FloorplanError};
+use hp_manycore::ManycoreError;
+use hp_thermal::ThermalError;
+use hp_workload::JobId;
+
+use crate::job::ThreadId;
+
+/// Errors produced by the simulation engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration parameter was non-physical.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Its value.
+        value: f64,
+    },
+    /// A scheduler action referenced an unknown job.
+    UnknownJob(JobId),
+    /// A scheduler action referenced an unknown or inactive thread.
+    UnknownThread(ThreadId),
+    /// A placement or migration targeted a core that ends up multiply
+    /// occupied.
+    CoreConflict {
+        /// The contested core.
+        core: CoreId,
+    },
+    /// A placement supplied the wrong number of cores for a job.
+    PlacementArity {
+        /// The job being placed.
+        job: JobId,
+        /// Threads the job has.
+        threads: usize,
+        /// Cores the scheduler supplied.
+        cores: usize,
+    },
+    /// The simulation exceeded its configured time horizon with jobs
+    /// still unfinished.
+    HorizonExceeded {
+        /// The horizon in seconds.
+        horizon: f64,
+        /// Jobs still incomplete.
+        unfinished: usize,
+    },
+    /// An underlying thermal-model operation failed.
+    Thermal(ThermalError),
+    /// An underlying machine-model operation failed.
+    Manycore(ManycoreError),
+    /// An underlying floorplan operation failed.
+    Floorplan(FloorplanError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidParameter { name, value } => {
+                write!(f, "simulation parameter {name} has non-physical value {value}")
+            }
+            SimError::UnknownJob(id) => write!(f, "scheduler referenced unknown {id}"),
+            SimError::UnknownThread(id) => write!(f, "scheduler referenced unknown {id}"),
+            SimError::CoreConflict { core } => {
+                write!(f, "scheduler action leaves {core} multiply occupied")
+            }
+            SimError::PlacementArity {
+                job,
+                threads,
+                cores,
+            } => write!(
+                f,
+                "placement for {job} supplied {cores} cores for {threads} threads"
+            ),
+            SimError::HorizonExceeded {
+                horizon,
+                unfinished,
+            } => write!(
+                f,
+                "simulation horizon of {horizon} s exceeded with {unfinished} unfinished jobs"
+            ),
+            SimError::Thermal(e) => write!(f, "thermal model failure: {e}"),
+            SimError::Manycore(e) => write!(f, "machine model failure: {e}"),
+            SimError::Floorplan(e) => write!(f, "floorplan failure: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Thermal(e) => Some(e),
+            SimError::Manycore(e) => Some(e),
+            SimError::Floorplan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ThermalError> for SimError {
+    fn from(e: ThermalError) -> Self {
+        SimError::Thermal(e)
+    }
+}
+
+impl From<ManycoreError> for SimError {
+    fn from(e: ManycoreError) -> Self {
+        SimError::Manycore(e)
+    }
+}
+
+impl From<FloorplanError> for SimError {
+    fn from(e: FloorplanError) -> Self {
+        SimError::Floorplan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let samples: Vec<SimError> = vec![
+            SimError::UnknownJob(JobId(3)),
+            SimError::CoreConflict { core: CoreId(5) },
+            SimError::HorizonExceeded {
+                horizon: 1.0,
+                unfinished: 2,
+            },
+        ];
+        for e in samples {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

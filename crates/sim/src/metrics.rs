@@ -1,0 +1,114 @@
+use hp_workload::JobId;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// The job.
+    pub job: JobId,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Threads the job ran with.
+    pub threads: usize,
+    /// Arrival time, s.
+    pub arrival: f64,
+    /// Time the job started executing, s.
+    pub started: f64,
+    /// Completion time, s (`None` if the run ended first).
+    pub completed: Option<f64>,
+    /// Total instructions retired by the job.
+    pub instructions: u64,
+    /// Total thread migrations the job experienced.
+    pub migrations: u64,
+    /// Energy drawn by the job's cores while it ran, J.
+    pub energy: f64,
+}
+
+impl JobRecord {
+    /// Response time (completion − arrival), if the job completed.
+    pub fn response_time(&self) -> Option<f64> {
+        self.completed.map(|c| c - self.arrival)
+    }
+}
+
+/// Aggregate results of a simulation run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Per-job outcomes, in job-id order.
+    pub jobs: Vec<JobRecord>,
+    /// Time the last job completed (the makespan for a closed workload), s.
+    pub makespan: f64,
+    /// Hottest junction temperature observed, °C.
+    pub peak_temperature: f64,
+    /// Number of simulation intervals the hardware DTM throttled the chip.
+    pub dtm_intervals: u64,
+    /// Total thread migrations applied.
+    pub migrations: u64,
+    /// Total chip energy, J.
+    pub energy: f64,
+    /// Total simulated time, s.
+    pub simulated_time: f64,
+    /// Busy-core-time-weighted average clock frequency, GHz (captures the
+    /// DVFS/DTM throttling a scheduler imposed; 0 if nothing ran).
+    pub avg_frequency_ghz: f64,
+    /// Scheduler name that produced this run.
+    pub scheduler: String,
+}
+
+impl Metrics {
+    /// Number of jobs that completed.
+    pub fn completed_jobs(&self) -> usize {
+        self.jobs.iter().filter(|j| j.completed.is_some()).count()
+    }
+
+    /// Mean response time over completed jobs, s.
+    ///
+    /// Returns `None` if no job completed.
+    pub fn mean_response_time(&self) -> Option<f64> {
+        let times: Vec<f64> = self.jobs.iter().filter_map(|j| j.response_time()).collect();
+        if times.is_empty() {
+            return None;
+        }
+        Some(times.iter().sum::<f64>() / times.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(completed: Option<f64>) -> JobRecord {
+        JobRecord {
+            job: JobId(0),
+            benchmark: "x".into(),
+            threads: 2,
+            arrival: 1.0,
+            started: 1.0,
+            completed,
+            instructions: 100,
+            migrations: 0,
+            energy: 1.0,
+        }
+    }
+
+    #[test]
+    fn response_time_requires_completion() {
+        assert_eq!(record(None).response_time(), None);
+        assert_eq!(record(Some(3.5)).response_time(), Some(2.5));
+    }
+
+    #[test]
+    fn mean_response_time_skips_incomplete() {
+        let m = Metrics {
+            jobs: vec![record(Some(2.0)), record(None), record(Some(4.0))],
+            ..Metrics::default()
+        };
+        assert_eq!(m.completed_jobs(), 2);
+        assert_eq!(m.mean_response_time(), Some(2.0));
+    }
+
+    #[test]
+    fn empty_metrics_have_no_mean() {
+        assert_eq!(Metrics::default().mean_response_time(), None);
+    }
+}

@@ -1,0 +1,142 @@
+use std::io::{self, Write};
+
+use serde::{Deserialize, Serialize};
+
+/// A recorded per-interval temperature trace (the raw material of the
+/// paper's Fig. 2 thermal plots).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TemperatureTrace {
+    times: Vec<f64>,
+    /// `temps[k][c]` = junction temperature of core `c` at `times[k]`, °C.
+    temps: Vec<Vec<f64>>,
+}
+
+impl TemperatureTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        TemperatureTrace::default()
+    }
+
+    pub(crate) fn push(&mut self, time: f64, core_temps: Vec<f64>) {
+        self.times.push(time);
+        self.temps.push(core_temps);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Sample timestamps, s.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Junction temperatures at sample `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn sample(&self, k: usize) -> &[f64] {
+        &self.temps[k]
+    }
+
+    /// The trace of a single core over time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range for the recorded samples.
+    pub fn core_series(&self, core: usize) -> Vec<f64> {
+        self.temps.iter().map(|t| t[core]).collect()
+    }
+
+    /// The hottest junction at each sample.
+    pub fn peak_series(&self) -> Vec<f64> {
+        self.temps
+            .iter()
+            .map(|t| t.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x)))
+            .collect()
+    }
+
+    /// The hottest junction over the whole trace (`None` if empty).
+    pub fn peak(&self) -> Option<f64> {
+        self.peak_series()
+            .into_iter()
+            .fold(None, |m, x| Some(m.map_or(x, |v: f64| v.max(x))))
+    }
+
+    /// Writes the trace as CSV (`time_s,core0,core1,…`) to `writer`.
+    ///
+    /// A `&mut` reference can be passed for writers you want to keep
+    /// using afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_csv<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        let cores = self.temps.first().map_or(0, |t| t.len());
+        write!(writer, "time_s")?;
+        for c in 0..cores {
+            write!(writer, ",core{c}")?;
+        }
+        writeln!(writer)?;
+        for (t, temps) in self.times.iter().zip(&self.temps) {
+            write!(writer, "{t}")?;
+            for v in temps {
+                write!(writer, ",{v}")?;
+            }
+            writeln!(writer)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_and_queries() {
+        let mut t = TemperatureTrace::new();
+        assert!(t.is_empty());
+        t.push(0.0, vec![45.0, 46.0]);
+        t.push(0.1, vec![50.0, 44.0]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.core_series(0), vec![45.0, 50.0]);
+        assert_eq!(t.peak_series(), vec![46.0, 50.0]);
+        assert_eq!(t.peak(), Some(50.0));
+        assert_eq!(t.times(), &[0.0, 0.1]);
+        assert_eq!(t.sample(1), &[50.0, 44.0]);
+    }
+
+    #[test]
+    fn empty_peak_is_none() {
+        assert_eq!(TemperatureTrace::new().peak(), None);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = TemperatureTrace::new();
+        t.push(0.0, vec![45.0, 46.0]);
+        t.push(0.1, vec![50.0, 44.0]);
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "time_s,core0,core1");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("0,45"));
+    }
+
+    #[test]
+    fn empty_trace_writes_header_only() {
+        let mut buf = Vec::new();
+        TemperatureTrace::new().write_csv(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "time_s\n");
+    }
+}

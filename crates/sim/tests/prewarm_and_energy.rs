@@ -1,0 +1,83 @@
+//! Pre-warmed start state and per-job energy attribution.
+
+use hp_manycore::{ArchConfig, Machine};
+use hp_sim::schedulers::PinnedScheduler;
+use hp_sim::{Metrics, SimConfig, Simulation};
+use hp_thermal::ThermalConfig;
+use hp_workload::{Benchmark, Job, JobId};
+
+fn machine() -> Machine {
+    Machine::new(ArchConfig {
+        grid_width: 4,
+        grid_height: 4,
+        ..ArchConfig::default()
+    })
+    .expect("valid config")
+}
+
+fn run(prewarm: Option<f64>) -> Metrics {
+    let mut sim = Simulation::new(
+        machine(),
+        ThermalConfig::default(),
+        SimConfig {
+            dtm_enabled: false,
+            prewarm_power: prewarm,
+            horizon: 120.0,
+            ..SimConfig::default()
+        },
+    )
+    .expect("valid sim config");
+    let jobs = vec![Job {
+        id: JobId(0),
+        benchmark: Benchmark::Blackscholes,
+        spec: Benchmark::Blackscholes.spec(2),
+        arrival: 0.0,
+    }];
+    sim.run(jobs, &mut PinnedScheduler::new()).expect("completes")
+}
+
+#[test]
+fn prewarmed_chip_runs_hotter() {
+    let cold = run(None);
+    let warm = run(Some(2.5));
+    assert_eq!(cold.completed_jobs(), 1);
+    assert_eq!(warm.completed_jobs(), 1);
+    // A 2.5 W/core background steady state sits well above ambient, so the
+    // same run peaks noticeably hotter.
+    assert!(
+        warm.peak_temperature > cold.peak_temperature + 2.0,
+        "warm {:.1} vs cold {:.1}",
+        warm.peak_temperature,
+        cold.peak_temperature
+    );
+    // Performance is identical (thermal state does not feed back into CPI
+    // except via DTM, which is disabled here).
+    assert_eq!(warm.makespan, cold.makespan);
+}
+
+#[test]
+fn invalid_prewarm_rejected() {
+    let cfg = SimConfig {
+        prewarm_power: Some(-1.0),
+        ..SimConfig::default()
+    };
+    assert!(cfg.validate().is_err());
+    let cfg = SimConfig {
+        prewarm_power: Some(f64::NAN),
+        ..SimConfig::default()
+    };
+    assert!(cfg.validate().is_err());
+}
+
+#[test]
+fn job_energy_accounted_and_bounded() {
+    let m = run(None);
+    let job = &m.jobs[0];
+    assert!(job.energy > 0.0);
+    // The job's cores cannot have drawn more than the whole chip.
+    assert!(job.energy < m.energy);
+    // Sanity on scale: 2 cores for ~55 ms at <= ~8 W each.
+    assert!(job.energy < 2.0 * 8.0 * m.makespan * 1.2);
+    // And at least the idle floor of its two cores over the run.
+    assert!(job.energy > 2.0 * 0.25 * m.makespan);
+}

@@ -1,0 +1,40 @@
+//! Serde coverage for the configuration and result types — the experiment
+//! harness serializes these, so losing a `Serialize`/`Deserialize` impl
+//! must break the build, not a downstream user. The workspace deliberately
+//! carries no JSON crate; these are compile-time trait checks plus the
+//! value-level checks serde's in-memory deserializers support.
+
+use serde::de::value::{Error as ValueError, StrDeserializer};
+use serde::de::IntoDeserializer;
+use serde::Deserialize;
+
+use hp_sim::{DtmScope, JobRecord, Metrics, SimConfig, TemperatureTrace, ThreadId};
+use hp_workload::JobId;
+
+#[test]
+fn all_public_data_types_implement_serde() {
+    fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+    assert_serde::<SimConfig>();
+    assert_serde::<DtmScope>();
+    assert_serde::<Metrics>();
+    assert_serde::<JobRecord>();
+    assert_serde::<TemperatureTrace>();
+    assert_serde::<ThreadId>();
+    assert_serde::<JobId>();
+}
+
+#[test]
+fn dtm_scope_deserializes_from_variant_names() {
+    let de = |s: &'static str| -> StrDeserializer<'static, ValueError> { s.into_deserializer() };
+    assert_eq!(DtmScope::deserialize(de("Chip")).expect("known"), DtmScope::Chip);
+    assert_eq!(
+        DtmScope::deserialize(de("PerCore")).expect("known"),
+        DtmScope::PerCore
+    );
+    assert!(DtmScope::deserialize(de("Melt")).is_err());
+}
+
+#[test]
+fn default_scope_is_the_papers_chip_wide_crash() {
+    assert_eq!(DtmScope::default(), DtmScope::Chip);
+}

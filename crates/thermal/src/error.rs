@@ -1,0 +1,84 @@
+use std::error::Error;
+use std::fmt;
+
+use hp_floorplan::FloorplanError;
+use hp_linalg::LinalgError;
+
+/// Errors produced by the thermal model and its solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ThermalError {
+    /// A configuration parameter was non-physical (non-positive or NaN).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Its value.
+        value: f64,
+    },
+    /// A power vector did not match the number of cores or nodes.
+    PowerLengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// TSP was asked for a budget over an empty active set.
+    EmptyActiveSet,
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+    /// An underlying floorplan query failed.
+    Floorplan(FloorplanError),
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThermalError::InvalidParameter { name, value } => {
+                write!(f, "thermal parameter {name} has non-physical value {value}")
+            }
+            ThermalError::PowerLengthMismatch { expected, got } => {
+                write!(f, "power vector length {got} does not match expected {expected}")
+            }
+            ThermalError::EmptyActiveSet => {
+                write!(f, "tsp budget requires a non-empty active core set")
+            }
+            ThermalError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            ThermalError::Floorplan(e) => write!(f, "floorplan failure: {e}"),
+        }
+    }
+}
+
+impl Error for ThermalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ThermalError::Linalg(e) => Some(e),
+            ThermalError::Floorplan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ThermalError {
+    fn from(e: LinalgError) -> Self {
+        ThermalError::Linalg(e)
+    }
+}
+
+impl From<FloorplanError> for ThermalError {
+    fn from(e: FloorplanError) -> Self {
+        ThermalError::Floorplan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = ThermalError::Linalg(LinalgError::Singular { pivot: 0 });
+        assert!(e.to_string().contains("singular"));
+        assert!(e.source().is_some());
+        assert!(ThermalError::EmptyActiveSet.source().is_none());
+    }
+}

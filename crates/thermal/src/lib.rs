@@ -1,0 +1,62 @@
+//! HotSpot-style compact RC thermal model for grid many-cores, the
+//! MatEx-style transient solver, and TSP power budgeting.
+//!
+//! The model follows the paper's §III-B formulation
+//!
+//! ```text
+//! A·T' + B·T = P + T_amb·G        (paper Eq. 1)
+//! ```
+//!
+//! with `A` the diagonal matrix of thermal capacitances, `B` the symmetric
+//! positive-definite conductance matrix (ambient leaks included on the
+//! diagonal), `P` the power map and `G` the conductance-to-ambient column.
+//! Each core contributes a three-node vertical stack — junction (silicon),
+//! heat-spreader patch and heat-sink patch — with lateral coupling between
+//! neighbouring patches in every layer, so a `w × h` chip yields
+//! `N = 3·w·h` thermal nodes.
+//!
+//! Three solvers operate on the model:
+//!
+//! * [`RcThermalModel::steady_state`] — `T_steady = B⁻¹(P + T_amb·G)`
+//!   (paper Eq. 3), using a cached LU factorization of `B`.
+//! * [`TransientSolver`] — `T(t) = T_steady + e^{C·t}(T_init − T_steady)`
+//!   (paper Eq. 4) through the eigendecomposition of `C = −A⁻¹B`, the same
+//!   route as the MatEx solver the paper builds on.
+//! * [`tsp`] — Thermal Safe Power budgets (paper ref. \[14\]): the largest
+//!   uniform per-core power for a given active-core mapping such that no
+//!   steady-state junction temperature exceeds the DTM threshold.
+//!
+//! # Example
+//!
+//! ```
+//! use hp_floorplan::GridFloorplan;
+//! use hp_thermal::{RcThermalModel, ThermalConfig};
+//! use hp_linalg::Vector;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let fp = GridFloorplan::new(4, 4)?;
+//! let model = RcThermalModel::new(&fp, &ThermalConfig::default())?;
+//! // All cores idle: the chip settles barely above ambient.
+//! let idle = Vector::constant(16, 0.3);
+//! let t = model.steady_state(&idle)?;
+//! let hottest = model.core_temperatures(&t).max();
+//! assert!(hottest > 45.0 && hottest < 55.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod config;
+mod error;
+mod model;
+mod transient;
+
+pub mod stacked;
+pub mod tsp;
+
+pub use config::ThermalConfig;
+pub use error::ThermalError;
+pub use model::{Layer, RcThermalModel};
+pub use transient::TransientSolver;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ThermalError>;

@@ -1,0 +1,409 @@
+use hp_floorplan::{CoreId, GridFloorplan};
+use hp_linalg::{LuDecomposition, Matrix, Vector};
+
+use crate::{Result, ThermalConfig, ThermalError};
+
+/// The three layers of the vertical stack above each core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// Active silicon — where power dissipates and temperature is constrained.
+    Junction,
+    /// Heat-spreader patch.
+    Spreader,
+    /// Heat-sink patch (connects to ambient).
+    Sink,
+}
+
+
+
+/// HotSpot-style compact RC thermal network of a grid many-core
+/// (paper Eq. 1: `A·T' + B·T = P + T_amb·G`).
+///
+/// The first `n` thermal nodes are the core junctions (in [`CoreId`] order),
+/// followed by `n` spreader patches and `n` sink patches. `B` is assembled
+/// as a weighted graph Laplacian plus the ambient leak diagonal, so it is
+/// symmetric positive definite by construction — the property the paper's
+/// Eq. (8)–(9) closed forms rely on.
+///
+/// # Example
+///
+/// ```
+/// use hp_floorplan::{CoreId, GridFloorplan};
+/// use hp_thermal::{RcThermalModel, ThermalConfig};
+/// use hp_linalg::Vector;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fp = GridFloorplan::new(4, 4)?;
+/// let model = RcThermalModel::new(&fp, &ThermalConfig::default())?;
+/// let mut power = Vector::constant(16, 0.3);
+/// power[5] = 7.0; // one hot core
+/// let t = model.steady_state(&power)?;
+/// // The hot core is the hottest junction on the chip.
+/// assert_eq!(model.core_temperatures(&t).argmax(), Some(5));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RcThermalModel {
+    cores: usize,
+    /// Spreader/sink patches (= floorplan positions; equals `cores` for a
+    /// planar chip, `cores / dies` for a stacked one).
+    patches: usize,
+    nodes: usize,
+    config: ThermalConfig,
+    a_diag: Vector,
+    b: Matrix,
+    g: Vector,
+    b_lu: LuDecomposition,
+    /// Cached ambient response `B⁻¹·G·T_amb` (temperature with zero power).
+    ambient_response: Vector,
+}
+
+impl RcThermalModel {
+    /// Builds the RC network for `floorplan` with the given `config`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::InvalidParameter`] for non-physical configuration.
+    /// * [`ThermalError::Linalg`] if factorization of `B` fails (cannot
+    ///   happen for valid parameters).
+    pub fn new(floorplan: &GridFloorplan, config: &ThermalConfig) -> Result<Self> {
+        config.validate()?;
+        let n = floorplan.core_count();
+        let nodes = 3 * n;
+
+        let mut a_diag = Vector::zeros(nodes);
+        for i in 0..n {
+            a_diag[i] = config.c_junction;
+            a_diag[n + i] = config.c_spreader;
+            a_diag[2 * n + i] = config.c_sink;
+        }
+
+        let mut b = Matrix::zeros(nodes, nodes);
+        let mut g = Vector::zeros(nodes);
+
+        let mut couple = |i: usize, j: usize, cond: f64| {
+            b[(i, j)] -= cond;
+            b[(j, i)] -= cond;
+            b[(i, i)] += cond;
+            b[(j, j)] += cond;
+        };
+
+        for core in floorplan.cores() {
+            let i = core.index();
+            let missing = 4 - floorplan.neighbors(core)?.len();
+            // Vertical stack; edge spreader patches also reach peripheral
+            // sink area beyond the die outline.
+            couple(i, n + i, config.g_junction_spreader);
+            couple(
+                n + i,
+                2 * n + i,
+                config.g_spreader_sink + missing as f64 * config.g_spreader_edge,
+            );
+            // Lateral coupling; add each undirected edge once.
+            for nb in floorplan.neighbors(core)? {
+                let j = nb.index();
+                if j > i {
+                    couple(i, j, config.g_lateral_junction);
+                    couple(n + i, n + j, config.g_lateral_spreader);
+                    couple(2 * n + i, 2 * n + j, config.g_lateral_sink);
+                }
+            }
+        }
+        // Ambient leak from sink patches (adds to the diagonal of B).
+        // Edge and corner patches gain peripheral fin area in proportion to
+        // their missing neighbours — this is what makes the die centre
+        // thermally constrained (paper Fig. 3).
+        for core in floorplan.cores() {
+            let i = core.index();
+            let node = 2 * n + i;
+            let missing = 4 - floorplan.neighbors(core)?.len();
+            let leak = config.g_sink_ambient + missing as f64 * config.g_sink_edge;
+            b[(node, node)] += leak;
+            g[node] = leak;
+        }
+
+        RcThermalModel::from_parts(n, n, *config, a_diag, b, g)
+    }
+
+    /// Assembles a model from raw matrices — the escape hatch used by
+    /// non-planar builders such as [`crate::stacked::stacked_model`].
+    ///
+    /// `cores` power-dissipating junction nodes must come first in the
+    /// node ordering, followed by `patches` spreader nodes and `patches`
+    /// sink nodes.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::PowerLengthMismatch`] if the matrix dimensions
+    ///   disagree with `cores + 2 × patches`.
+    /// * Factorization errors for a singular `B`.
+    pub fn from_parts(
+        cores: usize,
+        patches: usize,
+        config: ThermalConfig,
+        a_diag: Vector,
+        b: Matrix,
+        g: Vector,
+    ) -> Result<Self> {
+        let nodes = cores + 2 * patches;
+        if a_diag.len() != nodes || b.rows() != nodes || b.cols() != nodes || g.len() != nodes {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: nodes,
+                got: a_diag.len(),
+            });
+        }
+        let b_lu = b.lu()?;
+        let ambient_response = b_lu.solve(&g.scaled(config.ambient))?;
+        Ok(RcThermalModel {
+            cores,
+            patches,
+            nodes,
+            config,
+            a_diag,
+            b,
+            g,
+            b_lu,
+            ambient_response,
+        })
+    }
+
+    /// Number of cores `n`.
+    pub fn core_count(&self) -> usize {
+        self.cores
+    }
+
+    /// Number of thermal nodes `N = 3n`.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// The configuration the model was built with.
+    pub fn config(&self) -> &ThermalConfig {
+        &self.config
+    }
+
+    /// Diagonal of the capacitance matrix `A`.
+    pub fn a_diag(&self) -> &Vector {
+        &self.a_diag
+    }
+
+    /// The conductance matrix `B` (symmetric positive definite).
+    pub fn b(&self) -> &Matrix {
+        &self.b
+    }
+
+    /// The conductance-to-ambient column `G`.
+    pub fn g(&self) -> &Vector {
+        &self.g
+    }
+
+    /// Cached LU factorization of `B`.
+    pub fn b_lu(&self) -> &LuDecomposition {
+        &self.b_lu
+    }
+
+    /// The ambient response `B⁻¹·G·T_amb`: node temperatures with zero power.
+    pub fn ambient_response(&self) -> &Vector {
+        &self.ambient_response
+    }
+
+    /// Thermal node index of `core` in `layer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::Floorplan`] for out-of-range core ids.
+    pub fn node(&self, core: CoreId, layer: Layer) -> Result<usize> {
+        if core.index() >= self.cores {
+            return Err(ThermalError::Floorplan(
+                hp_floorplan::FloorplanError::CoreOutOfRange {
+                    core: core.index(),
+                    cores: self.cores,
+                },
+            ));
+        }
+        Ok(match layer {
+            Layer::Junction => core.index(),
+            Layer::Spreader => self.cores + core.index() % self.patches,
+            Layer::Sink => self.cores + self.patches + core.index() % self.patches,
+        })
+    }
+
+    /// Expands a per-core power vector (length `n`, junction dissipation)
+    /// into a full node power vector (length `N`, zeros elsewhere).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::PowerLengthMismatch`] if `core_power` has the
+    /// wrong length.
+    pub fn expand_power(&self, core_power: &Vector) -> Result<Vector> {
+        if core_power.len() != self.cores {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: self.cores,
+                got: core_power.len(),
+            });
+        }
+        let mut p = Vector::zeros(self.nodes);
+        for i in 0..self.cores {
+            p[i] = core_power[i];
+        }
+        Ok(p)
+    }
+
+    /// Extracts the junction (core) temperatures from a full node state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_temps.len() != self.node_count()`.
+    pub fn core_temperatures(&self, node_temps: &Vector) -> Vector {
+        assert_eq!(node_temps.len(), self.nodes, "node state length mismatch");
+        Vector::from_fn(self.cores, |i| node_temps[i])
+    }
+
+    /// Steady-state node temperatures for a per-core power map
+    /// (paper Eq. 3: `T_steady = B⁻¹·P + B⁻¹·T_amb·G`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::PowerLengthMismatch`] for wrong-length input
+    /// or a propagated solver error.
+    pub fn steady_state(&self, core_power: &Vector) -> Result<Vector> {
+        let p = self.expand_power(core_power)?;
+        let power_response = self.b_lu.solve(&p)?;
+        Ok(&power_response + &self.ambient_response)
+    }
+
+    /// The node state with every node at ambient temperature — the natural
+    /// initial condition (paper §IV shifts the origin to exactly this state).
+    pub fn ambient_state(&self) -> Vector {
+        Vector::constant(self.nodes, self.config.ambient)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_4x4() -> RcThermalModel {
+        let fp = GridFloorplan::new(4, 4).unwrap();
+        RcThermalModel::new(&fp, &ThermalConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn b_is_symmetric_positive_definite() {
+        let m = model_4x4();
+        assert!(m.b().is_symmetric(1e-12));
+        // All eigenvalues positive <=> SPD.
+        let eig = m.b().symmetric_eigen().unwrap();
+        assert!(eig.eigenvalues().iter().all(|&l| l > 0.0));
+    }
+
+    #[test]
+    fn zero_power_settles_at_ambient() {
+        let m = model_4x4();
+        let t = m.steady_state(&Vector::zeros(16)).unwrap();
+        for &ti in t.iter() {
+            assert!((ti - 45.0).abs() < 1e-8, "node at {ti}");
+        }
+    }
+
+    #[test]
+    fn hot_core_is_hottest_and_above_threshold() {
+        let m = model_4x4();
+        let mut p = Vector::constant(16, 0.3);
+        p[5] = 7.0;
+        let t = m.steady_state(&p).unwrap();
+        let cores = m.core_temperatures(&t);
+        assert_eq!(cores.argmax(), Some(5));
+        // A pinned compute-bound thread must overshoot the 70 C threshold
+        // (Fig. 2(a) shows ~80 C).
+        assert!(cores.max() > 72.0, "hot core at {:.1}", cores.max());
+        assert!(cores.max() < 95.0, "hot core too hot: {:.1}", cores.max());
+    }
+
+    #[test]
+    fn fig2a_two_center_cores_reach_about_80c() {
+        let m = model_4x4();
+        let mut p = Vector::constant(16, 0.3);
+        p[5] = 7.0;
+        p[10] = 7.0;
+        let t = m.steady_state(&p).unwrap();
+        let peak = m.core_temperatures(&t).max();
+        assert!(peak > 74.0 && peak < 90.0, "peak {peak:.1}");
+    }
+
+    #[test]
+    fn rotation_average_power_is_thermally_safe() {
+        // Averaging 2x7 W over the 4 centre cores (plus idle power) must
+        // land below the 70 C threshold — the premise of Fig. 2(c).
+        let m = model_4x4();
+        let mut p = Vector::constant(16, 0.3);
+        let avg = (2.0 * 7.0 + 2.0 * 0.3) / 4.0;
+        for c in [5usize, 6, 9, 10] {
+            p[c] = avg;
+        }
+        let t = m.steady_state(&p).unwrap();
+        let peak = m.core_temperatures(&t).max();
+        assert!(peak < 70.0, "averaged peak {peak:.1}");
+        assert!(peak > 55.0, "averaged peak implausibly cool: {peak:.1}");
+    }
+
+    #[test]
+    fn temperature_monotone_in_power() {
+        let m = model_4x4();
+        let p1 = Vector::constant(16, 1.0);
+        let p2 = Vector::constant(16, 2.0);
+        let t1 = m.steady_state(&p1).unwrap();
+        let t2 = m.steady_state(&p2).unwrap();
+        for i in 0..m.node_count() {
+            assert!(t2[i] > t1[i]);
+        }
+    }
+
+    #[test]
+    fn superposition_holds() {
+        // The model is affine in P: T(P1 + P2) - T(0) == (T(P1)-T(0)) + (T(P2)-T(0)).
+        let m = model_4x4();
+        let mut p1 = Vector::zeros(16);
+        p1[3] = 4.0;
+        let mut p2 = Vector::zeros(16);
+        p2[12] = 2.5;
+        let t0 = m.steady_state(&Vector::zeros(16)).unwrap();
+        let t1 = m.steady_state(&p1).unwrap();
+        let t2 = m.steady_state(&p2).unwrap();
+        let t12 = m.steady_state(&(&p1 + &p2)).unwrap();
+        let lhs = &t12 - &t0;
+        let rhs = &(&t1 - &t0) + &(&t2 - &t0);
+        assert!((&lhs - &rhs).norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn node_indexing() {
+        let m = model_4x4();
+        assert_eq!(m.node(CoreId(5), Layer::Junction).unwrap(), 5);
+        assert_eq!(m.node(CoreId(5), Layer::Spreader).unwrap(), 21);
+        assert_eq!(m.node(CoreId(5), Layer::Sink).unwrap(), 37);
+        assert!(m.node(CoreId(16), Layer::Junction).is_err());
+    }
+
+    #[test]
+    fn expand_power_rejects_wrong_length() {
+        let m = model_4x4();
+        assert!(matches!(
+            m.expand_power(&Vector::zeros(8)),
+            Err(ThermalError::PowerLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn junction_hotter_than_spreader_hotter_than_sink() {
+        let m = model_4x4();
+        let mut p = Vector::constant(16, 0.3);
+        p[5] = 6.0;
+        let t = m.steady_state(&p).unwrap();
+        let j = t[m.node(CoreId(5), Layer::Junction).unwrap()];
+        let s = t[m.node(CoreId(5), Layer::Spreader).unwrap()];
+        let k = t[m.node(CoreId(5), Layer::Sink).unwrap()];
+        assert!(j > s && s > k && k > 45.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! **Extension (paper §VII future work):** 3D-stacked S-NUCA many-cores.
+//!
+//! The paper plans to explore synchronous task rotation on 3D S-NUCA
+//! chips with the CoMeT simulator. The thermal situation that makes 3D
+//! interesting is captured by a stacked RC network: several active
+//! silicon dies share one heat-removal path, so the die *buried* farthest
+//! from the sink runs structurally hotter than the top die — vertical
+//! thermal heterogeneity on top of the planar centre/edge heterogeneity.
+//!
+//! [`stacked_model`] builds exactly that network, and because it returns
+//! an ordinary [`RcThermalModel`], every solver in the workspace — the
+//! steady-state/transient solvers, TSP budgeting, and crucially the
+//! rotation peak analytics of the `hotpotato` crate — works on it
+//! unchanged. Rotating threads *between dies* becomes just another
+//! rotation sequence.
+
+use hp_floorplan::GridFloorplan;
+use hp_linalg::{Matrix, Vector};
+
+use crate::{RcThermalModel, Result, ThermalConfig, ThermalError};
+
+/// Builds a 3D-stacked RC thermal model: `dies` active silicon layers
+/// above each floorplan position, the top one attached to the usual
+/// spreader/sink stack.
+///
+/// Core numbering: die 0 (the buried die, farthest from the sink) holds
+/// cores `0..n`, die 1 holds `n..2n`, and so on; `model.core_count()`
+/// returns `dies × n`. Node layout is all junctions first (matching
+/// [`RcThermalModel::core_temperatures`]), then one spreader and one sink
+/// patch per floorplan position.
+///
+/// `g_interdie` is the vertical conductance between stacked junctions
+/// (through the die bond / TSV field), W/K per core.
+///
+/// # Errors
+///
+/// * [`ThermalError::InvalidParameter`] for `dies == 0` or a non-physical
+///   `g_interdie`, or invalid base configuration.
+///
+/// # Example
+///
+/// ```
+/// use hp_floorplan::GridFloorplan;
+/// use hp_linalg::Vector;
+/// use hp_thermal::{stacked::stacked_model, ThermalConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fp = GridFloorplan::new(4, 4)?;
+/// let model = stacked_model(&fp, &ThermalConfig::default(), 2, 0.8)?;
+/// assert_eq!(model.core_count(), 32);
+/// // The same 5 W thread runs hotter on the buried die (core 5) than on
+/// // the top die directly above it (core 16 + 5).
+/// let mut buried = Vector::constant(32, 0.3);
+/// buried[5] = 5.0;
+/// let mut top = Vector::constant(32, 0.3);
+/// top[21] = 5.0;
+/// let t_buried = model.core_temperatures(&model.steady_state(&buried)?)[5];
+/// let t_top = model.core_temperatures(&model.steady_state(&top)?)[21];
+/// assert!(t_buried > t_top);
+/// # Ok(())
+/// # }
+/// ```
+pub fn stacked_model(
+    floorplan: &GridFloorplan,
+    config: &ThermalConfig,
+    dies: usize,
+    g_interdie: f64,
+) -> Result<RcThermalModel> {
+    config.validate()?;
+    if dies == 0 {
+        return Err(ThermalError::InvalidParameter {
+            name: "dies",
+            value: 0.0,
+        });
+    }
+    if !(g_interdie.is_finite() && g_interdie > 0.0) {
+        return Err(ThermalError::InvalidParameter {
+            name: "g_interdie",
+            value: g_interdie,
+        });
+    }
+    let n = floorplan.core_count();
+    let cores = dies * n;
+    let nodes = cores + 2 * n; // junction layers + spreader + sink
+
+    let mut a_diag = Vector::zeros(nodes);
+    for d in 0..dies {
+        for i in 0..n {
+            a_diag[d * n + i] = config.c_junction;
+        }
+    }
+    for i in 0..n {
+        a_diag[cores + i] = config.c_spreader;
+        a_diag[cores + n + i] = config.c_sink;
+    }
+
+    let mut b = Matrix::zeros(nodes, nodes);
+    let mut g = Vector::zeros(nodes);
+    let couple = |b: &mut Matrix, i: usize, j: usize, cond: f64| {
+        b[(i, j)] -= cond;
+        b[(j, i)] -= cond;
+        b[(i, i)] += cond;
+        b[(j, j)] += cond;
+    };
+
+    for core in floorplan.cores() {
+        let i = core.index();
+        let missing = 4 - floorplan.neighbors(core)?.len();
+        // Vertical chain: die 0 -> die 1 -> ... -> top die -> spreader.
+        for d in 0..dies.saturating_sub(1) {
+            couple(&mut b, d * n + i, (d + 1) * n + i, g_interdie);
+        }
+        couple(&mut b, (dies - 1) * n + i, cores + i, config.g_junction_spreader);
+        couple(
+            &mut b,
+            cores + i,
+            cores + n + i,
+            config.g_spreader_sink + missing as f64 * config.g_spreader_edge,
+        );
+        // Lateral coupling inside every junction die + spreader + sink.
+        for nb in floorplan.neighbors(core)? {
+            let j = nb.index();
+            if j > i {
+                for d in 0..dies {
+                    couple(&mut b, d * n + i, d * n + j, config.g_lateral_junction);
+                }
+                couple(&mut b, cores + i, cores + j, config.g_lateral_spreader);
+                couple(&mut b, cores + n + i, cores + n + j, config.g_lateral_sink);
+            }
+        }
+        // Ambient leak with peripheral bonus.
+        let node = cores + n + i;
+        let leak = config.g_sink_ambient + missing as f64 * config.g_sink_edge;
+        b[(node, node)] += leak;
+        g[node] = leak;
+    }
+
+    RcThermalModel::from_parts(cores, n, *config, a_diag, b, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp() -> GridFloorplan {
+        GridFloorplan::new(4, 4).expect("grid")
+    }
+
+    fn model(dies: usize) -> RcThermalModel {
+        stacked_model(&fp(), &ThermalConfig::default(), dies, 0.8).expect("builds")
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let m = model(2);
+        assert_eq!(m.core_count(), 32);
+        assert_eq!(m.node_count(), 32 + 16 + 16);
+        assert!(m.b().is_symmetric(1e-12));
+        let eig = m.b().symmetric_eigen().expect("decomposes");
+        assert!(eig.eigenvalues().iter().all(|&l| l > 0.0), "B is SPD");
+    }
+
+    #[test]
+    fn single_die_matches_planar_model() {
+        let stacked = model(1);
+        let planar = RcThermalModel::new(&fp(), &ThermalConfig::default()).expect("builds");
+        let mut p = Vector::constant(16, 0.3);
+        p[5] = 6.0;
+        let t_s = stacked.steady_state(&p).expect("solves");
+        let t_p = planar.steady_state(&p).expect("solves");
+        assert!((&t_s - &t_p).norm_inf() < 1e-9, "1-die stack == planar chip");
+    }
+
+    #[test]
+    fn buried_die_is_hotter() {
+        let m = model(2);
+        let mut buried = Vector::constant(32, 0.3);
+        buried[5] = 6.0;
+        let mut top = Vector::constant(32, 0.3);
+        top[16 + 5] = 6.0;
+        let t_b = m.core_temperatures(&m.steady_state(&buried).expect("solves"))[5];
+        let t_t = m.core_temperatures(&m.steady_state(&top).expect("solves"))[21];
+        assert!(
+            t_b > t_t + 1.0,
+            "buried {t_b:.1} should clearly exceed top {t_t:.1}"
+        );
+    }
+
+    #[test]
+    fn more_dies_run_hotter_per_watt() {
+        // Same total power, deeper stack: the buried die gets worse.
+        let two = model(2);
+        let three = model(3);
+        let mut p2 = Vector::constant(32, 0.3);
+        p2[5] = 6.0;
+        let mut p3 = Vector::constant(48, 0.3);
+        p3[5] = 6.0;
+        let t2 = two.core_temperatures(&two.steady_state(&p2).expect("solves"))[5];
+        let t3 = three.core_temperatures(&three.steady_state(&p3).expect("solves"))[5];
+        assert!(t3 > t2);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(stacked_model(&fp(), &ThermalConfig::default(), 0, 0.8).is_err());
+        assert!(stacked_model(&fp(), &ThermalConfig::default(), 2, 0.0).is_err());
+        assert!(stacked_model(&fp(), &ThermalConfig::default(), 2, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn zero_power_settles_at_ambient() {
+        let m = model(3);
+        let t = m.steady_state(&Vector::zeros(48)).expect("solves");
+        for &ti in t.iter() {
+            assert!((ti - 45.0).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,381 @@
+use hp_linalg::eigen::SystemEigen;
+use hp_linalg::Vector;
+
+use crate::{RcThermalModel, Result, ThermalError};
+
+/// MatEx-style transient temperature solver.
+///
+/// Holds the eigendecomposition of `C = −A⁻¹B` once per model and evaluates
+/// the exact solution of the linear ODE for piecewise-constant power
+/// (paper Eq. 4):
+///
+/// ```text
+/// T(t₀ + Δt) = T_steady(P) + e^{C·Δt} · (T(t₀) − T_steady(P))
+/// ```
+///
+/// Because the power is constant inside a simulation interval, a single
+/// [`step`](TransientSolver::step) is *exact* for that interval — no
+/// time-discretization error — which is what lets the interval simulator
+/// take millisecond steps safely.
+///
+/// # Example
+///
+/// ```
+/// use hp_floorplan::GridFloorplan;
+/// use hp_thermal::{RcThermalModel, ThermalConfig, TransientSolver};
+/// use hp_linalg::Vector;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fp = GridFloorplan::new(4, 4)?;
+/// let model = RcThermalModel::new(&fp, &ThermalConfig::default())?;
+/// let solver = TransientSolver::new(&model)?;
+/// let mut power = Vector::constant(16, 0.3);
+/// power[5] = 7.0;
+/// // Starting at ambient, temperature climbs towards the steady state.
+/// let t0 = model.ambient_state();
+/// let t1 = solver.step(&model, &t0, &power, 0.001)?;
+/// assert!(model.core_temperatures(&t1)[5] > 45.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TransientSolver {
+    eigen: SystemEigen,
+}
+
+impl TransientSolver {
+    /// Builds the solver (one eigendecomposition of the model's `C`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates eigendecomposition failures as [`ThermalError::Linalg`].
+    pub fn new(model: &RcThermalModel) -> Result<Self> {
+        let eigen = SystemEigen::new(model.a_diag(), model.b())?;
+        Ok(TransientSolver { eigen })
+    }
+
+    /// The underlying eigendecomposition of `C = −A⁻¹B`.
+    pub fn eigen(&self) -> &SystemEigen {
+        &self.eigen
+    }
+
+    /// Advances the node state by `dt` seconds under a constant per-core
+    /// power map.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::PowerLengthMismatch`] for wrong-length power.
+    /// * [`ThermalError::InvalidParameter`] for a negative or non-finite `dt`.
+    pub fn step(
+        &self,
+        model: &RcThermalModel,
+        node_temps: &Vector,
+        core_power: &Vector,
+        dt: f64,
+    ) -> Result<Vector> {
+        if !(dt.is_finite() && dt >= 0.0) {
+            return Err(ThermalError::InvalidParameter {
+                name: "dt",
+                value: dt,
+            });
+        }
+        let t_steady = model.steady_state(core_power)?;
+        let deviation = node_temps - &t_steady;
+        let decayed = self.eigen.exp_apply(dt, &deviation);
+        Ok(&t_steady + &decayed)
+    }
+
+    /// Peak junction temperature (and the time it occurs) within
+    /// `[0, horizon]` under constant power — the *peak detection* half of
+    /// the MatEx solver the paper builds on.
+    ///
+    /// Each junction's trajectory is a sum of decaying exponentials
+    /// `T_i(t) = T_ss,i + Σ_k V_ik·e^{λ_k t}·w_k`, which is smooth with few
+    /// extrema; the maximum is located by coarse sampling followed by
+    /// golden-section refinement of the best bracket, then compared with
+    /// both endpoints.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::InvalidParameter`] for a negative or non-finite
+    ///   `horizon`.
+    /// * Propagated solver errors.
+    pub fn peak_within(
+        &self,
+        model: &RcThermalModel,
+        node_temps: &Vector,
+        core_power: &Vector,
+        horizon: f64,
+    ) -> Result<(f64, f64)> {
+        if !(horizon.is_finite() && horizon >= 0.0) {
+            return Err(ThermalError::InvalidParameter {
+                name: "horizon",
+                value: horizon,
+            });
+        }
+        let t_steady = model.steady_state(core_power)?;
+        let deviation = node_temps - &t_steady;
+        let w = self.eigen.v_inv().mul_vector(&deviation);
+        let v = self.eigen.v();
+        let lambda = self.eigen.eigenvalues();
+        let cores = model.core_count();
+        let nodes = model.node_count();
+
+        // Hottest junction at time t.
+        let peak_at = |t: f64| -> f64 {
+            let mut best = f64::NEG_INFINITY;
+            for c in 0..cores {
+                let mut temp = t_steady[c];
+                for k in 0..nodes {
+                    temp += v[(c, k)] * (lambda[k] * t).exp() * w[k];
+                }
+                best = best.max(temp);
+            }
+            best
+        };
+
+        if horizon == 0.0 {
+            return Ok((peak_at(0.0), 0.0));
+        }
+
+        // Coarse scan, then golden-section refinement of the best bracket.
+        const SAMPLES: usize = 48;
+        let mut best_t = 0.0;
+        let mut best_v = f64::NEG_INFINITY;
+        for s in 0..=SAMPLES {
+            let t = horizon * s as f64 / SAMPLES as f64;
+            let val = peak_at(t);
+            if val > best_v {
+                best_v = val;
+                best_t = t;
+            }
+        }
+        let step = horizon / SAMPLES as f64;
+        let (mut lo, mut hi) = (
+            (best_t - step).max(0.0),
+            (best_t + step).min(horizon),
+        );
+        const PHI: f64 = 0.618_033_988_749_894_8;
+        for _ in 0..40 {
+            let a = hi - PHI * (hi - lo);
+            let b = lo + PHI * (hi - lo);
+            if peak_at(a) < peak_at(b) {
+                lo = a;
+            } else {
+                hi = b;
+            }
+        }
+        let t_ref = 0.5 * (lo + hi);
+        let v_ref = peak_at(t_ref);
+        if v_ref > best_v {
+            Ok((v_ref, t_ref))
+        } else {
+            Ok((best_v, best_t))
+        }
+    }
+
+    /// Evaluates the full trajectory at `samples` evenly spaced instants in
+    /// `(0, dt]` under constant power (useful for dense thermal traces).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`step`](TransientSolver::step).
+    pub fn trajectory(
+        &self,
+        model: &RcThermalModel,
+        node_temps: &Vector,
+        core_power: &Vector,
+        dt: f64,
+        samples: usize,
+    ) -> Result<Vec<Vector>> {
+        if !(dt.is_finite() && dt >= 0.0) {
+            return Err(ThermalError::InvalidParameter {
+                name: "dt",
+                value: dt,
+            });
+        }
+        let t_steady = model.steady_state(core_power)?;
+        let deviation = node_temps - &t_steady;
+        let mut out = Vec::with_capacity(samples);
+        for k in 1..=samples {
+            let t = dt * k as f64 / samples as f64;
+            let decayed = self.eigen.exp_apply(t, &deviation);
+            out.push(&t_steady + &decayed);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThermalConfig;
+    use hp_floorplan::GridFloorplan;
+
+    fn setup() -> (RcThermalModel, TransientSolver) {
+        let fp = GridFloorplan::new(4, 4).unwrap();
+        let model = RcThermalModel::new(&fp, &ThermalConfig::default()).unwrap();
+        let solver = TransientSolver::new(&model).unwrap();
+        (model, solver)
+    }
+
+    #[test]
+    fn zero_dt_is_identity() {
+        let (model, solver) = setup();
+        let t0 = model.ambient_state();
+        let p = Vector::constant(16, 2.0);
+        let t1 = solver.step(&model, &t0, &p, 0.0).unwrap();
+        assert!((&t1 - &t0).norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn long_step_reaches_steady_state() {
+        let (model, solver) = setup();
+        let mut p = Vector::constant(16, 0.3);
+        p[5] = 7.0;
+        let t_inf = solver.step(&model, &model.ambient_state(), &p, 1e4).unwrap();
+        let t_ss = model.steady_state(&p).unwrap();
+        assert!((&t_inf - &t_ss).norm_inf() < 1e-6);
+    }
+
+    #[test]
+    fn two_half_steps_equal_one_full_step() {
+        let (model, solver) = setup();
+        let mut p = Vector::constant(16, 0.3);
+        p[0] = 5.0;
+        let t0 = model.ambient_state();
+        let full = solver.step(&model, &t0, &p, 0.002).unwrap();
+        let half = solver.step(&model, &t0, &p, 0.001).unwrap();
+        let two = solver.step(&model, &half, &p, 0.001).unwrap();
+        assert!((&full - &two).norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn heating_is_monotone_from_ambient() {
+        let (model, solver) = setup();
+        let mut p = Vector::constant(16, 0.3);
+        p[5] = 7.0;
+        let mut t = model.ambient_state();
+        let mut last_peak = model.core_temperatures(&t).max();
+        for _ in 0..20 {
+            t = solver.step(&model, &t, &p, 0.001).unwrap();
+            let peak = model.core_temperatures(&t).max();
+            assert!(peak >= last_peak - 1e-12);
+            last_peak = peak;
+        }
+        assert!(last_peak > 46.0);
+    }
+
+    #[test]
+    fn cooling_after_power_off() {
+        let (model, solver) = setup();
+        let mut p = Vector::constant(16, 0.3);
+        p[5] = 7.0;
+        let hot = solver.step(&model, &model.ambient_state(), &p, 10.0).unwrap();
+        let cooled = solver.step(&model, &hot, &Vector::zeros(16), 10.0).unwrap();
+        assert!(model.core_temperatures(&cooled).max() < model.core_temperatures(&hot).max());
+    }
+
+    #[test]
+    fn negative_dt_rejected() {
+        let (model, solver) = setup();
+        assert!(solver
+            .step(&model, &model.ambient_state(), &Vector::zeros(16), -1.0)
+            .is_err());
+    }
+
+    #[test]
+    fn trajectory_endpoint_matches_step() {
+        let (model, solver) = setup();
+        let mut p = Vector::constant(16, 0.3);
+        p[10] = 6.0;
+        let t0 = model.ambient_state();
+        let traj = solver.trajectory(&model, &t0, &p, 0.004, 4).unwrap();
+        let end = solver.step(&model, &t0, &p, 0.004).unwrap();
+        assert_eq!(traj.len(), 4);
+        assert!((traj.last().unwrap() - &end).norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn peak_within_matches_dense_sampling() {
+        let (model, solver) = setup();
+        let mut p = Vector::constant(16, 0.3);
+        p[5] = 7.0;
+        // Start HOT on a different core so the trajectory has an interior
+        // structure (core 10 cools while core 5 heats).
+        let mut hot = Vector::constant(16, 0.3);
+        hot[10] = 7.0;
+        let t0 = solver
+            .step(&model, &model.ambient_state(), &hot, 10.0)
+            .unwrap();
+        let horizon = 20e-3;
+        let (peak, at) = solver.peak_within(&model, &t0, &p, horizon).unwrap();
+        // Dense reference.
+        let mut reference = f64::NEG_INFINITY;
+        for s in 0..=2000 {
+            let t = horizon * s as f64 / 2000.0;
+            let state = solver.step(&model, &t0, &p, t).unwrap();
+            reference = reference.max(model.core_temperatures(&state).max());
+        }
+        assert!(
+            (peak - reference).abs() < 0.02,
+            "peak {peak:.3} vs dense reference {reference:.3}"
+        );
+        assert!((0.0..=horizon).contains(&at));
+    }
+
+    #[test]
+    fn peak_within_heating_run_is_at_horizon() {
+        // Pure heating from ambient: the maximum sits at the end.
+        let (model, solver) = setup();
+        let mut p = Vector::constant(16, 0.3);
+        p[5] = 7.0;
+        let horizon = 5e-3;
+        let (peak, at) = solver
+            .peak_within(&model, &model.ambient_state(), &p, horizon)
+            .unwrap();
+        let end = solver
+            .step(&model, &model.ambient_state(), &p, horizon)
+            .unwrap();
+        assert!((peak - model.core_temperatures(&end).max()).abs() < 1e-6);
+        assert!((at - horizon).abs() < horizon * 0.05);
+    }
+
+    #[test]
+    fn peak_within_cooling_run_is_at_start() {
+        // Cooling after power-off: the maximum sits at t = 0.
+        let (model, solver) = setup();
+        let mut hot_p = Vector::constant(16, 0.3);
+        hot_p[5] = 7.0;
+        let hot = solver
+            .step(&model, &model.ambient_state(), &hot_p, 10.0)
+            .unwrap();
+        let (peak, at) = solver
+            .peak_within(&model, &hot, &Vector::zeros(16), 10e-3)
+            .unwrap();
+        assert!((peak - model.core_temperatures(&hot).max()).abs() < 1e-6);
+        assert!(at < 1e-3);
+    }
+
+    #[test]
+    fn peak_within_rejects_bad_horizon() {
+        let (model, solver) = setup();
+        assert!(solver
+            .peak_within(&model, &model.ambient_state(), &Vector::zeros(16), -1.0)
+            .is_err());
+    }
+
+    #[test]
+    fn junction_time_constant_observed() {
+        // After one junction time constant the deviation towards steady
+        // state should have decayed noticeably (but not fully).
+        let (model, solver) = setup();
+        let mut p = Vector::constant(16, 0.3);
+        p[5] = 7.0;
+        let tau = model.config().junction_time_constant();
+        let t = solver.step(&model, &model.ambient_state(), &p, tau).unwrap();
+        let t_ss = model.steady_state(&p).unwrap();
+        let progress = (t[5] - 45.0) / (t_ss[5] - 45.0);
+        assert!(progress > 0.3 && progress < 0.95, "progress {progress:.2}");
+    }
+}

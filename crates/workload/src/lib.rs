@@ -1,0 +1,34 @@
+//! Synthetic PARSEC-like workload models for the interval simulator.
+//!
+//! The paper evaluates with eight PARSEC benchmarks (`sim-small` inputs).
+//! PARSEC itself cannot run inside an abstract interval simulator, so this
+//! crate provides **phase-structured synthetic models** of those
+//! benchmarks: each benchmark is a [`TaskSpec`] — a sequence of barrier-
+//! separated [`TaskPhase`]s in which every thread executes a given number
+//! of instructions at a given [`hp_manycore::WorkPoint`] (base CPI, miss rates,
+//! activity). This is exactly the information HotSniper's interval core
+//! model exposes to the scheduler, so scheduler behaviour is preserved
+//! (see DESIGN.md §2 for the substitution argument).
+//!
+//! The phase structure encodes the paper's motivational observation: e.g.
+//! *blackscholes* has a master–slave structure whose serial phases leave
+//! the slave cores idle (Fig. 2 discussion), and *canneal* is memory-bound
+//! and produces very little heat (§VI).
+//!
+//! # Example
+//!
+//! ```
+//! use hp_workload::Benchmark;
+//!
+//! let spec = Benchmark::Blackscholes.spec(2);
+//! assert_eq!(spec.thread_count(), 2);
+//! assert_eq!(spec.phases().len(), 3); // master / parallel / master
+//! ```
+
+mod benchmarks;
+mod generator;
+mod spec;
+
+pub use benchmarks::Benchmark;
+pub use generator::{closed_batch, open_poisson, Job, JobId};
+pub use spec::{PhaseWork, TaskPhase, TaskSpec};

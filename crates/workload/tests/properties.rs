@@ -1,0 +1,96 @@
+//! Property-based tests for the workload models and generators.
+
+use hp_workload::{closed_batch, open_poisson, Benchmark};
+use proptest::prelude::*;
+
+fn benchmarks() -> impl Strategy<Value = Benchmark> {
+    prop_oneof![
+        Just(Benchmark::Blackscholes),
+        Just(Benchmark::Bodytrack),
+        Just(Benchmark::Canneal),
+        Just(Benchmark::Dedup),
+        Just(Benchmark::Fluidanimate),
+        Just(Benchmark::Streamcluster),
+        Just(Benchmark::Swaptions),
+        Just(Benchmark::X264),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn specs_have_consistent_shape(b in benchmarks(), threads in 1usize..=16) {
+        let spec = b.spec(threads);
+        prop_assert_eq!(spec.thread_count(), threads);
+        prop_assert!(!spec.phases().is_empty());
+        prop_assert!(spec.total_instructions() > 0);
+        for phase in spec.phases() {
+            prop_assert_eq!(phase.thread_count(), threads);
+            // Idle entries carry the idle work point; busy ones do not.
+            for t in 0..threads {
+                let w = phase.thread(t);
+                prop_assert_eq!(w.instructions == 0, w.work.is_idle());
+                if !w.work.is_idle() {
+                    prop_assert!(w.work.cpi_base > 0.0);
+                    prop_assert!(w.work.activity_exec > 0.0 && w.work.activity_exec <= 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn total_work_stable_across_thread_counts(b in benchmarks(), t1 in 1usize..=8, t2 in 1usize..=8) {
+        // Parallelizing a benchmark re-divides its work; totals stay
+        // within the rounding of integer division.
+        let a = b.spec(t1).total_instructions() as f64;
+        let c = b.spec(t2).total_instructions() as f64;
+        prop_assert!((a - c).abs() / a.max(c) < 0.01, "{a} vs {c}");
+    }
+
+    #[test]
+    fn closed_batch_exact_fill(b in benchmarks(), cores in 1usize..=64, seed in 0u64..100) {
+        let jobs = closed_batch(b, cores, seed);
+        let total: usize = jobs.iter().map(|j| j.spec.thread_count()).sum();
+        prop_assert_eq!(total, cores);
+        for j in &jobs {
+            prop_assert_eq!(j.benchmark, b);
+            prop_assert_eq!(j.arrival, 0.0);
+        }
+    }
+
+    #[test]
+    fn open_poisson_sorted_unique_ids(count in 1usize..=50, rate in 1.0..500.0f64, seed in 0u64..100) {
+        let jobs = open_poisson(count, rate, seed);
+        prop_assert_eq!(jobs.len(), count);
+        for (i, j) in jobs.iter().enumerate() {
+            prop_assert_eq!(j.id.0, i);
+            prop_assert!(j.arrival.is_finite() && j.arrival > 0.0);
+        }
+        for w in jobs.windows(2) {
+            prop_assert!(w[0].arrival <= w[1].arrival);
+        }
+    }
+
+    #[test]
+    fn power_ordering_swaptions_hottest_canneal_coolest(b in benchmarks()) {
+        // The paper's characterisation: canneal produces the least heat.
+        // Proxy for power: activity-weighted switching at a fixed stack.
+        let proxy = |bench: Benchmark| {
+            let w = bench.work_point();
+            // Execution fraction at a representative CPI stack.
+            let llc = w.l1_mpki / 1000.0 * 80.0;
+            let mem = w.llc_mpki / 1000.0 * 320.0;
+            let exec = w.cpi_base / (w.cpi_base + llc + mem);
+            w.activity_exec * exec + w.activity_stall * (1.0 - exec)
+        };
+        prop_assert!(proxy(Benchmark::Canneal) <= proxy(b) + 1e-12);
+        prop_assert!(proxy(b) <= proxy(Benchmark::Swaptions) + 1e-12);
+    }
+
+    #[test]
+    fn generators_deterministic(b in benchmarks(), seed in 0u64..100) {
+        prop_assert_eq!(closed_batch(b, 32, seed), closed_batch(b, 32, seed));
+        prop_assert_eq!(open_poisson(10, 50.0, seed), open_poisson(10, 50.0, seed));
+    }
+}
