@@ -3,6 +3,7 @@
 //! HotSniper-substitute stack).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use hotpotato::{HotPotato, HotPotatoConfig};
 use hp_bench::{machine, model};
 use hp_floorplan::CoreId;
 use hp_sched::TspUniform;
@@ -10,7 +11,6 @@ use hp_sim::schedulers::PinnedScheduler;
 use hp_sim::{SimConfig, Simulation};
 use hp_thermal::ThermalConfig;
 use hp_workload::{Benchmark, Job, JobId};
-use hotpotato::{HotPotato, HotPotatoConfig};
 
 fn jobs() -> Vec<Job> {
     vec![Job {
@@ -43,9 +43,12 @@ fn bench_fig2(c: &mut Criterion) {
 
     g.bench_function("b_tsp_dvfs", |b| {
         b.iter(|| {
-            let mut sim =
-                Simulation::new(machine(4, 4), ThermalConfig::default(), SimConfig::default())
-                    .expect("valid config");
+            let mut sim = Simulation::new(
+                machine(4, 4),
+                ThermalConfig::default(),
+                SimConfig::default(),
+            )
+            .expect("valid config");
             let mut s = TspUniform::new(model(4, 4), 70.0, 0.3)
                 .with_preferred_cores(vec![CoreId(5), CoreId(10)]);
             sim.run(jobs(), &mut s).expect("completes")
@@ -54,11 +57,14 @@ fn bench_fig2(c: &mut Criterion) {
 
     g.bench_function("c_rotation", |b| {
         b.iter(|| {
-            let mut sim =
-                Simulation::new(machine(4, 4), ThermalConfig::default(), SimConfig::default())
-                    .expect("valid config");
-            let mut s = HotPotato::new(model(4, 4), HotPotatoConfig::default())
-                .expect("valid config");
+            let mut sim = Simulation::new(
+                machine(4, 4),
+                ThermalConfig::default(),
+                SimConfig::default(),
+            )
+            .expect("valid config");
+            let mut s =
+                HotPotato::new(model(4, 4), HotPotatoConfig::default()).expect("valid config");
             sim.run(jobs(), &mut s).expect("completes")
         })
     });

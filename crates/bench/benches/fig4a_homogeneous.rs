@@ -5,12 +5,12 @@
 //! still exercising the exact code paths).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hotpotato::{HotPotato, HotPotatoConfig};
 use hp_bench::{machine, model};
 use hp_sched::{PcMig, PcMigConfig};
 use hp_sim::{SimConfig, Simulation};
 use hp_thermal::ThermalConfig;
 use hp_workload::{closed_batch, Benchmark};
-use hotpotato::{HotPotato, HotPotatoConfig};
 
 fn bench_fig4a(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4a_16core");
@@ -32,7 +32,8 @@ fn bench_fig4a(c: &mut Criterion) {
                     .expect("valid config");
                     let mut s = HotPotato::new(model(4, 4), HotPotatoConfig::default())
                         .expect("valid config");
-                    sim.run(closed_batch(bm, 16, 42), &mut s).expect("completes")
+                    sim.run(closed_batch(bm, 16, 42), &mut s)
+                        .expect("completes")
                 })
             },
         );
@@ -51,7 +52,8 @@ fn bench_fig4a(c: &mut Criterion) {
                     )
                     .expect("valid config");
                     let mut s = PcMig::new(model(4, 4), PcMigConfig::default());
-                    sim.run(closed_batch(bm, 16, 42), &mut s).expect("completes")
+                    sim.run(closed_batch(bm, 16, 42), &mut s)
+                        .expect("completes")
                 })
             },
         );

@@ -2,12 +2,12 @@
 //! time; the full 64-core sweep lives in the `fig4b` experiment binary).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use hotpotato::{HotPotato, HotPotatoConfig};
 use hp_bench::{machine, model};
 use hp_sched::{PcMig, PcMigConfig};
 use hp_sim::{SimConfig, Simulation};
 use hp_thermal::ThermalConfig;
 use hp_workload::open_poisson;
-use hotpotato::{HotPotato, HotPotatoConfig};
 
 fn bench_fig4b(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4b_16core_medium_load");
@@ -26,7 +26,8 @@ fn bench_fig4b(c: &mut Criterion) {
             .expect("valid config");
             let mut s =
                 HotPotato::new(model(4, 4), HotPotatoConfig::default()).expect("valid config");
-            sim.run(open_poisson(10, 20.0, 7), &mut s).expect("completes")
+            sim.run(open_poisson(10, 20.0, 7), &mut s)
+                .expect("completes")
         })
     });
 
@@ -42,7 +43,8 @@ fn bench_fig4b(c: &mut Criterion) {
             )
             .expect("valid config");
             let mut s = PcMig::new(model(4, 4), PcMigConfig::default());
-            sim.run(open_poisson(10, 20.0, 7), &mut s).expect("completes")
+            sim.run(open_poisson(10, 20.0, 7), &mut s)
+                .expect("completes")
         })
     });
 

@@ -5,11 +5,15 @@
 //! * `alg1_delta_scaling` — cost vs. rotation period δ (paper claims
 //!   `O(2δ²N²)` for the literal form; the recurrence is `O(δN²)`).
 //! * `alg1_node_scaling` — cost vs. chip size N.
+//! * `alg1_batch` — 16 candidate rotations evaluated by a serial
+//!   `peak_celsius` loop vs one `peak_celsius_many` call (the scheduler's
+//!   probe pattern); also cross-checks that the two agree to ≤1e-9 °C and,
+//!   when measuring, that the batch is at least 2× faster.
 //! * `design_time` — the one-off eigendecomposition.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hp_bench::{full_load_sequence, model};
 use hotpotato::RotationPeakSolver;
+use hp_bench::{full_load_sequence, model};
 
 fn bench_runtime(c: &mut Criterion) {
     let solver = RotationPeakSolver::new(model(8, 8)).expect("decomposes");
@@ -48,6 +52,66 @@ fn bench_node_scaling(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_batch_vs_scalar(c: &mut Criterion) {
+    let solver = RotationPeakSolver::new(model(8, 8)).expect("decomposes");
+    let taus = [0.25e-3, 0.5e-3, 1e-3, 2e-3];
+    let seqs: Vec<_> = (0..16)
+        .map(|i| full_load_sequence(64, 8, taus[i % 4]).shifted(i / 4))
+        .collect();
+
+    // Correctness gate before any timing: the batch must agree with the
+    // serial loop on every candidate.
+    let serial: Vec<f64> = seqs
+        .iter()
+        .map(|s| solver.peak_celsius(s).expect("computes"))
+        .collect();
+    let batch = solver.peak_celsius_many(&seqs).expect("computes");
+    for (a, b) in serial.iter().zip(&batch) {
+        assert!((a - b).abs() <= 1e-9, "batch/serial disagree: {a} vs {b}");
+    }
+
+    let mut g = c.benchmark_group("alg1_batch16_64core_delta8");
+    g.bench_function("serial_loop", |b| {
+        b.iter(|| {
+            seqs.iter()
+                .map(|s| solver.peak_celsius(s).expect("computes"))
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("batched_gemm", |b| {
+        b.iter(|| solver.peak_celsius_many(&seqs).expect("computes"))
+    });
+    g.finish();
+
+    // Independent speedup measurement (criterion's reporting aside), so a
+    // `cargo bench` run fails loudly if the batch kernel regresses below
+    // the 2x bar. Skipped in smoke mode (`cargo test`), where nothing is
+    // timed.
+    if std::env::args().any(|a| a == "--bench") {
+        let reps = 50u32;
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            criterion::black_box(
+                seqs.iter()
+                    .map(|s| solver.peak_celsius(s).expect("computes"))
+                    .sum::<f64>(),
+            );
+        }
+        let t_serial = t0.elapsed();
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            criterion::black_box(solver.peak_celsius_many(&seqs).expect("computes"));
+        }
+        let t_batch = t0.elapsed();
+        let speedup = t_serial.as_secs_f64() / t_batch.as_secs_f64();
+        println!("alg1_batch16 speedup: {speedup:.2}x (serial {t_serial:?} / batch {t_batch:?})");
+        assert!(
+            speedup >= 2.0,
+            "batched Algorithm 1 must be at least 2x the serial loop, got {speedup:.2}x"
+        );
+    }
+}
+
 fn bench_design_time(c: &mut Criterion) {
     let mut g = c.benchmark_group("design_time");
     g.sample_size(10);
@@ -65,6 +129,7 @@ criterion_group!(
     bench_runtime,
     bench_delta_scaling,
     bench_node_scaling,
+    bench_batch_vs_scalar,
     bench_design_time
 );
 criterion_main!(benches);

@@ -11,11 +11,11 @@
 //! | `linalg_kernels` | substrate micro-benches (LU, Jacobi, expm) |
 //! | `thermal_solvers` | steady-state + transient step cost |
 
+use hotpotato::EpochPowerSequence;
 use hp_floorplan::GridFloorplan;
 use hp_linalg::Vector;
 use hp_manycore::{ArchConfig, Machine};
 use hp_thermal::{RcThermalModel, ThermalConfig};
-use hotpotato::EpochPowerSequence;
 
 /// A `w × h` machine with the paper's Table-I parameters.
 pub fn machine(w: usize, h: usize) -> Machine {

@@ -70,11 +70,7 @@ impl ParsedArgs {
     /// # Errors
     ///
     /// Returns [`ParseArgsError`] when the value does not parse as `T`.
-    pub fn get_or<T: std::str::FromStr>(
-        &self,
-        key: &str,
-        default: T,
-    ) -> Result<T, ParseArgsError> {
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ParseArgsError> {
         match self.get(key) {
             None => Ok(default),
             Some(raw) => raw
@@ -102,7 +98,9 @@ impl ParsedArgs {
                     .parse()
                     .map_err(|_| ParseArgsError(format!("--{key}: bad height `{b}`")))?;
                 if w == 0 || h == 0 {
-                    return Err(ParseArgsError(format!("--{key}: dimensions must be non-zero")));
+                    return Err(ParseArgsError(format!(
+                        "--{key}: dimensions must be non-zero"
+                    )));
                 }
                 Ok((w, h))
             }

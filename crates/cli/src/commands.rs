@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fs::File;
 use std::io::BufWriter;
 
+use hotpotato::{EpochPowerSequence, HotPotato, HotPotatoConfig, RotationPeakSolver};
 use hp_floorplan::{CoreId, GridFloorplan};
 use hp_linalg::Vector;
 use hp_manycore::{ArchConfig, Machine};
@@ -12,7 +13,6 @@ use hp_sim::schedulers::PinnedScheduler;
 use hp_sim::{Scheduler, SimConfig, Simulation};
 use hp_thermal::{tsp, RcThermalModel, ThermalConfig};
 use hp_workload::{closed_batch, open_poisson, Benchmark, Job, JobId};
-use hotpotato::{EpochPowerSequence, HotPotato, HotPotatoConfig, RotationPeakSolver};
 
 use crate::args::ParsedArgs;
 
@@ -87,9 +87,7 @@ pub fn peak(args: &ParsedArgs) -> CliResult {
     let solver = RotationPeakSolver::new(model(w, h)?)?;
     let delta = ring.capacity();
     // Spread the threads evenly over the ring's slots.
-    let slots: Vec<usize> = (0..watts.len())
-        .map(|i| i * delta / watts.len())
-        .collect();
+    let slots: Vec<usize> = (0..watts.len()).map(|i| i * delta / watts.len()).collect();
     let epochs: Vec<Vector> = (0..delta)
         .map(|e| {
             let mut p = Vector::constant(machine.core_count(), idle);
@@ -116,7 +114,10 @@ pub fn peak(args: &ParsedArgs) -> CliResult {
         vec![seq.epoch(0).clone()],
     )?)?;
     println!("  pinned (no rotation):   {pinned:.2} C");
-    println!("  rotation saves:         {:.2} C", pinned - report.peak_celsius);
+    println!(
+        "  rotation saves:         {:.2} C",
+        pinned - report.peak_celsius
+    );
     Ok(())
 }
 
@@ -131,9 +132,7 @@ pub fn tsp(args: &ParsedArgs) -> CliResult {
     }
     let model = model(w, h)?;
     let wc = tsp::worst_case_budget(&model, active_n, t_dtm, 0.3)?;
-    println!(
-        "{w}x{h} chip, {active_n} active cores (worst-case packing), threshold {t_dtm} C:"
-    );
+    println!("{w}x{h} chip, {active_n} active cores (worst-case packing), threshold {t_dtm} C:");
     println!(
         "  uniform TSP budget: {:.2} W/core (critical {})",
         wc.per_core_watts, wc.critical_core
@@ -201,7 +200,10 @@ pub fn simulate(args: &ParsedArgs) -> CliResult {
 
     let mut scheduler: Box<dyn Scheduler> = match scheduler_name.as_str() {
         "hotpotato" => Box::new(HotPotato::new(model(w, h)?, HotPotatoConfig::default())?),
-        "hybrid" => Box::new(HotPotatoDvfs::new(model(w, h)?, HotPotatoConfig::default())?),
+        "hybrid" => Box::new(HotPotatoDvfs::new(
+            model(w, h)?,
+            HotPotatoConfig::default(),
+        )?),
         "pcmig" => Box::new(PcMig::new(model(w, h)?, PcMigConfig::default())),
         "pcgov" => Box::new(PcGov::new(model(w, h)?, 70.0, 0.3)),
         "tsp" => Box::new(TspUniform::new(model(w, h)?, 70.0, 0.3)),
@@ -263,8 +265,7 @@ mod tests {
 
     #[test]
     fn peak_command_runs_and_validates() {
-        let args =
-            ParsedArgs::parse(["peak", "--grid", "4x4", "--watts", "7,7"]).unwrap();
+        let args = ParsedArgs::parse(["peak", "--grid", "4x4", "--watts", "7,7"]).unwrap();
         peak(&args).unwrap();
         let bad = ParsedArgs::parse(["peak", "--grid", "4x4", "--ring", "99"]).unwrap();
         assert!(peak(&bad).is_err());

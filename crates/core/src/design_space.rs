@@ -44,6 +44,12 @@ pub struct OracleResult {
 /// ring rotates its own threads with period = ring capacity; other rings
 /// contribute their time-averaged power.
 ///
+/// Peak evaluations fan out over all available cores with scoped threads
+/// (the search dominates the `oracle_gap` experiment's runtime). Results
+/// are merged back in enumeration order, so the winner — including
+/// tie-breaks, which keep the first enumerated assignment — is identical
+/// to a serial scan.
+///
 /// Returns `None` when no assignment is thermally safe. Complexity is
 /// `O(R^k)` peak evaluations — strictly a small-instance oracle.
 ///
@@ -73,58 +79,27 @@ pub fn exhaustive_best_assignment(
         );
     }
     let k = demands.len();
-    let mut assignment = vec![0usize; k];
-    let mut best: Option<OracleResult> = None;
-    let mut explored = 0usize;
 
     // Odometer enumeration of ring indices, pruning capacity violations.
-    loop {
-        // Capacity check.
+    let mut feasible: Vec<Vec<usize>> = Vec::new();
+    let mut assignment = vec![0usize; k];
+    'enumerate: loop {
         let mut counts = vec![0usize; rings];
         for &r in &assignment {
             counts[r] += 1;
         }
-        let feasible = counts
+        if counts
             .iter()
             .zip(ring_cores)
-            .all(|(&c, cores)| c <= cores.len());
-        if feasible {
-            explored += 1;
-            let peak = evaluate_assignment(
-                solver,
-                ring_cores,
-                demands,
-                &assignment,
-                tau,
-                idle_power,
-            )?;
-            if peak + delta < t_dtm {
-                let total_ips: f64 = demands
-                    .iter()
-                    .zip(&assignment)
-                    .map(|(d, &r)| d.ips_per_ring[r])
-                    .sum();
-                let better = best
-                    .as_ref()
-                    .is_none_or(|b| total_ips > b.total_ips);
-                if better {
-                    best = Some(OracleResult {
-                        assignment: assignment.clone(),
-                        total_ips,
-                        peak_celsius: peak,
-                        explored: 0,
-                    });
-                }
-            }
+            .all(|(&c, cores)| c <= cores.len())
+        {
+            feasible.push(assignment.clone());
         }
         // Advance the odometer.
         let mut i = 0;
         loop {
             if i == k {
-                if let Some(b) = &mut best {
-                    b.explored = explored;
-                }
-                return Ok(best);
+                break 'enumerate;
             }
             assignment[i] += 1;
             if assignment[i] < rings {
@@ -134,10 +109,83 @@ pub fn exhaustive_best_assignment(
             i += 1;
         }
     }
+
+    let peaks = evaluate_peaks_parallel(solver, ring_cores, demands, &feasible, tau, idle_power)?;
+
+    // Serial merge in enumeration order: same winner and same tie-breaking
+    // ("strictly greater replaces", so the first enumerated assignment
+    // wins ties) as the original sequential scan.
+    let explored = feasible.len();
+    let mut best: Option<OracleResult> = None;
+    for (assignment, &peak) in feasible.iter().zip(&peaks) {
+        if peak + delta < t_dtm {
+            let total_ips: f64 = demands
+                .iter()
+                .zip(assignment)
+                .map(|(d, &r)| d.ips_per_ring[r])
+                .sum();
+            if best.as_ref().is_none_or(|b| total_ips > b.total_ips) {
+                best = Some(OracleResult {
+                    assignment: assignment.clone(),
+                    total_ips,
+                    peak_celsius: peak,
+                    explored,
+                });
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Algorithm-1 peaks for a list of assignments, fanned out over scoped
+/// threads sharing the solver. The returned vector is index-aligned with
+/// `assignments` regardless of thread scheduling.
+fn evaluate_peaks_parallel(
+    solver: &RotationPeakSolver,
+    ring_cores: &[Vec<usize>],
+    demands: &[ThreadDemand],
+    assignments: &[Vec<usize>],
+    tau: f64,
+    idle_power: f64,
+) -> Result<Vec<f64>> {
+    if assignments.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(assignments.len());
+    let chunk_len = assignments.len().div_ceil(workers);
+    let mut chunk_results: Vec<Result<Vec<f64>>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = assignments
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|a| {
+                            evaluate_assignment(solver, ring_cores, demands, a, tau, idle_power)
+                        })
+                        .collect::<Result<Vec<f64>>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            chunk_results.push(handle.join().expect("oracle worker panicked"));
+        }
+    });
+    let mut peaks = Vec::with_capacity(assignments.len());
+    for chunk in chunk_results {
+        peaks.extend(chunk?);
+    }
+    Ok(peaks)
 }
 
 /// Algorithm-1 peak for an explicit thread→ring assignment, with the same
-/// per-ring evaluation the HotPotato scheduler uses.
+/// per-ring evaluation the HotPotato scheduler uses. All occupied rings'
+/// rotations are evaluated in one [`RotationPeakSolver::peak_celsius_many`]
+/// batch.
 pub fn evaluate_assignment(
     solver: &RotationPeakSolver,
     ring_cores: &[Vec<usize>],
@@ -160,15 +208,14 @@ pub fn evaluate_assignment(
         if members.is_empty() {
             continue;
         }
-        let avg = (members.iter().sum::<f64>()
-            + (cores.len() - members.len()) as f64 * idle_power)
+        let avg = (members.iter().sum::<f64>() + (cores.len() - members.len()) as f64 * idle_power)
             / cores.len() as f64;
         for &c in cores {
             background[c] = avg;
         }
     }
 
-    let mut worst = f64::NEG_INFINITY;
+    let mut seqs = Vec::new();
     for (r, cores) in ring_cores.iter().enumerate() {
         let members: Vec<f64> = demands
             .iter()
@@ -196,15 +243,15 @@ pub fn evaluate_assignment(
                 p
             })
             .collect();
-        let seq = EpochPowerSequence::new(tau, epochs)?;
-        worst = worst.max(solver.peak_celsius(&seq)?);
+        seqs.push(EpochPowerSequence::new(tau, epochs)?);
     }
-    if worst == f64::NEG_INFINITY {
+    if seqs.is_empty() {
         // Idle chip.
         let seq = EpochPowerSequence::new(tau, vec![Vector::constant(n, idle_power)])?;
-        worst = solver.peak_celsius(&seq)?;
+        return solver.peak_celsius(&seq);
     }
-    Ok(worst)
+    let peaks = solver.peak_celsius_many(&seqs)?;
+    Ok(peaks.into_iter().fold(f64::NEG_INFINITY, f64::max))
 }
 
 #[cfg(test)]
@@ -241,10 +288,9 @@ mod tests {
     fn cool_thread_lands_on_the_fastest_ring() {
         let s = solver();
         let demands = vec![demand(2.0, [3.0, 2.5, 2.0])];
-        let best =
-            exhaustive_best_assignment(&s, &rings_4x4(), &demands, 0.5e-3, 0.3, 70.0, 1.0)
-                .expect("search runs")
-                .expect("safe assignment exists");
+        let best = exhaustive_best_assignment(&s, &rings_4x4(), &demands, 0.5e-3, 0.3, 70.0, 1.0)
+            .expect("search runs")
+            .expect("safe assignment exists");
         assert_eq!(best.assignment, vec![0], "inner ring is fastest and safe");
         assert_eq!(best.total_ips, 3.0);
         assert!(best.explored >= 3);
@@ -260,9 +306,8 @@ mod tests {
             demand(9.0, [1.0, 1.0, 1.0]),
             demand(9.0, [1.0, 1.0, 1.0]),
         ];
-        let best =
-            exhaustive_best_assignment(&s, &rings_4x4(), &demands, 0.5e-3, 0.3, 50.0, 1.0)
-                .expect("search runs");
+        let best = exhaustive_best_assignment(&s, &rings_4x4(), &demands, 0.5e-3, 0.3, 50.0, 1.0)
+            .expect("search runs");
         assert!(best.is_none());
     }
 
@@ -271,14 +316,10 @@ mod tests {
         let s = solver();
         // Two hot threads: inner-ring rotation keeps them safe, so the
         // oracle should still prefer ring 0 for both (IPS dominates).
-        let demands = vec![
-            demand(7.0, [3.0, 2.5, 2.0]),
-            demand(7.0, [3.0, 2.5, 2.0]),
-        ];
-        let best =
-            exhaustive_best_assignment(&s, &rings_4x4(), &demands, 0.5e-3, 0.3, 70.0, 1.0)
-                .expect("search runs")
-                .expect("safe assignment exists");
+        let demands = vec![demand(7.0, [3.0, 2.5, 2.0]), demand(7.0, [3.0, 2.5, 2.0])];
+        let best = exhaustive_best_assignment(&s, &rings_4x4(), &demands, 0.5e-3, 0.3, 70.0, 1.0)
+            .expect("search runs")
+            .expect("safe assignment exists");
         assert_eq!(best.assignment, vec![0, 0]);
         assert!(best.peak_celsius < 69.0);
     }
@@ -287,12 +328,10 @@ mod tests {
     fn capacity_constraints_respected() {
         let s = solver();
         // Six cool threads cannot all fit the 4-slot inner ring.
-        let demands: Vec<ThreadDemand> =
-            (0..6).map(|_| demand(1.0, [3.0, 2.5, 2.0])).collect();
-        let best =
-            exhaustive_best_assignment(&s, &rings_4x4(), &demands, 0.5e-3, 0.3, 70.0, 1.0)
-                .expect("search runs")
-                .expect("safe assignment exists");
+        let demands: Vec<ThreadDemand> = (0..6).map(|_| demand(1.0, [3.0, 2.5, 2.0])).collect();
+        let best = exhaustive_best_assignment(&s, &rings_4x4(), &demands, 0.5e-3, 0.3, 70.0, 1.0)
+            .expect("search runs")
+            .expect("safe assignment exists");
         let inner = best.assignment.iter().filter(|&&r| r == 0).count();
         assert!(inner <= 4, "inner ring holds at most 4 threads");
         assert_eq!(best.total_ips, 4.0 * 3.0 + 2.0 * 2.5);
@@ -306,9 +345,8 @@ mod tests {
         let best = exhaustive_best_assignment(&s, &rings, &demands, 0.5e-3, 0.3, 70.0, 1.0)
             .expect("search runs")
             .expect("safe");
-        let peak =
-            evaluate_assignment(&s, &rings, &demands, &best.assignment, 0.5e-3, 0.3)
-                .expect("evaluates");
+        let peak = evaluate_assignment(&s, &rings, &demands, &best.assignment, 0.5e-3, 0.3)
+            .expect("evaluates");
         assert!((peak - best.peak_celsius).abs() < 1e-12);
     }
 }

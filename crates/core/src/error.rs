@@ -30,7 +30,10 @@ impl fmt::Display for HotPotatoError {
                 write!(f, "invalid epoch power sequence: {what}")
             }
             HotPotatoError::InvalidParameter { name, value } => {
-                write!(f, "hotpotato parameter {name} has non-physical value {value}")
+                write!(
+                    f,
+                    "hotpotato parameter {name} has non-physical value {value}"
+                )
             }
             HotPotatoError::Thermal(e) => write!(f, "thermal model failure: {e}"),
             HotPotatoError::Linalg(e) => write!(f, "linear algebra failure: {e}"),

@@ -24,6 +24,34 @@
 //! paper evaluates each boundary independently at `O(δ·N²)` each; the
 //! recurrence shaves a factor of δ and [`RotationPeakSolver::peak_reference`]
 //! keeps the literal per-boundary form for cross-validation).
+//!
+//! # Numerical stability
+//!
+//! Every Eq.-(10) weight is evaluated by the single [`cycle_weight`]
+//! helper, directly from `λᵢτ` and via `expm1`. Deriving `λτ` by
+//! round-tripping through `ln(e^{λτ})`, or forming `1 − e^{λτ}` by
+//! subtraction, loses all significance for slow eigenmodes (`|λτ| ≲ 1e-8`,
+//! e.g. a large heat-sink capacitance) — the fast recurrence and the
+//! literal reference form once did one each of those and drifted past
+//! 1e-7 °C apart; sharing one helper makes such divergence structurally
+//! impossible.
+//!
+//! # Batch evaluation
+//!
+//! [`RotationPeakSolver::peak_celsius_many`] evaluates many candidate
+//! rotations in one call by stacking their epochs into matrices (one
+//! contiguous row per epoch): one GEMM maps all powers to eigen space,
+//! the per-candidate cycle recurrences fill a boundary-state matrix, and
+//! a second GEMM produces every junction temperature at once. Because
+//! the register-tiled [`Matrix::mul_matrix`] accumulates each output
+//! element in ascending inner-index order — the same order as the scalar
+//! dot products — the batch results match
+//! [`RotationPeakSolver::peak_celsius`] bit for bit while running
+//! severalfold faster (SIMD GEMM inner loops, unit-stride batch
+//! matrices, plus a per-τ cache of the `e^{λτ}` decay data).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use hp_floorplan::CoreId;
 use hp_linalg::eigen::SystemEigen;
@@ -31,6 +59,74 @@ use hp_linalg::{Matrix, Vector};
 use hp_thermal::RcThermalModel;
 
 use crate::{EpochPowerSequence, HotPotatoError, Result};
+
+/// Distinct τ values cached per solver; the scheduler's τ-acceleration
+/// explores a handful, so the cap only guards against pathological churn.
+const DECAY_CACHE_CAP: usize = 64;
+
+/// One steady-cycle weight of paper Eq. (10):
+/// `e^{age·λτ} · (1 − e^{λτ}) / (1 − e^{δλτ})`.
+///
+/// Both the fast recurrence (via [`cycle_start`]) and the literal
+/// reference form ([`RotationPeakSolver::peak_reference`]) obtain their
+/// weights here, so the two paths cannot drift apart numerically. `λτ`
+/// must be the product `eigenvalue · τ` itself — never recovered from
+/// `m.ln()` — and the complements come from `expm1`, never `1 − m`.
+fn cycle_weight(lam_tau: f64, delta: usize, age: usize) -> f64 {
+    debug_assert!(lam_tau <= 0.0, "stable modes only");
+    let den = -f64::exp_m1(delta as f64 * lam_tau);
+    if den < f64::MIN_POSITIVE {
+        // δλτ underflowed expm1 entirely: every epoch weighs 1/δ.
+        return 1.0 / delta as f64;
+    }
+    (age as f64 * lam_tau).exp() * -f64::exp_m1(lam_tau) / den
+}
+
+/// Per-τ decay data shared by every Algorithm-1 evaluation: `λᵢτ`, the
+/// decay factors `m = e^{λτ}`, and their stable complements
+/// `1 − m = -expm1(λτ)`.
+#[derive(Debug)]
+struct EpochDecay {
+    lam_tau: Vector,
+    m: Vector,
+    one_minus_m: Vector,
+}
+
+impl EpochDecay {
+    fn new(eigenvalues: &Vector, tau: f64) -> Self {
+        let n = eigenvalues.len();
+        let lam_tau = Vector::from_fn(n, |i| eigenvalues[i] * tau);
+        EpochDecay {
+            m: Vector::from_fn(n, |i| lam_tau[i].exp()),
+            one_minus_m: Vector::from_fn(n, |i| -f64::exp_m1(lam_tau[i])),
+            lam_tau,
+        }
+    }
+}
+
+/// Steady-cycle start state in eigen coordinates (paper Eq. 10):
+/// `z0[i] = Σ_e m_i^{δ−1−e} · (1−m_i)/(1−m_i^δ) · y_e[i]`.
+fn cycle_start(delta: usize, nodes: usize, decay: &EpochDecay, ys: &[&[f64]]) -> Vector {
+    let mut z = Vector::zeros(nodes);
+    for i in 0..nodes {
+        let w = cycle_weight(decay.lam_tau[i], delta, 0);
+        let mut acc = 0.0;
+        let mut pow = 1.0; // m^{delta-1-e} built backwards: e = delta-1 .. 0
+        for e in (0..delta).rev() {
+            acc += pow * ys[e][i];
+            pow *= decay.m[i];
+        }
+        z[i] = w * acc;
+    }
+    z
+}
+
+/// Borrowed row views of a set of eigen-space epoch states, the form
+/// [`cycle_start`] consumes (the batch path hands it rows of a packed
+/// matrix, the scalar paths hand it their per-epoch vectors).
+fn as_rows(ys: &[Vector]) -> Vec<&[f64]> {
+    ys.iter().map(Vector::as_slice).collect()
+}
 
 /// The result of a peak-temperature analysis.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,10 +148,12 @@ pub struct PeakReport {
 /// eigendecomposition of `C = −A⁻¹B` and the factorization of `B`);
 /// each [`peak`](RotationPeakSolver::peak) call is then the *run-time
 /// phase* — tens of microseconds for a 64-core chip, matching the paper's
-/// 23.76 µs overhead measurement.
+/// 23.76 µs overhead measurement. Batches of candidates go through
+/// [`peak_celsius_many`](RotationPeakSolver::peak_celsius_many), which
+/// shares its work across candidates via two GEMMs.
 ///
 /// See the [crate-level example](crate) for typical usage.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct RotationPeakSolver {
     model: RcThermalModel,
     eigen: SystemEigen,
@@ -66,6 +164,39 @@ pub struct RotationPeakSolver {
     proj: Matrix,
     /// `V⁻¹ · B⁻¹·G·T_amb` — the ambient term in eigen coordinates.
     y_amb: Vector,
+    /// The junction rows of `V` (`cores × nodes`), used by the scalar
+    /// paths' per-boundary junction dots.
+    v_junction: Matrix,
+    /// `projᵀ` (`cores × nodes`): right-hand side of the transposed
+    /// stage-1 GEMM in [`peak_celsius_many`](Self::peak_celsius_many),
+    /// whose batch matrices keep each epoch contiguous as a row.
+    proj_t: Matrix,
+    /// `V_junctionᵀ` (`nodes × cores`): right-hand side of the transposed
+    /// stage-3 GEMM in [`peak_celsius_many`](Self::peak_celsius_many).
+    v_junction_t: Matrix,
+    /// `τ.to_bits() → EpochDecay`, cached because the scheduler probes
+    /// many candidate rotations at few distinct τ.
+    decay_cache: Mutex<HashMap<u64, Arc<EpochDecay>>>,
+}
+
+impl Clone for RotationPeakSolver {
+    fn clone(&self) -> Self {
+        let cache = self
+            .decay_cache
+            .lock()
+            .map(|c| c.clone())
+            .unwrap_or_default();
+        RotationPeakSolver {
+            model: self.model.clone(),
+            eigen: self.eigen.clone(),
+            proj: self.proj.clone(),
+            y_amb: self.y_amb.clone(),
+            v_junction: self.v_junction.clone(),
+            proj_t: self.proj_t.clone(),
+            v_junction_t: self.v_junction_t.clone(),
+            decay_cache: Mutex::new(cache),
+        }
+    }
 }
 
 impl RotationPeakSolver {
@@ -83,17 +214,39 @@ impl RotationPeakSolver {
         let a = model.a_diag();
         let proj = Matrix::from_fn(nodes, cores, |i, j| -v_inv[(i, j)] / (lambda[i] * a[j]));
         let y_amb = v_inv.mul_vector(model.ambient_response());
+        let v = eigen.v();
+        let v_junction = Matrix::from_fn(cores, nodes, |c, k| v[(c, k)]);
+        let proj_t = proj.transpose();
+        let v_junction_t = v_junction.transpose();
         Ok(RotationPeakSolver {
             model,
             eigen,
             proj,
             y_amb,
+            v_junction,
+            proj_t,
+            v_junction_t,
+            decay_cache: Mutex::new(HashMap::new()),
         })
     }
 
     /// The thermal model the solver was built for.
     pub fn model(&self) -> &RcThermalModel {
         &self.model
+    }
+
+    /// Cached `e^{λτ}` decay data for one epoch length.
+    fn decay_for(&self, tau: f64) -> Arc<EpochDecay> {
+        let mut cache = self.decay_cache.lock().expect("decay cache poisoned");
+        if let Some(d) = cache.get(&tau.to_bits()) {
+            return Arc::clone(d);
+        }
+        if cache.len() >= DECAY_CACHE_CAP {
+            cache.clear();
+        }
+        let d = Arc::new(EpochDecay::new(self.eigen.eigenvalues(), tau));
+        cache.insert(tau.to_bits(), Arc::clone(&d));
+        d
     }
 
     /// Run-time phase: steady-cycle boundary temperatures and their peak
@@ -105,9 +258,9 @@ impl RotationPeakSolver {
     ///   number of cores than the model.
     /// * Propagated thermal/solver errors.
     pub fn peak(&self, seq: &EpochPowerSequence) -> Result<PeakReport> {
-        let (delta, nodes, m, ys) = self.prepare(seq)?;
+        let (delta, nodes, decay, ys) = self.prepare(seq)?;
 
-        let mut z = self.cycle_start(delta, nodes, &m, &ys);
+        let mut z = cycle_start(delta, nodes, &decay, &as_rows(&ys));
 
         // Walk the cycle: z_{k+1} = m ⊙ z_k + (1-m) ⊙ y_k, record
         // junction temperatures at each boundary.
@@ -117,7 +270,7 @@ impl RotationPeakSolver {
         let mut critical_epoch = 0;
         for (e, y) in ys.iter().enumerate() {
             for i in 0..nodes {
-                z[i] = m[i] * z[i] + (1.0 - m[i]) * y[i];
+                z[i] = decay.m[i] * z[i] + decay.one_minus_m[i] * y[i];
             }
             let t_nodes = self.eigen.v().mul_vector(&z);
             let cores = self.model.core_temperatures(&t_nodes);
@@ -156,40 +309,25 @@ impl RotationPeakSolver {
         }
         let delta = seq.delta();
         let nodes = self.model.node_count();
-        let tau = seq.tau();
-        let m = Vector::from_fn(nodes, |i| (self.eigen.eigenvalues()[i] * tau).exp());
+        let decay = self.decay_for(seq.tau());
         // Steady states resolved through the linear solver — deliberately
         // *not* via the precomputed projection, so this path also
         // cross-validates it.
         let steady: Vec<Vector> = (0..delta)
             .map(|e| self.model.steady_state(seq.epoch(e)))
             .collect::<std::result::Result<_, _>>()?;
-        // Forcing terms in node space: f_e = (I - e^{Cτ}) T_ss(P_e),
-        // i.e. the "w·P" of the paper with the ambient folded in.
-        let one_minus_m = Vector::from_fn(nodes, |i| 1.0 - m[i]);
-        let forcing: Vec<Vector> = steady
-            .iter()
-            .map(|u| self.eigen.spectral_apply(&one_minus_m, u))
-            .collect();
 
         let mut peak = f64::NEG_INFINITY;
         for k in 0..delta {
             // Boundary after epoch k: sum over the δ most recent epochs,
-            // each filtered by m^{age} / (1 - m^δ).
+            // each filtered by the Eq.-(10) weight m^{age}(1−m)/(1−m^δ).
             let mut t_nodes = Vector::zeros(nodes);
             for age in 0..delta {
-                // Epoch index whose forcing is `age` epochs old at boundary k.
+                // Epoch index whose steady state is `age` epochs old at
+                // boundary k.
                 let e = (k + delta - age) % delta;
-                let filter = Vector::from_fn(nodes, |i| {
-                    let mi = m[i];
-                    let den = -(f64::exp_m1(delta as f64 * mi.ln()));
-                    if den.abs() < f64::MIN_POSITIVE {
-                        1.0 / delta as f64
-                    } else {
-                        mi.powi(age as i32) / den
-                    }
-                });
-                let contrib = self.eigen.spectral_apply(&filter, &forcing[e]);
+                let filter = Vector::from_fn(nodes, |i| cycle_weight(decay.lam_tau[i], delta, age));
+                let contrib = self.eigen.spectral_apply(&filter, &steady[e]);
                 t_nodes += &contrib;
             }
             let cores = self.model.core_temperatures(&t_nodes);
@@ -199,24 +337,23 @@ impl RotationPeakSolver {
     }
 
     /// Shared validation + precomputation: returns
-    /// `(delta, node_count, m = e^{λτ}, eigen-space steady states per
-    /// epoch)` where `ys[e] = V⁻¹·T_ss(P_e)`.
+    /// `(delta, node_count, decay data for τ, eigen-space steady states
+    /// per epoch)` where `ys[e] = V⁻¹·T_ss(P_e)`.
     fn prepare(
         &self,
         seq: &EpochPowerSequence,
-    ) -> Result<(usize, usize, Vector, Vec<Vector>)> {
+    ) -> Result<(usize, usize, Arc<EpochDecay>, Vec<Vector>)> {
         if seq.core_count() != self.model.core_count() {
             return Err(HotPotatoError::InvalidSequence(
                 "power vectors do not match the model's core count",
             ));
         }
         let nodes = self.model.node_count();
-        let tau = seq.tau();
-        let m = Vector::from_fn(nodes, |i| (self.eigen.eigenvalues()[i] * tau).exp());
+        let decay = self.decay_for(seq.tau());
         let ys: Vec<Vector> = (0..seq.delta())
             .map(|e| &self.proj.mul_vector(seq.epoch(e)) + &self.y_amb)
             .collect();
-        Ok((seq.delta(), nodes, m, ys))
+        Ok((seq.delta(), nodes, decay, ys))
     }
 
     /// Run-time phase, peak only: identical mathematics to
@@ -229,22 +366,121 @@ impl RotationPeakSolver {
     ///
     /// Same as [`peak`](RotationPeakSolver::peak).
     pub fn peak_celsius(&self, seq: &EpochPowerSequence) -> Result<f64> {
-        let (delta, nodes, m, ys) = self.prepare(seq)?;
+        let (delta, nodes, decay, ys) = self.prepare(seq)?;
         let cores = self.model.core_count();
-        let mut z = self.cycle_start(delta, nodes, &m, &ys);
-        let v = self.eigen.v();
+        let mut z = cycle_start(delta, nodes, &decay, &as_rows(&ys));
         let mut peak = f64::NEG_INFINITY;
         for y in &ys {
             for i in 0..nodes {
-                z[i] = m[i] * z[i] + (1.0 - m[i]) * y[i];
+                z[i] = decay.m[i] * z[i] + decay.one_minus_m[i] * y[i];
             }
             for c in 0..cores {
-                let row = v.row(c);
+                let row = self.v_junction.row(c);
                 let t: f64 = row.iter().zip(z.iter()).map(|(a, b)| a * b).sum();
                 peak = peak.max(t);
             }
         }
         Ok(peak)
+    }
+
+    /// Batched run-time phase: the peak of every candidate rotation in
+    /// `seqs`, agreeing with per-candidate
+    /// [`peak_celsius`](RotationPeakSolver::peak_celsius) calls bit for
+    /// bit.
+    ///
+    /// The candidates' epochs are stacked (one contiguous row per epoch,
+    /// i.e. the transposed batch layout) so the expensive linear algebra
+    /// amortizes across the whole batch and every intermediate access
+    /// stays unit-stride:
+    ///
+    /// 1. one `Pᵀ × projᵀ` GEMM maps every epoch's power map to eigen
+    ///    space (`Pᵀ` is `Σδ × cores`),
+    /// 2. each candidate's steady cycle closes with the cheap `O(δN)`
+    ///    recurrence, writing its boundary states into rows of a shared
+    ///    `Σδ × nodes` matrix,
+    /// 3. one `Z × V_junctionᵀ` GEMM yields every junction temperature at
+    ///    every boundary of every candidate, reduced per candidate.
+    ///
+    /// Transposing both GEMM operands leaves every dot product's terms
+    /// and their ascending-`k` order unchanged, which is why the batch is
+    /// bit-identical to the scalar path. Decay vectors `e^{λτ}` are
+    /// cached per distinct τ, so a probe sweep at one τ computes them
+    /// once. This is the batch entry point used by the scheduler's
+    /// promotion/demotion probes and the design-space oracle; on the 8×8
+    /// chip it is severalfold faster than the serial loop (see
+    /// `benches/overhead_alg1.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`peak`](RotationPeakSolver::peak), applied to every
+    /// element of `seqs`.
+    pub fn peak_celsius_many(&self, seqs: &[EpochPowerSequence]) -> Result<Vec<f64>> {
+        if seqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let cores = self.model.core_count();
+        let nodes = self.model.node_count();
+        for seq in seqs {
+            if seq.core_count() != cores {
+                return Err(HotPotatoError::InvalidSequence(
+                    "power vectors do not match the model's core count",
+                ));
+            }
+        }
+        let total: usize = seqs.iter().map(EpochPowerSequence::delta).sum();
+
+        // Stage 1: row-stack every epoch of every candidate and map the
+        // whole batch to eigen space with one GEMM, folding the ambient
+        // term in while the result is hot.
+        let mut p_t = Matrix::zeros(total, cores);
+        let mut row = 0;
+        for seq in seqs {
+            for e in 0..seq.delta() {
+                p_t.row_mut(row).copy_from_slice(seq.epoch(e).as_slice());
+                row += 1;
+            }
+        }
+        let mut y_t = p_t.mul_matrix(&self.proj_t)?; // Σδ × nodes
+        for r in 0..total {
+            for (v, &amb) in y_t.row_mut(r).iter_mut().zip(self.y_amb.iter()) {
+                *v += amb;
+            }
+        }
+
+        // Stage 2: close each candidate's steady cycle in eigen space and
+        // pack the boundary states row-wise.
+        let mut z_t = Matrix::zeros(total, nodes);
+        let mut row0 = 0;
+        for seq in seqs {
+            let delta = seq.delta();
+            let decay = self.decay_for(seq.tau());
+            let ys: Vec<&[f64]> = (0..delta).map(|e| y_t.row(row0 + e)).collect();
+            let mut z = cycle_start(delta, nodes, &decay, &ys);
+            for (e, ye) in ys.iter().enumerate() {
+                for i in 0..nodes {
+                    z[i] = decay.m[i] * z[i] + decay.one_minus_m[i] * ye[i];
+                }
+                z_t.row_mut(row0 + e).copy_from_slice(z.as_slice());
+            }
+            row0 += delta;
+        }
+
+        // Stage 3: all junction temperatures at once, then a per-candidate
+        // max over its boundary rows.
+        let t = z_t.mul_matrix(&self.v_junction_t)?; // Σδ × cores
+        let mut peaks = Vec::with_capacity(seqs.len());
+        let mut row0 = 0;
+        for seq in seqs {
+            let mut peak = f64::NEG_INFINITY;
+            for e in 0..seq.delta() {
+                for &v in t.row(row0 + e) {
+                    peak = peak.max(v);
+                }
+            }
+            peaks.push(peak);
+            row0 += seq.delta();
+        }
+        Ok(peaks)
     }
 
     /// Like [`peak_celsius`](RotationPeakSolver::peak_celsius) but
@@ -267,67 +503,33 @@ impl RotationPeakSolver {
     ///
     /// * [`HotPotatoError::InvalidParameter`] if `samples == 0`.
     /// * Otherwise same as [`peak`](RotationPeakSolver::peak).
-    pub fn peak_celsius_sampled(
-        &self,
-        seq: &EpochPowerSequence,
-        samples: usize,
-    ) -> Result<f64> {
+    pub fn peak_celsius_sampled(&self, seq: &EpochPowerSequence, samples: usize) -> Result<f64> {
         if samples == 0 {
             return Err(HotPotatoError::InvalidParameter {
                 name: "samples",
                 value: 0.0,
             });
         }
-        let (delta, nodes, m, ys) = self.prepare(seq)?;
+        let (delta, nodes, decay, ys) = self.prepare(seq)?;
         let cores = self.model.core_count();
-        let mut z = self.cycle_start(delta, nodes, &m, &ys);
-        let v = self.eigen.v();
+        let mut z = cycle_start(delta, nodes, &decay, &as_rows(&ys));
         // Sub-epoch decay factors m_s = e^{λ·τ·s/samples}; applying them
         // `samples` times reproduces one full epoch exactly.
-        let tau = seq.tau();
-        let ms = Vector::from_fn(nodes, |i| {
-            (self.eigen.eigenvalues()[i] * tau / samples as f64).exp()
-        });
+        let sub = self.decay_for(seq.tau() / samples as f64);
         let mut peak = f64::NEG_INFINITY;
         for y in &ys {
             for _ in 0..samples {
                 for i in 0..nodes {
-                    z[i] = ms[i] * z[i] + (1.0 - ms[i]) * y[i];
+                    z[i] = sub.m[i] * z[i] + sub.one_minus_m[i] * y[i];
                 }
                 for c in 0..cores {
-                    let row = v.row(c);
+                    let row = self.v_junction.row(c);
                     let t: f64 = row.iter().zip(z.iter()).map(|(a, b)| a * b).sum();
                     peak = peak.max(t);
                 }
             }
         }
         Ok(peak)
-    }
-
-    /// Steady-cycle start state in eigen coordinates (paper Eq. 10):
-    /// `z0[i] = Σ_e m_i^{δ−1−e} · (1−m_i)/(1−m_i^δ) · y_e[i]`.
-    fn cycle_start(&self, delta: usize, nodes: usize, m: &Vector, ys: &[Vector]) -> Vector {
-        let mut z = Vector::zeros(nodes);
-        for i in 0..nodes {
-            let mi = m[i];
-            // (1-m)/(1-m^delta) with expm1 for lambda*tau -> 0 stability.
-            let lam_tau = mi.ln();
-            let weight_den = -(f64::exp_m1(delta as f64 * lam_tau));
-            let weight_num = -(f64::exp_m1(lam_tau));
-            let w = if weight_den.abs() < f64::MIN_POSITIVE {
-                1.0 / delta as f64
-            } else {
-                weight_num / weight_den
-            };
-            let mut acc = 0.0;
-            let mut pow = 1.0; // m^{delta-1-e} built backwards: e = delta-1 .. 0
-            for e in (0..delta).rev() {
-                acc += pow * ys[e][i];
-                pow *= mi;
-            }
-            z[i] = w * acc;
-        }
-        z
     }
 
     /// The spectral decomposition backing the solver (for diagnostics).
@@ -372,8 +574,7 @@ mod tests {
         let s = solver_4x4();
         let mut p = Vector::constant(16, 0.3);
         p[5] = 7.0;
-        let seq =
-            EpochPowerSequence::new(1e-3, vec![p.clone(), p.clone(), p.clone()]).unwrap();
+        let seq = EpochPowerSequence::new(1e-3, vec![p.clone(), p.clone(), p.clone()]).unwrap();
         let report = s.peak(&seq).unwrap();
         let direct = s
             .model()
@@ -407,7 +608,9 @@ mod tests {
         }
         // One more full period, checking each boundary.
         for e in 0..4 {
-            t = transient.step(s.model(), &t, seq.epoch(e), seq.tau()).unwrap();
+            t = transient
+                .step(s.model(), &t, seq.epoch(e), seq.tau())
+                .unwrap();
             let cores = s.model().core_temperatures(&t);
             let closed = &report.boundary_temps[e];
             for c in 0..16 {
@@ -436,6 +639,77 @@ mod tests {
     }
 
     #[test]
+    fn cycle_weight_sums_to_one() {
+        // The δ weights of Eq. (10) form a normalized geometric partition:
+        // Σ_age m^age·(1−m)/(1−m^δ) = 1 for every λτ < 0. The pre-fix
+        // reference path built `1 − m` by subtraction, which breaks this
+        // identity by ~eps/|λτ| (2e-4 relative at λτ = −1e-12); the shared
+        // expm1-based helper holds it to machine precision across the
+        // whole range, including where expm1(δλτ) underflows.
+        for lam_tau in [-1e-15, -1e-12, -1e-9, -1e-6, -1e-3, -1.0, -100.0] {
+            for delta in 1..=8usize {
+                let sum: f64 = (0..delta)
+                    .map(|age| cycle_weight(lam_tau, delta, age))
+                    .sum();
+                assert!(
+                    (sum - 1.0).abs() < 1e-12,
+                    "lam_tau {lam_tau} delta {delta}: sum {sum}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_weight_degenerate_limit_is_uniform() {
+        // δλτ below f64::MIN_POSITIVE: every epoch weighs exactly 1/δ.
+        for delta in 1..=6usize {
+            let w = cycle_weight(-1e-310, delta, 0);
+            assert_eq!(w, 1.0 / delta as f64);
+        }
+        // And the weights decay monotonically with age (older epochs
+        // matter less) whenever λτ is resolvable.
+        for age in 1..6 {
+            assert!(cycle_weight(-0.5, 6, age) < cycle_weight(-0.5, 6, age - 1));
+        }
+    }
+
+    #[test]
+    fn slow_sink_fast_matches_reference() {
+        // Stress case for slow eigenmodes: a huge sink capacitance and
+        // weak sink-to-ambient conductance push the slowest eigenvalue to
+        // λ ≈ −2e-5 s⁻¹, so m = e^{λτ} sits within a few ulp of 1 — the
+        // regime where the pre-fix weight paths (λτ recovered from m.ln()
+        // on the fast path, 1 − m by subtraction on the reference path)
+        // lose all relative precision. With the shared helper both weight
+        // paths agree to machine precision; the remaining ~1e-7 gap is the
+        // *steady-state* cross-validation (peak_reference deliberately
+        // solves T_ss by LU while the fast path uses the precomputed
+        // eigen projection, whose error the near-singular mode amplifies
+        // by 1/|λ_min| ≈ 5e4), so the bound here is 1e-6, not 1e-7.
+        let cfg = ThermalConfig {
+            c_sink: 40000.0,
+            g_sink_ambient: 0.02,
+            ..ThermalConfig::default()
+        };
+        let model = RcThermalModel::new(&GridFloorplan::new(3, 3).unwrap(), &cfg).unwrap();
+        let s = RotationPeakSolver::new(model).unwrap();
+        for delta in [1usize, 3, 6] {
+            let powers: Vec<Vector> = (0..delta)
+                .map(|e| Vector::from_fn(9, |c| ((e * 9 + c * 7) % 11) as f64 * 0.7))
+                .collect();
+            for tau in [1e-4, 5e-4, 2.35e-3, 4e-3] {
+                let seq = EpochPowerSequence::new(tau, powers.clone()).unwrap();
+                let fast = s.peak_celsius(&seq).unwrap();
+                let reference = s.peak_reference(&seq).unwrap();
+                assert!(
+                    (fast - reference).abs() < 1e-6,
+                    "tau {tau} delta {delta}: {fast} vs {reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn peak_celsius_matches_full_report() {
         let s = solver_4x4();
         for tau in [0.1e-3, 0.5e-3, 2e-3] {
@@ -444,6 +718,81 @@ mod tests {
             let full = s.peak(&seq).unwrap().peak_celsius;
             assert!((fast - full).abs() < 1e-10, "tau {tau}: {fast} vs {full}");
         }
+    }
+
+    #[test]
+    fn batch_matches_scalar_bit_for_bit() {
+        // Mixed δ (1, 3, 4) and mixed τ in one batch; the column-stacked
+        // GEMM pipeline must reproduce the scalar path exactly (identical
+        // operations in identical order — see Matrix::mul_matrix).
+        let s = solver_4x4();
+        let mut seqs = vec![
+            fig1_sequence(0.1e-3),
+            fig1_sequence(0.5e-3),
+            fig1_sequence(2e-3),
+        ];
+        let mut p = Vector::constant(16, 0.3);
+        p[5] = 7.0;
+        seqs.push(EpochPowerSequence::new(1e-3, vec![p.clone()]).unwrap());
+        seqs.push(
+            EpochPowerSequence::new(
+                0.7e-3,
+                (0..3)
+                    .map(|e| Vector::from_fn(16, |c| ((c + e) % 5) as f64 * 1.3 + 0.3))
+                    .collect(),
+            )
+            .unwrap(),
+        );
+        let batch = s.peak_celsius_many(&seqs).unwrap();
+        assert_eq!(batch.len(), seqs.len());
+        for (seq, &b) in seqs.iter().zip(&batch) {
+            let scalar = s.peak_celsius(seq).unwrap();
+            assert_eq!(
+                scalar.to_bits(),
+                b.to_bits(),
+                "batch must be bit-identical: {scalar} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_of_empty_slice_is_empty() {
+        let s = solver_4x4();
+        assert!(s.peak_celsius_many(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn batch_rejects_mismatched_core_count() {
+        let s = solver_4x4();
+        let good = fig1_sequence(0.5e-3);
+        let bad = EpochPowerSequence::new(1e-3, vec![Vector::zeros(8)]).unwrap();
+        assert!(matches!(
+            s.peak_celsius_many(&[good, bad]),
+            Err(HotPotatoError::InvalidSequence(_))
+        ));
+    }
+
+    #[test]
+    fn batch_stable_across_repeated_calls() {
+        // Exercises the per-τ decay cache: the second call hits the cache
+        // and must return the same bits.
+        let s = solver_4x4();
+        let seqs = vec![fig1_sequence(0.5e-3), fig1_sequence(0.5e-3)];
+        let a = s.peak_celsius_many(&seqs).unwrap();
+        let b = s.peak_celsius_many(&seqs).unwrap();
+        assert_eq!(a[0].to_bits(), b[0].to_bits());
+        assert_eq!(a[0].to_bits(), a[1].to_bits());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cloned_solver_agrees() {
+        let s = solver_4x4();
+        let seq = fig1_sequence(0.5e-3);
+        let a = s.peak_celsius(&seq).unwrap();
+        let clone = s.clone();
+        let b = clone.peak_celsius(&seq).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 
     #[test]
@@ -457,7 +806,10 @@ mod tests {
         let rotated = fig1_sequence(0.5e-3);
         let p_pin = s.peak(&pinned).unwrap().peak_celsius;
         let p_rot = s.peak(&rotated).unwrap().peak_celsius;
-        assert!(p_rot < p_pin - 5.0, "rotation {p_rot:.1} vs pinned {p_pin:.1}");
+        assert!(
+            p_rot < p_pin - 5.0,
+            "rotation {p_rot:.1} vs pinned {p_pin:.1}"
+        );
         // And the Fig. 2 calibration: pinned exceeds 70 C, rotation stays below.
         assert!(p_pin > 70.0);
         assert!(p_rot < 70.0);

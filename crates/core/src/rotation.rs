@@ -242,9 +242,7 @@ mod tests {
     fn sequence_validation() {
         assert!(EpochPowerSequence::new(0.0, vec![Vector::zeros(2)]).is_err());
         assert!(EpochPowerSequence::new(1e-3, vec![]).is_err());
-        assert!(
-            EpochPowerSequence::new(1e-3, vec![Vector::zeros(2), Vector::zeros(3)]).is_err()
-        );
+        assert!(EpochPowerSequence::new(1e-3, vec![Vector::zeros(2), Vector::zeros(3)]).is_err());
         assert!(EpochPowerSequence::new(1e-3, vec![Vector::zeros(0)]).is_err());
     }
 
@@ -252,10 +250,7 @@ mod tests {
     fn average_power() {
         let seq = EpochPowerSequence::new(
             1e-3,
-            vec![
-                Vector::from(vec![4.0, 0.0]),
-                Vector::from(vec![0.0, 2.0]),
-            ],
+            vec![Vector::from(vec![4.0, 0.0]), Vector::from(vec![0.0, 2.0])],
         )
         .unwrap();
         assert_eq!(seq.average_power().as_slice(), &[2.0, 1.0]);

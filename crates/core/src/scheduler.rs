@@ -198,7 +198,8 @@ impl HotPotato {
                 .machine
                 .cpi_stack_at_level(&t.work, t.core, ladder.max_level())
                 .expect("thread core in range");
-            view.machine.core_power(&stack, ladder.max_level(), view.t_dtm)
+            view.machine
+                .core_power(&stack, ladder.max_level(), view.t_dtm)
         };
         current.max(t.avg_power)
     }
@@ -238,8 +239,7 @@ impl HotPotato {
             for ring in rings {
                 for s in 0..ring.capacity() {
                     if let Some(t) = ring.occupant(s) {
-                        p[ring.core_of_slot(s).index()] =
-                            powers.get(&t).copied().unwrap_or(idle);
+                        p[ring.core_of_slot(s).index()] = powers.get(&t).copied().unwrap_or(idle);
                     }
                 }
             }
@@ -249,7 +249,9 @@ impl HotPotato {
             return self.solver.peak_celsius(&seq).unwrap_or(f64::INFINITY);
         }
 
-        let mut worst = f64::NEG_INFINITY;
+        // One rotation sequence per occupied ring, evaluated as one batch
+        // (a single pair of GEMMs instead of per-ring dot-product loops).
+        let mut seqs = Vec::new();
         for ring in rings.iter() {
             if ring.occupants() == 0 {
                 continue;
@@ -270,20 +272,20 @@ impl HotPotato {
                     p
                 })
                 .collect();
-            let seq =
-                EpochPowerSequence::new(tau, epochs).expect("valid ring sequence");
-            self.evaluations += 1;
-            let peak = self.solver.peak_celsius(&seq).unwrap_or(f64::INFINITY);
-            worst = worst.max(peak);
+            seqs.push(EpochPowerSequence::new(tau, epochs).expect("valid ring sequence"));
         }
-        if worst == f64::NEG_INFINITY {
+        if seqs.is_empty() {
             // Empty chip: idle steady state.
             let p = Vector::constant(n, idle);
             let seq = EpochPowerSequence::new(tau.max(1e-6), vec![p]).expect("valid");
             self.evaluations += 1;
-            worst = self.solver.peak_celsius(&seq).unwrap_or(f64::INFINITY);
+            return self.solver.peak_celsius(&seq).unwrap_or(f64::INFINITY);
         }
-        worst
+        self.evaluations += seqs.len() as u64;
+        match self.solver.peak_celsius_many(&seqs) {
+            Ok(peaks) => peaks.into_iter().fold(f64::NEG_INFINITY, f64::max),
+            Err(_) => f64::INFINITY,
+        }
     }
 
     /// Picks the free slot of `ring` farthest from its occupants
@@ -371,12 +373,18 @@ impl Scheduler for HotPotato {
                 // Estimate new-thread power on a representative inner core.
                 let work = job.benchmark.work_point();
                 let ladder = &view.machine.config().dvfs;
-                let core = self.rings.as_ref().expect("init").first().map_or(CoreId(0), |r| r.cores()[0]);
+                let core = self
+                    .rings
+                    .as_ref()
+                    .expect("init")
+                    .first()
+                    .map_or(CoreId(0), |r| r.cores()[0]);
                 let stack = view
                     .machine
                     .cpi_stack_at_level(&work, core, ladder.max_level())
                     .expect("core in range");
-                view.machine.core_power(&stack, ladder.max_level(), view.t_dtm)
+                view.machine
+                    .core_power(&stack, ladder.max_level(), view.t_dtm)
             };
             // Skip jobs that cannot fit in the free slots at all.
             let free_total: usize = self
@@ -403,8 +411,7 @@ impl Scheduler for HotPotato {
                 let mut fallback: Option<(usize, usize, f64)> = None;
                 let mut chosen: Option<(usize, usize)> = None;
                 for r in 0..ring_count {
-                    let Some(slot) =
-                        Self::best_free_slot(&self.rings.as_ref().expect("init")[r])
+                    let Some(slot) = Self::best_free_slot(&self.rings.as_ref().expect("init")[r])
                     else {
                         continue;
                     };
@@ -436,8 +443,7 @@ impl Scheduler for HotPotato {
                             self.rotating = true;
                             self.rings_mut()[r].occupy(slot, tid);
                             trial_powers.insert(tid, est);
-                            let rings_snapshot =
-                                self.rings.as_ref().expect("init").clone();
+                            let rings_snapshot = self.rings.as_ref().expect("init").clone();
                             let peak = self.estimate_peak(
                                 &rings_snapshot,
                                 &trial_powers,
@@ -487,12 +493,8 @@ impl Scheduler for HotPotato {
         if self.assignment_dirty || due || view.dtm_active {
             let rings_snapshot = self.rings.as_ref().expect("init").clone();
             let powers = self.powers.clone();
-            self.last_peak = self.estimate_peak(
-                &rings_snapshot,
-                &powers,
-                self.tau(),
-                self.rotating,
-            );
+            self.last_peak =
+                self.estimate_peak(&rings_snapshot, &powers, self.tau(), self.rotating);
             self.last_evaluation = view.time;
             self.assignment_dirty = false;
         }
@@ -512,8 +514,7 @@ impl Scheduler for HotPotato {
                 self.rotating = true;
                 let rings_snapshot = self.rings.as_ref().expect("init").clone();
                 let powers = self.powers.clone();
-                self.last_peak =
-                    self.estimate_peak(&rings_snapshot, &powers, self.tau(), true);
+                self.last_peak = self.estimate_peak(&rings_snapshot, &powers, self.tau(), true);
                 self.last_evaluation = view.time;
                 moves += 1;
                 continue;
@@ -540,8 +541,8 @@ impl Scheduler for HotPotato {
                     Self::best_free_slot(&self.rings.as_ref().expect("init")[r2]).is_some()
                 });
                 let Some(r2) = target else { continue };
-                let slot = Self::best_free_slot(&self.rings.as_ref().expect("init")[r2])
-                    .expect("checked");
+                let slot =
+                    Self::best_free_slot(&self.rings.as_ref().expect("init")[r2]).expect("checked");
                 let to = {
                     let rings = self.rings_mut();
                     rings[r].remove(tid);
@@ -597,8 +598,7 @@ impl Scheduler for HotPotato {
             let mut improved = false;
             'promote: for (_, tid, r) in candidates {
                 for r2 in 0..r {
-                    let Some(slot) =
-                        Self::best_free_slot(&self.rings.as_ref().expect("init")[r2])
+                    let Some(slot) = Self::best_free_slot(&self.rings.as_ref().expect("init")[r2])
                     else {
                         continue;
                     };
@@ -613,12 +613,8 @@ impl Scheduler for HotPotato {
                     };
                     let rings_snapshot = self.rings.as_ref().expect("init").clone();
                     let powers = self.powers.clone();
-                    let peak = self.estimate_peak(
-                        &rings_snapshot,
-                        &powers,
-                        self.tau(),
-                        self.rotating,
-                    );
+                    let peak =
+                        self.estimate_peak(&rings_snapshot, &powers, self.tau(), self.rotating);
                     if peak + self.config.delta_headroom < self.config.t_dtm {
                         let to = self.rings.as_ref().expect("init")[r2].core_of_slot(slot);
                         actions.push(Action::Migrate { thread: tid, to });
@@ -658,12 +654,7 @@ impl Scheduler for HotPotato {
                     // Sustainable without rotation at all?
                     let rings_snapshot = self.rings.as_ref().expect("init").clone();
                     let powers = self.powers.clone();
-                    let pinned = self.estimate_peak(
-                        &rings_snapshot,
-                        &powers,
-                        self.tau(),
-                        false,
-                    );
+                    let pinned = self.estimate_peak(&rings_snapshot, &powers, self.tau(), false);
                     if pinned + 2.0 * self.config.delta_headroom < self.config.t_dtm {
                         self.rotating = false;
                         self.last_peak = pinned;
@@ -681,7 +672,8 @@ impl Scheduler for HotPotato {
         {
             let rings = self.rings_mut();
             for ring in rings.iter_mut() {
-                if ring.occupants() == 0 || ring.occupants() == ring.capacity() && ring.capacity() == 1
+                if ring.occupants() == 0
+                    || ring.occupants() == ring.capacity() && ring.capacity() == 1
                 {
                     continue;
                 }
@@ -756,13 +748,30 @@ mod tests {
 
     #[test]
     fn dedupe_keeps_last_migration_per_thread() {
-        let t1 = ThreadId { job: hp_workload::JobId(0), index: 0 };
-        let t2 = ThreadId { job: hp_workload::JobId(0), index: 1 };
+        let t1 = ThreadId {
+            job: hp_workload::JobId(0),
+            index: 0,
+        };
+        let t2 = ThreadId {
+            job: hp_workload::JobId(0),
+            index: 1,
+        };
         let actions = vec![
-            Action::Migrate { thread: t1, to: CoreId(1) },
-            Action::SetAllLevels { level: hp_power::DvfsLevel(3) },
-            Action::Migrate { thread: t2, to: CoreId(2) },
-            Action::Migrate { thread: t1, to: CoreId(5) },
+            Action::Migrate {
+                thread: t1,
+                to: CoreId(1),
+            },
+            Action::SetAllLevels {
+                level: hp_power::DvfsLevel(3),
+            },
+            Action::Migrate {
+                thread: t2,
+                to: CoreId(2),
+            },
+            Action::Migrate {
+                thread: t1,
+                to: CoreId(5),
+            },
         ];
         let out = dedupe_migrations(actions);
         assert_eq!(out.len(), 3);
@@ -787,26 +796,43 @@ mod tests {
         let mut ring = RingRotation::new(vec![CoreId(0), CoreId(1), CoreId(2), CoreId(3)]);
         ring.occupy(
             0,
-            ThreadId { job: hp_workload::JobId(0), index: 0 },
+            ThreadId {
+                job: hp_workload::JobId(0),
+                index: 0,
+            },
         );
         assert_eq!(HotPotato::best_free_slot(&ring), Some(2));
         // Fill slot 2 as well: remaining slots 1 and 3 are equidistant.
         ring.occupy(
             2,
-            ThreadId { job: hp_workload::JobId(0), index: 1 },
+            ThreadId {
+                job: hp_workload::JobId(0),
+                index: 1,
+            },
         );
         let s = HotPotato::best_free_slot(&ring).expect("slots remain");
         assert!(s == 1 || s == 3);
-        ring.occupy(s, ThreadId { job: hp_workload::JobId(0), index: 2 });
+        ring.occupy(
+            s,
+            ThreadId {
+                job: hp_workload::JobId(0),
+                index: 2,
+            },
+        );
         let last = HotPotato::best_free_slot(&ring).expect("one slot left");
-        ring.occupy(last, ThreadId { job: hp_workload::JobId(0), index: 3 });
+        ring.occupy(
+            last,
+            ThreadId {
+                job: hp_workload::JobId(0),
+                index: 3,
+            },
+        );
         assert_eq!(HotPotato::best_free_slot(&ring), None);
     }
 
     #[test]
     fn best_free_slot_on_empty_ring_is_first() {
-        let ring: RingRotation<ThreadId> =
-            RingRotation::new(vec![CoreId(0), CoreId(1), CoreId(2)]);
+        let ring: RingRotation<ThreadId> = RingRotation::new(vec![CoreId(0), CoreId(1), CoreId(2)]);
         assert_eq!(HotPotato::best_free_slot(&ring), Some(0));
     }
 
@@ -840,7 +866,11 @@ mod tests {
         let mut hp = HotPotato::new(model_4x4(), HotPotatoConfig::default()).unwrap();
         let m = sim.run(blackscholes_job(), &mut hp).unwrap();
         assert_eq!(m.completed_jobs(), 1);
-        assert!(m.migrations > 10, "rotation happened ({} migrations)", m.migrations);
+        assert!(
+            m.migrations > 10,
+            "rotation happened ({} migrations)",
+            m.migrations
+        );
         assert!(
             m.peak_temperature < 70.5,
             "thermally safe (peak {:.1})",

@@ -1,9 +1,9 @@
 //! Property-based tests for the rotation analytics (Algorithm 1).
 
+use hotpotato::{EpochPowerSequence, RotationPeakSolver};
 use hp_floorplan::GridFloorplan;
 use hp_linalg::Vector;
 use hp_thermal::{RcThermalModel, ThermalConfig};
-use hotpotato::{EpochPowerSequence, RotationPeakSolver};
 use proptest::prelude::*;
 
 fn solver(w: usize, h: usize) -> RotationPeakSolver {
@@ -31,6 +31,56 @@ fn sequences() -> impl Strategy<Value = EpochPowerSequence> {
         })
 }
 
+/// The proptest shrink recorded in `properties.proptest-regressions`,
+/// pinned as a deterministic test so the failure reproduces without
+/// proptest and can never silently regress.
+///
+/// δ = 2 on the 3×3 chip with τ ≈ 2.35 ms and sparse power: the fast
+/// recurrence (`cycle_start`, which derived λτ by round-tripping through
+/// `m.ln()`) and the literal Eq.-(10) reference (which used the
+/// catastrophically-cancelling `1 − m` for the forcing term) disagreed
+/// beyond 1e-7 °C for the slow sink eigenmodes where `m ≈ 1`. Both paths
+/// now share one weight helper computed directly from λτ.
+#[test]
+fn pinned_shrink_case_fast_matches_reference() {
+    let seq = EpochPowerSequence::new(
+        0.002348902441869006,
+        vec![
+            Vector::from(vec![
+                0.0,
+                0.0,
+                0.0,
+                0.0,
+                2.802692956588382,
+                0.0,
+                1.5841799063809208,
+                7.444248077919921,
+                5.686753631658183,
+            ]),
+            Vector::from(vec![
+                0.0,
+                0.0,
+                0.0,
+                0.0,
+                6.487672330932686,
+                6.529296313785012,
+                2.945134129515755,
+                6.815960959554493,
+                6.742365548649346,
+            ]),
+        ],
+    )
+    .expect("valid sequence");
+    let s = solver(3, 3);
+    let fast = s.peak_celsius(&seq).unwrap();
+    let reference = s.peak_reference(&seq).unwrap();
+    assert!(
+        (fast - reference).abs() < 1e-7,
+        "{fast} vs {reference} (diff {})",
+        (fast - reference).abs()
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -40,6 +90,20 @@ proptest! {
         let fast = s.peak_celsius(&seq).unwrap();
         let reference = s.peak_reference(&seq).unwrap();
         prop_assert!((fast - reference).abs() < 1e-7, "{fast} vs {reference}");
+    }
+
+    #[test]
+    fn batch_matches_scalar(seqs in proptest::collection::vec(sequences(), 1..5)) {
+        // The batched GEMM pipeline must agree with per-sequence scalar
+        // evaluation for arbitrary mixed-τ/δ batches (the two paths are
+        // designed to be bit-identical; 1e-9 is the acceptance bound).
+        let s = solver(3, 3);
+        let batch = s.peak_celsius_many(&seqs).unwrap();
+        prop_assert_eq!(batch.len(), seqs.len());
+        for (seq, &b) in seqs.iter().zip(&batch) {
+            let scalar = s.peak_celsius(seq).unwrap();
+            prop_assert!((scalar - b).abs() < 1e-9, "{scalar} vs {b}");
+        }
     }
 
     #[test]

@@ -6,18 +6,20 @@
 //! 4. migration cost (flush latency),
 //! 5. DTM scope (chip-wide crash vs per-core throttling),
 //! 6. cold vs pre-warmed chip (where Algorithm 1's d→∞ cycle is exact),
-//! 7. rotation disabled entirely (placement-only HotPotato).
+//! 7. rotation disabled entirely (placement-only HotPotato),
+//! 8. Algorithm-1 evaluation strategy (serial per-candidate loop vs the
+//!    batched GEMM kernel the scheduler and the oracle now use).
 //!
 //! Each sweep runs the Fig. 2 motivational workload (2-thread
 //! *blackscholes* on the 16-core chip) plus a loaded 16-core batch, and
 //! reports response time / makespan, peak temperature and DTM pressure.
 
+use hotpotato::{HotPotato, HotPotatoConfig};
 use hp_experiments::{motivational_machine, run, thermal_model_for_grid};
 use hp_manycore::{ArchConfig, Machine, MigrationModel};
 use hp_sched::{PcMig, PcMigConfig};
 use hp_sim::{DtmScope, SimConfig};
 use hp_workload::{closed_batch, Benchmark, Job, JobId};
-use hotpotato::{HotPotato, HotPotatoConfig};
 
 fn blackscholes2() -> Vec<Job> {
     vec![Job {
@@ -39,14 +41,22 @@ fn main() {
     };
 
     println!("Ablation 1 — fixed rotation interval tau (2-thread blackscholes, 16 cores)");
-    println!("{:>12} {:>12} {:>8} {:>6} {:>11}", "tau", "resp ms", "peak C", "DTM", "migrations");
+    println!(
+        "{:>12} {:>12} {:>8} {:>6} {:>11}",
+        "tau", "resp ms", "peak C", "DTM", "migrations"
+    );
     for tau in [0.25e-3, 0.5e-3, 1e-3, 2e-3, 4e-3] {
         let cfg = HotPotatoConfig {
             tau_levels: vec![tau],
             initial_tau_index: 0,
             ..HotPotatoConfig::default()
         };
-        let m = run(motivational_machine(), sim, blackscholes2(), &mut hp_with(cfg));
+        let m = run(
+            motivational_machine(),
+            sim,
+            blackscholes2(),
+            &mut hp_with(cfg),
+        );
         println!(
             "{:>10.2}ms {:>12.1} {:>8.1} {:>6} {:>11}",
             tau * 1e3,
@@ -57,7 +67,11 @@ fn main() {
         );
         println!(
             "csv,ablation-tau,{},{:.4},{:.2},{},{}",
-            tau, m.makespan * 1e3, m.peak_temperature, m.dtm_intervals, m.migrations
+            tau,
+            m.makespan * 1e3,
+            m.peak_temperature,
+            m.dtm_intervals,
+            m.migrations
         );
     }
     {
@@ -69,17 +83,27 @@ fn main() {
         );
         println!(
             "{:>12} {:>12.1} {:>8.1} {:>6} {:>11}",
-            "adaptive", m.makespan * 1e3, m.peak_temperature, m.dtm_intervals, m.migrations
+            "adaptive",
+            m.makespan * 1e3,
+            m.peak_temperature,
+            m.dtm_intervals,
+            m.migrations
         );
         println!(
             "csv,ablation-tau,adaptive,{:.4},{:.2},{},{}",
-            m.makespan * 1e3, m.peak_temperature, m.dtm_intervals, m.migrations
+            m.makespan * 1e3,
+            m.peak_temperature,
+            m.dtm_intervals,
+            m.migrations
         );
     }
 
     println!();
     println!("Ablation 2 — headroom hysteresis delta (full 16-core x264 batch)");
-    println!("{:>12} {:>12} {:>8} {:>6} {:>11}", "delta C", "makespan ms", "peak C", "DTM", "migrations");
+    println!(
+        "{:>12} {:>12} {:>8} {:>6} {:>11}",
+        "delta C", "makespan ms", "peak C", "DTM", "migrations"
+    );
     for delta in [0.25, 0.5, 1.0, 2.0, 4.0] {
         let cfg = HotPotatoConfig {
             delta_headroom: delta,
@@ -89,37 +113,62 @@ fn main() {
         let m = run(motivational_machine(), sim, jobs, &mut hp_with(cfg));
         println!(
             "{:>12.2} {:>12.1} {:>8.1} {:>6} {:>11}",
-            delta, m.makespan * 1e3, m.peak_temperature, m.dtm_intervals, m.migrations
+            delta,
+            m.makespan * 1e3,
+            m.peak_temperature,
+            m.dtm_intervals,
+            m.migrations
         );
         println!(
             "csv,ablation-delta,{},{:.4},{:.2},{},{}",
-            delta, m.makespan * 1e3, m.peak_temperature, m.dtm_intervals, m.migrations
+            delta,
+            m.makespan * 1e3,
+            m.peak_temperature,
+            m.dtm_intervals,
+            m.migrations
         );
     }
 
     println!();
     println!("Ablation 3 — DTM threshold (2-thread blackscholes)");
-    println!("{:>12} {:>12} {:>8} {:>6}", "t_dtm C", "resp ms", "peak C", "DTM");
+    println!(
+        "{:>12} {:>12} {:>8} {:>6}",
+        "t_dtm C", "resp ms", "peak C", "DTM"
+    );
     for t_dtm in [60.0, 65.0, 70.0, 75.0, 80.0] {
         let cfg = HotPotatoConfig {
             t_dtm,
             ..HotPotatoConfig::default()
         };
         let sim_t = SimConfig { t_dtm, ..sim };
-        let m = run(motivational_machine(), sim_t, blackscholes2(), &mut hp_with(cfg));
+        let m = run(
+            motivational_machine(),
+            sim_t,
+            blackscholes2(),
+            &mut hp_with(cfg),
+        );
         println!(
             "{:>12.0} {:>12.1} {:>8.1} {:>6}",
-            t_dtm, m.makespan * 1e3, m.peak_temperature, m.dtm_intervals
+            t_dtm,
+            m.makespan * 1e3,
+            m.peak_temperature,
+            m.dtm_intervals
         );
         println!(
             "csv,ablation-tdtm,{},{:.4},{:.2},{}",
-            t_dtm, m.makespan * 1e3, m.peak_temperature, m.dtm_intervals
+            t_dtm,
+            m.makespan * 1e3,
+            m.peak_temperature,
+            m.dtm_intervals
         );
     }
 
     println!();
     println!("Ablation 4 — migration flush cost (2-thread blackscholes, fixed tau 0.5 ms)");
-    println!("{:>12} {:>12} {:>8} {:>11}", "flush us", "resp ms", "peak C", "migrations");
+    println!(
+        "{:>12} {:>12} {:>8} {:>11}",
+        "flush us", "resp ms", "peak C", "migrations"
+    );
     for flush_us in [0.0, 4.0, 8.0, 20.0, 50.0, 100.0] {
         let machine = Machine::new(ArchConfig {
             grid_width: 4,
@@ -139,18 +188,30 @@ fn main() {
         let m = run(machine, sim, blackscholes2(), &mut hp_with(cfg));
         println!(
             "{:>12.0} {:>12.1} {:>8.1} {:>11}",
-            flush_us, m.makespan * 1e3, m.peak_temperature, m.migrations
+            flush_us,
+            m.makespan * 1e3,
+            m.peak_temperature,
+            m.migrations
         );
         println!(
             "csv,ablation-flush,{},{:.4},{:.2},{}",
-            flush_us, m.makespan * 1e3, m.peak_temperature, m.migrations
+            flush_us,
+            m.makespan * 1e3,
+            m.peak_temperature,
+            m.migrations
         );
     }
 
     println!();
     println!("Ablation 5 — DTM scope (full 16-core swaptions batch under pure rotation)");
-    for (label, scope) in [("chip-wide", DtmScope::Chip), ("per-core", DtmScope::PerCore)] {
-        let sim_s = SimConfig { dtm_scope: scope, ..sim };
+    for (label, scope) in [
+        ("chip-wide", DtmScope::Chip),
+        ("per-core", DtmScope::PerCore),
+    ] {
+        let sim_s = SimConfig {
+            dtm_scope: scope,
+            ..sim
+        };
         let jobs = closed_batch(Benchmark::Swaptions, 16, 1);
         let m = run(
             motivational_machine(),
@@ -160,18 +221,29 @@ fn main() {
         );
         println!(
             "{:<10} makespan {:>7.1} ms, peak {:>5.1} C, DTM {:>5}, avg freq {:>5.2} GHz",
-            label, m.makespan * 1e3, m.peak_temperature, m.dtm_intervals, m.avg_frequency_ghz
+            label,
+            m.makespan * 1e3,
+            m.peak_temperature,
+            m.dtm_intervals,
+            m.avg_frequency_ghz
         );
         println!(
             "csv,ablation-dtm,{},{:.4},{:.2},{},{:.4}",
-            label, m.makespan * 1e3, m.peak_temperature, m.dtm_intervals, m.avg_frequency_ghz
+            label,
+            m.makespan * 1e3,
+            m.peak_temperature,
+            m.dtm_intervals,
+            m.avg_frequency_ghz
         );
     }
 
     println!();
     println!("Ablation 6 — cold vs pre-warmed chip (16-core x264 batch, HotPotato vs PCMig)");
     for (label, prewarm) in [("cold start", None), ("pre-warmed 2.5 W", Some(2.5))] {
-        let sim_w = SimConfig { prewarm_power: prewarm, ..sim };
+        let sim_w = SimConfig {
+            prewarm_power: prewarm,
+            ..sim
+        };
         let jobs = closed_batch(Benchmark::X264, 16, 5);
         let hp_m = run(
             motivational_machine(),
@@ -207,14 +279,86 @@ fn main() {
             rotation_enabled: rotation,
             ..HotPotatoConfig::default()
         };
-        let m = run(motivational_machine(), sim, blackscholes2(), &mut hp_with(cfg));
+        let m = run(
+            motivational_machine(),
+            sim,
+            blackscholes2(),
+            &mut hp_with(cfg),
+        );
         println!(
             "{:<14} resp {:>7.1} ms, peak {:>5.1} C, DTM {:>4}, migrations {:>4}",
-            label, m.makespan * 1e3, m.peak_temperature, m.dtm_intervals, m.migrations
+            label,
+            m.makespan * 1e3,
+            m.peak_temperature,
+            m.dtm_intervals,
+            m.migrations
         );
         println!(
             "csv,ablation-rotation,{},{:.4},{:.2},{},{}",
-            rotation, m.makespan * 1e3, m.peak_temperature, m.dtm_intervals, m.migrations
+            rotation,
+            m.makespan * 1e3,
+            m.peak_temperature,
+            m.dtm_intervals,
+            m.migrations
+        );
+    }
+
+    println!();
+    println!("Ablation 8 — Algorithm-1 evaluation strategy (16 candidate rotations, 16-core chip)");
+    {
+        use hotpotato::{EpochPowerSequence, RotationPeakSolver};
+        let solver = RotationPeakSolver::new(thermal_model_for_grid(4, 4)).expect("decomposes");
+        // 16 candidate rotations: two 7 W threads on the centre ring, all
+        // relative spacings and four τ levels.
+        let ring = [5usize, 6, 10, 9];
+        let seqs: Vec<EpochPowerSequence> = (0..16)
+            .map(|i| {
+                let sep = 1 + i % 4;
+                let tau = [0.25e-3, 0.5e-3, 1e-3, 2e-3][i / 4];
+                let epochs = (0..4)
+                    .map(|e| {
+                        let mut p = hp_linalg::Vector::constant(16, 0.3);
+                        p[ring[e % 4]] = 7.0;
+                        p[ring[(e + sep) % 4]] = 7.0;
+                        p
+                    })
+                    .collect();
+                EpochPowerSequence::new(tau, epochs).expect("valid sequence")
+            })
+            .collect();
+        let reps = 200;
+        let t0 = std::time::Instant::now();
+        let mut serial = Vec::new();
+        for _ in 0..reps {
+            serial = seqs
+                .iter()
+                .map(|s| solver.peak_celsius(s).expect("computes"))
+                .collect();
+        }
+        let t_serial = t0.elapsed() / reps;
+        let t0 = std::time::Instant::now();
+        let mut batch = Vec::new();
+        for _ in 0..reps {
+            batch = solver.peak_celsius_many(&seqs).expect("computes");
+        }
+        let t_batch = t0.elapsed() / reps;
+        let worst = serial
+            .iter()
+            .zip(&batch)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        println!(
+            "serial {:>9.1?}  batch {:>9.1?}  speedup {:>4.1}x  worst |diff| {:.1e} C",
+            t_serial,
+            t_batch,
+            t_serial.as_secs_f64() / t_batch.as_secs_f64(),
+            worst
+        );
+        println!(
+            "csv,ablation-batch,16,{:.6},{:.6},{:.3e}",
+            t_serial.as_secs_f64(),
+            t_batch.as_secs_f64(),
+            worst
         );
     }
 }

@@ -8,6 +8,7 @@
 //! The paper reports 68 ms / 84 ms / 74 ms response times with (a)
 //! violating the 70 °C threshold (~80 °C) and (b), (c) staying below it.
 
+use hotpotato::{HotPotato, HotPotatoConfig};
 use hp_experiments::plot::ascii_chart;
 use hp_experiments::{motivational_machine, thermal_model_for_grid};
 use hp_floorplan::CoreId;
@@ -15,7 +16,6 @@ use hp_sched::TspUniform;
 use hp_sim::schedulers::PinnedScheduler;
 use hp_sim::SimConfig;
 use hp_workload::{Benchmark, Job, JobId};
-use hotpotato::{HotPotato, HotPotatoConfig};
 
 fn job() -> Vec<Job> {
     vec![Job {
@@ -52,8 +52,7 @@ fn main() {
         dtm_enabled: false,
         ..trace_cfg
     };
-    let mut pinned =
-        PinnedScheduler::with_preferred_cores(vec![CoreId(5), CoreId(10)]);
+    let mut pinned = PinnedScheduler::with_preferred_cores(vec![CoreId(5), CoreId(10)]);
     let (a, trace_a) = run_traced(unmanaged_cfg, &mut pinned);
 
     // (b) TSP DVFS budgeting, pinned on the same cores.
@@ -68,8 +67,8 @@ fn main() {
         initial_tau_index: 0,
         ..HotPotatoConfig::default()
     };
-    let mut hp = HotPotato::new(thermal_model_for_grid(4, 4), fixed_tau)
-        .expect("valid HotPotato config");
+    let mut hp =
+        HotPotato::new(thermal_model_for_grid(4, 4), fixed_tau).expect("valid HotPotato config");
     let (c, trace_c) = run_traced(trace_cfg, &mut hp);
 
     println!("Fig. 2 — two-threaded blackscholes on a 16-core chip (threshold 70 C)");
@@ -103,11 +102,7 @@ fn main() {
     println!("hottest-junction traces (a = unmanaged, b = TSP, c = rotation):");
     print!(
         "{}",
-        ascii_chart(
-            &[('a', &trace_a), ('b', &trace_b), ('c', &trace_c)],
-            70,
-            12
-        )
+        ascii_chart(&[('a', &trace_a), ('b', &trace_b), ('c', &trace_c)], 70, 12)
     );
     println!();
     println!(

@@ -6,11 +6,11 @@
 //! The paper reports an average 10.72 % speedup, with the memory-bound
 //! *canneal* showing the smallest gain (0.73 %).
 
+use hotpotato::{HotPotato, HotPotatoConfig};
 use hp_experiments::{paper_machine, run, thermal_model_for_grid};
 use hp_sched::{HotPotatoDvfs, PcMig, PcMigConfig};
 use hp_sim::SimConfig;
 use hp_workload::{closed_batch, Benchmark};
-use hotpotato::{HotPotato, HotPotatoConfig};
 
 fn main() {
     let sim_cfg = SimConfig {
@@ -20,7 +20,14 @@ fn main() {
     println!("Fig. 4(a) — homogeneous workloads on the 64-core chip (normalized makespan)");
     println!(
         "{:<14} {:>12} {:>12} {:>11} {:>9} {:>9} {:>7} {:>7}",
-        "benchmark", "hotpotato ms", "pcmig ms", "hybrid ms", "speedup", "hyb spd", "hpDTM", "pmDTM"
+        "benchmark",
+        "hotpotato ms",
+        "pcmig ms",
+        "hybrid ms",
+        "speedup",
+        "hyb spd",
+        "hpDTM",
+        "pmDTM"
     );
     let mut speedups = Vec::new();
     let mut hybrid_speedups = Vec::new();

@@ -6,12 +6,12 @@
 //! over-loaded. The paper reports that HotPotato's gains over PCMig are
 //! minimal at the extremes and peak (≈12.27 %) at medium load.
 
+use hotpotato::{HotPotato, HotPotatoConfig};
 use hp_experiments::plot::ascii_chart;
 use hp_experiments::{paper_machine, run, thermal_model_for_grid};
 use hp_sched::{PcMig, PcMigConfig};
 use hp_sim::SimConfig;
 use hp_workload::open_poisson;
-use hotpotato::{HotPotato, HotPotatoConfig};
 
 fn main() {
     let sim_cfg = SimConfig {
@@ -33,9 +33,8 @@ fn main() {
         for seed in [7u64, 11, 13] {
             let jobs = open_poisson(20, rate, seed);
 
-            let mut hp =
-                HotPotato::new(thermal_model_for_grid(8, 8), HotPotatoConfig::default())
-                    .expect("valid HotPotato config");
+            let mut hp = HotPotato::new(thermal_model_for_grid(8, 8), HotPotatoConfig::default())
+                .expect("valid HotPotato config");
             let hp_m = run(paper_machine(), sim_cfg, jobs.clone(), &mut hp);
 
             let mut pm = PcMig::new(thermal_model_for_grid(8, 8), PcMigConfig::default());
@@ -66,6 +65,9 @@ fn main() {
     println!("speedup vs load (x = rate sweep, log-spaced):");
     print!("{}", ascii_chart(&[('*', &speedups)], 56, 8));
     println!();
-    println!("peak speedup: {:.2}%  (paper: up to 12.27% at medium load)", best * 100.0);
+    println!(
+        "peak speedup: {:.2}%  (paper: up to 12.27% at medium load)",
+        best * 100.0
+    );
     println!("csv,fig4b-summary,{:.4}", best * 100.0);
 }

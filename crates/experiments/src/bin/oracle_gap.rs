@@ -8,15 +8,13 @@
 //! thermally-safe ring, per thread, in arrival order) with the exhaustive
 //! optimum.
 
+use hotpotato::design_space::{evaluate_assignment, exhaustive_best_assignment, ThreadDemand};
+use hotpotato::RotationPeakSolver;
 use hp_experiments::motivational_machine;
 use hp_floorplan::CoreId;
 use hp_manycore::Machine;
 use hp_thermal::{RcThermalModel, ThermalConfig};
 use hp_workload::Benchmark;
-use hotpotato::design_space::{
-    evaluate_assignment, exhaustive_best_assignment, ThreadDemand,
-};
-use hotpotato::RotationPeakSolver;
 
 const T_DTM: f64 = 70.0;
 const DELTA: f64 = 1.0;
@@ -72,15 +70,8 @@ fn greedy_assignment(
             }
             let mut trial = assignment.clone();
             trial.push(r);
-            let peak = evaluate_assignment(
-                solver,
-                rings,
-                &demands[..=i],
-                &trial,
-                TAU,
-                IDLE,
-            )
-            .expect("evaluates");
+            let peak = evaluate_assignment(solver, rings, &demands[..=i], &trial, TAU, IDLE)
+                .expect("evaluates");
             if peak + DELTA < T_DTM {
                 chosen = Some(r);
                 break;
@@ -141,8 +132,8 @@ fn main() {
 
     println!("Oracle gap — greedy Algorithm 2 placement vs exhaustive optimum (16-core chip)");
     println!(
-        "{:<24} {:>12} {:>12} {:>9} {:>10}",
-        "scenario", "greedy GIPS", "oracle GIPS", "gap", "explored"
+        "{:<24} {:>12} {:>12} {:>9} {:>10} {:>10}",
+        "scenario", "greedy GIPS", "oracle GIPS", "gap", "explored", "search"
     );
     for (label, benchmarks) in scenarios {
         let demands: Vec<ThreadDemand> = benchmarks
@@ -155,24 +146,28 @@ fn main() {
             .zip(&greedy)
             .map(|(d, &r)| d.ips_per_ring[r])
             .sum();
-        let oracle = exhaustive_best_assignment(
-            &solver, &rings, &demands, TAU, IDLE, T_DTM, DELTA,
-        )
-        .expect("search runs");
+        // The exhaustive sweep fans out over all cores (batched Algorithm-1
+        // evaluations inside); wall-clock makes the oracle's cost visible
+        // next to its answer.
+        let t0 = std::time::Instant::now();
+        let oracle = exhaustive_best_assignment(&solver, &rings, &demands, TAU, IDLE, T_DTM, DELTA)
+            .expect("search runs");
+        let search = t0.elapsed();
         match oracle {
             Some(best) => {
                 let gap = (1.0 - greedy_ips / best.total_ips) * 100.0;
                 println!(
-                    "{:<24} {:>12.2} {:>12.2} {:>8.2}% {:>10}",
-                    label, greedy_ips, best.total_ips, gap, best.explored
+                    "{:<24} {:>12.2} {:>12.2} {:>8.2}% {:>10} {:>8.1?}",
+                    label, greedy_ips, best.total_ips, gap, best.explored, search
                 );
                 println!(
-                    "csv,oracle-gap,{},{:.4},{:.4},{:.4},{}",
+                    "csv,oracle-gap,{},{:.4},{:.4},{:.4},{},{:.6}",
                     label.replace(' ', "-"),
                     greedy_ips,
                     best.total_ips,
                     gap,
-                    best.explored
+                    best.explored,
+                    search.as_secs_f64()
                 );
             }
             None => println!("{label:<24} no thermally safe assignment exists"),

@@ -9,9 +9,9 @@
 
 use std::time::Instant;
 
+use hotpotato::{EpochPowerSequence, RotationPeakSolver};
 use hp_experiments::thermal_model_for_grid;
 use hp_linalg::Vector;
-use hotpotato::{EpochPowerSequence, RotationPeakSolver};
 
 fn full_load_sequence(cores: usize, delta: usize, tau: f64) -> EpochPowerSequence {
     // A rotation of `delta` epochs over a fully loaded chip: a mix of hot

@@ -8,11 +8,11 @@
 //! the top die — buys over pinning it on either die, and compares planar
 //! vs vertical rotation rings.
 
+use hotpotato::{EpochPowerSequence, RotationPeakSolver};
 use hp_experiments::pct;
 use hp_floorplan::GridFloorplan;
 use hp_linalg::Vector;
 use hp_thermal::{stacked::stacked_model, ThermalConfig};
-use hotpotato::{EpochPowerSequence, RotationPeakSolver};
 
 fn main() {
     let fp = GridFloorplan::new(4, 4).expect("grid");

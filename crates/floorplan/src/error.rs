@@ -53,8 +53,11 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(FloorplanError::EmptyGrid.to_string().contains("non-zero"));
-        assert!(FloorplanError::CoreOutOfRange { core: 70, cores: 64 }
-            .to_string()
-            .contains("70"));
+        assert!(FloorplanError::CoreOutOfRange {
+            core: 70,
+            cores: 64
+        }
+        .to_string()
+        .contains("70"));
     }
 }

@@ -240,8 +240,14 @@ mod tests {
 
     #[test]
     fn rejects_empty() {
-        assert_eq!(GridFloorplan::new(0, 4).unwrap_err(), FloorplanError::EmptyGrid);
-        assert_eq!(GridFloorplan::new(4, 0).unwrap_err(), FloorplanError::EmptyGrid);
+        assert_eq!(
+            GridFloorplan::new(0, 4).unwrap_err(),
+            FloorplanError::EmptyGrid
+        );
+        assert_eq!(
+            GridFloorplan::new(4, 0).unwrap_err(),
+            FloorplanError::EmptyGrid
+        );
     }
 
     #[test]

@@ -119,7 +119,11 @@ impl RingSet {
                 });
             }
             let idx = rings.len() - 1;
-            rings.last_mut().expect("ring exists").cores.push(CoreId(core));
+            rings
+                .last_mut()
+                .expect("ring exists")
+                .cores
+                .push(CoreId(core));
             ring_of[core] = idx;
         }
 

@@ -4,8 +4,7 @@ use hp_floorplan::{CoreId, GridFloorplan};
 use proptest::prelude::*;
 
 fn grids() -> impl Strategy<Value = GridFloorplan> {
-    (1usize..=10, 1usize..=10)
-        .prop_map(|(w, h)| GridFloorplan::new(w, h).expect("non-empty grid"))
+    (1usize..=10, 1usize..=10).prop_map(|(w, h)| GridFloorplan::new(w, h).expect("non-empty grid"))
 }
 
 proptest! {

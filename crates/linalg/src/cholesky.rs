@@ -160,12 +160,7 @@ mod tests {
     use super::*;
 
     fn spd3() -> Matrix {
-        Matrix::from_rows(&[
-            &[5.0, 2.0, 1.0],
-            &[2.0, 6.0, 3.0],
-            &[1.0, 3.0, 7.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[&[5.0, 2.0, 1.0], &[2.0, 6.0, 3.0], &[1.0, 3.0, 7.0]]).unwrap()
     }
 
     #[test]

@@ -164,7 +164,8 @@ impl SymmetricEigen {
     pub fn reconstruct(&self) -> Matrix {
         let lambda = Matrix::from_diagonal(&self.eigenvalues);
         let ql = self.eigenvectors.mul_matrix(&lambda).expect("shape");
-        ql.mul_matrix(&self.eigenvectors.transpose()).expect("shape")
+        ql.mul_matrix(&self.eigenvectors.transpose())
+            .expect("shape")
     }
 }
 
@@ -271,7 +272,9 @@ impl SystemEigen {
         let d = Vector::from_fn(n, |i| (self.eigenvalues[i] * t).exp());
         // V · diag(d) · V⁻¹ computed without an intermediate product.
         Matrix::from_fn(n, n, |i, j| {
-            (0..n).map(|k| self.v[(i, k)] * d[k] * self.v_inv[(k, j)]).sum()
+            (0..n)
+                .map(|k| self.v[(i, k)] * d[k] * self.v_inv[(k, j)])
+                .sum()
         })
     }
 
@@ -287,7 +290,9 @@ impl SystemEigen {
         let n = self.dim();
         assert_eq!(d.len(), n, "spectral filter length mismatch");
         Matrix::from_fn(n, n, |i, j| {
-            (0..n).map(|k| self.v[(i, k)] * d[k] * self.v_inv[(k, j)]).sum()
+            (0..n)
+                .map(|k| self.v[(i, k)] * d[k] * self.v_inv[(k, j)])
+                .sum()
         })
     }
 
@@ -317,12 +322,7 @@ mod tests {
 
     #[test]
     fn jacobi_reconstruction() {
-        let m = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, 0.2],
-            &[0.5, 0.2, 5.0],
-        ])
-        .unwrap();
+        let m = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 5.0]]).unwrap();
         let eig = m.symmetric_eigen().unwrap();
         let err = (&eig.reconstruct() - &m).norm_inf();
         assert!(err < 1e-10, "reconstruction error {err}");
@@ -357,12 +357,8 @@ mod tests {
     #[test]
     fn system_eigen_matches_direct_c() {
         let a_diag = Vector::from(vec![1.0, 2.0, 0.5]);
-        let b = Matrix::from_rows(&[
-            &[3.0, -1.0, 0.0],
-            &[-1.0, 2.5, -0.5],
-            &[0.0, -0.5, 1.5],
-        ])
-        .unwrap();
+        let b =
+            Matrix::from_rows(&[&[3.0, -1.0, 0.0], &[-1.0, 2.5, -0.5], &[0.0, -0.5, 1.5]]).unwrap();
         let sys = SystemEigen::new(&a_diag, &b).unwrap();
         // Reconstruct C = V diag(lambda) V^{-1} and compare with -A^{-1}B.
         let c_rebuilt = sys.spectral_filter(sys.eigenvalues());
@@ -417,12 +413,8 @@ mod tests {
     #[test]
     fn exp_matrix_matches_exp_apply() {
         let a_diag = Vector::from(vec![0.5, 1.5, 1.0]);
-        let b = Matrix::from_rows(&[
-            &[2.0, -0.5, 0.0],
-            &[-0.5, 3.0, -1.0],
-            &[0.0, -1.0, 2.5],
-        ])
-        .unwrap();
+        let b =
+            Matrix::from_rows(&[&[2.0, -0.5, 0.0], &[-0.5, 3.0, -1.0], &[0.0, -1.0, 2.5]]).unwrap();
         let sys = SystemEigen::new(&a_diag, &b).unwrap();
         let x = Vector::from(vec![1.0, 2.0, 3.0]);
         let via_matrix = sys.exp_matrix(0.3).mul_vector(&x);

@@ -142,12 +142,8 @@ mod tests {
     fn expm_agrees_with_eigen_route() {
         use crate::eigen::SystemEigen;
         let a_diag = Vector::from(vec![0.4, 1.1, 0.8]);
-        let b = Matrix::from_rows(&[
-            &[2.0, -0.5, -0.2],
-            &[-0.5, 1.8, -0.6],
-            &[-0.2, -0.6, 2.2],
-        ])
-        .unwrap();
+        let b = Matrix::from_rows(&[&[2.0, -0.5, -0.2], &[-0.5, 1.8, -0.6], &[-0.2, -0.6, 2.2]])
+            .unwrap();
         let sys = SystemEigen::new(&a_diag, &b).unwrap();
         let c = Matrix::from_fn(3, 3, |i, j| -b[(i, j)] / a_diag[i]);
         let tau = 0.01;

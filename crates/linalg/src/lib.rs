@@ -49,11 +49,11 @@ pub mod expm;
 pub mod lu;
 
 pub use cholesky::CholeskyDecomposition;
+pub use eigen::SymmetricEigen;
 pub use error::LinalgError;
 pub use expm::expm;
 pub use lu::LuDecomposition;
 pub use matrix::Matrix;
-pub use eigen::SymmetricEigen;
 pub use vector::Vector;
 
 /// Crate-wide result alias.

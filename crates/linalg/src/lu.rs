@@ -196,12 +196,8 @@ mod tests {
 
     #[test]
     fn solve_known_3x3() {
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, -1.0],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]).unwrap();
         let b = Vector::from(vec![8.0, -11.0, -3.0]);
         let x = a.lu().unwrap().solve(&b).unwrap();
         assert_close(x[0], 2.0, 1e-12);
@@ -222,12 +218,7 @@ mod tests {
 
     #[test]
     fn inverse_times_matrix_is_identity() {
-        let a = Matrix::from_rows(&[
-            &[5.0, 2.0, 1.0],
-            &[2.0, 6.0, 3.0],
-            &[1.0, 3.0, 7.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[5.0, 2.0, 1.0], &[2.0, 6.0, 3.0], &[1.0, 3.0, 7.0]]).unwrap();
         let inv = a.lu().unwrap().inverse().unwrap();
         let prod = a.mul_matrix(&inv).unwrap();
         let err = (&prod - &Matrix::identity(3)).norm_inf();
@@ -249,7 +240,11 @@ mod tests {
     #[test]
     fn pivoting_handles_zero_leading_entry() {
         let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
-        let x = a.lu().unwrap().solve(&Vector::from(vec![2.0, 3.0])).unwrap();
+        let x = a
+            .lu()
+            .unwrap()
+            .solve(&Vector::from(vec![2.0, 3.0]))
+            .unwrap();
         assert_close(x[0], 3.0, 1e-12);
         assert_close(x[1], 2.0, 1e-12);
     }

@@ -179,6 +179,21 @@ impl Matrix {
 
     /// Matrix–matrix product `self * other`.
     ///
+    /// Register-tiled over a block of output columns: each output element
+    /// accumulates its dot product in a register while the inner loop
+    /// streams a row of `self` against a 32-column panel of `other`, so
+    /// the hot loop does two loads per multiply-add instead of the
+    /// load/load/store of the textbook axpy form. For every output
+    /// element the `k`-contributions are accumulated in ascending order
+    /// from `0.0` — the exact addition order of
+    /// [`mul_vector`](Matrix::mul_vector)'s dot products — so multiplying
+    /// a column-stacked batch reproduces the per-vector products bit for
+    /// bit. The batched Algorithm-1 kernel
+    /// (`hotpotato::RotationPeakSolver::peak_celsius_many`) relies on
+    /// this. On x86-64 the same kernel body is re-compiled for AVX-512F /
+    /// AVX2 and dispatched at run time; lane-wise IEEE arithmetic keeps
+    /// the results identical to the portable build.
+    ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if the inner dimensions
@@ -191,21 +206,22 @@ impl Matrix {
                 right: (other.rows, other.cols),
             });
         }
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        // ikj loop order keeps the inner loop streaming over contiguous rows.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a_ik = self[(i, k)];
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let other_row = other.row(k);
-                let out_row = out.row_mut(i);
-                for j in 0..other_row.len() {
-                    out_row[j] += a_ik * other_row[j];
-                }
+        let (m, n, inner) = (self.rows, other.cols, self.cols);
+        let mut out = Matrix::zeros(m, n);
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                // SAFETY: the avx512f requirement was just checked.
+                unsafe { gemm_tiled_avx512(&mut out.data, &self.data, &other.data, m, n, inner) };
+                return Ok(out);
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: the avx2 requirement was just checked.
+                unsafe { gemm_tiled_avx2(&mut out.data, &self.data, &other.data, m, n, inner) };
+                return Ok(out);
             }
         }
+        gemm_tiled(&mut out.data, &self.data, &other.data, m, n, inner);
         Ok(out)
     }
 
@@ -276,7 +292,11 @@ impl Add<&Matrix> for &Matrix {
     type Output = Matrix;
 
     fn add(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add: shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -294,7 +314,11 @@ impl Sub<&Matrix> for &Matrix {
     type Output = Matrix;
 
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub: shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -306,6 +330,78 @@ impl Sub<&Matrix> for &Matrix {
                 .collect(),
         }
     }
+}
+
+/// Width of the output-column register tile in [`Matrix::mul_matrix`]:
+/// 32 f64 accumulators fill four AVX-512 (or eight AVX2) vector
+/// registers, giving enough independent add chains to hide FP latency.
+const GEMM_J_TILE: usize = 32;
+
+/// Shared GEMM body: `out = a × b` with `a` m×inner, `b` inner×n, all
+/// row-major and `out` pre-zeroed. Every output element is a plain
+/// ascending-`k` dot product accumulated from `0.0` in a register — see
+/// [`Matrix::mul_matrix`] for why that addition order is load-bearing.
+#[inline(always)]
+fn gemm_tiled_body(out: &mut [f64], a: &[f64], b: &[f64], m: usize, n: usize, inner: usize) {
+    let mut jb = 0;
+    // 32-column panels of `b` (inner × 32 f64 ≈ 6 KiB for this crate's
+    // thermal systems) stay L1-resident across the whole sweep of `a`'s
+    // rows. The fixed-size tile views unroll the lane loop into straight
+    // vector code with no per-lane bounds checks.
+    while jb + GEMM_J_TILE <= n {
+        for i in 0..m {
+            let a_row = &a[i * inner..(i + 1) * inner];
+            let mut acc = [0.0f64; GEMM_J_TILE];
+            for (&a_ik, b_row) in a_row.iter().zip(b.chunks_exact(n)) {
+                let b_tile: &[f64; GEMM_J_TILE] =
+                    b_row[jb..jb + GEMM_J_TILE].try_into().expect("tile width");
+                for jj in 0..GEMM_J_TILE {
+                    acc[jj] += a_ik * b_tile[jj];
+                }
+            }
+            out[i * n + jb..i * n + jb + GEMM_J_TILE].copy_from_slice(&acc);
+        }
+        jb += GEMM_J_TILE;
+    }
+    // Remainder columns: straight dot products.
+    for j in jb..n {
+        for i in 0..m {
+            let a_row = &a[i * inner..(i + 1) * inner];
+            let mut s = 0.0;
+            for (&a_ik, b_row) in a_row.iter().zip(b.chunks_exact(n)) {
+                s += a_ik * b_row[j];
+            }
+            out[i * n + j] = s;
+        }
+    }
+}
+
+fn gemm_tiled(out: &mut [f64], a: &[f64], b: &[f64], m: usize, n: usize, inner: usize) {
+    gemm_tiled_body(out, a, b, m, n, inner);
+}
+
+/// The same body compiled with AVX2 codegen. Lane-wise IEEE mul/add only
+/// (rustc does not contract to FMA), so results are bit-identical to
+/// [`gemm_tiled`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_tiled_avx2(out: &mut [f64], a: &[f64], b: &[f64], m: usize, n: usize, inner: usize) {
+    gemm_tiled_body(out, a, b, m, n, inner);
+}
+
+/// The same body compiled with AVX-512F codegen; bit-identical results,
+/// as for [`gemm_tiled_avx2`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn gemm_tiled_avx512(
+    out: &mut [f64],
+    a: &[f64],
+    b: &[f64],
+    m: usize,
+    n: usize,
+    inner: usize,
+) {
+    gemm_tiled_body(out, a, b, m, n, inner);
 }
 
 impl Neg for &Matrix {
@@ -340,7 +436,8 @@ impl Mul<&Matrix> for &Matrix {
     /// Panics if the inner dimensions differ. Use [`Matrix::mul_matrix`] for
     /// a fallible version.
     fn mul(self, rhs: &Matrix) -> Matrix {
-        self.mul_matrix(rhs).expect("matrix multiply shape mismatch")
+        self.mul_matrix(rhs)
+            .expect("matrix multiply shape mismatch")
     }
 }
 

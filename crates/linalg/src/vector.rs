@@ -82,11 +82,7 @@ impl Vector {
     /// Panics if the lengths differ.
     pub fn dot(&self, other: &Vector) -> f64 {
         assert_eq!(self.len(), other.len(), "dot: length mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a * b)
-            .sum()
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
     }
 
     /// Euclidean norm.

@@ -22,7 +22,10 @@ impl fmt::Display for ManycoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ManycoreError::InvalidParameter { name, value } => {
-                write!(f, "architecture parameter {name} has non-physical value {value}")
+                write!(
+                    f,
+                    "architecture parameter {name} has non-physical value {value}"
+                )
             }
             ManycoreError::Floorplan(e) => write!(f, "floorplan failure: {e}"),
         }

@@ -207,7 +207,9 @@ impl Machine {
     /// Idle core power (W) at junction temperature `temp_c`, assuming the
     /// idle core stays at nominal voltage (clock-gated, not power-gated).
     pub fn idle_power(&self, temp_c: f64) -> f64 {
-        self.config.power.leakage_power(self.config.power.v_nom, temp_c)
+        self.config
+            .power
+            .leakage_power(self.config.power.v_nom, temp_c)
     }
 }
 
@@ -321,7 +323,10 @@ mod tests {
         let w = WorkPoint::memory_bound();
         let free = m.cpi_stack_loaded(&w, CoreId(27), 4.0, 0.0).unwrap();
         let busy = m.cpi_stack_loaded(&w, CoreId(27), 4.0, 0.5).unwrap();
-        assert_eq!(free.total(), m.cpi_stack(&w, CoreId(27), 4.0).unwrap().total());
+        assert_eq!(
+            free.total(),
+            m.cpi_stack(&w, CoreId(27), 4.0).unwrap().total()
+        );
         assert!(busy.llc > free.llc, "network hops stretch under load");
         assert_eq!(busy.memory, free.memory, "off-chip latency unaffected");
         assert_eq!(busy.base, free.base);

@@ -175,7 +175,8 @@ impl DvfsLadder {
         if self.f_max_ghz == self.f_min_ghz {
             return self.v_max;
         }
-        self.v_min + (self.v_max - self.v_min) * (f - self.f_min_ghz) / (self.f_max_ghz - self.f_min_ghz)
+        self.v_min
+            + (self.v_max - self.v_min) * (f - self.f_min_ghz) / (self.f_max_ghz - self.f_min_ghz)
     }
 
     /// The fastest level whose frequency does not exceed `ghz`.

@@ -37,10 +37,16 @@ impl fmt::Display for PowerError {
                 write!(f, "power parameter {name} has non-physical value {value}")
             }
             PowerError::LevelOutOfRange { level, levels } => {
-                write!(f, "dvfs level {level} out of range (ladder has {levels} levels)")
+                write!(
+                    f,
+                    "dvfs level {level} out of range (ladder has {levels} levels)"
+                )
             }
             PowerError::FrequencyOutOfRange { ghz, min, max } => {
-                write!(f, "frequency {ghz} GHz outside ladder range [{min}, {max}] GHz")
+                write!(
+                    f,
+                    "frequency {ghz} GHz outside ladder range [{min}, {max}] GHz"
+                )
             }
         }
     }
@@ -54,7 +60,10 @@ mod tests {
 
     #[test]
     fn display_nonempty() {
-        let e = PowerError::LevelOutOfRange { level: 31, levels: 31 };
+        let e = PowerError::LevelOutOfRange {
+            level: 31,
+            levels: 31,
+        };
         assert!(e.to_string().contains("31"));
     }
 }

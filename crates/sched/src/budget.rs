@@ -65,8 +65,7 @@ pub(crate) fn assign_levels_per_core(
         let k = active
             .binary_search(&t.core)
             .expect("active contains every executing core");
-        let level =
-            fastest_level_within(machine, &t.work, t.core, cache.budgets[k], t_dtm);
+        let level = fastest_level_within(machine, &t.work, t.core, cache.budgets[k], t_dtm);
         actions.push(Action::SetLevel {
             core: t.core,
             level,

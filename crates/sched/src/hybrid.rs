@@ -12,10 +12,10 @@
 //! worst-case TSP budget; when the rotation becomes sustainable again,
 //! frequency returns to peak.
 
+use hotpotato::{HotPotato, HotPotatoConfig};
 use hp_power::DvfsLevel;
 use hp_sim::{Action, Scheduler, SimView};
 use hp_thermal::RcThermalModel;
-use hotpotato::{HotPotato, HotPotatoConfig};
 
 /// HotPotato + DVFS hybrid: rotation first, frequency as the overflow
 /// valve.
@@ -176,8 +176,7 @@ mod tests {
         let hybrid_m = sim.run(jobs.clone(), &mut hybrid).expect("completes");
 
         let (mut sim, model) = setup();
-        let mut pure =
-            hotpotato::HotPotato::new(model, HotPotatoConfig::default()).expect("valid");
+        let mut pure = hotpotato::HotPotato::new(model, HotPotatoConfig::default()).expect("valid");
         let pure_m = sim.run(jobs, &mut pure).expect("completes");
 
         assert!(

@@ -255,8 +255,7 @@ mod tests {
             &ThermalConfig::default(),
         )
         .unwrap();
-        let sim = Simulation::new(machine, ThermalConfig::default(), SimConfig::default())
-            .unwrap();
+        let sim = Simulation::new(machine, ThermalConfig::default(), SimConfig::default()).unwrap();
         (sim, model)
     }
 

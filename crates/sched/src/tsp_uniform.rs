@@ -125,8 +125,7 @@ mod tests {
             &ThermalConfig::default(),
         )
         .unwrap();
-        let sim = Simulation::new(machine, ThermalConfig::default(), SimConfig::default())
-            .unwrap();
+        let sim = Simulation::new(machine, ThermalConfig::default(), SimConfig::default()).unwrap();
         (sim, model)
     }
 
@@ -142,8 +141,8 @@ mod tests {
     #[test]
     fn tsp_keeps_chip_under_threshold() {
         let (mut sim, model) = setup();
-        let mut sched = TspUniform::new(model, 70.0, 0.3)
-            .with_preferred_cores(vec![CoreId(5), CoreId(10)]);
+        let mut sched =
+            TspUniform::new(model, 70.0, 0.3).with_preferred_cores(vec![CoreId(5), CoreId(10)]);
         let m = sim.run(blackscholes2(), &mut sched).unwrap();
         assert_eq!(m.completed_jobs(), 1);
         assert!(
@@ -159,8 +158,8 @@ mod tests {
         // DVFS throttling must cost wall-clock time vs. the pinned
         // unmanaged run (Fig. 2(a) vs 2(b)).
         let (mut sim, model) = setup();
-        let mut tsp = TspUniform::new(model, 70.0, 0.3)
-            .with_preferred_cores(vec![CoreId(5), CoreId(10)]);
+        let mut tsp =
+            TspUniform::new(model, 70.0, 0.3).with_preferred_cores(vec![CoreId(5), CoreId(10)]);
         let tsp_m = sim.run(blackscholes2(), &mut tsp).unwrap();
 
         let machine = Machine::new(ArchConfig {
@@ -178,10 +177,8 @@ mod tests {
             },
         )
         .unwrap();
-        let mut pinned = hp_sim::schedulers::PinnedScheduler::with_preferred_cores(vec![
-            CoreId(5),
-            CoreId(10),
-        ]);
+        let mut pinned =
+            hp_sim::schedulers::PinnedScheduler::with_preferred_cores(vec![CoreId(5), CoreId(10)]);
         let un_m = unmanaged_sim.run(blackscholes2(), &mut pinned).unwrap();
         assert!(
             tsp_m.makespan > un_m.makespan * 1.05,

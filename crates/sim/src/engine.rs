@@ -92,9 +92,7 @@ impl Simulation {
 
         let mut node_temps = match self.config.prewarm_power {
             None => self.thermal.ambient_state(),
-            Some(p) => self
-                .thermal
-                .steady_state(&Vector::constant(n, p))?,
+            Some(p) => self.thermal.steady_state(&Vector::constant(n, p))?,
         };
         let mut levels = vec![self.machine.config().dvfs.max_level(); n];
         let mut occupancy: Vec<Option<ThreadId>> = vec![None; n];
@@ -127,16 +125,17 @@ impl Simulation {
             }
 
             // 1. Admission: move arrived jobs into the pending queue.
-            while arrivals
-                .front()
-                .is_some_and(|j| j.arrival <= now + 1e-12)
-            {
+            while arrivals.front().is_some_and(|j| j.arrival <= now + 1e-12) {
                 pending.push_back(arrivals.pop_front().expect("checked non-empty"));
             }
 
+            // Junction temperatures for this interval, shared by the
+            // scheduling hook, the DTM check, and the power evaluation
+            // (node_temps only changes at the thermal step below).
+            let core_temps = self.thermal.core_temperatures(&node_temps);
+
             // 2. Scheduling hook.
             if step.is_multiple_of(sched_every) {
-                let core_temps = self.thermal.core_temperatures(&node_temps);
                 let thread_views = build_thread_views(&active);
                 let pending_views: Vec<PendingJobView> = pending
                     .iter()
@@ -175,9 +174,7 @@ impl Simulation {
 
             // 3. Hardware DTM: frequency crash while too hot (chip-wide
             // or per-core, per configuration).
-            let core_temps = self.thermal.core_temperatures(&node_temps);
-            let dtm_now =
-                self.config.dtm_enabled && core_temps.max() >= self.config.t_dtm;
+            let dtm_now = self.config.dtm_enabled && core_temps.max() >= self.config.t_dtm;
             if dtm_now {
                 metrics.dtm_intervals += 1;
             }
@@ -194,7 +191,11 @@ impl Simulation {
             let mut power = Vector::zeros(n);
             for core in 0..n {
                 let temp = core_temps[core];
-                let level = if throttled(core) { min_level } else { levels[core] };
+                let level = if throttled(core) {
+                    min_level
+                } else {
+                    levels[core]
+                };
                 match occupancy[core] {
                     None => {
                         power[core] = self.machine.idle_power(temp);
@@ -206,9 +207,9 @@ impl Simulation {
                         // Migration flush stall eats into the interval.
                         let exec_start = t.stall_until.max(now);
                         let exec_time = ((now + dt) - exec_start).clamp(0.0, dt);
-                        let nominal_stack = self
-                            .machine
-                            .cpi_stack_at_level(&nominal, CoreId(core), level)?;
+                        let nominal_stack =
+                            self.machine
+                                .cpi_stack_at_level(&nominal, CoreId(core), level)?;
                         let effective = if now < t.warmup_until {
                             // Cold private caches: the flushed lines refill
                             // through the LLC, bounded by cache capacity.
@@ -221,9 +222,9 @@ impl Simulation {
                         } else {
                             nominal
                         };
-                        let stack = self
-                            .machine
-                            .cpi_stack_at_level(&effective, CoreId(core), level)?;
+                        let stack =
+                            self.machine
+                                .cpi_stack_at_level(&effective, CoreId(core), level)?;
                         let retired = (stack.ips() * exec_time) as u64;
                         if let ThreadPhaseState::Running { remaining } = t.state {
                             let done = retired.min(remaining);
@@ -348,8 +349,7 @@ impl Simulation {
                         }
                         claimed[c.index()] = true;
                     }
-                    let rt =
-                        JobRuntime::start(j, &cores, self.config.power_history_window);
+                    let rt = JobRuntime::start(j, &cores, self.config.power_history_window);
                     for t in &rt.threads {
                         occupancy[t.core.index()] = Some(t.id);
                     }

@@ -58,7 +58,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::InvalidParameter { name, value } => {
-                write!(f, "simulation parameter {name} has non-physical value {value}")
+                write!(
+                    f,
+                    "simulation parameter {name} has non-physical value {value}"
+                )
             }
             SimError::UnknownJob(id) => write!(f, "scheduler referenced unknown {id}"),
             SimError::UnknownThread(id) => write!(f, "scheduler referenced unknown {id}"),

@@ -6,9 +6,7 @@ use hp_workload::{Job, JobId};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of one thread of one job.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ThreadId {
     /// The owning job.
     pub job: JobId,

@@ -69,9 +69,7 @@ impl Scheduler for PinnedScheduler {
         });
         for job in view.pending {
             if let Some(cores) = self.preferred.take() {
-                if cores.len() == job.threads
-                    && cores.iter().all(|c| free.contains(c))
-                {
+                if cores.len() == job.threads && cores.iter().all(|c| free.contains(c)) {
                     free.retain(|c| !cores.contains(c));
                     actions.push(Action::PlaceJob {
                         job: job.job,

@@ -37,12 +37,8 @@ fn run(scope: DtmScope, dtm: bool) -> Metrics {
         },
     )
     .expect("valid sim config");
-    let mut pinned = PinnedScheduler::with_preferred_cores(vec![
-        CoreId(5),
-        CoreId(6),
-        CoreId(9),
-        CoreId(10),
-    ]);
+    let mut pinned =
+        PinnedScheduler::with_preferred_cores(vec![CoreId(5), CoreId(6), CoreId(9), CoreId(10)]);
     sim.run(hot_jobs(), &mut pinned).expect("completes")
 }
 

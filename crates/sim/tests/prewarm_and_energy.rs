@@ -33,7 +33,8 @@ fn run(prewarm: Option<f64>) -> Metrics {
         spec: Benchmark::Blackscholes.spec(2),
         arrival: 0.0,
     }];
-    sim.run(jobs, &mut PinnedScheduler::new()).expect("completes")
+    sim.run(jobs, &mut PinnedScheduler::new())
+        .expect("completes")
 }
 
 #[test]

@@ -21,20 +21,18 @@ fn benchmarks() -> impl Strategy<Value = Benchmark> {
 }
 
 fn job_sets() -> impl Strategy<Value = Vec<Job>> {
-    proptest::collection::vec((benchmarks(), 1usize..=4, 0.0..50e-3f64), 1..=3).prop_map(
-        |specs| {
-            specs
-                .into_iter()
-                .enumerate()
-                .map(|(i, (b, threads, arrival))| Job {
-                    id: JobId(i),
-                    benchmark: b,
-                    spec: b.spec(threads),
-                    arrival,
-                })
-                .collect()
-        },
-    )
+    proptest::collection::vec((benchmarks(), 1usize..=4, 0.0..50e-3f64), 1..=3).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (b, threads, arrival))| Job {
+                id: JobId(i),
+                benchmark: b,
+                spec: b.spec(threads),
+                arrival,
+            })
+            .collect()
+    })
 }
 
 fn run(jobs: Vec<Job>, dt: f64) -> hp_sim::Metrics {
@@ -55,7 +53,8 @@ fn run(jobs: Vec<Job>, dt: f64) -> hp_sim::Metrics {
         },
     )
     .expect("valid sim config");
-    sim.run(jobs, &mut PinnedScheduler::new()).expect("completes")
+    sim.run(jobs, &mut PinnedScheduler::new())
+        .expect("completes")
 }
 
 proptest! {

@@ -26,7 +26,10 @@ fn all_public_data_types_implement_serde() {
 #[test]
 fn dtm_scope_deserializes_from_variant_names() {
     let de = |s: &'static str| -> StrDeserializer<'static, ValueError> { s.into_deserializer() };
-    assert_eq!(DtmScope::deserialize(de("Chip")).expect("known"), DtmScope::Chip);
+    assert_eq!(
+        DtmScope::deserialize(de("Chip")).expect("known"),
+        DtmScope::Chip
+    );
     assert_eq!(
         DtmScope::deserialize(de("PerCore")).expect("known"),
         DtmScope::PerCore

@@ -3,22 +3,38 @@ use hp_linalg::Vector;
 use hp_thermal::{tsp, RcThermalModel, ThermalConfig};
 
 fn peak(model: &RcThermalModel, p: &Vector) -> f64 {
-    model.core_temperatures(&model.steady_state(p).unwrap()).max()
+    model
+        .core_temperatures(&model.steady_state(p).unwrap())
+        .max()
 }
 
 fn main() {
     let fp = GridFloorplan::new(4, 4).unwrap();
     for gse in [0.3, 0.6, 1.0] {
         for gpe in [0.3, 0.6, 1.0] {
-            let cfg = ThermalConfig { g_sink_edge: gse, g_spreader_edge: gpe, ..ThermalConfig::default() };
+            let cfg = ThermalConfig {
+                g_sink_edge: gse,
+                g_spreader_edge: gpe,
+                ..ThermalConfig::default()
+            };
             let model = RcThermalModel::new(&fp, &cfg).unwrap();
-            let mut p1 = Vector::constant(16, 0.3); p1[5] = 7.0;
-            let mut p1c = Vector::constant(16, 0.3); p1c[0] = 7.0;
-            let mut p2 = Vector::constant(16, 0.3); p2[5] = 7.0; p2[10] = 7.0;
+            let mut p1 = Vector::constant(16, 0.3);
+            p1[5] = 7.0;
+            let mut p1c = Vector::constant(16, 0.3);
+            p1c[0] = 7.0;
+            let mut p2 = Vector::constant(16, 0.3);
+            p2[5] = 7.0;
+            p2[10] = 7.0;
             let mut pr = Vector::constant(16, 0.3);
-            for c in [5usize,6,9,10] { pr[c] = (2.0*7.0 + 2.0*0.3)/4.0; }
-            let ctr = tsp::budget(&model, &[CoreId(5), CoreId(6)], 70.0, 0.3).unwrap().per_core_watts;
-            let cor = tsp::budget(&model, &[CoreId(0), CoreId(15)], 70.0, 0.3).unwrap().per_core_watts;
+            for c in [5usize, 6, 9, 10] {
+                pr[c] = (2.0 * 7.0 + 2.0 * 0.3) / 4.0;
+            }
+            let ctr = tsp::budget(&model, &[CoreId(5), CoreId(6)], 70.0, 0.3)
+                .unwrap()
+                .per_core_watts;
+            let cor = tsp::budget(&model, &[CoreId(0), CoreId(15)], 70.0, 0.3)
+                .unwrap()
+                .per_core_watts;
             println!("gse={gse:.1} gpe={gpe:.1}: one_ctr={:.1} one_cor={:.1} two={:.1} rot={:.1} tsp_ctr={ctr:.2} tsp_cor={cor:.2}", peak(&model,&p1), peak(&model,&p1c), peak(&model,&p2), peak(&model,&pr));
         }
     }

@@ -114,7 +114,10 @@ impl ThermalConfig {
             ("g_lateral_spreader", self.g_lateral_spreader),
             ("g_lateral_sink", self.g_lateral_sink),
         ];
-        for (name, value) in [("g_sink_edge", self.g_sink_edge), ("g_spreader_edge", self.g_spreader_edge)] {
+        for (name, value) in [
+            ("g_sink_edge", self.g_sink_edge),
+            ("g_spreader_edge", self.g_spreader_edge),
+        ] {
             if !(value.is_finite() && value >= 0.0) {
                 return Err(ThermalError::InvalidParameter { name, value });
             }

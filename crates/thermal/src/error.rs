@@ -37,7 +37,10 @@ impl fmt::Display for ThermalError {
                 write!(f, "thermal parameter {name} has non-physical value {value}")
             }
             ThermalError::PowerLengthMismatch { expected, got } => {
-                write!(f, "power vector length {got} does not match expected {expected}")
+                write!(
+                    f,
+                    "power vector length {got} does not match expected {expected}"
+                )
             }
             ThermalError::EmptyActiveSet => {
                 write!(f, "tsp budget requires a non-empty active core set")

@@ -14,8 +14,6 @@ pub enum Layer {
     Sink,
 }
 
-
-
 /// HotSpot-style compact RC thermal network of a grid many-core
 /// (paper Eq. 1: `A·T' + B·T = P + T_amb·G`).
 ///

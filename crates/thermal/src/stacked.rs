@@ -110,7 +110,12 @@ pub fn stacked_model(
         for d in 0..dies.saturating_sub(1) {
             couple(&mut b, d * n + i, (d + 1) * n + i, g_interdie);
         }
-        couple(&mut b, (dies - 1) * n + i, cores + i, config.g_junction_spreader);
+        couple(
+            &mut b,
+            (dies - 1) * n + i,
+            cores + i,
+            config.g_junction_spreader,
+        );
         couple(
             &mut b,
             cores + i,
@@ -168,7 +173,10 @@ mod tests {
         p[5] = 6.0;
         let t_s = stacked.steady_state(&p).expect("solves");
         let t_p = planar.steady_state(&p).expect("solves");
-        assert!((&t_s - &t_p).norm_inf() < 1e-9, "1-die stack == planar chip");
+        assert!(
+            (&t_s - &t_p).norm_inf() < 1e-9,
+            "1-die stack == planar chip"
+        );
     }
 
     #[test]

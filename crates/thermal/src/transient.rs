@@ -151,10 +151,7 @@ impl TransientSolver {
             }
         }
         let step = horizon / SAMPLES as f64;
-        let (mut lo, mut hi) = (
-            (best_t - step).max(0.0),
-            (best_t + step).min(horizon),
-        );
+        let (mut lo, mut hi) = ((best_t - step).max(0.0), (best_t + step).min(horizon));
         const PHI: f64 = 0.618_033_988_749_894_8;
         for _ in 0..40 {
             let a = hi - PHI * (hi - lo);
@@ -233,7 +230,9 @@ mod tests {
         let (model, solver) = setup();
         let mut p = Vector::constant(16, 0.3);
         p[5] = 7.0;
-        let t_inf = solver.step(&model, &model.ambient_state(), &p, 1e4).unwrap();
+        let t_inf = solver
+            .step(&model, &model.ambient_state(), &p, 1e4)
+            .unwrap();
         let t_ss = model.steady_state(&p).unwrap();
         assert!((&t_inf - &t_ss).norm_inf() < 1e-6);
     }
@@ -271,7 +270,9 @@ mod tests {
         let (model, solver) = setup();
         let mut p = Vector::constant(16, 0.3);
         p[5] = 7.0;
-        let hot = solver.step(&model, &model.ambient_state(), &p, 10.0).unwrap();
+        let hot = solver
+            .step(&model, &model.ambient_state(), &p, 10.0)
+            .unwrap();
         let cooled = solver.step(&model, &hot, &Vector::zeros(16), 10.0).unwrap();
         assert!(model.core_temperatures(&cooled).max() < model.core_temperatures(&hot).max());
     }
@@ -373,7 +374,9 @@ mod tests {
         let mut p = Vector::constant(16, 0.3);
         p[5] = 7.0;
         let tau = model.config().junction_time_constant();
-        let t = solver.step(&model, &model.ambient_state(), &p, tau).unwrap();
+        let t = solver
+            .step(&model, &model.ambient_state(), &p, tau)
+            .unwrap();
         let t_ss = model.steady_state(&p).unwrap();
         let progress = (t[5] - 45.0) / (t_ss[5] - 45.0);
         assert!(progress > 0.3 && progress < 0.95, "progress {progress:.2}");

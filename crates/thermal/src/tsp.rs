@@ -353,7 +353,11 @@ mod tests {
         }
         let t = model.steady_state(&p).unwrap();
         for &c in &active {
-            assert!((t[c.index()] - 70.0).abs() < 1e-4, "core {c}: {}", t[c.index()]);
+            assert!(
+                (t[c.index()] - 70.0).abs() < 1e-4,
+                "core {c}: {}",
+                t[c.index()]
+            );
         }
         // And nothing else exceeds it.
         assert!(model.core_temperatures(&t).max() <= 70.0 + 1e-4);

@@ -164,7 +164,13 @@ impl Benchmark {
 
     /// Serial(master) → parallel(all-but-master) → serial(master) — the
     /// Fig. 2 structure. Budgets in mega-instructions.
-    fn master_slave(&self, threads: usize, serial1_mi: u64, par_mi: u64, serial2_mi: u64) -> TaskSpec {
+    fn master_slave(
+        &self,
+        threads: usize,
+        serial1_mi: u64,
+        par_mi: u64,
+        serial2_mi: u64,
+    ) -> TaskSpec {
         let w = self.work_point();
         let sw = self.serial_point();
         let mi = 1_000_000u64;

@@ -5,9 +5,7 @@ use serde::{Deserialize, Serialize};
 use crate::{Benchmark, TaskSpec};
 
 /// Identifier of a job (task instance) inside a workload.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct JobId(pub usize);
 
 impl std::fmt::Display for JobId {

@@ -7,12 +7,12 @@
 //! cargo run --release --example datacenter_burst
 //! ```
 
+use hotpotato::{HotPotato, HotPotatoConfig};
 use hp_manycore::{ArchConfig, Machine};
 use hp_sched::{PcMig, PcMigConfig};
 use hp_sim::{SimConfig, Simulation};
 use hp_thermal::{RcThermalModel, ThermalConfig};
 use hp_workload::open_poisson;
-use hotpotato::{HotPotato, HotPotatoConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rate = 40.0; // arrivals per second: a moderately loaded system

@@ -6,13 +6,13 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use hotpotato::{EpochPowerSequence, HotPotato, HotPotatoConfig, RotationPeakSolver};
 use hp_floorplan::GridFloorplan;
 use hp_linalg::Vector;
 use hp_manycore::{ArchConfig, Machine};
 use hp_sim::{SimConfig, Simulation};
 use hp_thermal::{RcThermalModel, ThermalConfig};
 use hp_workload::{Benchmark, Job, JobId};
-use hotpotato::{EpochPowerSequence, HotPotato, HotPotatoConfig, RotationPeakSolver};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The machine: Table-I defaults (8x8 grid, 4 GHz, S-NUCA LLC).

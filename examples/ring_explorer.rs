@@ -6,11 +6,11 @@
 //! cargo run --release --example ring_explorer [grid_width] [grid_height]
 //! ```
 
+use hotpotato::{EpochPowerSequence, RotationPeakSolver};
 use hp_floorplan::GridFloorplan;
 use hp_linalg::Vector;
 use hp_manycore::{ArchConfig, Machine};
 use hp_thermal::{RcThermalModel, ThermalConfig};
-use hotpotato::{EpochPowerSequence, RotationPeakSolver};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);

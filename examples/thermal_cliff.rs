@@ -9,6 +9,7 @@
 //! cargo run --release --example thermal_cliff
 //! ```
 
+use hotpotato::{HotPotato, HotPotatoConfig};
 use hp_floorplan::{CoreId, GridFloorplan};
 use hp_manycore::{ArchConfig, Machine};
 use hp_sched::TspUniform;
@@ -16,7 +17,6 @@ use hp_sim::schedulers::PinnedScheduler;
 use hp_sim::{Metrics, Scheduler, SimConfig, Simulation, TemperatureTrace};
 use hp_thermal::{RcThermalModel, ThermalConfig};
 use hp_workload::{Benchmark, Job, JobId};
-use hotpotato::{HotPotato, HotPotatoConfig};
 
 fn machine() -> Machine {
     Machine::new(ArchConfig {
@@ -90,11 +90,15 @@ fn main() {
         "           response {:.1} ms, peak {:.1} C  <-- {} the 70 C threshold\n",
         m.makespan * 1e3,
         m.peak_temperature,
-        if m.peak_temperature > 70.0 { "VIOLATES" } else { "respects" }
+        if m.peak_temperature > 70.0 {
+            "VIOLATES"
+        } else {
+            "respects"
+        }
     );
 
-    let mut tsp = TspUniform::new(model(), 70.0, 0.3)
-        .with_preferred_cores(vec![CoreId(5), CoreId(10)]);
+    let mut tsp =
+        TspUniform::new(model(), 70.0, 0.3).with_preferred_cores(vec![CoreId(5), CoreId(10)]);
     let (m, t) = run_with(&mut tsp, true);
     println!("TSP / DVFS |{}|", sparkline(&t, 60));
     println!(

@@ -2,13 +2,13 @@
 //! steady-cycle peak of Algorithm 1 predicts what the full interval
 //! simulator actually measures for a scripted synchronous rotation.
 
+use hotpotato::{EpochPowerSequence, RotationPeakSolver};
 use hp_floorplan::{CoreId, GridFloorplan};
-use hp_manycore::{ArchConfig, Machine, MigrationModel};
 use hp_linalg::Vector;
+use hp_manycore::{ArchConfig, Machine, MigrationModel};
 use hp_sim::{Action, Scheduler, SimConfig, SimView, Simulation};
 use hp_thermal::{RcThermalModel, ThermalConfig};
 use hp_workload::{Benchmark, Job, JobId};
-use hotpotato::{EpochPowerSequence, RotationPeakSolver};
 
 /// A scripted scheduler: place the first job's threads on given slots of
 /// a fixed ring and rotate them every `tau`, forever. No adaptation.
@@ -31,10 +31,7 @@ impl Scheduler for ScriptedRotation {
             if let Some(j) = view.pending.first() {
                 self.placed = true;
                 let cores = self.slots.iter().map(|&s| self.ring[s]).collect();
-                return vec![Action::PlaceJob {
-                    job: j.job,
-                    cores,
-                }];
+                return vec![Action::PlaceJob { job: j.job, cores }];
             }
             return Vec::new();
         }

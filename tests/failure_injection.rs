@@ -1,13 +1,13 @@
 //! Failure injection: deliberately bad schedules must be caught by the
 //! engine's validation or contained by the hardware DTM.
 
+use hotpotato::{HotPotato, HotPotatoConfig};
 use hp_floorplan::{CoreId, GridFloorplan};
 use hp_manycore::{ArchConfig, Machine};
 use hp_sim::schedulers::PinnedScheduler;
 use hp_sim::{Action, Scheduler, SimConfig, SimError, SimView, Simulation};
 use hp_thermal::{RcThermalModel, ThermalConfig};
 use hp_workload::{Benchmark, Job, JobId};
-use hotpotato::{HotPotato, HotPotatoConfig};
 
 fn machine() -> Machine {
     Machine::new(ArchConfig {
@@ -98,18 +98,16 @@ impl Scheduler for GhostMigrator {
 
 #[test]
 fn conflicting_placement_is_rejected() {
-    let mut sim =
-        Simulation::new(machine(), ThermalConfig::default(), SimConfig::default())
-            .expect("valid sim config");
+    let mut sim = Simulation::new(machine(), ThermalConfig::default(), SimConfig::default())
+        .expect("valid sim config");
     let err = sim.run(swaptions(2), &mut ConflictingPlacer).unwrap_err();
     assert!(matches!(err, SimError::CoreConflict { .. }), "{err}");
 }
 
 #[test]
 fn conflicting_migration_is_rejected() {
-    let mut sim =
-        Simulation::new(machine(), ThermalConfig::default(), SimConfig::default())
-            .expect("valid sim config");
+    let mut sim = Simulation::new(machine(), ThermalConfig::default(), SimConfig::default())
+        .expect("valid sim config");
     let err = sim
         .run(swaptions(2), &mut BadMigrator { placed: false })
         .unwrap_err();
@@ -118,9 +116,8 @@ fn conflicting_migration_is_rejected() {
 
 #[test]
 fn unknown_thread_is_rejected() {
-    let mut sim =
-        Simulation::new(machine(), ThermalConfig::default(), SimConfig::default())
-            .expect("valid sim config");
+    let mut sim = Simulation::new(machine(), ThermalConfig::default(), SimConfig::default())
+        .expect("valid sim config");
     let err = sim.run(swaptions(2), &mut GhostMigrator).unwrap_err();
     assert!(matches!(err, SimError::UnknownThread(_)), "{err}");
 }
@@ -138,13 +135,11 @@ fn dtm_contains_a_thermally_unsafe_schedule() {
         },
     )
     .expect("valid sim config");
-    let mut pinned = PinnedScheduler::with_preferred_cores(vec![
-        CoreId(5),
-        CoreId(6),
-        CoreId(9),
-        CoreId(10),
-    ]);
-    let m = sim.run(swaptions(4), &mut pinned).expect("completes under DTM");
+    let mut pinned =
+        PinnedScheduler::with_preferred_cores(vec![CoreId(5), CoreId(6), CoreId(9), CoreId(10)]);
+    let m = sim
+        .run(swaptions(4), &mut pinned)
+        .expect("completes under DTM");
     assert!(m.dtm_intervals > 0, "DTM engaged");
     // DTM reacts within one interval: the overshoot stays bounded.
     assert!(

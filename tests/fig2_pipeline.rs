@@ -2,6 +2,7 @@
 //! the fastest but thermally unsafe; TSP/DVFS is safe but slowest;
 //! synchronous rotation is safe and sits in between.
 
+use hotpotato::{HotPotato, HotPotatoConfig};
 use hp_floorplan::{CoreId, GridFloorplan};
 use hp_manycore::{ArchConfig, Machine};
 use hp_sched::TspUniform;
@@ -9,7 +10,6 @@ use hp_sim::schedulers::PinnedScheduler;
 use hp_sim::{Metrics, Scheduler, SimConfig, Simulation};
 use hp_thermal::{RcThermalModel, ThermalConfig};
 use hp_workload::{Benchmark, Job, JobId};
-use hotpotato::{HotPotato, HotPotatoConfig};
 
 fn machine() -> Machine {
     Machine::new(ArchConfig {
@@ -68,8 +68,16 @@ fn fig2_ordering_and_safety() {
         "unmanaged peak {:.1}",
         unmanaged.peak_temperature
     );
-    assert!(tsp_m.peak_temperature <= 70.5, "tsp peak {:.1}", tsp_m.peak_temperature);
-    assert!(rot.peak_temperature <= 70.5, "rotation peak {:.1}", rot.peak_temperature);
+    assert!(
+        tsp_m.peak_temperature <= 70.5,
+        "tsp peak {:.1}",
+        tsp_m.peak_temperature
+    );
+    assert!(
+        rot.peak_temperature <= 70.5,
+        "rotation peak {:.1}",
+        rot.peak_temperature
+    );
 
     // Response-time ordering: unmanaged < rotation < TSP (paper: 68 < 74 < 84 ms).
     assert!(

@@ -1,13 +1,13 @@
 //! Open-system integration: Poisson arrivals on the 16-core chip under
 //! both run-time managers, across load levels.
 
+use hotpotato::{HotPotato, HotPotatoConfig};
 use hp_floorplan::GridFloorplan;
 use hp_manycore::{ArchConfig, Machine};
 use hp_sched::{PcMig, PcMigConfig};
 use hp_sim::{Metrics, Scheduler, SimConfig, Simulation};
 use hp_thermal::{RcThermalModel, ThermalConfig};
 use hp_workload::open_poisson;
-use hotpotato::{HotPotato, HotPotatoConfig};
 
 fn machine() -> Machine {
     Machine::new(ArchConfig {
@@ -43,8 +43,7 @@ fn run(scheduler: &mut dyn Scheduler, rate: f64, seed: u64) -> Metrics {
 #[test]
 fn both_schedulers_complete_across_loads() {
     for rate in [5.0, 50.0, 200.0] {
-        let mut hp =
-            HotPotato::new(model(), HotPotatoConfig::default()).expect("valid config");
+        let mut hp = HotPotato::new(model(), HotPotatoConfig::default()).expect("valid config");
         let hp_m = run(&mut hp, rate, 3);
         assert_eq!(hp_m.completed_jobs(), 8, "hotpotato at rate {rate}");
 
@@ -58,11 +57,9 @@ fn both_schedulers_complete_across_loads() {
 fn response_times_grow_with_load() {
     // Queueing sanity: pushing arrivals closer together cannot make the
     // mean response time better (same job set, same scheduler).
-    let mut hp_lo =
-        HotPotato::new(model(), HotPotatoConfig::default()).expect("valid config");
+    let mut hp_lo = HotPotato::new(model(), HotPotatoConfig::default()).expect("valid config");
     let lo = run(&mut hp_lo, 2.0, 9);
-    let mut hp_hi =
-        HotPotato::new(model(), HotPotatoConfig::default()).expect("valid config");
+    let mut hp_hi = HotPotato::new(model(), HotPotatoConfig::default()).expect("valid config");
     let hi = run(&mut hp_hi, 500.0, 9);
     let lo_mean = lo.mean_response_time().expect("completed");
     let hi_mean = hi.mean_response_time().expect("completed");

@@ -2,6 +2,7 @@
 //! complete the workload, conserve instructions, and respect its own
 //! migration discipline.
 
+use hotpotato::{HotPotato, HotPotatoConfig};
 use hp_floorplan::GridFloorplan;
 use hp_manycore::{ArchConfig, Machine};
 use hp_sched::{PcGov, PcMig, PcMigConfig, TspUniform};
@@ -9,7 +10,6 @@ use hp_sim::schedulers::PinnedScheduler;
 use hp_sim::{Metrics, Scheduler, SimConfig, Simulation};
 use hp_thermal::{RcThermalModel, ThermalConfig};
 use hp_workload::{Benchmark, Job, JobId};
-use hotpotato::{HotPotato, HotPotatoConfig};
 
 fn machine() -> Machine {
     Machine::new(ArchConfig {
@@ -63,7 +63,10 @@ fn run(scheduler: &mut dyn Scheduler) -> Metrics {
 
 fn check_common(m: &Metrics) {
     assert_eq!(m.completed_jobs(), 4, "{}: all jobs complete", m.scheduler);
-    let expected: u64 = mixed_jobs().iter().map(|j| j.spec.total_instructions()).sum();
+    let expected: u64 = mixed_jobs()
+        .iter()
+        .map(|j| j.spec.total_instructions())
+        .sum();
     let retired: u64 = m.jobs.iter().map(|j| j.instructions).sum();
     assert_eq!(retired, expected, "{}: instructions conserved", m.scheduler);
     assert!(m.makespan > 0.0 && m.energy > 0.0);

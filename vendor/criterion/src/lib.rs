@@ -1,0 +1,251 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the criterion API shape the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{bench_function, bench_with_input, sample_size}`,
+//! `Bencher::iter`, `BenchmarkId`) but measures with a plain wall-clock
+//! sample loop and prints mean/min per-iteration times to stdout. Like the
+//! real criterion, a binary invoked *without* `--bench` (e.g. by
+//! `cargo test`) runs every benchmark exactly once as a smoke test instead
+//! of measuring.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier `group/function/parameter` for one benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything accepted as a benchmark name (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The flat string id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    measure: bool,
+    /// (mean, min) per-iteration time of the last `iter` call.
+    last: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records per-call wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.measure {
+            std::hint::black_box(routine());
+            self.last = None;
+            return;
+        }
+        // One untimed warmup call, then `samples` timed calls.
+        std::hint::black_box(routine());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.last = Some((total / self.samples as u32, min));
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples > 0, "sample_size must be positive");
+        self.samples = samples;
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut bencher = Bencher {
+            samples: self.samples,
+            measure: self.criterion.measure,
+            last: None,
+        };
+        routine(&mut bencher);
+        self.criterion.report(&full, bencher.last);
+        self
+    }
+
+    /// Benchmarks `routine(input)` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group (accepted for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Mirror criterion's contract with cargo: `cargo bench` passes
+        // `--bench`; anything else (notably `cargo test`) smoke-tests each
+        // benchmark once without timing.
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { measure }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: 20,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into_id();
+        let mut bencher = Bencher {
+            samples: 20,
+            measure: self.measure,
+            last: None,
+        };
+        routine(&mut bencher);
+        self.report(&full, bencher.last);
+        self
+    }
+
+    fn report(&self, name: &str, timing: Option<(Duration, Duration)>) {
+        match timing {
+            Some((mean, min)) => {
+                println!("{name:<56} mean {mean:>12.3?}   min {min:>12.3?}");
+            }
+            None => println!("{name:<56} ok (smoke test, not timed)"),
+        }
+    }
+}
+
+/// Opaque value barrier preventing the optimizer from deleting a benchmark.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(192).to_string(), "192");
+    }
+
+    #[test]
+    fn smoke_mode_runs_routine_once() {
+        let mut c = Criterion { measure: false };
+        let mut calls = 0u32;
+        c.bench_function("t", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measure_mode_records_timing() {
+        let mut c = Criterion { measure: true };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut calls = 0u32;
+        g.bench_function("t", |b| b.iter(|| calls += 1));
+        // 1 warmup + 3 samples.
+        assert_eq!(calls, 4);
+    }
+}

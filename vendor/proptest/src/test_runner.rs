@@ -1,0 +1,149 @@
+//! The case loop behind the `proptest!` macro.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use rand::SeedableRng;
+
+use crate::strategy::{Strategy, TestRng};
+use crate::ProptestConfig;
+
+/// Why one generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property is violated (`prop_assert!`).
+    Fail(String),
+    /// The input is outside the property's precondition (`prop_assume!`).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case with `msg`.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discarded case with `msg`.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives one property test: deterministic RNG, case loop, reject budget.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+    name: String,
+}
+
+impl TestRunner {
+    /// Creates a runner whose RNG seed is derived from `name`, so a given
+    /// test always sees the same input sequence.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        TestRunner {
+            config,
+            rng: TestRng::seed_from_u64(fnv1a(name)),
+            name: name.to_owned(),
+        }
+    }
+
+    /// Runs `test` on `config.cases` generated inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the enclosing `#[test]`) on the first failing case,
+    /// printing the generated input, or when `prop_assume!` rejects more
+    /// than `config.max_global_rejects` inputs.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        let mut passed = 0u32;
+        let mut rejects = 0u32;
+        while passed < self.config.cases {
+            let input = strategy.generate(&mut self.rng);
+            let shown = format!("{input:?}");
+            match catch_unwind(AssertUnwindSafe(|| test(input))) {
+                Ok(Ok(())) => passed += 1,
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    panic!(
+                        "proptest: property `{}` failed after {passed} passing case(s)\n\
+                         {msg}\ninput: {shown}",
+                        self.name
+                    );
+                }
+                Ok(Err(TestCaseError::Reject(msg))) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= self.config.max_global_rejects,
+                        "proptest: property `{}` rejected too many inputs ({rejects}): {msg}",
+                        self.name
+                    );
+                }
+                Err(payload) => {
+                    eprintln!(
+                        "proptest: property `{}` panicked after {passed} passing case(s)\n\
+                         input: {shown}",
+                        self.name
+                    );
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a over the test name: stable across runs and platforms.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_inputs_per_name() {
+        use crate::strategy::Strategy;
+        let collect = |name: &str| {
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(20), name);
+            let mut seen = Vec::new();
+            let s = 0.0..1.0f64;
+            for _ in 0..20 {
+                seen.push(s.generate(&mut runner.rng));
+            }
+            seen
+        };
+        assert_eq!(collect("a::b"), collect("a::b"));
+        assert_ne!(collect("a::b"), collect("a::c"));
+    }
+
+    #[test]
+    fn run_counts_only_passing_cases() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(10), "t");
+        let mut count = std::cell::Cell::new(0u32);
+        runner.run(&(0.0..1.0f64,), |(x,)| {
+            if x < 0.5 {
+                return Err(TestCaseError::reject("low"));
+            }
+            count.set(count.get() + 1);
+            Ok(())
+        });
+        assert_eq!(count.get_mut(), &mut 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "property `boom` failed")]
+    fn failing_case_panics_with_input() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(5), "boom");
+        runner.run(&(0.0..1.0f64,), |(_x,)| Err(TestCaseError::fail("nope")));
+    }
+}

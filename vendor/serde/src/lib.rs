@@ -1,0 +1,424 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace deliberately carries no JSON backend; serde is used only
+//! for (a) compile-time `Serialize`/`Deserialize` trait coverage of the
+//! public data types and (b) value-level deserialization through serde's
+//! in-memory deserializers (`serde::de::value::StrDeserializer` et al.).
+//! This vendored crate implements exactly that surface on a simplified
+//! data model: every serializable value maps to a [`Value`] tree, and a
+//! [`Deserializer`](de::Deserializer) is anything that can produce a
+//! [`Value`]. The `Serialize`/`Deserialize` derives come from the sibling
+//! `serde_derive` crate and target the same model.
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The in-memory data model every serializable type maps onto.
+///
+/// Structs become [`Value::Map`], tuple structs become [`Value::Seq`],
+/// unit enum variants become [`Value::Str`] of the variant name — the
+/// same externally-tagged shape the real serde uses for self-describing
+/// formats.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String (also unit enum variant names).
+    Str(String),
+    /// `None`.
+    Unit,
+    /// `Some(inner)`.
+    Some(Box<Value>),
+    /// Sequences (`Vec`, tuple structs, tuples).
+    Seq(Vec<Value>),
+    /// Field-name → value maps (named-field structs).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Bool(_) => "bool",
+            Value::I64(_) => "i64",
+            Value::U64(_) => "u64",
+            Value::F64(_) => "f64",
+            Value::Str(_) => "string",
+            Value::Unit => "unit",
+            Value::Some(_) => "some",
+            Value::Seq(_) => "seq",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// A type that can render itself into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be rebuilt from a [`Deserializer`](de::Deserializer).
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from `deserializer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the deserializer's error type if the input value does not
+    /// have the shape `Self` expects.
+    fn deserialize<D: de::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Deserialization traits and in-memory deserializers.
+pub mod de {
+    use super::Value;
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    /// Errors a deserializer can produce.
+    pub trait Error: Sized + std::error::Error {
+        /// An error carrying a custom message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A source of one [`Value`] tree.
+    ///
+    /// This replaces the visitor machinery of the real serde: the model is
+    /// self-describing, so `Deserialize` impls pattern-match on the value.
+    pub trait Deserializer<'de> {
+        /// The error type.
+        type Error: Error;
+        /// Produces the input as a [`Value`].
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined; the in-memory deserializers here never
+        /// fail at this stage.
+        fn deserialize_value(self) -> Result<Value, Self::Error>;
+    }
+
+    /// Conversion into an in-memory deserializer, mirroring
+    /// `serde::de::IntoDeserializer`.
+    pub trait IntoDeserializer<'de, E: Error = value::Error> {
+        /// The deserializer produced.
+        type Deserializer: Deserializer<'de, Error = E>;
+        /// Wraps `self` in its deserializer.
+        fn into_deserializer(self) -> Self::Deserializer;
+    }
+
+    impl<'de, E: Error> IntoDeserializer<'de, E> for &'de str {
+        type Deserializer = value::StrDeserializer<'de, E>;
+        fn into_deserializer(self) -> Self::Deserializer {
+            value::StrDeserializer {
+                value: self,
+                marker: PhantomData,
+            }
+        }
+    }
+
+    /// In-memory deserializers over borrowed primitives and [`Value`]s.
+    pub mod value {
+        use super::super::Value;
+        use std::fmt;
+        use std::marker::PhantomData;
+
+        /// A plain string-message error, mirroring `serde::de::value::Error`.
+        #[derive(Debug, Clone, PartialEq)]
+        pub struct Error {
+            msg: String,
+        }
+
+        impl fmt::Display for Error {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.msg)
+            }
+        }
+
+        impl std::error::Error for Error {}
+
+        impl super::Error for Error {
+            fn custom<T: fmt::Display>(msg: T) -> Self {
+                Error {
+                    msg: msg.to_string(),
+                }
+            }
+        }
+
+        /// Deserializer over a borrowed `&str` (enum variant names).
+        pub struct StrDeserializer<'de, E> {
+            pub(in crate::de) value: &'de str,
+            pub(in crate::de) marker: PhantomData<E>,
+        }
+
+        impl<'de, E: super::Error> super::Deserializer<'de> for StrDeserializer<'de, E> {
+            type Error = E;
+            fn deserialize_value(self) -> Result<Value, E> {
+                Ok(Value::Str(self.value.to_owned()))
+            }
+        }
+
+        /// Deserializer over an owned [`Value`] (used by derived impls to
+        /// recurse into fields).
+        pub struct ValueDeserializer<E> {
+            value: Value,
+            marker: PhantomData<E>,
+        }
+
+        impl<E> ValueDeserializer<E> {
+            /// Wraps `value`.
+            pub fn new(value: Value) -> Self {
+                ValueDeserializer {
+                    value,
+                    marker: PhantomData,
+                }
+            }
+        }
+
+        impl<'de, E: super::Error> super::Deserializer<'de> for ValueDeserializer<E> {
+            type Error = E;
+            fn deserialize_value(self) -> Result<Value, E> {
+                Ok(self.value)
+            }
+        }
+    }
+}
+
+/// Support machinery for the `serde_derive` macros. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    pub use super::de::value::ValueDeserializer;
+    pub use super::Value;
+    use super::{de, Deserialize};
+
+    /// Rebuilds a `T` from an owned [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches from `T::deserialize`.
+    pub fn from_value<'de, T: Deserialize<'de>, E: de::Error>(value: Value) -> Result<T, E> {
+        T::deserialize(ValueDeserializer::new(value))
+    }
+
+    /// Looks up struct field `name` in a deserialized map and rebuilds it.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the field is missing or its value has the wrong shape.
+    pub fn get_field<'de, T: Deserialize<'de>, E: de::Error>(
+        fields: &[(String, Value)],
+        name: &str,
+    ) -> Result<T, E> {
+        let v = fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .ok_or_else(|| E::custom(format!("missing field `{name}`")))?
+            .1
+            .clone();
+        from_value(v)
+    }
+
+    /// Error for a value whose shape does not match the target type.
+    pub fn unexpected<E: de::Error>(expected: &str, got: &Value) -> E {
+        E::custom(format!(
+            "invalid type: expected {expected}, found {}",
+            got.kind()
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize / Deserialize for the std types the workspace's data types use.
+// ---------------------------------------------------------------------------
+
+macro_rules! serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                use de::Error;
+                match d.deserialize_value()? {
+                    Value::U64(n) => <$t>::try_from(n)
+                        .map_err(|_| D::Error::custom(format!("{n} out of range"))),
+                    Value::I64(n) => <$t>::try_from(n)
+                        .map_err(|_| D::Error::custom(format!("{n} out of range"))),
+                    other => Err(__private::unexpected("an unsigned integer", &other)),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! serde_sint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                use de::Error;
+                match d.deserialize_value()? {
+                    Value::I64(n) => <$t>::try_from(n)
+                        .map_err(|_| D::Error::custom(format!("{n} out of range"))),
+                    Value::U64(n) => <$t>::try_from(n)
+                        .map_err(|_| D::Error::custom(format!("{n} out of range"))),
+                    other => Err(__private::unexpected("a signed integer", &other)),
+                }
+            }
+        }
+    )*};
+}
+
+serde_uint!(u8, u16, u32, u64, usize);
+serde_sint!(i8, i16, i32, i64, isize);
+
+macro_rules! serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(f64::from(*self))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.deserialize_value()? {
+                    Value::F64(x) => Ok(x as $t),
+                    Value::U64(n) => Ok(n as $t),
+                    Value::I64(n) => Ok(n as $t),
+                    other => Err(__private::unexpected("a float", &other)),
+                }
+            }
+        }
+    )*};
+}
+
+serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(__private::unexpected("a bool", &other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(__private::unexpected("a string", &other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Unit,
+            Some(v) => Value::Some(Box::new(v.to_value())),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Unit => Ok(None),
+            Value::Some(inner) => Ok(Some(__private::from_value(*inner)?)),
+            // Lenient: a bare value counts as Some(value).
+            other => Ok(Some(__private::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Seq(items) => items.into_iter().map(__private::from_value).collect(),
+            other => Err(__private::unexpected("a sequence", &other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::de::value::{Error as ValueError, StrDeserializer};
+    use super::de::IntoDeserializer;
+    use super::{__private, Deserialize, Serialize, Value};
+
+    #[test]
+    fn primitives_roundtrip() {
+        let v = 42usize.to_value();
+        assert_eq!(v, Value::U64(42));
+        let back: usize = __private::from_value::<usize, ValueError>(v).unwrap();
+        assert_eq!(back, 42);
+
+        let v = Some(1.5f64).to_value();
+        let back: Option<f64> = __private::from_value::<_, ValueError>(v).unwrap();
+        assert_eq!(back, Some(1.5));
+
+        let v = vec![1u64, 2, 3].to_value();
+        let back: Vec<u64> = __private::from_value::<_, ValueError>(v).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn str_deserializer_produces_strings() {
+        let de: StrDeserializer<'static, ValueError> = "Chip".into_deserializer();
+        assert_eq!(String::deserialize(de).unwrap(), "Chip");
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        let r = __private::from_value::<bool, ValueError>(Value::U64(1));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,361 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! The build environment has no network access, so `syn`/`quote` are not
+//! available; instead the item is parsed by walking `proc_macro` token
+//! trees directly and the impl is emitted as a string that is parsed back
+//! into a `TokenStream`. Supported shapes — the only ones the workspace
+//! uses — are non-generic named-field structs, tuple structs, unit
+//! structs, and enums whose variants all carry no data. Anything else
+//! panics at compile time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Consumes leading attributes (`#[...]`, `#![...]`) from `tokens[*pos]`.
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                *pos += 1;
+                if let Some(TokenTree::Punct(bang)) = tokens.get(*pos) {
+                    if bang.as_char() == '!' {
+                        *pos += 1;
+                    }
+                }
+                match tokens.get(*pos) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        *pos += 1;
+                    }
+                    _ => panic!("serde_derive: malformed attribute"),
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Consumes a leading visibility qualifier (`pub`, `pub(...)`).
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found `{other}`"),
+        };
+        pos += 1;
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, found `{other}`"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_tuple_arity(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_unit_variants(group: TokenStream, enum_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                panic!("serde_derive: expected variant name in `{enum_name}`, found `{other}`")
+            }
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive: variant `{enum_name}::{name}` carries data; only unit variants are supported"
+            ),
+            Some(other) => panic!("serde_derive: unexpected token `{other}` after variant `{name}`"),
+        }
+        variants.push(name);
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                name,
+                fields: Fields::Tuple(parse_tuple_arity(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct {
+                name,
+                fields: Fields::Unit,
+            },
+            other => panic!("serde_derive: malformed struct `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                variants: parse_unit_variants(g.stream(), &name),
+                name,
+            },
+            other => panic!("serde_derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive: `{other}` items are not supported"),
+    }
+}
+
+/// Derives `serde::Serialize` (value-model form).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct {
+            name,
+            fields: Fields::Named(fields),
+        } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::Struct {
+            name,
+            fields: Fields::Tuple(arity),
+        } => {
+            let entries: Vec<String> = (0..arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::Struct {
+            name,
+            fields: Fields::Unit,
+        } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Unit }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\"))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+    };
+    body.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (value-model form).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, match_body) = match parse_item(input) {
+        Item::Struct {
+            name,
+            fields: Fields::Named(fields),
+        } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::get_field(&fields, \"{f}\")?"))
+                .collect();
+            let body = format!(
+                "::serde::Value::Map(fields) => ::std::result::Result::Ok({name} {{ {} }}),\n\
+                 other => ::std::result::Result::Err(\
+                     ::serde::__private::unexpected(\"a map for struct `{name}`\", &other)),",
+                inits.join(", ")
+            );
+            (name, body)
+        }
+        Item::Struct {
+            name,
+            fields: Fields::Tuple(arity),
+        } => {
+            let inits: Vec<String> = (0..arity)
+                .map(|_| {
+                    "::serde::__private::from_value(items.next().expect(\"length checked\"))?"
+                        .to_string()
+                })
+                .collect();
+            let body = format!(
+                "::serde::Value::Seq(items) if items.len() == {arity} => {{\n\
+                     let mut items = items.into_iter();\n\
+                     let _ = &mut items;\n\
+                     ::std::result::Result::Ok({name}({}))\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(::serde::__private::unexpected(\
+                     \"a sequence of length {arity} for `{name}`\", &other)),",
+                inits.join(", ")
+            );
+            (name, body)
+        }
+        Item::Struct {
+            name,
+            fields: Fields::Unit,
+        } => {
+            let body = format!(
+                "::serde::Value::Unit => ::std::result::Result::Ok({name}),\n\
+                 other => ::std::result::Result::Err(\
+                     ::serde::__private::unexpected(\"unit for `{name}`\", &other)),"
+            );
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let body = format!(
+                "::serde::Value::Str(s) => match s.as_str() {{\n\
+                     {}\n\
+                     other => ::std::result::Result::Err(\
+                         <D::Error as ::serde::de::Error>::custom(\
+                             ::std::format!(\"unknown variant `{{other}}` for enum `{name}`\"))),\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(::serde::__private::unexpected(\
+                     \"a variant name for enum `{name}`\", &other)),",
+                arms.join("\n")
+            );
+            (name, body)
+        }
+    };
+    let out = format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::de::Deserializer<'de>>(deserializer: D) \
+                 -> ::std::result::Result<Self, D::Error> {{\n\
+                 match ::serde::de::Deserializer::deserialize_value(deserializer)? {{\n\
+                     {match_body}\n\
+                 }}\n\
+             }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
