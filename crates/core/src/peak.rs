@@ -262,8 +262,56 @@ impl RotationPeakSolver {
 
         let mut z = cycle_start(delta, nodes, &decay, &as_rows(&ys));
 
-        // Walk the cycle: z_{k+1} = m ⊙ z_k + (1-m) ⊙ y_k, record
-        // junction temperatures at each boundary.
+        // Walk the cycle: z_{k+1} = m ⊙ z_k + (1-m) ⊙ y_k, row-stacking
+        // the boundary states so one GEMM against the junction rows of `V`
+        // reconstructs every boundary's junction temperatures at once
+        // (bit-identical to the per-boundary `V·z` mat-vecs — see
+        // `peak_report_serial`).
+        let mut z_t = Matrix::zeros(delta, nodes);
+        for (e, y) in ys.iter().enumerate() {
+            for i in 0..nodes {
+                z[i] = decay.m[i] * z[i] + decay.one_minus_m[i] * y[i];
+            }
+            z_t.row_mut(e).copy_from_slice(z.as_slice());
+        }
+        let t = z_t.mul_matrix(&self.v_junction_t)?; // δ × cores
+
+        let mut boundary_temps = Vec::with_capacity(delta);
+        let mut peak = f64::NEG_INFINITY;
+        let mut critical_core = CoreId(0);
+        let mut critical_epoch = 0;
+        for e in 0..delta {
+            let cores = Vector::from(t.row(e).to_vec());
+            if let Some(idx) = cores.argmax() {
+                if cores[idx] > peak {
+                    peak = cores[idx];
+                    critical_core = CoreId(idx);
+                    critical_epoch = e;
+                }
+            }
+            boundary_temps.push(cores);
+        }
+
+        Ok(PeakReport {
+            peak_celsius: peak,
+            critical_core,
+            critical_epoch,
+            boundary_temps,
+        })
+    }
+
+    /// Serial form of [`peak`](RotationPeakSolver::peak): one full `V·z`
+    /// mat-vec per boundary instead of the row-stacked GEMM. Kept as the
+    /// differential-testing reference the batched report path must match
+    /// bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`peak`](RotationPeakSolver::peak).
+    #[doc(hidden)]
+    pub fn peak_report_serial(&self, seq: &EpochPowerSequence) -> Result<PeakReport> {
+        let (delta, nodes, decay, ys) = self.prepare(seq)?;
+        let mut z = cycle_start(delta, nodes, &decay, &as_rows(&ys));
         let mut boundary_temps = Vec::with_capacity(delta);
         let mut peak = f64::NEG_INFINITY;
         let mut critical_core = CoreId(0);
@@ -283,7 +331,6 @@ impl RotationPeakSolver {
             }
             boundary_temps.push(cores);
         }
-
         Ok(PeakReport {
             peak_celsius: peak,
             critical_core,
@@ -497,7 +544,14 @@ impl RotationPeakSolver {
     ///
     /// `samples == 1` reduces exactly to [`peak_celsius`].
     ///
+    /// All `δ·samples` intra-epoch phases are row-stacked into one batch
+    /// matrix and mapped through a single `Z × V_junctionᵀ` GEMM instead
+    /// of per-sample junction dots — bit-identical to the serial form
+    /// (kept as [`peak_celsius_sampled_serial`]) and severalfold faster
+    /// (see `benches/overhead_alg1.rs`).
+    ///
     /// [`peak_celsius`]: RotationPeakSolver::peak_celsius
+    /// [`peak_celsius_sampled_serial`]: RotationPeakSolver::peak_celsius_sampled_serial
     ///
     /// # Errors
     ///
@@ -511,10 +565,53 @@ impl RotationPeakSolver {
             });
         }
         let (delta, nodes, decay, ys) = self.prepare(seq)?;
-        let cores = self.model.core_count();
         let mut z = cycle_start(delta, nodes, &decay, &as_rows(&ys));
         // Sub-epoch decay factors m_s = e^{λ·τ·s/samples}; applying them
         // `samples` times reproduces one full epoch exactly.
+        let sub = self.decay_for(seq.tau() / samples as f64);
+        let mut z_t = Matrix::zeros(delta * samples, nodes);
+        let mut row = 0;
+        for y in &ys {
+            for _ in 0..samples {
+                for i in 0..nodes {
+                    z[i] = sub.m[i] * z[i] + sub.one_minus_m[i] * y[i];
+                }
+                z_t.row_mut(row).copy_from_slice(z.as_slice());
+                row += 1;
+            }
+        }
+        let t = z_t.mul_matrix(&self.v_junction_t)?; // δ·samples × cores
+        let mut peak = f64::NEG_INFINITY;
+        for &v in t.as_slice() {
+            peak = peak.max(v);
+        }
+        Ok(peak)
+    }
+
+    /// Serial form of
+    /// [`peak_celsius_sampled`](RotationPeakSolver::peak_celsius_sampled):
+    /// per-sample junction dot products instead of the row-stacked batch
+    /// GEMM. Kept as the differential-testing reference (and the benchmark
+    /// baseline) the batched sampled path must match bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`peak_celsius_sampled`](RotationPeakSolver::peak_celsius_sampled).
+    #[doc(hidden)]
+    pub fn peak_celsius_sampled_serial(
+        &self,
+        seq: &EpochPowerSequence,
+        samples: usize,
+    ) -> Result<f64> {
+        if samples == 0 {
+            return Err(HotPotatoError::InvalidParameter {
+                name: "samples",
+                value: 0.0,
+            });
+        }
+        let (delta, nodes, decay, ys) = self.prepare(seq)?;
+        let cores = self.model.core_count();
+        let mut z = cycle_start(delta, nodes, &decay, &as_rows(&ys));
         let sub = self.decay_for(seq.tau() / samples as f64);
         let mut peak = f64::NEG_INFINITY;
         for y in &ys {

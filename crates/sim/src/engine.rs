@@ -254,7 +254,10 @@ impl Simulation {
                 }
             }
 
-            // 5. Exact thermal step for the interval.
+            // 5. Exact thermal step for the interval. `step` is the
+            // batched GEMM kernel applied to a batch of one; the fixed
+            // `dt` hits the solver's decay cache every interval, so no
+            // per-step eigenvalue exponentials are recomputed.
             node_temps = self.solver.step(&self.thermal, &node_temps, &power, dt)?;
             let after = self.thermal.core_temperatures(&node_temps);
             metrics.peak_temperature = metrics.peak_temperature.max(after.max());

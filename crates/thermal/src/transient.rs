@@ -1,7 +1,15 @@
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use hp_linalg::eigen::SystemEigen;
-use hp_linalg::Vector;
+use hp_linalg::{Matrix, Vector};
 
 use crate::{RcThermalModel, Result, ThermalError};
+
+/// Distinct `dt` values cached per solver; an interval simulator steps at
+/// one fixed `dt` (plus the occasional trace sub-step), so the cap only
+/// guards against pathological churn.
+const DECAY_CACHE_CAP: usize = 64;
 
 /// MatEx-style transient temperature solver.
 ///
@@ -17,6 +25,23 @@ use crate::{RcThermalModel, Result, ThermalError};
 /// [`step`](TransientSolver::step) is *exact* for that interval — no
 /// time-discretization error — which is what lets the interval simulator
 /// take millisecond steps safely.
+///
+/// # Batch evaluation
+///
+/// Every entry point funnels through the same row-stacked batched kernel
+/// (the layout of `hotpotato`'s `peak_celsius_many`): states are packed as
+/// contiguous rows, mapped to eigen space with one GEMM against `V⁻¹ᵀ`,
+/// scaled by the cached decay factors `e^{λΔt}`, and mapped back with one
+/// GEMM against `Vᵀ`. Because the register-tiled GEMM accumulates each
+/// output element in ascending inner-index order — the same order as the
+/// scalar dot products — the batched results are bit-identical to the
+/// serial mat-vec forms (kept as [`step_reference`] /
+/// [`trajectory_reference`] for differential testing). Decay vectors are
+/// cached per distinct `dt`, so an interval simulator computes the `N`
+/// exponentials once instead of every interval.
+///
+/// [`step_reference`]: TransientSolver::step_reference
+/// [`trajectory_reference`]: TransientSolver::trajectory_reference
 ///
 /// # Example
 ///
@@ -38,9 +63,33 @@ use crate::{RcThermalModel, Result, ThermalError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct TransientSolver {
     eigen: SystemEigen,
+    /// `Vᵀ`: right-hand side of the eigen-to-node GEMM over row-stacked
+    /// batch states.
+    v_t: Matrix,
+    /// `V⁻¹ᵀ`: right-hand side of the node-to-eigen GEMM.
+    v_inv_t: Matrix,
+    /// `dt.to_bits() → e^{λ·dt}`, cached because an interval simulator
+    /// steps at one fixed `dt`.
+    decay_cache: Mutex<HashMap<u64, Arc<Vector>>>,
+}
+
+impl Clone for TransientSolver {
+    fn clone(&self) -> Self {
+        let cache = self
+            .decay_cache
+            .lock()
+            .map(|c| c.clone())
+            .unwrap_or_default();
+        TransientSolver {
+            eigen: self.eigen.clone(),
+            v_t: self.v_t.clone(),
+            v_inv_t: self.v_inv_t.clone(),
+            decay_cache: Mutex::new(cache),
+        }
+    }
 }
 
 impl TransientSolver {
@@ -51,7 +100,14 @@ impl TransientSolver {
     /// Propagates eigendecomposition failures as [`ThermalError::Linalg`].
     pub fn new(model: &RcThermalModel) -> Result<Self> {
         let eigen = SystemEigen::new(model.a_diag(), model.b())?;
-        Ok(TransientSolver { eigen })
+        let v_t = eigen.v().transpose();
+        let v_inv_t = eigen.v_inv().transpose();
+        Ok(TransientSolver {
+            eigen,
+            v_t,
+            v_inv_t,
+            decay_cache: Mutex::new(HashMap::new()),
+        })
     }
 
     /// The underlying eigendecomposition of `C = −A⁻¹B`.
@@ -59,8 +115,35 @@ impl TransientSolver {
         &self.eigen
     }
 
+    /// Cached decay factors `e^{λᵢ·dt}` for one step length.
+    fn decay_for(&self, dt: f64) -> Arc<Vector> {
+        let mut cache = self.decay_cache.lock().expect("decay cache poisoned");
+        if let Some(m) = cache.get(&dt.to_bits()) {
+            return Arc::clone(m);
+        }
+        if cache.len() >= DECAY_CACHE_CAP {
+            cache.clear();
+        }
+        let lambda = self.eigen.eigenvalues();
+        let m = Arc::new(Vector::from_fn(lambda.len(), |i| (lambda[i] * dt).exp()));
+        cache.insert(dt.to_bits(), Arc::clone(&m));
+        m
+    }
+
+    fn check_dt(dt: f64, name: &'static str) -> Result<()> {
+        if !(dt.is_finite() && dt >= 0.0) {
+            return Err(ThermalError::InvalidParameter { name, value: dt });
+        }
+        Ok(())
+    }
+
     /// Advances the node state by `dt` seconds under a constant per-core
     /// power map.
+    ///
+    /// This is the batched kernel applied to a batch of one — see
+    /// [`step_many`](TransientSolver::step_many) for the layout — so the
+    /// interval simulator's per-step cost is two thin GEMM rows plus one
+    /// cached-decay lookup instead of `N` exponentials per interval.
     ///
     /// # Errors
     ///
@@ -73,12 +156,81 @@ impl TransientSolver {
         core_power: &Vector,
         dt: f64,
     ) -> Result<Vector> {
-        if !(dt.is_finite() && dt >= 0.0) {
-            return Err(ThermalError::InvalidParameter {
-                name: "dt",
-                value: dt,
-            });
+        let mut out = self.step_many(model, &[(node_temps, core_power)], dt)?;
+        Ok(out.pop().expect("batch of one"))
+    }
+
+    /// Advances many independent `(state, power)` pairs by the same `dt`
+    /// in one batched evaluation, agreeing with per-pair
+    /// [`step`](TransientSolver::step) calls bit for bit.
+    ///
+    /// The deviations `T − T_steady(P)` are row-stacked into a `B × N`
+    /// matrix, one GEMM against `V⁻¹ᵀ` maps the whole batch to eigen
+    /// space, the rows are scaled by the cached decay `e^{λ·dt}`, and one
+    /// GEMM against `Vᵀ` maps back. Transposing both GEMM operands leaves
+    /// every dot product's terms and their ascending-`k` order unchanged,
+    /// which is why the batch is bit-identical to the serial
+    /// [`step_reference`](TransientSolver::step_reference) form.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`step`](TransientSolver::step), applied to every pair.
+    pub fn step_many(
+        &self,
+        model: &RcThermalModel,
+        pairs: &[(&Vector, &Vector)],
+        dt: f64,
+    ) -> Result<Vec<Vector>> {
+        Self::check_dt(dt, "dt")?;
+        if pairs.is_empty() {
+            return Ok(Vec::new());
         }
+        let n = self.eigen.dim();
+        let m = self.decay_for(dt);
+
+        let mut steadies = Vec::with_capacity(pairs.len());
+        let mut dev = Matrix::zeros(pairs.len(), n);
+        for (r, (temps, power)) in pairs.iter().enumerate() {
+            let t_steady = model.steady_state(power)?;
+            let row = dev.row_mut(r);
+            for (i, slot) in row.iter_mut().enumerate() {
+                *slot = temps[i] - t_steady[i];
+            }
+            steadies.push(t_steady);
+        }
+
+        let mut y = dev.mul_matrix(&self.v_inv_t)?; // B × N, eigen space
+        for r in 0..pairs.len() {
+            for (v, &mi) in y.row_mut(r).iter_mut().zip(m.iter()) {
+                *v *= mi;
+            }
+        }
+        let decayed = y.mul_matrix(&self.v_t)?; // B × N, node space
+
+        Ok(steadies
+            .into_iter()
+            .enumerate()
+            .map(|(r, t_steady)| Vector::from_fn(n, |i| t_steady[i] + decayed[(r, i)]))
+            .collect())
+    }
+
+    /// Serial mat-vec form of [`step`](TransientSolver::step) — the
+    /// textbook evaluation `T_steady + V·e^{Λdt}·V⁻¹·(T − T_steady)` with
+    /// per-call exponentials and no batching. Kept as the differential-
+    /// testing reference the batched kernel must match bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`step`](TransientSolver::step).
+    #[doc(hidden)]
+    pub fn step_reference(
+        &self,
+        model: &RcThermalModel,
+        node_temps: &Vector,
+        core_power: &Vector,
+        dt: f64,
+    ) -> Result<Vector> {
+        Self::check_dt(dt, "dt")?;
         let t_steady = model.steady_state(core_power)?;
         let deviation = node_temps - &t_steady;
         let decayed = self.eigen.exp_apply(dt, &deviation);
@@ -91,9 +243,9 @@ impl TransientSolver {
     ///
     /// Each junction's trajectory is a sum of decaying exponentials
     /// `T_i(t) = T_ss,i + Σ_k V_ik·e^{λ_k t}·w_k`, which is smooth with few
-    /// extrema; the maximum is located by coarse sampling followed by
-    /// golden-section refinement of the best bracket, then compared with
-    /// both endpoints.
+    /// extrema; the maximum is located by a coarse scan (all sample
+    /// instants row-stacked through one GEMM) followed by golden-section
+    /// refinement of the best bracket, then compared with both endpoints.
     ///
     /// # Errors
     ///
@@ -107,12 +259,7 @@ impl TransientSolver {
         core_power: &Vector,
         horizon: f64,
     ) -> Result<(f64, f64)> {
-        if !(horizon.is_finite() && horizon >= 0.0) {
-            return Err(ThermalError::InvalidParameter {
-                name: "horizon",
-                value: horizon,
-            });
-        }
+        Self::check_dt(horizon, "horizon")?;
         let t_steady = model.steady_state(core_power)?;
         let deviation = node_temps - &t_steady;
         let w = self.eigen.v_inv().mul_vector(&deviation);
@@ -121,15 +268,17 @@ impl TransientSolver {
         let cores = model.core_count();
         let nodes = model.node_count();
 
-        // Hottest junction at time t.
+        // Hottest junction at time t. The modal terms are grouped as
+        // v·(e^{λt}·w) — the same grouping and ascending-k accumulation as
+        // the batched coarse scan below, so the two agree bit for bit.
         let peak_at = |t: f64| -> f64 {
             let mut best = f64::NEG_INFINITY;
             for c in 0..cores {
-                let mut temp = t_steady[c];
+                let mut acc = 0.0;
                 for k in 0..nodes {
-                    temp += v[(c, k)] * (lambda[k] * t).exp() * w[k];
+                    acc += v[(c, k)] * ((lambda[k] * t).exp() * w[k]);
                 }
-                best = best.max(temp);
+                best = best.max(t_steady[c] + acc);
             }
             best
         };
@@ -138,18 +287,33 @@ impl TransientSolver {
             return Ok((peak_at(0.0), 0.0));
         }
 
-        // Coarse scan, then golden-section refinement of the best bracket.
+        // Coarse scan: row-stack the decayed eigen states of every sample
+        // instant and reconstruct all junction trajectories with one GEMM.
         const SAMPLES: usize = 48;
+        let mut e = Matrix::zeros(SAMPLES + 1, nodes);
+        for s in 0..=SAMPLES {
+            let t = horizon * s as f64 / SAMPLES as f64;
+            let row = e.row_mut(s);
+            for (k, slot) in row.iter_mut().enumerate() {
+                *slot = (lambda[k] * t).exp() * w[k];
+            }
+        }
+        let traj = e.mul_matrix(&self.v_t)?; // (SAMPLES+1) × nodes
         let mut best_t = 0.0;
         let mut best_v = f64::NEG_INFINITY;
         for s in 0..=SAMPLES {
-            let t = horizon * s as f64 / SAMPLES as f64;
-            let val = peak_at(t);
+            let row = traj.row(s);
+            let mut val = f64::NEG_INFINITY;
+            for c in 0..cores {
+                val = val.max(t_steady[c] + row[c]);
+            }
             if val > best_v {
                 best_v = val;
-                best_t = t;
+                best_t = horizon * s as f64 / SAMPLES as f64;
             }
         }
+
+        // Golden-section refinement of the winning bracket.
         let step = horizon / SAMPLES as f64;
         let (mut lo, mut hi) = ((best_t - step).max(0.0), (best_t + step).min(horizon));
         const PHI: f64 = 0.618_033_988_749_894_8;
@@ -174,6 +338,11 @@ impl TransientSolver {
     /// Evaluates the full trajectory at `samples` evenly spaced instants in
     /// `(0, dt]` under constant power (useful for dense thermal traces).
     ///
+    /// The eigen-space deviation is computed once, every sample instant's
+    /// decayed state is row-stacked, and one GEMM reconstructs all node
+    /// states — bit-identical to per-sample
+    /// [`step`](TransientSolver::step) calls at the same instants.
+    ///
     /// # Errors
     ///
     /// Same as [`step`](TransientSolver::step).
@@ -185,12 +354,44 @@ impl TransientSolver {
         dt: f64,
         samples: usize,
     ) -> Result<Vec<Vector>> {
-        if !(dt.is_finite() && dt >= 0.0) {
-            return Err(ThermalError::InvalidParameter {
-                name: "dt",
-                value: dt,
-            });
+        Self::check_dt(dt, "dt")?;
+        let t_steady = model.steady_state(core_power)?;
+        let deviation = node_temps - &t_steady;
+        let y = self.eigen.v_inv().mul_vector(&deviation);
+        let n = self.eigen.dim();
+        let lambda = self.eigen.eigenvalues();
+
+        let mut e = Matrix::zeros(samples, n);
+        for k in 1..=samples {
+            let t = dt * k as f64 / samples as f64;
+            let row = e.row_mut(k - 1);
+            for (i, slot) in row.iter_mut().enumerate() {
+                *slot = (lambda[i] * t).exp() * y[i];
+            }
         }
+        let decayed = e.mul_matrix(&self.v_t)?; // samples × N
+        Ok((0..samples)
+            .map(|k| Vector::from_fn(n, |i| t_steady[i] + decayed[(k, i)]))
+            .collect())
+    }
+
+    /// Serial form of [`trajectory`](TransientSolver::trajectory): one
+    /// full `exp_apply` mat-vec pair per sample instant. Differential-
+    /// testing reference for the batched trajectory.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`step`](TransientSolver::step).
+    #[doc(hidden)]
+    pub fn trajectory_reference(
+        &self,
+        model: &RcThermalModel,
+        node_temps: &Vector,
+        core_power: &Vector,
+        dt: f64,
+        samples: usize,
+    ) -> Result<Vec<Vector>> {
+        Self::check_dt(dt, "dt")?;
         let t_steady = model.steady_state(core_power)?;
         let deviation = node_temps - &t_steady;
         let mut out = Vec::with_capacity(samples);
@@ -250,6 +451,87 @@ mod tests {
     }
 
     #[test]
+    fn step_matches_serial_reference_bit_for_bit() {
+        let (model, solver) = setup();
+        let mut p = Vector::constant(16, 0.3);
+        p[5] = 7.0;
+        let mut t = model.ambient_state();
+        let mut t_ref = model.ambient_state();
+        for k in 0..10 {
+            let dt = 1e-4 * (1 + k % 3) as f64;
+            t = solver.step(&model, &t, &p, dt).unwrap();
+            t_ref = solver.step_reference(&model, &t_ref, &p, dt).unwrap();
+            for i in 0..model.node_count() {
+                assert_eq!(
+                    t[i].to_bits(),
+                    t_ref[i].to_bits(),
+                    "step {k} node {i}: {} vs {}",
+                    t[i],
+                    t_ref[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn step_many_matches_per_pair_steps() {
+        let (model, solver) = setup();
+        let states: Vec<Vector> = (0..4)
+            .map(|k| {
+                let mut p = Vector::constant(16, 0.3);
+                p[k * 3] = 5.0;
+                solver
+                    .step(&model, &model.ambient_state(), &p, 0.01 * (k + 1) as f64)
+                    .unwrap()
+            })
+            .collect();
+        let powers: Vec<Vector> = (0..4)
+            .map(|k| Vector::from_fn(16, |c| ((c + k) % 5) as f64 * 1.1 + 0.3))
+            .collect();
+        let pairs: Vec<(&Vector, &Vector)> = states.iter().zip(powers.iter()).collect();
+        let batch = solver.step_many(&model, &pairs, 7e-4).unwrap();
+        assert_eq!(batch.len(), 4);
+        for (k, (state, power)) in pairs.iter().enumerate() {
+            let single = solver.step(&model, state, power, 7e-4).unwrap();
+            for i in 0..model.node_count() {
+                assert_eq!(batch[k][i].to_bits(), single[i].to_bits(), "pair {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn step_many_empty_batch_is_empty() {
+        let (model, solver) = setup();
+        assert!(solver.step_many(&model, &[], 1e-3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn decay_cache_stable_across_repeats() {
+        let (model, solver) = setup();
+        let mut p = Vector::constant(16, 0.3);
+        p[9] = 6.0;
+        let t0 = model.ambient_state();
+        let a = solver.step(&model, &t0, &p, 1e-4).unwrap();
+        let b = solver.step(&model, &t0, &p, 1e-4).unwrap();
+        for i in 0..model.node_count() {
+            assert_eq!(a[i].to_bits(), b[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn cloned_solver_agrees() {
+        let (model, solver) = setup();
+        let mut p = Vector::constant(16, 0.3);
+        p[3] = 6.0;
+        let t0 = model.ambient_state();
+        let a = solver.step(&model, &t0, &p, 5e-4).unwrap();
+        let b = solver.clone().step(&model, &t0, &p, 5e-4).unwrap();
+        for i in 0..model.node_count() {
+            assert_eq!(a[i].to_bits(), b[i].to_bits());
+        }
+    }
+
+    #[test]
     fn heating_is_monotone_from_ambient() {
         let (model, solver) = setup();
         let mut p = Vector::constant(16, 0.3);
@@ -295,6 +577,28 @@ mod tests {
         let end = solver.step(&model, &t0, &p, 0.004).unwrap();
         assert_eq!(traj.len(), 4);
         assert!((traj.last().unwrap() - &end).norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn trajectory_matches_serial_reference_bit_for_bit() {
+        let (model, solver) = setup();
+        let mut p = Vector::constant(16, 0.3);
+        p[10] = 6.0;
+        let mut hot = Vector::constant(16, 0.3);
+        hot[2] = 7.0;
+        let t0 = solver
+            .step(&model, &model.ambient_state(), &hot, 5.0)
+            .unwrap();
+        let batched = solver.trajectory(&model, &t0, &p, 0.004, 7).unwrap();
+        let serial = solver
+            .trajectory_reference(&model, &t0, &p, 0.004, 7)
+            .unwrap();
+        assert_eq!(batched.len(), serial.len());
+        for (k, (a, b)) in batched.iter().zip(&serial).enumerate() {
+            for i in 0..model.node_count() {
+                assert_eq!(a[i].to_bits(), b[i].to_bits(), "sample {k} node {i}");
+            }
+        }
     }
 
     #[test]

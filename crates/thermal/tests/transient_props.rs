@@ -1,0 +1,167 @@
+//! Property tests for the batched transient solver over *random* RC
+//! models — the composability guarantees the interval simulator relies
+//! on, promoted from the fixed-model unit tests in `src/transient.rs`
+//! into proptest form.
+
+use hp_floorplan::GridFloorplan;
+use hp_linalg::Vector;
+use hp_thermal::{RcThermalModel, ThermalConfig, TransientSolver};
+use proptest::prelude::*;
+
+/// A random-but-physical RC model: random grid dimensions and random
+/// scale factors on the capacitances/conductances that shape the
+/// eigenspectrum (sink mass, vertical path, ambient convection).
+fn models() -> impl Strategy<Value = RcThermalModel> {
+    (
+        2usize..=4,
+        2usize..=4,
+        0.02..6.0f64,  // sink capacitance scale (slowest eigenmode)
+        0.5..2.0f64,   // vertical conductance scale
+        0.25..3.0f64,  // sink-to-ambient convection scale
+        30.0..60.0f64, // ambient, °C
+    )
+        .prop_map(|(w, h, sink, vertical, conv, ambient)| {
+            let d = ThermalConfig::default();
+            let cfg = ThermalConfig {
+                ambient,
+                c_sink: d.c_sink * sink,
+                g_junction_spreader: d.g_junction_spreader * vertical,
+                g_spreader_sink: d.g_spreader_sink * vertical,
+                g_sink_ambient: d.g_sink_ambient * conv,
+                ..d
+            };
+            RcThermalModel::new(&GridFloorplan::new(w, h).expect("grid"), &cfg).expect("model")
+        })
+}
+
+/// A power pool large enough for the biggest generated chip; each test
+/// slices the first `core_count` entries.
+fn power_pool() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0..8.0f64, 16)
+}
+
+fn power_for(model: &RcThermalModel, pool: &[f64]) -> Vector {
+    Vector::from_fn(model.core_count(), |c| pool[c])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn zero_dt_is_identity(model in models(), pool in power_pool()) {
+        let solver = TransientSolver::new(&model).unwrap();
+        let p = power_for(&model, &pool);
+        let t0 = model.steady_state(&p).unwrap();
+        let t1 = solver.step(&model, &t0, &Vector::zeros(model.core_count()), 0.0).unwrap();
+        prop_assert!((&t1 - &t0).norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn two_half_steps_equal_one_full_step(
+        model in models(),
+        pool in power_pool(),
+        dt in 1e-5..5e-3f64,
+    ) {
+        let solver = TransientSolver::new(&model).unwrap();
+        let p = power_for(&model, &pool);
+        let t0 = model.ambient_state();
+        let full = solver.step(&model, &t0, &p, dt).unwrap();
+        let half = solver.step(&model, &t0, &p, dt / 2.0).unwrap();
+        let two = solver.step(&model, &half, &p, dt / 2.0).unwrap();
+        prop_assert!(
+            (&full - &two).norm_inf() < 1e-9,
+            "composability violated by {}",
+            (&full - &two).norm_inf()
+        );
+    }
+
+    #[test]
+    fn step_composes_across_unequal_splits(
+        model in models(),
+        pool in power_pool(),
+        dt in 1e-5..5e-3f64,
+        frac in 0.05..0.95f64,
+    ) {
+        // Not just halves: any split point must compose exactly.
+        let solver = TransientSolver::new(&model).unwrap();
+        let p = power_for(&model, &pool);
+        let t0 = model.ambient_state();
+        let full = solver.step(&model, &t0, &p, dt).unwrap();
+        let first = solver.step(&model, &t0, &p, dt * frac).unwrap();
+        let second = solver.step(&model, &first, &p, dt - dt * frac).unwrap();
+        prop_assert!((&full - &second).norm_inf() < 1e-8);
+    }
+
+    #[test]
+    fn long_step_reaches_steady_state(model in models(), pool in power_pool()) {
+        // The steady-state limit: after many slowest-time-constant
+        // multiples the state is T_steady regardless of where it started.
+        let solver = TransientSolver::new(&model).unwrap();
+        let p = power_for(&model, &pool);
+        let slowest = solver
+            .eigen()
+            .eigenvalues()
+            .iter()
+            .fold(f64::NEG_INFINITY, |m, &l| m.max(l)); // closest to zero
+        let horizon = 40.0 / slowest.abs();
+        let t_inf = solver.step(&model, &model.ambient_state(), &p, horizon).unwrap();
+        let t_ss = model.steady_state(&p).unwrap();
+        prop_assert!(
+            (&t_inf - &t_ss).norm_inf() < 1e-6,
+            "residual {}",
+            (&t_inf - &t_ss).norm_inf()
+        );
+    }
+
+    #[test]
+    fn batched_step_bit_identical_to_serial_reference(
+        model in models(),
+        pool in power_pool(),
+        dt in 1e-5..5e-3f64,
+    ) {
+        // The differential contract on random models: the batched GEMM
+        // step must reproduce the serial mat-vec form bit for bit.
+        let solver = TransientSolver::new(&model).unwrap();
+        let p = power_for(&model, &pool);
+        let mut hot = Vector::zeros(model.core_count());
+        if model.core_count() > 0 { hot[0] = 7.0; }
+        let t0 = solver.step(&model, &model.ambient_state(), &hot, 1.0).unwrap();
+        let fast = solver.step(&model, &t0, &p, dt).unwrap();
+        let reference = solver.step_reference(&model, &t0, &p, dt).unwrap();
+        for i in 0..model.node_count() {
+            prop_assert_eq!(
+                fast[i].to_bits(),
+                reference[i].to_bits(),
+                "node {}: {} vs {}",
+                i,
+                fast[i],
+                reference[i]
+            );
+        }
+    }
+
+    #[test]
+    fn trajectory_composes_with_stepping(
+        model in models(),
+        pool in power_pool(),
+        dt in 1e-4..4e-3f64,
+    ) {
+        // The batched trajectory must land exactly where repeated
+        // stepping through the same sample instants lands.
+        let solver = TransientSolver::new(&model).unwrap();
+        let p = power_for(&model, &pool);
+        let t0 = model.ambient_state();
+        let samples = 5usize;
+        let traj = solver.trajectory(&model, &t0, &p, dt, samples).unwrap();
+        let mut t = t0;
+        for (k, sample) in traj.iter().enumerate() {
+            t = solver.step(&model, &t, &p, dt / samples as f64).unwrap();
+            prop_assert!(
+                (sample - &t).norm_inf() < 1e-9,
+                "sample {} diverged by {}",
+                k,
+                (sample - &t).norm_inf()
+            );
+        }
+    }
+}

@@ -115,6 +115,30 @@ fn pinned_baseline_contract() {
 }
 
 #[test]
+fn migrating_schedulers_are_deterministic() {
+    // The golden-trace fixture and every cross-scheduler comparison in
+    // this file assume identical inputs give identical runs. Guard that
+    // for the two schedulers that actually move threads: two fresh
+    // back-to-back runs must produce *exactly* equal metrics — same
+    // makespan and energy to the bit, same migration decisions.
+    let run_hp = || {
+        let mut s = HotPotato::new(model(), HotPotatoConfig::default()).expect("valid config");
+        run(&mut s)
+    };
+    let a = run_hp();
+    let b = run_hp();
+    assert_eq!(a, b, "HotPotato run diverged on identical input");
+
+    let run_pm = || {
+        let mut s = PcMig::new(model(), PcMigConfig::default());
+        run(&mut s)
+    };
+    let a = run_pm();
+    let b = run_pm();
+    assert_eq!(a, b, "PCMig run diverged on identical input");
+}
+
+#[test]
 fn hotpotato_beats_pcmig_where_it_should() {
     let mut hp = HotPotato::new(model(), HotPotatoConfig::default()).expect("valid config");
     let hp_m = run(&mut hp);
