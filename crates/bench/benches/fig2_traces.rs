@@ -38,7 +38,7 @@ fn bench_fig2(c: &mut Criterion) {
             .expect("valid config");
             let mut s = PinnedScheduler::with_preferred_cores(vec![CoreId(5), CoreId(10)]);
             sim.run(jobs(), &mut s).expect("completes")
-        })
+        });
     });
 
     g.bench_function("b_tsp_dvfs", |b| {
@@ -52,7 +52,7 @@ fn bench_fig2(c: &mut Criterion) {
             let mut s = TspUniform::new(model(4, 4), 70.0, 0.3)
                 .with_preferred_cores(vec![CoreId(5), CoreId(10)]);
             sim.run(jobs(), &mut s).expect("completes")
-        })
+        });
     });
 
     g.bench_function("c_rotation", |b| {
@@ -66,7 +66,7 @@ fn bench_fig2(c: &mut Criterion) {
             let mut s =
                 HotPotato::new(model(4, 4), HotPotatoConfig::default()).expect("valid config");
             sim.run(jobs(), &mut s).expect("completes")
-        })
+        });
     });
 
     g.finish();

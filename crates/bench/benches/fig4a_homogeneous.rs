@@ -34,7 +34,7 @@ fn bench_fig4a(c: &mut Criterion) {
                         .expect("valid config");
                     sim.run(closed_batch(bm, 16, 42), &mut s)
                         .expect("completes")
-                })
+                });
             },
         );
         g.bench_with_input(
@@ -54,7 +54,7 @@ fn bench_fig4a(c: &mut Criterion) {
                     let mut s = PcMig::new(model(4, 4), PcMigConfig::default());
                     sim.run(closed_batch(bm, 16, 42), &mut s)
                         .expect("completes")
-                })
+                });
             },
         );
     }

@@ -28,7 +28,7 @@ fn bench_fig4b(c: &mut Criterion) {
                 HotPotato::new(model(4, 4), HotPotatoConfig::default()).expect("valid config");
             sim.run(open_poisson(10, 20.0, 7), &mut s)
                 .expect("completes")
-        })
+        });
     });
 
     g.bench_function("pcmig", |b| {
@@ -45,7 +45,7 @@ fn bench_fig4b(c: &mut Criterion) {
             let mut s = PcMig::new(model(4, 4), PcMigConfig::default());
             sim.run(open_poisson(10, 20.0, 7), &mut s)
                 .expect("completes")
-        })
+        });
     });
 
     g.finish();

@@ -31,18 +31,18 @@ fn bench_lu(c: &mut Criterion) {
         let m = spd(n);
         let rhs = Vector::from_fn(n, |i| (i as f64).sin());
         g.bench_with_input(BenchmarkId::new("factorize", n), &n, |b, _| {
-            b.iter(|| m.lu().expect("factorizes"))
+            b.iter(|| m.lu().expect("factorizes"));
         });
         let lu = m.lu().expect("factorizes");
         g.bench_with_input(BenchmarkId::new("solve", n), &n, |b, _| {
-            b.iter(|| lu.solve(&rhs).expect("solves"))
+            b.iter(|| lu.solve(&rhs).expect("solves"));
         });
         g.bench_with_input(BenchmarkId::new("cholesky_factorize", n), &n, |b, _| {
-            b.iter(|| CholeskyDecomposition::new(&m).expect("SPD input"))
+            b.iter(|| CholeskyDecomposition::new(&m).expect("SPD input"));
         });
         let chol = CholeskyDecomposition::new(&m).expect("SPD input");
         g.bench_with_input(BenchmarkId::new("cholesky_solve", n), &n, |b, _| {
-            b.iter(|| chol.solve(&rhs).expect("solves"))
+            b.iter(|| chol.solve(&rhs).expect("solves"));
         });
     }
     g.finish();
@@ -55,7 +55,7 @@ fn bench_eigen(c: &mut Criterion) {
         let b_mat = spd(n);
         let a = caps(n);
         g.bench_with_input(BenchmarkId::new("system_eigen", n), &n, |b, _| {
-            b.iter(|| SystemEigen::new(&a, &b_mat).expect("decomposes"))
+            b.iter(|| SystemEigen::new(&a, &b_mat).expect("decomposes"));
         });
     }
     g.finish();
@@ -69,15 +69,15 @@ fn bench_expm(c: &mut Criterion) {
         let a = caps(n);
         let c_mat = Matrix::from_fn(n, n, |i, j| -b_mat[(i, j)] / a[i]);
         g.bench_with_input(BenchmarkId::new("pade", n), &n, |b, _| {
-            b.iter(|| expm(&c_mat.scaled(1e-3)).expect("converges"))
+            b.iter(|| expm(&c_mat.scaled(1e-3)).expect("converges"));
         });
         let sys = SystemEigen::new(&a, &b_mat).expect("decomposes");
         g.bench_with_input(BenchmarkId::new("eigen_route", n), &n, |b, _| {
-            b.iter(|| sys.exp_matrix(1e-3))
+            b.iter(|| sys.exp_matrix(1e-3));
         });
         let x = Vector::from_fn(n, |i| (i as f64).cos());
         g.bench_with_input(BenchmarkId::new("eigen_apply", n), &n, |b, _| {
-            b.iter(|| sys.exp_apply(1e-3, &x))
+            b.iter(|| sys.exp_apply(1e-3, &x));
         });
     }
     g.finish();

@@ -22,7 +22,7 @@ fn bench_runtime(c: &mut Criterion) {
     let solver = RotationPeakSolver::new(model(8, 8)).expect("decomposes");
     let seq = full_load_sequence(64, 8, 0.5e-3);
     c.bench_function("alg1_runtime_64core_delta8", |b| {
-        b.iter(|| solver.peak_celsius(&seq).expect("computes"))
+        b.iter(|| solver.peak_celsius(&seq).expect("computes"));
     });
 }
 
@@ -32,11 +32,11 @@ fn bench_delta_scaling(c: &mut Criterion) {
     for &delta in &[2usize, 4, 8, 16, 32] {
         let seq = full_load_sequence(64, delta, 0.5e-3);
         g.bench_with_input(BenchmarkId::new("recurrence", delta), &delta, |b, _| {
-            b.iter(|| solver.peak_celsius(&seq).expect("computes"))
+            b.iter(|| solver.peak_celsius(&seq).expect("computes"));
         });
         if delta <= 8 {
             g.bench_with_input(BenchmarkId::new("literal_eq10", delta), &delta, |b, _| {
-                b.iter(|| solver.peak_reference(&seq).expect("computes"))
+                b.iter(|| solver.peak_reference(&seq).expect("computes"));
             });
         }
     }
@@ -49,7 +49,7 @@ fn bench_node_scaling(c: &mut Criterion) {
         let solver = RotationPeakSolver::new(model(w, h)).expect("decomposes");
         let seq = full_load_sequence(w * h, 8, 0.5e-3);
         g.bench_with_input(BenchmarkId::from_parameter(3 * w * h), &w, |b, _| {
-            b.iter(|| solver.peak_celsius(&seq).expect("computes"))
+            b.iter(|| solver.peak_celsius(&seq).expect("computes"));
         });
     }
     g.finish();
@@ -79,10 +79,10 @@ fn bench_batch_vs_scalar(c: &mut Criterion) {
             seqs.iter()
                 .map(|s| solver.peak_celsius(s).expect("computes"))
                 .sum::<f64>()
-        })
+        });
     });
     g.bench_function("batched_gemm", |b| {
-        b.iter(|| solver.peak_celsius_many(&seqs).expect("computes"))
+        b.iter(|| solver.peak_celsius_many(&seqs).expect("computes"));
     });
     g.finish();
 
@@ -142,14 +142,14 @@ fn bench_sampled_vs_serial(c: &mut Criterion) {
             solver
                 .peak_celsius_sampled_serial(&seq, samples)
                 .expect("computes")
-        })
+        });
     });
     g.bench_function("batched_gemm", |b| {
         b.iter(|| {
             solver
                 .peak_celsius_sampled(&seq, samples)
                 .expect("computes")
-        })
+        });
     });
     g.finish();
 
@@ -188,7 +188,7 @@ fn bench_design_time(c: &mut Criterion) {
     for &(w, h) in &[(4usize, 4usize), (8, 8)] {
         let m = model(w, h);
         g.bench_with_input(BenchmarkId::from_parameter(3 * w * h), &w, |b, _| {
-            b.iter(|| RotationPeakSolver::new(m.clone()).expect("decomposes"))
+            b.iter(|| RotationPeakSolver::new(m.clone()).expect("decomposes"));
         });
     }
     g.finish();

@@ -13,7 +13,7 @@ fn bench_steady(c: &mut Criterion) {
         let m = model(w, h);
         let p = Vector::from_fn(w * h, |i| if i % 3 == 0 { 7.0 } else { 0.3 });
         g.bench_with_input(BenchmarkId::from_parameter(w * h), &w, |b, _| {
-            b.iter(|| m.steady_state(&p).expect("solves"))
+            b.iter(|| m.steady_state(&p).expect("solves"));
         });
     }
     g.finish();
@@ -27,7 +27,7 @@ fn bench_transient(c: &mut Criterion) {
         let p = Vector::from_fn(w * h, |i| if i % 3 == 0 { 7.0 } else { 0.3 });
         let t0 = m.ambient_state();
         g.bench_with_input(BenchmarkId::from_parameter(w * h), &w, |b, _| {
-            b.iter(|| solver.step(&m, &t0, &p, 1e-4).expect("steps"))
+            b.iter(|| solver.step(&m, &t0, &p, 1e-4).expect("steps"));
         });
     }
     g.finish();
@@ -39,7 +39,7 @@ fn bench_tsp(c: &mut Criterion) {
         let m = model(w, h);
         let active: Vec<CoreId> = (0..w * h).step_by(2).map(CoreId).collect();
         g.bench_with_input(BenchmarkId::from_parameter(w * h), &w, |b, _| {
-            b.iter(|| tsp::budget(&m, &active, 70.0, 0.3).expect("budgets"))
+            b.iter(|| tsp::budget(&m, &active, 70.0, 0.3).expect("budgets"));
         });
     }
     g.finish();

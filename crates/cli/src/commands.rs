@@ -145,11 +145,7 @@ pub fn tsp(args: &ParsedArgs) -> CliResult {
         let p = model.expand_power(&all)?;
         model.b_lu().solve(&p)?
     };
-    order.sort_by(|&a, &b| {
-        sens[b.index()]
-            .partial_cmp(&sens[a.index()])
-            .expect("finite sensitivity")
-    });
+    order.sort_by(|&a, &b| sens[b.index()].total_cmp(&sens[a.index()]));
     let active = &order[..active_n];
     let budgets = tsp::per_core_budgets(&model, active, t_dtm, 0.3)?;
     let total: f64 = budgets.iter().sum();
@@ -211,7 +207,12 @@ pub fn simulate(args: &ParsedArgs) -> CliResult {
         other => return Err(format!("unknown scheduler `{other}`").into()),
     };
 
-    let metrics = sim.run(jobs, scheduler.as_mut())?;
+    let metrics = sim.run(jobs, scheduler.as_mut()).map_err(|e| {
+        format!(
+            "simulate: scheduler `{scheduler_name}`, benchmark `{benchmark_name}` \
+             on {w}x{h} grid: {e}"
+        )
+    })?;
     println!("scheduler {scheduler_name} on {w}x{h} chip:");
     println!(
         "  makespan {:.1} ms | mean response {:.1} ms | peak {:.1} C",

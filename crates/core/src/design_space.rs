@@ -140,6 +140,15 @@ pub fn exhaustive_best_assignment(
 /// Algorithm-1 peaks for a list of assignments, fanned out over scoped
 /// threads sharing the solver. The returned vector is index-aligned with
 /// `assignments` regardless of thread scheduling.
+///
+/// Concurrency contract: the workers only take `&RotationPeakSolver`
+/// (whose interior mutability is confined to its poison-tolerant decay
+/// cache) and disjoint `&[Vec<usize>]` chunks, so no data race is
+/// possible; `std::thread::scope` guarantees every worker is joined
+/// before the borrowed inputs go out of scope. Results are pushed in
+/// spawn order, which is what makes the merge — and therefore the
+/// oracle's tie-breaking — deterministic. A panic inside a worker is
+/// re-raised on the calling thread via `resume_unwind`, never swallowed.
 fn evaluate_peaks_parallel(
     solver: &RotationPeakSolver,
     ring_cores: &[Vec<usize>],
@@ -172,7 +181,12 @@ fn evaluate_peaks_parallel(
             })
             .collect();
         for handle in handles {
-            chunk_results.push(handle.join().expect("oracle worker panicked"));
+            match handle.join() {
+                Ok(chunk) => chunk_results.push(chunk),
+                // Forward a worker panic to the caller instead of
+                // papering over it with a second panic site.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
     let mut peaks = Vec::with_capacity(assignments.len());

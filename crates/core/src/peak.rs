@@ -237,7 +237,12 @@ impl RotationPeakSolver {
 
     /// Cached `e^{λτ}` decay data for one epoch length.
     fn decay_for(&self, tau: f64) -> Arc<EpochDecay> {
-        let mut cache = self.decay_cache.lock().expect("decay cache poisoned");
+        // A poisoned lock only means another thread panicked mid-insert;
+        // the cache holds immutable Arcs, so its contents stay valid.
+        let mut cache = self
+            .decay_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(d) = cache.get(&tau.to_bits()) {
             return Arc::clone(d);
         }
@@ -887,7 +892,7 @@ mod tests {
         let s = solver_4x4();
         let seq = fig1_sequence(0.5e-3);
         let a = s.peak_celsius(&seq).unwrap();
-        let clone = s.clone();
+        let clone = s;
         let b = clone.peak_celsius(&seq).unwrap();
         assert_eq!(a.to_bits(), b.to_bits());
     }

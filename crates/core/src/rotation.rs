@@ -86,7 +86,7 @@ impl EpochPowerSequence {
         &self.epochs[e]
     }
 
-    /// Time-averaged per-core power over the full period.
+    /// Time-averaged per-core power over the full period, W.
     pub fn average_power(&self) -> Vector {
         let mut avg = Vector::zeros(self.core_count());
         for p in &self.epochs {
@@ -199,7 +199,7 @@ impl<T: Copy + PartialEq> RingRotation<T> {
 
     /// Removes `thread` from the ring; returns `true` if it was present.
     pub fn remove(&mut self, thread: T) -> bool {
-        for s in self.slots.iter_mut() {
+        for s in &mut self.slots {
             if *s == Some(thread) {
                 *s = None;
                 return true;

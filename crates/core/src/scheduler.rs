@@ -114,7 +114,9 @@ impl HotPotatoConfig {
 pub struct HotPotato {
     config: HotPotatoConfig,
     solver: RotationPeakSolver,
-    rings: Option<Vec<RingRotation<ThreadId>>>,
+    /// Ring bookkeeping, built lazily from the machine on the first
+    /// `schedule` call (empty until then).
+    rings: Vec<RingRotation<ThreadId>>,
     tau_index: usize,
     rotating: bool,
     last_rotation: f64,
@@ -144,7 +146,7 @@ impl HotPotato {
             rotating: config.rotation_enabled,
             config,
             solver,
-            rings: None,
+            rings: Vec::new(),
             last_rotation: 0.0,
             last_peak: 0.0,
             last_evaluation: f64::NEG_INFINITY,
@@ -179,10 +181,6 @@ impl HotPotato {
         &self.solver
     }
 
-    fn rings_mut(&mut self) -> &mut Vec<RingRotation<ThreadId>> {
-        self.rings.as_mut().expect("rings initialized")
-    }
-
     /// Estimated power of a thread: the maximum of its *current-phase*
     /// work-point power (instant reaction to an idle→busy phase switch)
     /// and its windowed average (the paper's 10 ms history). Taking the
@@ -194,12 +192,17 @@ impl HotPotato {
         let current = if t.work.is_idle() {
             0.0
         } else {
-            let stack = view
+            match view
                 .machine
                 .cpi_stack_at_level(&t.work, t.core, ladder.max_level())
-                .expect("thread core in range");
-            view.machine
-                .core_power(&stack, ladder.max_level(), view.t_dtm)
+            {
+                Ok(stack) => view
+                    .machine
+                    .core_power(&stack, ladder.max_level(), view.t_dtm),
+                // A live thread's core is always in range; if the model
+                // disagrees, trust the windowed average over crashing.
+                Err(_) => t.avg_power,
+            }
         };
         current.max(t.avg_power)
     }
@@ -243,8 +246,9 @@ impl HotPotato {
                     }
                 }
             }
-            let seq = EpochPowerSequence::new(tau.max(1e-6), vec![p])
-                .expect("valid single-epoch sequence");
+            let Ok(seq) = EpochPowerSequence::new(tau.max(1e-6), vec![p]) else {
+                return f64::INFINITY; // malformed sequence reads as unsafe
+            };
             self.evaluations += 1;
             return self.solver.peak_celsius(&seq).unwrap_or(f64::INFINITY);
         }
@@ -252,7 +256,7 @@ impl HotPotato {
         // One rotation sequence per occupied ring, evaluated as one batch
         // (a single pair of GEMMs instead of per-ring dot-product loops).
         let mut seqs = Vec::new();
-        for ring in rings.iter() {
+        for ring in rings {
             if ring.occupants() == 0 {
                 continue;
             }
@@ -272,12 +276,17 @@ impl HotPotato {
                     p
                 })
                 .collect();
-            seqs.push(EpochPowerSequence::new(tau, epochs).expect("valid ring sequence"));
+            match EpochPowerSequence::new(tau, epochs) {
+                Ok(seq) => seqs.push(seq),
+                Err(_) => return f64::INFINITY, // malformed sequence reads as unsafe
+            }
         }
         if seqs.is_empty() {
             // Empty chip: idle steady state.
             let p = Vector::constant(n, idle);
-            let seq = EpochPowerSequence::new(tau.max(1e-6), vec![p]).expect("valid");
+            let Ok(seq) = EpochPowerSequence::new(tau.max(1e-6), vec![p]) else {
+                return f64::INFINITY; // malformed sequence reads as unsafe
+            };
             self.evaluations += 1;
             return self.solver.peak_celsius(&seq).unwrap_or(f64::INFINITY);
         }
@@ -319,14 +328,13 @@ impl Scheduler for HotPotato {
 
     fn schedule(&mut self, view: &SimView<'_>) -> Vec<Action> {
         // Lazy ring construction from the machine's AMD rings.
-        if self.rings.is_none() {
-            let rings = view
+        if self.rings.is_empty() {
+            self.rings = view
                 .machine
                 .rings()
                 .iter()
                 .map(|r| RingRotation::new(r.cores().to_vec()))
                 .collect();
-            self.rings = Some(rings);
         }
 
         let mut actions = Vec::new();
@@ -334,14 +342,11 @@ impl Scheduler for HotPotato {
         // --- Sync with the engine: drop departed threads. ---
         let live: BTreeMap<ThreadId, &hp_sim::ThreadView> =
             view.threads.iter().map(|t| (t.id, t)).collect();
-        {
-            let rings = self.rings_mut();
-            for ring in rings.iter_mut() {
-                for s in 0..ring.capacity() {
-                    if let Some(t) = ring.occupant(s) {
-                        if !live.contains_key(&t) {
-                            ring.remove(t);
-                        }
+        for ring in &mut self.rings {
+            for s in 0..ring.capacity() {
+                if let Some(t) = ring.occupant(s) {
+                    if !live.contains_key(&t) {
+                        ring.remove(t);
                     }
                 }
             }
@@ -367,33 +372,27 @@ impl Scheduler for HotPotato {
         }
 
         // --- Placement of pending jobs (Algorithm 2, lines 1–14). ---
-        let ring_count = self.rings.as_ref().expect("initialized").len();
+        let ring_count = self.rings.len();
         for job in view.pending {
             let est = {
                 // Estimate new-thread power on a representative inner core.
                 let work = job.benchmark.work_point();
                 let ladder = &view.machine.config().dvfs;
-                let core = self
-                    .rings
-                    .as_ref()
-                    .expect("init")
-                    .first()
-                    .map_or(CoreId(0), |r| r.cores()[0]);
-                let stack = view
+                let core = self.rings.first().map_or(CoreId(0), |r| r.cores()[0]);
+                match view
                     .machine
                     .cpi_stack_at_level(&work, core, ladder.max_level())
-                    .expect("core in range");
-                view.machine
-                    .core_power(&stack, ladder.max_level(), view.t_dtm)
+                {
+                    Ok(stack) => view
+                        .machine
+                        .core_power(&stack, ladder.max_level(), view.t_dtm),
+                    // Ring cores are always in range; a disagreeing model
+                    // degrades to the idle estimate instead of crashing.
+                    Err(_) => self.config.idle_power,
+                }
             };
             // Skip jobs that cannot fit in the free slots at all.
-            let free_total: usize = self
-                .rings
-                .as_ref()
-                .expect("init")
-                .iter()
-                .map(|r| r.free_slots().len())
-                .sum();
+            let free_total: usize = self.rings.iter().map(|r| r.free_slots().len()).sum();
             if free_total < job.threads {
                 continue;
             }
@@ -411,13 +410,12 @@ impl Scheduler for HotPotato {
                 let mut fallback: Option<(usize, usize, f64)> = None;
                 let mut chosen: Option<(usize, usize)> = None;
                 for r in 0..ring_count {
-                    let Some(slot) = Self::best_free_slot(&self.rings.as_ref().expect("init")[r])
-                    else {
+                    let Some(slot) = Self::best_free_slot(&self.rings[r]) else {
                         continue;
                     };
-                    self.rings_mut()[r].occupy(slot, tid);
+                    self.rings[r].occupy(slot, tid);
                     trial_powers.insert(tid, est);
-                    let rings_snapshot = self.rings.as_ref().expect("init").clone();
+                    let rings_snapshot = self.rings.clone();
                     let peak = self.estimate_peak(
                         &rings_snapshot,
                         &trial_powers,
@@ -428,7 +426,7 @@ impl Scheduler for HotPotato {
                         chosen = Some((r, slot));
                         break;
                     }
-                    self.rings_mut()[r].remove(tid);
+                    self.rings[r].remove(tid);
                     trial_powers.remove(&tid);
                     if fallback.is_none_or(|(_, _, p)| peak < p) {
                         fallback = Some((r, slot, peak));
@@ -441,9 +439,9 @@ impl Scheduler for HotPotato {
                         while tau_index > 0 && chosen.is_none() {
                             tau_index -= 1;
                             self.rotating = true;
-                            self.rings_mut()[r].occupy(slot, tid);
+                            self.rings[r].occupy(slot, tid);
                             trial_powers.insert(tid, est);
-                            let rings_snapshot = self.rings.as_ref().expect("init").clone();
+                            let rings_snapshot = self.rings.clone();
                             let peak = self.estimate_peak(
                                 &rings_snapshot,
                                 &trial_powers,
@@ -453,7 +451,7 @@ impl Scheduler for HotPotato {
                             if peak + self.config.delta_headroom < self.config.t_dtm {
                                 chosen = Some((r, slot));
                             } else {
-                                self.rings_mut()[r].remove(tid);
+                                self.rings[r].remove(tid);
                                 trial_powers.remove(&tid);
                             }
                         }
@@ -461,12 +459,14 @@ impl Scheduler for HotPotato {
                 }
                 // Best effort: take the coolest slot found.
                 let (r, slot) = chosen.unwrap_or_else(|| {
+                    // xtask: allow(panic) — free_total ≥ job.threads was
+                    // checked above, so some ring offered a slot.
                     let (r, slot, _) = fallback.expect("free_total checked above");
-                    self.rings_mut()[r].occupy(slot, tid);
+                    self.rings[r].occupy(slot, tid);
                     trial_powers.insert(tid, est);
                     (r, slot)
                 });
-                let core = self.rings.as_ref().expect("init")[r].core_of_slot(slot);
+                let core = self.rings[r].core_of_slot(slot);
                 placed.push((r, slot, core));
             }
             debug_assert_eq!(placed.len(), job.threads);
@@ -491,7 +491,7 @@ impl Scheduler for HotPotato {
         // --- Re-evaluate T_peak when needed. ---
         let due = view.time - self.last_evaluation >= self.config.reevaluate_period;
         if self.assignment_dirty || due || view.dtm_active {
-            let rings_snapshot = self.rings.as_ref().expect("init").clone();
+            let rings_snapshot = self.rings.clone();
             let powers = self.powers.clone();
             self.last_peak =
                 self.estimate_peak(&rings_snapshot, &powers, self.tau(), self.rotating);
@@ -512,7 +512,7 @@ impl Scheduler for HotPotato {
             // Cheapest knob first: if rotation is parked, restart it.
             if self.config.rotation_enabled && !self.rotating {
                 self.rotating = true;
-                let rings_snapshot = self.rings.as_ref().expect("init").clone();
+                let rings_snapshot = self.rings.clone();
                 let powers = self.powers.clone();
                 self.last_peak = self.estimate_peak(&rings_snapshot, &powers, self.tau(), true);
                 self.last_evaluation = view.time;
@@ -522,32 +522,25 @@ impl Scheduler for HotPotato {
             // Hottest = lowest CPI. Find the lowest-CPI thread that can move
             // to a higher-AMD ring with free capacity.
             let mut candidates: Vec<(f64, ThreadId, usize)> = Vec::new(); // (cpi, thread, ring)
-            {
-                let rings = self.rings.as_ref().expect("init");
-                for (r, ring) in rings.iter().enumerate() {
-                    for s in 0..ring.capacity() {
-                        if let Some(t) = ring.occupant(s) {
-                            if let Some(tv) = live.get(&t) {
-                                candidates.push((tv.last_cpi, t, r));
-                            }
+            for (r, ring) in self.rings.iter().enumerate() {
+                for s in 0..ring.capacity() {
+                    if let Some(t) = ring.occupant(s) {
+                        if let Some(tv) = live.get(&t) {
+                            candidates.push((tv.last_cpi, t, r));
                         }
                     }
                 }
             }
-            candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite CPI"));
+            candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
             let mut moved = false;
             for (_, tid, r) in candidates {
-                let target = (r + 1..ring_count).find(|&r2| {
-                    Self::best_free_slot(&self.rings.as_ref().expect("init")[r2]).is_some()
-                });
-                let Some(r2) = target else { continue };
-                let slot =
-                    Self::best_free_slot(&self.rings.as_ref().expect("init")[r2]).expect("checked");
+                let target = (r + 1..ring_count)
+                    .find_map(|r2| Self::best_free_slot(&self.rings[r2]).map(|s| (r2, s)));
+                let Some((r2, slot)) = target else { continue };
                 let to = {
-                    let rings = self.rings_mut();
-                    rings[r].remove(tid);
-                    rings[r2].occupy(slot, tid);
-                    rings[r2].core_of_slot(slot)
+                    self.rings[r].remove(tid);
+                    self.rings[r2].occupy(slot, tid);
+                    self.rings[r2].core_of_slot(slot)
                 };
                 actions.push(Action::Migrate { thread: tid, to });
                 moved = true;
@@ -562,7 +555,7 @@ impl Scheduler for HotPotato {
                     break; // fastest rotation already; DTM is the backstop
                 }
             }
-            let rings_snapshot = self.rings.as_ref().expect("init").clone();
+            let rings_snapshot = self.rings.clone();
             let powers = self.powers.clone();
             self.last_peak =
                 self.estimate_peak(&rings_snapshot, &powers, self.tau(), self.rotating);
@@ -579,44 +572,40 @@ impl Scheduler for HotPotato {
         {
             // Highest CPI first (most memory-bound benefits most).
             let mut candidates: Vec<(f64, ThreadId, usize)> = Vec::new();
-            {
-                let rings = self.rings.as_ref().expect("init");
-                for (r, ring) in rings.iter().enumerate() {
-                    if r == 0 {
-                        continue; // already innermost
-                    }
-                    for s in 0..ring.capacity() {
-                        if let Some(t) = ring.occupant(s) {
-                            if let Some(tv) = live.get(&t) {
-                                candidates.push((tv.last_cpi, t, r));
-                            }
+            for (r, ring) in self.rings.iter().enumerate() {
+                if r == 0 {
+                    continue; // already innermost
+                }
+                for s in 0..ring.capacity() {
+                    if let Some(t) = ring.occupant(s) {
+                        if let Some(tv) = live.get(&t) {
+                            candidates.push((tv.last_cpi, t, r));
                         }
                     }
                 }
             }
-            candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite CPI"));
+            candidates.sort_by(|a, b| b.0.total_cmp(&a.0));
             let mut improved = false;
             'promote: for (_, tid, r) in candidates {
+                // The candidate was read out of ring r above; a vanished
+                // slot means the bookkeeping changed under us — skip it.
+                let Some(origin_slot) = self.rings[r].slot_of(tid) else {
+                    continue;
+                };
                 for r2 in 0..r {
-                    let Some(slot) = Self::best_free_slot(&self.rings.as_ref().expect("init")[r2])
-                    else {
+                    let Some(slot) = Self::best_free_slot(&self.rings[r2]) else {
                         continue;
                     };
-                    // Tentative move, remembering the origin slot so the
-                    // revert restores the exact engine-visible position.
-                    let origin_slot = {
-                        let rings = self.rings_mut();
-                        let origin = rings[r].slot_of(tid).expect("candidate is in ring r");
-                        rings[r].remove(tid);
-                        rings[r2].occupy(slot, tid);
-                        origin
-                    };
-                    let rings_snapshot = self.rings.as_ref().expect("init").clone();
+                    // Tentative move; the origin slot lets the revert
+                    // restore the exact engine-visible position.
+                    self.rings[r].remove(tid);
+                    self.rings[r2].occupy(slot, tid);
+                    let rings_snapshot = self.rings.clone();
                     let powers = self.powers.clone();
                     let peak =
                         self.estimate_peak(&rings_snapshot, &powers, self.tau(), self.rotating);
                     if peak + self.config.delta_headroom < self.config.t_dtm {
-                        let to = self.rings.as_ref().expect("init")[r2].core_of_slot(slot);
+                        let to = self.rings[r2].core_of_slot(slot);
                         actions.push(Action::Migrate { thread: tid, to });
                         self.last_peak = peak;
                         self.last_evaluation = view.time;
@@ -627,15 +616,14 @@ impl Scheduler for HotPotato {
                     // Revert to the exact origin slot (a different slot
                     // would silently desynchronize the ring bookkeeping
                     // from the engine's core assignment).
-                    let rings = self.rings_mut();
-                    rings[r2].remove(tid);
-                    rings[r].occupy(origin_slot, tid);
+                    self.rings[r2].remove(tid);
+                    self.rings[r].occupy(origin_slot, tid);
                 }
             }
             if !improved {
                 // Slow the rotation (less overhead) while still safe.
                 if self.rotating && self.tau_index + 1 < self.config.tau_levels.len() {
-                    let rings_snapshot = self.rings.as_ref().expect("init").clone();
+                    let rings_snapshot = self.rings.clone();
                     let powers = self.powers.clone();
                     let peak = self.estimate_peak(
                         &rings_snapshot,
@@ -652,7 +640,7 @@ impl Scheduler for HotPotato {
                 }
                 if self.rotating {
                     // Sustainable without rotation at all?
-                    let rings_snapshot = self.rings.as_ref().expect("init").clone();
+                    let rings_snapshot = self.rings.clone();
                     let powers = self.powers.clone();
                     let pinned = self.estimate_peak(&rings_snapshot, &powers, self.tau(), false);
                     if pinned + 2.0 * self.config.delta_headroom < self.config.t_dtm {
@@ -670,8 +658,7 @@ impl Scheduler for HotPotato {
             && self.config.rotation_enabled
             && view.time - self.last_rotation >= self.tau() - 1e-12
         {
-            let rings = self.rings_mut();
-            for ring in rings.iter_mut() {
+            for ring in &mut self.rings {
                 if ring.occupants() == 0
                     || ring.occupants() == ring.capacity() && ring.capacity() == 1
                 {

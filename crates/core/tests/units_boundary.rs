@@ -1,0 +1,122 @@
+//! Pins the temperature-unit convention at the hp-thermal ↔ hotpotato
+//! boundary: every temperature crossing it is an **absolute Celsius**
+//! junction temperature (ambient defaults to 45 °C), never Kelvin and
+//! never an ambient-relative rise.
+//!
+//! The convention matters because call sites subtract temperatures
+//! directly — e.g. the CLI prints `pinned_peak − rotated_peak` as the
+//! rotation saving — which is only a meaningful ΔT when both operands
+//! share one absolute frame. A silent switch to Kelvin (+273.15) or to
+//! rise-over-ambient (−45) would keep most *differences* correct while
+//! breaking every threshold comparison against `t_dtm`, so these tests
+//! check absolute levels, not just deltas.
+
+use hotpotato::{EpochPowerSequence, RotationPeakSolver};
+use hp_floorplan::GridFloorplan;
+use hp_linalg::Vector;
+use hp_thermal::{RcThermalModel, ThermalConfig};
+
+fn model_4x4() -> RcThermalModel {
+    let fp = GridFloorplan::new(4, 4).expect("non-empty grid");
+    RcThermalModel::new(&fp, &ThermalConfig::default()).expect("valid default config")
+}
+
+/// The paper's ambient is 45 °C — an absolute Celsius level. If this
+/// default ever moves to Kelvin (318.15) or to 0 (ambient-relative),
+/// every consumer of `peak_celsius` breaks.
+#[test]
+fn default_ambient_is_absolute_celsius() {
+    let cfg = ThermalConfig::default();
+    assert_eq!(cfg.ambient, 45.0, "ambient default must stay 45 °C");
+    assert!(
+        cfg.ambient < 100.0,
+        "an ambient above 100 suggests Kelvin crept in"
+    );
+}
+
+/// Zero power ⇒ the chip sits exactly at ambient, in the same absolute
+/// frame on both sides of the boundary (node state and core readout).
+#[test]
+fn unpowered_chip_reads_ambient_on_both_sides() {
+    let model = model_4x4();
+    let ambient = ThermalConfig::default().ambient;
+
+    let steady = model.steady_state(&Vector::zeros(16)).expect("solves");
+    let cores = model.core_temperatures(&steady);
+    for c in 0..16 {
+        assert!(
+            (cores[c] - ambient).abs() < 1e-6,
+            "unpowered core {c} reads {} instead of ambient {ambient} °C",
+            cores[c]
+        );
+    }
+
+    let warm = model.ambient_state();
+    let warm_cores = model.core_temperatures(&warm);
+    for c in 0..16 {
+        assert!((warm_cores[c] - ambient).abs() < 1e-6);
+    }
+}
+
+/// `RotationPeakSolver::peak_celsius` hands back the same absolute
+/// frame hp-thermal uses: an idle chip peaks at ambient (45), a loaded
+/// one lands between ambient and a plausible junction level — far from
+/// the >300 a Kelvin reading or the ≈0..40 a rise-over-ambient reading
+/// would produce.
+#[test]
+fn rotation_peak_is_absolute_celsius() {
+    let solver = RotationPeakSolver::new(model_4x4()).expect("decomposes");
+    let ambient = ThermalConfig::default().ambient;
+
+    let idle = EpochPowerSequence::new(0.5e-3, vec![Vector::constant(16, 0.0)]).expect("valid");
+    let idle_peak = solver.peak_celsius(&idle).expect("computes");
+    assert!(
+        (idle_peak - ambient).abs() < 1e-6,
+        "idle peak {idle_peak} °C must equal ambient {ambient} °C"
+    );
+
+    let mut p = Vector::constant(16, 0.3);
+    p[5] = 7.0;
+    let loaded = EpochPowerSequence::new(0.5e-3, vec![p]).expect("valid");
+    let loaded_peak = solver.peak_celsius(&loaded).expect("computes");
+    assert!(
+        loaded_peak > ambient && loaded_peak < 150.0,
+        "loaded peak {loaded_peak} must be an absolute Celsius junction \
+         temperature above ambient (Kelvin would be >300, rise would be <40)"
+    );
+}
+
+/// The CLI's `rings peak` report subtracts a pinned peak from a rotated
+/// peak (crates/cli/src/commands.rs); that ΔT is only meaningful when
+/// `PeakReport::peak_celsius` and `peak_celsius()` agree on the frame.
+#[test]
+fn report_and_scalar_peak_share_one_frame() {
+    let solver = RotationPeakSolver::new(model_4x4()).expect("decomposes");
+    let ring = [5usize, 6, 10, 9];
+    let epochs: Vec<Vector> = (0..4)
+        .map(|e| {
+            let mut p = Vector::constant(16, 0.3);
+            p[ring[e]] = 7.0;
+            p
+        })
+        .collect();
+    let rotated = EpochPowerSequence::new(0.5e-3, epochs.clone()).expect("valid");
+    let pinned = EpochPowerSequence::new(0.5e-3, vec![epochs[0].clone()]).expect("valid");
+
+    let report = solver.peak(&rotated).expect("computes");
+    let scalar = solver.peak_celsius(&rotated).expect("computes");
+    assert!(
+        (report.peak_celsius - scalar).abs() < 1e-9,
+        "PeakReport ({}) and peak_celsius ({scalar}) disagree",
+        report.peak_celsius
+    );
+
+    // Rotation spreads the hot thread over the ring, so the saving is a
+    // positive ΔT expressed in the shared absolute-Celsius frame.
+    let pinned_peak = solver.peak_celsius(&pinned).expect("computes");
+    let saving = pinned_peak - report.peak_celsius;
+    assert!(
+        saving > 0.0 && saving < 50.0,
+        "rotation saving {saving} °C out of plausible ΔT range"
+    );
+}

@@ -15,7 +15,8 @@
 //! reports response time / makespan, peak temperature and DTM pressure.
 
 use hotpotato::{HotPotato, HotPotatoConfig};
-use hp_experiments::{motivational_machine, run, thermal_model_for_grid};
+use hp_experiments::context::{Context, ContextError};
+use hp_experiments::{motivational_machine, thermal_model_for_grid, try_run};
 use hp_manycore::{ArchConfig, Machine, MigrationModel};
 use hp_sched::{PcMig, PcMigConfig};
 use hp_sim::{DtmScope, SimConfig};
@@ -30,11 +31,11 @@ fn blackscholes2() -> Vec<Job> {
     }]
 }
 
-fn hp_with(cfg: HotPotatoConfig) -> HotPotato {
-    HotPotato::new(thermal_model_for_grid(4, 4), cfg).expect("valid HotPotato config")
+fn hp_with(cfg: HotPotatoConfig) -> Result<HotPotato, ContextError> {
+    HotPotato::new(thermal_model_for_grid(4, 4), cfg).context("building HotPotato")
 }
 
-fn main() {
+fn main() -> Result<(), ContextError> {
     let sim = SimConfig {
         horizon: 60.0,
         ..SimConfig::default()
@@ -51,12 +52,13 @@ fn main() {
             initial_tau_index: 0,
             ..HotPotatoConfig::default()
         };
-        let m = run(
+        let m = try_run(
             motivational_machine(),
             sim,
             blackscholes2(),
-            &mut hp_with(cfg),
-        );
+            &mut hp_with(cfg)?,
+        )
+        .with_context(|| format!("ablation 1: fixed tau {} ms", tau * 1e3))?;
         println!(
             "{:>10.2}ms {:>12.1} {:>8.1} {:>6} {:>11}",
             tau * 1e3,
@@ -75,12 +77,13 @@ fn main() {
         );
     }
     {
-        let m = run(
+        let m = try_run(
             motivational_machine(),
             sim,
             blackscholes2(),
-            &mut hp_with(HotPotatoConfig::default()),
-        );
+            &mut hp_with(HotPotatoConfig::default())?,
+        )
+        .context("ablation 1: adaptive tau")?;
         println!(
             "{:>12} {:>12.1} {:>8.1} {:>6} {:>11}",
             "adaptive",
@@ -110,7 +113,8 @@ fn main() {
             ..HotPotatoConfig::default()
         };
         let jobs = closed_batch(Benchmark::X264, 16, 5);
-        let m = run(motivational_machine(), sim, jobs, &mut hp_with(cfg));
+        let m = try_run(motivational_machine(), sim, jobs, &mut hp_with(cfg)?)
+            .with_context(|| format!("ablation 2: delta {delta} C"))?;
         println!(
             "{:>12.2} {:>12.1} {:>8.1} {:>6} {:>11}",
             delta,
@@ -141,12 +145,13 @@ fn main() {
             ..HotPotatoConfig::default()
         };
         let sim_t = SimConfig { t_dtm, ..sim };
-        let m = run(
+        let m = try_run(
             motivational_machine(),
             sim_t,
             blackscholes2(),
-            &mut hp_with(cfg),
-        );
+            &mut hp_with(cfg)?,
+        )
+        .with_context(|| format!("ablation 3: t_dtm {t_dtm} C"))?;
         println!(
             "{:>12.0} {:>12.1} {:>8.1} {:>6}",
             t_dtm,
@@ -179,13 +184,14 @@ fn main() {
             },
             ..ArchConfig::default()
         })
-        .expect("valid arch config");
+        .with_context(|| format!("ablation 4: arch config with flush {flush_us} us"))?;
         let cfg = HotPotatoConfig {
             tau_levels: vec![0.5e-3],
             initial_tau_index: 0,
             ..HotPotatoConfig::default()
         };
-        let m = run(machine, sim, blackscholes2(), &mut hp_with(cfg));
+        let m = try_run(machine, sim, blackscholes2(), &mut hp_with(cfg)?)
+            .with_context(|| format!("ablation 4: flush {flush_us} us"))?;
         println!(
             "{:>12.0} {:>12.1} {:>8.1} {:>11}",
             flush_us,
@@ -213,12 +219,13 @@ fn main() {
             ..sim
         };
         let jobs = closed_batch(Benchmark::Swaptions, 16, 1);
-        let m = run(
+        let m = try_run(
             motivational_machine(),
             sim_s,
             jobs,
-            &mut hp_with(HotPotatoConfig::default()),
-        );
+            &mut hp_with(HotPotatoConfig::default())?,
+        )
+        .with_context(|| format!("ablation 5: {label} DTM"))?;
         println!(
             "{:<10} makespan {:>7.1} ms, peak {:>5.1} C, DTM {:>5}, avg freq {:>5.2} GHz",
             label,
@@ -245,14 +252,16 @@ fn main() {
             ..sim
         };
         let jobs = closed_batch(Benchmark::X264, 16, 5);
-        let hp_m = run(
+        let hp_m = try_run(
             motivational_machine(),
             sim_w,
             jobs.clone(),
-            &mut hp_with(HotPotatoConfig::default()),
-        );
+            &mut hp_with(HotPotatoConfig::default())?,
+        )
+        .with_context(|| format!("ablation 6: {label}, hotpotato"))?;
         let mut pm = PcMig::new(thermal_model_for_grid(4, 4), PcMigConfig::default());
-        let pm_m = run(motivational_machine(), sim_w, jobs, &mut pm);
+        let pm_m = try_run(motivational_machine(), sim_w, jobs, &mut pm)
+            .with_context(|| format!("ablation 6: {label}, pcmig"))?;
         println!(
             "{:<18} hotpotato {:>6.1} ms vs pcmig {:>6.1} ms ({:+.2} %), peaks {:.1}/{:.1} C",
             label,
@@ -279,12 +288,13 @@ fn main() {
             rotation_enabled: rotation,
             ..HotPotatoConfig::default()
         };
-        let m = run(
+        let m = try_run(
             motivational_machine(),
             sim,
             blackscholes2(),
-            &mut hp_with(cfg),
-        );
+            &mut hp_with(cfg)?,
+        )
+        .with_context(|| format!("ablation 7: {label}"))?;
         println!(
             "{:<14} resp {:>7.1} ms, peak {:>5.1} C, DTM {:>4}, migrations {:>4}",
             label,
@@ -307,7 +317,8 @@ fn main() {
     println!("Ablation 8 — Algorithm-1 evaluation strategy (16 candidate rotations, 16-core chip)");
     {
         use hotpotato::{EpochPowerSequence, RotationPeakSolver};
-        let solver = RotationPeakSolver::new(thermal_model_for_grid(4, 4)).expect("decomposes");
+        let solver = RotationPeakSolver::new(thermal_model_for_grid(4, 4))
+            .context("ablation 8: solver decomposition")?;
         // 16 candidate rotations: two 7 W threads on the centre ring, all
         // relative spacings and four τ levels.
         let ring = [5usize, 6, 10, 9];
@@ -323,23 +334,30 @@ fn main() {
                         p
                     })
                     .collect();
-                EpochPowerSequence::new(tau, epochs).expect("valid sequence")
+                EpochPowerSequence::new(tau, epochs)
+                    .with_context(|| format!("ablation 8: candidate {i}"))
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         let reps = 200;
         let t0 = std::time::Instant::now();
         let mut serial = Vec::new();
         for _ in 0..reps {
             serial = seqs
                 .iter()
-                .map(|s| solver.peak_celsius(s).expect("computes"))
-                .collect();
+                .map(|s| {
+                    solver
+                        .peak_celsius(s)
+                        .context("ablation 8: serial evaluation")
+                })
+                .collect::<Result<_, _>>()?;
         }
         let t_serial = t0.elapsed() / reps;
         let t0 = std::time::Instant::now();
         let mut batch = Vec::new();
         for _ in 0..reps {
-            batch = solver.peak_celsius_many(&seqs).expect("computes");
+            batch = solver
+                .peak_celsius_many(&seqs)
+                .context("ablation 8: batched evaluation")?;
         }
         let t_batch = t0.elapsed() / reps;
         let worst = serial
@@ -361,4 +379,5 @@ fn main() {
             worst
         );
     }
+    Ok(())
 }

@@ -9,6 +9,7 @@
 //! violating the 70 °C threshold (~80 °C) and (b), (c) staying below it.
 
 use hotpotato::{HotPotato, HotPotatoConfig};
+use hp_experiments::context::{Context, ContextError};
 use hp_experiments::plot::ascii_chart;
 use hp_experiments::{motivational_machine, thermal_model_for_grid};
 use hp_floorplan::CoreId;
@@ -29,18 +30,21 @@ fn job() -> Vec<Job> {
 fn run_traced(
     cfg: SimConfig,
     scheduler: &mut dyn hp_sim::Scheduler,
-) -> (hp_sim::Metrics, Vec<f64>) {
+) -> Result<(hp_sim::Metrics, Vec<f64>), ContextError> {
+    let name = scheduler.name().to_owned();
     let mut sim = hp_sim::Simulation::new(
         motivational_machine(),
         hp_thermal::ThermalConfig::default(),
         cfg,
     )
-    .expect("valid simulation config");
-    let metrics = sim.run(job(), scheduler).expect("run completes");
-    (metrics, sim.trace().peak_series())
+    .with_context(|| format!("fig2: simulation config for `{name}`"))?;
+    let metrics = sim
+        .run(job(), scheduler)
+        .with_context(|| format!("fig2: trace run for `{name}`"))?;
+    Ok((metrics, sim.trace().peak_series()))
 }
 
-fn main() {
+fn main() -> Result<(), ContextError> {
     let trace_cfg = SimConfig {
         record_trace: true,
         ..SimConfig::default()
@@ -53,12 +57,12 @@ fn main() {
         ..trace_cfg
     };
     let mut pinned = PinnedScheduler::with_preferred_cores(vec![CoreId(5), CoreId(10)]);
-    let (a, trace_a) = run_traced(unmanaged_cfg, &mut pinned);
+    let (a, trace_a) = run_traced(unmanaged_cfg, &mut pinned)?;
 
     // (b) TSP DVFS budgeting, pinned on the same cores.
     let mut tsp = TspUniform::new(thermal_model_for_grid(4, 4), 70.0, 0.3)
         .with_preferred_cores(vec![CoreId(5), CoreId(10)]);
-    let (b, trace_b) = run_traced(trace_cfg, &mut tsp);
+    let (b, trace_b) = run_traced(trace_cfg, &mut tsp)?;
 
     // (c) HotPotato synchronous rotation at the paper's fixed τ = 0.5 ms
     // ("rotated ... at a rotation interval of 0.5 ms in every phase").
@@ -67,9 +71,9 @@ fn main() {
         initial_tau_index: 0,
         ..HotPotatoConfig::default()
     };
-    let mut hp =
-        HotPotato::new(thermal_model_for_grid(4, 4), fixed_tau).expect("valid HotPotato config");
-    let (c, trace_c) = run_traced(trace_cfg, &mut hp);
+    let mut hp = HotPotato::new(thermal_model_for_grid(4, 4), fixed_tau)
+        .context("fig2: HotPotato config with fixed tau = 0.5 ms")?;
+    let (c, trace_c) = run_traced(trace_cfg, &mut hp)?;
 
     println!("Fig. 2 — two-threaded blackscholes on a 16-core chip (threshold 70 C)");
     println!(
@@ -91,7 +95,7 @@ fn main() {
         );
         println!(
             "csv,fig2,{},{:.4},{:.2},{},{}",
-            label.split_whitespace().next().expect("label"),
+            label.split_whitespace().next().unwrap_or(label),
             m.makespan * 1e3,
             m.peak_temperature,
             m.dtm_intervals,
@@ -118,4 +122,5 @@ fn main() {
         (c.makespan / a.makespan - 1.0) * 100.0,
         (b.makespan / c.makespan - 1.0) * 100.0
     );
+    Ok(())
 }

@@ -7,12 +7,13 @@
 //! *canneal* showing the smallest gain (0.73 %).
 
 use hotpotato::{HotPotato, HotPotatoConfig};
-use hp_experiments::{paper_machine, run, thermal_model_for_grid};
+use hp_experiments::context::{Context, ContextError};
+use hp_experiments::{paper_machine, thermal_model_for_grid, try_run};
 use hp_sched::{HotPotatoDvfs, PcMig, PcMigConfig};
 use hp_sim::SimConfig;
 use hp_workload::{closed_batch, Benchmark};
 
-fn main() {
+fn main() -> Result<(), ContextError> {
     let sim_cfg = SimConfig {
         horizon: 120.0,
         ..SimConfig::default()
@@ -34,17 +35,22 @@ fn main() {
     for benchmark in Benchmark::all() {
         let jobs = closed_batch(benchmark, 64, 42);
 
+        let scenario = |what: &str| format!("fig4a: benchmark {}: {what}", benchmark.name());
+
         let mut hp = HotPotato::new(thermal_model_for_grid(8, 8), HotPotatoConfig::default())
-            .expect("valid HotPotato config");
-        let hp_m = run(paper_machine(), sim_cfg, jobs.clone(), &mut hp);
+            .with_context(|| scenario("HotPotato config"))?;
+        let hp_m = try_run(paper_machine(), sim_cfg, jobs.clone(), &mut hp)
+            .with_context(|| scenario("hotpotato run"))?;
 
         let mut pm = PcMig::new(thermal_model_for_grid(8, 8), PcMigConfig::default());
-        let pm_m = run(paper_machine(), sim_cfg, jobs.clone(), &mut pm);
+        let pm_m = try_run(paper_machine(), sim_cfg, jobs.clone(), &mut pm)
+            .with_context(|| scenario("pcmig run"))?;
 
         // Extension (paper future work): rotation unified with DVFS.
         let mut hy = HotPotatoDvfs::new(thermal_model_for_grid(8, 8), HotPotatoConfig::default())
-            .expect("valid hybrid config");
-        let hy_m = run(paper_machine(), sim_cfg, jobs, &mut hy);
+            .with_context(|| scenario("hybrid config"))?;
+        let hy_m = try_run(paper_machine(), sim_cfg, jobs, &mut hy)
+            .with_context(|| scenario("hybrid run"))?;
 
         let speedup = pm_m.makespan / hp_m.makespan - 1.0;
         let hybrid_speedup = pm_m.makespan / hy_m.makespan - 1.0;
@@ -84,4 +90,5 @@ fn main() {
         avg_h * 100.0
     );
     println!("csv,fig4a-summary,{:.4},{:.4}", avg * 100.0, avg_h * 100.0);
+    Ok(())
 }

@@ -7,13 +7,14 @@
 //! minimal at the extremes and peak (≈12.27 %) at medium load.
 
 use hotpotato::{HotPotato, HotPotatoConfig};
+use hp_experiments::context::{Context, ContextError};
 use hp_experiments::plot::ascii_chart;
-use hp_experiments::{paper_machine, run, thermal_model_for_grid};
+use hp_experiments::{paper_machine, thermal_model_for_grid, try_run};
 use hp_sched::{PcMig, PcMigConfig};
 use hp_sim::SimConfig;
 use hp_workload::open_poisson;
 
-fn main() {
+fn main() -> Result<(), ContextError> {
     let sim_cfg = SimConfig {
         horizon: 600.0,
         ..SimConfig::default()
@@ -33,15 +34,23 @@ fn main() {
         for seed in [7u64, 11, 13] {
             let jobs = open_poisson(20, rate, seed);
 
+            let scenario = |what: &str| format!("fig4b: rate {rate}/s, seed {seed}: {what}");
+
             let mut hp = HotPotato::new(thermal_model_for_grid(8, 8), HotPotatoConfig::default())
-                .expect("valid HotPotato config");
-            let hp_m = run(paper_machine(), sim_cfg, jobs.clone(), &mut hp);
+                .with_context(|| scenario("HotPotato config"))?;
+            let hp_m = try_run(paper_machine(), sim_cfg, jobs.clone(), &mut hp)
+                .with_context(|| scenario("hotpotato run"))?;
 
             let mut pm = PcMig::new(thermal_model_for_grid(8, 8), PcMigConfig::default());
-            let pm_m = run(paper_machine(), sim_cfg, jobs, &mut pm);
+            let pm_m = try_run(paper_machine(), sim_cfg, jobs, &mut pm)
+                .with_context(|| scenario("pcmig run"))?;
 
-            hp_total += hp_m.mean_response_time().expect("jobs completed");
-            pm_total += pm_m.mean_response_time().expect("jobs completed");
+            hp_total += hp_m
+                .mean_response_time()
+                .with_context(|| scenario("no hotpotato job completed"))?;
+            pm_total += pm_m
+                .mean_response_time()
+                .with_context(|| scenario("no pcmig job completed"))?;
         }
         let speedup = pm_total / hp_total - 1.0;
         speedups.push(speedup * 100.0);
@@ -70,4 +79,5 @@ fn main() {
         best * 100.0
     );
     println!("csv,fig4b-summary,{:.4}", best * 100.0);
+    Ok(())
 }

@@ -44,14 +44,14 @@ fn main() {
         for _ in 0..reps {
             std::hint::black_box(solver.peak_celsius(&seq).expect("peak computes"));
         }
-        let per_call = t0.elapsed().as_secs_f64() / reps as f64;
+        let per_call = t0.elapsed().as_secs_f64() / f64::from(reps);
 
         let ref_reps = 1_000;
         let t0 = Instant::now();
         for _ in 0..ref_reps {
             std::hint::black_box(solver.peak_reference(&seq).expect("peak computes"));
         }
-        let per_ref = t0.elapsed().as_secs_f64() / ref_reps as f64;
+        let per_ref = t0.elapsed().as_secs_f64() / f64::from(ref_reps);
 
         println!(
             "delta={delta:>2}: algorithm 1 (recurrence) {:>8.2} us | literal Eq.(10) {:>8.2} us | {:.2}% of a 0.5 ms epoch",

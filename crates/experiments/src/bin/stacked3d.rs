@@ -85,7 +85,7 @@ fn main() {
         ("planar rotation, buried ring (4)", p_planar),
         ("combined 2-die ring rotation (8)", p_comb),
     ] {
-        println!("{:<38} {:>8.1}", label, v);
+        println!("{label:<38} {v:>8.1}");
         println!("csv,stacked3d,{},{:.2}", label.replace(',', ";"), v);
     }
     println!();

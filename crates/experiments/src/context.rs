@@ -1,0 +1,128 @@
+//! Minimal anyhow-style error context, dependency-free.
+//!
+//! The experiment binaries run long parameter sweeps; when one scenario
+//! fails the error must say *which* one (benchmark, arrival rate, τ
+//! level, …) instead of a bare engine error. `Context` wraps any
+//! displayable error with a human frame, and frames chain outermost
+//! first — exactly the ergonomics of `anyhow::Context`, without the
+//! dependency (the build is offline and vendored).
+//!
+//! ```
+//! use hp_experiments::context::{Context, ContextError};
+//!
+//! fn scenario(rate: f64) -> Result<(), ContextError> {
+//!     Err("horizon exceeded").with_context(|| format!("arrival rate {rate}/s"))
+//! }
+//!
+//! let err = scenario(2.0).context("fig4b sweep").unwrap_err();
+//! assert_eq!(err.to_string(), "fig4b sweep: arrival rate 2/s: horizon exceeded");
+//! ```
+
+use std::fmt;
+
+/// An error annotated with a chain of context frames.
+///
+/// `Display` renders `outer: inner: root cause`. `Debug` renders the
+/// same string, so `fn main() -> Result<(), ContextError>` exits with a
+/// readable message rather than a struct dump.
+pub struct ContextError(String);
+
+impl ContextError {
+    /// Creates a root error from a message.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        ContextError(msg.into())
+    }
+}
+
+impl fmt::Display for ContextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for ContextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ContextError {}
+
+/// Extension trait attaching context frames to fallible results.
+pub trait Context<T> {
+    /// Wraps the error with a static context frame.
+    fn context(self, msg: impl Into<String>) -> Result<T, ContextError>;
+
+    /// Wraps the error with a lazily built context frame (use when the
+    /// frame interpolates sweep parameters).
+    fn with_context<F, S>(self, f: F) -> Result<T, ContextError>
+    where
+        F: FnOnce() -> S,
+        S: Into<String>;
+}
+
+impl<T, E: fmt::Display> Context<T> for Result<T, E> {
+    fn context(self, msg: impl Into<String>) -> Result<T, ContextError> {
+        self.map_err(|e| ContextError(format!("{}: {e}", msg.into())))
+    }
+
+    fn with_context<F, S>(self, f: F) -> Result<T, ContextError>
+    where
+        F: FnOnce() -> S,
+        S: Into<String>,
+    {
+        self.map_err(|e| ContextError(format!("{}: {e}", f().into())))
+    }
+}
+
+impl<T> Context<T> for Option<T> {
+    fn context(self, msg: impl Into<String>) -> Result<T, ContextError> {
+        self.ok_or_else(|| ContextError(msg.into()))
+    }
+
+    fn with_context<F, S>(self, f: F) -> Result<T, ContextError>
+    where
+        F: FnOnce() -> S,
+        S: Into<String>,
+    {
+        self.ok_or_else(|| ContextError(f().into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_chain_outermost_first() {
+        let root: Result<(), &str> = Err("root cause");
+        let err = root
+            .context("inner")
+            .context("outer")
+            .expect_err("still an error");
+        assert_eq!(err.to_string(), "outer: inner: root cause");
+    }
+
+    #[test]
+    fn with_context_is_lazy() {
+        let ok: Result<u32, &str> = Ok(7);
+        let v = ok
+            .with_context(|| -> String { panic!("not evaluated on Ok") })
+            .unwrap();
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn option_context_names_the_missing_thing() {
+        let none: Option<u32> = None;
+        let err = none.context("benchmark table entry").unwrap_err();
+        assert_eq!(err.to_string(), "benchmark table entry");
+        assert_eq!(Some(3).context("present").unwrap(), 3);
+    }
+
+    #[test]
+    fn debug_matches_display() {
+        let e = ContextError::msg("scenario x failed");
+        assert_eq!(format!("{e:?}"), format!("{e}"));
+    }
+}

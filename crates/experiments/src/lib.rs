@@ -18,7 +18,10 @@
 //! Outputs go to stdout as aligned text tables plus machine-readable CSV
 //! lines prefixed with `csv,` so EXPERIMENTS.md can quote either.
 
+pub mod context;
 pub mod plot;
+
+use context::{Context, ContextError};
 
 use hp_floorplan::GridFloorplan;
 use hp_manycore::{ArchConfig, Machine};
@@ -56,21 +59,44 @@ pub fn thermal_model_for_grid(width: usize, height: usize) -> RcThermalModel {
 }
 
 /// Runs `jobs` on `machine` under `scheduler` with the given config and
+/// returns the metrics, naming the scheduler in any failure.
+///
+/// # Errors
+///
+/// Returns a [`ContextError`] wrapping the engine's error if the
+/// configuration is rejected or the run fails. Sweep binaries add their
+/// own frame naming the scenario (benchmark, arrival rate, …).
+pub fn try_run(
+    machine: Machine,
+    sim_config: SimConfig,
+    jobs: Vec<Job>,
+    scheduler: &mut dyn Scheduler,
+) -> Result<Metrics, ContextError> {
+    let name = scheduler.name().to_owned();
+    let mut sim = Simulation::new(machine, ThermalConfig::default(), sim_config)
+        .with_context(|| format!("building simulation for scheduler `{name}`"))?;
+    sim.run(jobs, scheduler)
+        .with_context(|| format!("running scheduler `{name}`"))
+}
+
+/// Runs `jobs` on `machine` under `scheduler` with the given config and
 /// returns the metrics.
 ///
 /// # Panics
 ///
 /// Panics (with the engine's error) if the run fails — experiment binaries
-/// are expected to abort loudly on harness bugs.
+/// are expected to abort loudly on harness bugs. Sweeps that want to name
+/// the failing scenario use [`try_run`] instead.
 pub fn run(
     machine: Machine,
     sim_config: SimConfig,
     jobs: Vec<Job>,
     scheduler: &mut dyn Scheduler,
 ) -> Metrics {
-    let mut sim = Simulation::new(machine, ThermalConfig::default(), sim_config)
-        .expect("valid simulation config");
-    sim.run(jobs, scheduler).expect("simulation run succeeds")
+    match try_run(machine, sim_config, jobs, scheduler) {
+        Ok(m) => m,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Formats a fraction as a signed percentage with two decimals.

@@ -88,7 +88,7 @@ mod tests {
 
     #[test]
     fn renders_extremes_on_correct_rows() {
-        let ramp: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ramp: Vec<f64> = (0..100).map(f64::from).collect();
         let chart = ascii_chart(&[('x', &ramp)], 50, 10);
         let lines: Vec<&str> = chart.lines().collect();
         // Top row holds the max, bottom plot row the min.

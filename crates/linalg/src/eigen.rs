@@ -141,7 +141,7 @@ impl SymmetricEigen {
     fn sorted(values: Vector, vectors: Matrix) -> Self {
         let n = values.len();
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("NaN eigenvalue"));
+        order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
         let eigenvalues = Vector::from_fn(n, |i| values[order[i]]);
         let eigenvectors = Matrix::from_fn(n, n, |i, j| vectors[(i, order[j])]);
         SymmetricEigen {
@@ -163,8 +163,11 @@ impl SymmetricEigen {
     /// Reconstructs `Q Λ Qᵀ` (for validation).
     pub fn reconstruct(&self) -> Matrix {
         let lambda = Matrix::from_diagonal(&self.eigenvalues);
-        let ql = self.eigenvectors.mul_matrix(&lambda).expect("shape");
-        ql.mul_matrix(&self.eigenvectors.transpose())
+        // xtask: allow(panic) — Q and Λ are square n×n by construction,
+        // so these products cannot shape-mismatch.
+        self.eigenvectors
+            .mul_matrix(&lambda)
+            .and_then(|ql| ql.mul_matrix(&self.eigenvectors.transpose()))
             .expect("shape")
     }
 }

@@ -50,8 +50,8 @@ pub fn expm(m: &Matrix) -> Result<Matrix> {
     let mut squarings = 0u32;
     let mut scale = 1.0;
     if norm > 0.5 {
-        squarings = (norm / 0.5).log2().ceil() as u32;
-        scale = 0.5f64.powi(squarings as i32);
+        squarings = crate::convert::f64_to_u32_saturating((norm / 0.5).log2().ceil());
+        scale = 0.5f64.powi(i32::try_from(squarings).unwrap_or(i32::MAX));
     }
     let a = m.scaled(scale);
 

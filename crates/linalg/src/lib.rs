@@ -44,6 +44,7 @@ mod matrix;
 mod vector;
 
 pub mod cholesky;
+pub mod convert;
 pub mod eigen;
 pub mod expm;
 pub mod lu;

@@ -59,7 +59,7 @@ impl LuDecomposition {
         // A pivot is declared singular relative to the largest entry of the
         // matrix, not in absolute terms, so well-scaled tiny systems factor.
         let scale = a.norm_inf().max(f64::MIN_POSITIVE);
-        let tiny = scale * 1e-14 * (n as f64);
+        let tiny = scale * 1e-14 * crate::convert::usize_to_f64(n);
 
         for k in 0..n {
             // Find the pivot row.

@@ -208,7 +208,9 @@ impl Matrix {
         }
         let (m, n, inner) = (self.rows, other.cols, self.cols);
         let mut out = Matrix::zeros(m, n);
-        #[cfg(target_arch = "x86_64")]
+        // Under Miri the `#[target_feature]` kernels cannot run (Miri has
+        // no AVX); everything routes through the scalar reference body.
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
         {
             if std::arch::is_x86_feature_detected!("avx512f") {
                 // SAFETY: the avx512f requirement was just checked.
@@ -223,6 +225,26 @@ impl Matrix {
         }
         gemm_tiled(&mut out.data, &self.data, &other.data, m, n, inner);
         Ok(out)
+    }
+
+    /// Name of the GEMM backend [`mul_matrix`](Matrix::mul_matrix)
+    /// dispatches to on this CPU: `"avx512f"`, `"avx2"`, or `"scalar"`.
+    ///
+    /// The sanitizer CI job logs this from a test to prove the SIMD
+    /// kernels actually executed under AddressSanitizer; under Miri it
+    /// always reports `"scalar"`.
+    #[must_use]
+    pub fn gemm_backend() -> &'static str {
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return "avx512f";
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return "avx2";
+            }
+        }
+        "scalar"
     }
 
     /// Largest absolute entry.
@@ -353,6 +375,8 @@ fn gemm_tiled_body(out: &mut [f64], a: &[f64], b: &[f64], m: usize, n: usize, in
             let a_row = &a[i * inner..(i + 1) * inner];
             let mut acc = [0.0f64; GEMM_J_TILE];
             for (&a_ik, b_row) in a_row.iter().zip(b.chunks_exact(n)) {
+                // xtask: allow(panic) — the slice is exactly GEMM_J_TILE
+                // wide by construction, so this try_into cannot fail.
                 let b_tile: &[f64; GEMM_J_TILE] =
                     b_row[jb..jb + GEMM_J_TILE].try_into().expect("tile width");
                 for jj in 0..GEMM_J_TILE {
@@ -383,7 +407,16 @@ fn gemm_tiled(out: &mut [f64], a: &[f64], b: &[f64], m: usize, n: usize, inner: 
 /// The same body compiled with AVX2 codegen. Lane-wise IEEE mul/add only
 /// (rustc does not contract to FMA), so results are bit-identical to
 /// [`gemm_tiled`].
-#[cfg(target_arch = "x86_64")]
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports AVX2, e.g. via
+/// `is_x86_feature_detected!("avx2")` — executing the AVX2-encoded body
+/// on a CPU without it is undefined behaviour (illegal instruction at
+/// best). The body itself is safe Rust: all slice accesses are
+/// bounds-checked, dimensions are validated by the sole caller
+/// ([`Matrix::mul_matrix`]), and no pointers are formed.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 #[target_feature(enable = "avx2")]
 unsafe fn gemm_tiled_avx2(out: &mut [f64], a: &[f64], b: &[f64], m: usize, n: usize, inner: usize) {
     gemm_tiled_body(out, a, b, m, n, inner);
@@ -391,7 +424,13 @@ unsafe fn gemm_tiled_avx2(out: &mut [f64], a: &[f64], b: &[f64], m: usize, n: us
 
 /// The same body compiled with AVX-512F codegen; bit-identical results,
 /// as for [`gemm_tiled_avx2`].
-#[cfg(target_arch = "x86_64")]
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports AVX-512F, e.g. via
+/// `is_x86_feature_detected!("avx512f")`; see [`gemm_tiled_avx2`] — the
+/// same contract applies, with AVX-512F in place of AVX2.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 #[target_feature(enable = "avx512f")]
 unsafe fn gemm_tiled_avx512(
     out: &mut [f64],
@@ -436,6 +475,8 @@ impl Mul<&Matrix> for &Matrix {
     /// Panics if the inner dimensions differ. Use [`Matrix::mul_matrix`] for
     /// a fallible version.
     fn mul(self, rhs: &Matrix) -> Matrix {
+        // xtask: allow(panic) — operator sugar cannot return Result; the
+        // panic is documented above and mul_matrix is the fallible form.
         self.mul_matrix(rhs)
             .expect("matrix multiply shape mismatch")
     }

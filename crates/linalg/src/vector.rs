@@ -380,7 +380,7 @@ mod tests {
 
     #[test]
     fn collect_and_extend() {
-        let v: Vector = (0..3).map(|i| i as f64).collect();
+        let v: Vector = (0..3).map(f64::from).collect();
         assert_eq!(v.as_slice(), &[0.0, 1.0, 2.0]);
         let mut v = v;
         v.extend([3.0]);

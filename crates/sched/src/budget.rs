@@ -62,9 +62,11 @@ pub(crate) fn assign_levels_per_core(
             });
             continue;
         }
-        let k = active
-            .binary_search(&t.core)
-            .expect("active contains every executing core");
+        // `active` was built from exactly these executing cores above;
+        // a miss means the view changed under us, so leave the core be.
+        let Ok(k) = active.binary_search(&t.core) else {
+            continue;
+        };
         let level = fastest_level_within(machine, &t.work, t.core, cache.budgets[k], t_dtm);
         actions.push(Action::SetLevel {
             core: t.core,

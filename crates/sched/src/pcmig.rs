@@ -176,7 +176,7 @@ impl Scheduler for PcMig {
             }
             _ => current.clone(),
         };
-        self.last_temps = Some((now, current.clone()));
+        self.last_temps = Some((now, current));
 
         // On-demand migrations: hottest predicted core first.
         let trigger = self.config.t_dtm - self.config.migration_margin;
@@ -191,7 +191,7 @@ impl Scheduler for PcMig {
             })
             .map(|t| (predicted[t.core.index()], t.id, t.core))
             .collect();
-        hot_threads.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite prediction"));
+        hot_threads.sort_by(|a, b| b.0.total_cmp(&a.0));
 
         let mut free = view.free_cores();
         // Cores claimed by placements in this very call are not free.
@@ -201,11 +201,7 @@ impl Scheduler for PcMig {
             }
         }
         // Coolest (predicted) free cores first.
-        free.sort_by(|a, b| {
-            predicted[a.index()]
-                .partial_cmp(&predicted[b.index()])
-                .expect("finite prediction")
-        });
+        free.sort_by(|a, b| predicted[a.index()].total_cmp(&predicted[b.index()]));
         for (_, tid, from) in hot_threads {
             let Some(pos) = free
                 .iter()

@@ -58,10 +58,12 @@ impl TspUniform {
     ) -> Vec<Action> {
         let mut actions = Vec::new();
         let mut free = view.free_cores();
+        // Out-of-range cores (impossible for a free-core list) sort last
+        // via the +inf sentinel instead of aborting the run.
         free.sort_by(|&a, &b| {
-            let fa = view.machine.floorplan().amd(a).expect("core in range");
-            let fb = view.machine.floorplan().amd(b).expect("core in range");
-            fa.partial_cmp(&fb).expect("finite AMD").then(a.cmp(&b))
+            let fa = view.machine.floorplan().amd(a).unwrap_or(f64::INFINITY);
+            let fb = view.machine.floorplan().amd(b).unwrap_or(f64::INFINITY);
+            fa.total_cmp(&fb).then(a.cmp(&b))
         });
         for job in view.pending {
             if let Some(cores) = preferred.take() {

@@ -78,11 +78,7 @@ impl Simulation {
     /// * Validation errors for malformed scheduler actions
     ///   ([`SimError::CoreConflict`], [`SimError::PlacementArity`], …).
     pub fn run(&mut self, mut jobs: Vec<Job>, scheduler: &mut dyn Scheduler) -> Result<Metrics> {
-        jobs.sort_by(|a, b| {
-            a.arrival
-                .partial_cmp(&b.arrival)
-                .expect("finite arrival times")
-        });
+        jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
         let total_jobs = jobs.len();
         let mut arrivals: VecDeque<Job> = jobs.into();
 
@@ -126,7 +122,10 @@ impl Simulation {
 
             // 1. Admission: move arrived jobs into the pending queue.
             while arrivals.front().is_some_and(|j| j.arrival <= now + 1e-12) {
-                pending.push_back(arrivals.pop_front().expect("checked non-empty"));
+                let Some(job) = arrivals.pop_front() else {
+                    break;
+                };
+                pending.push_back(job);
             }
 
             // Junction temperatures for this interval, shared by the
@@ -201,7 +200,9 @@ impl Simulation {
                         power[core] = self.machine.idle_power(temp);
                     }
                     Some(tid) => {
-                        let jr = active.get_mut(&tid.job).expect("occupant job active");
+                        let jr = active
+                            .get_mut(&tid.job)
+                            .ok_or(SimError::UnknownThread(tid))?;
                         let nominal = jr.work_point(tid.index);
                         let t = &mut jr.threads[tid.index];
                         // Migration flush stall eats into the interval.
@@ -280,16 +281,20 @@ impl Simulation {
                 })
                 .collect();
             for id in done_ids {
-                let jr = active.remove(&id).expect("completing job active");
+                let Some(jr) = active.remove(&id) else {
+                    continue; // id came from `active` above; a miss is a no-op
+                };
                 for t in &jr.threads {
                     occupancy[t.core.index()] = None;
                 }
-                let rec = records.get_mut(&id).expect("record exists");
-                rec.completed = jr.completed;
-                rec.instructions = jr.threads.iter().map(|t| t.instructions_retired).sum();
-                rec.migrations = jr.threads.iter().map(|t| t.migrations).sum();
-                rec.energy = jr.threads.iter().map(|t| t.energy).sum();
-                metrics.makespan = metrics.makespan.max(jr.completed.expect("just set"));
+                let completed_at = jr.completed.unwrap_or(now + dt);
+                if let Some(rec) = records.get_mut(&id) {
+                    rec.completed = Some(completed_at);
+                    rec.instructions = jr.threads.iter().map(|t| t.instructions_retired).sum();
+                    rec.migrations = jr.threads.iter().map(|t| t.migrations).sum();
+                    rec.energy = jr.threads.iter().map(|t| t.energy).sum();
+                }
+                metrics.makespan = metrics.makespan.max(completed_at);
                 completed += 1;
             }
 
@@ -327,7 +332,7 @@ impl Simulation {
                         .iter()
                         .position(|j| j.id == job)
                         .ok_or(SimError::UnknownJob(job))?;
-                    let j = pending.remove(pos).expect("position valid");
+                    let j = pending.remove(pos).ok_or(SimError::UnknownJob(job))?;
                     if cores.len() != j.spec.thread_count() {
                         return Err(SimError::PlacementArity {
                             job,
@@ -441,7 +446,9 @@ impl Simulation {
                 if from == to {
                     continue; // no-op migration costs nothing
                 }
-                let jr = active.get_mut(&tid.job).expect("validated");
+                let jr = active
+                    .get_mut(&tid.job)
+                    .ok_or(SimError::UnknownThread(tid))?;
                 let t = &mut jr.threads[tid.index];
                 t.core = to;
                 t.stall_until = now + flush;

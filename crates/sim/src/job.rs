@@ -53,8 +53,11 @@ impl PowerHistory {
                 self.total_time -= d;
                 self.total_energy -= d * w;
             } else {
-                // Trim the oldest sample partially.
-                self.samples.front_mut().expect("nonempty").0 = d - excess;
+                // Trim the oldest sample partially (the loop guard
+                // guarantees the deque is nonempty here).
+                if let Some(front) = self.samples.front_mut() {
+                    front.0 = d - excess;
+                }
                 self.total_time -= excess;
                 self.total_energy -= excess * w;
             }

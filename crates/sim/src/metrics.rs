@@ -25,7 +25,8 @@ pub struct JobRecord {
 }
 
 impl JobRecord {
-    /// Response time (completion − arrival), if the job completed.
+    /// Response time (completion − arrival), seconds, if the job
+    /// completed.
     pub fn response_time(&self) -> Option<f64> {
         self.completed.map(|c| c - self.arrival)
     }

@@ -1,4 +1,5 @@
 use hp_floorplan::{CoreId, GridFloorplan};
+use hp_linalg::convert::usize_to_f64;
 use hp_linalg::{LuDecomposition, Matrix, Vector};
 
 use crate::{Result, ThermalConfig, ThermalError};
@@ -96,7 +97,7 @@ impl RcThermalModel {
             couple(
                 n + i,
                 2 * n + i,
-                config.g_spreader_sink + missing as f64 * config.g_spreader_edge,
+                config.g_spreader_sink + usize_to_f64(missing) * config.g_spreader_edge,
             );
             // Lateral coupling; add each undirected edge once.
             for nb in floorplan.neighbors(core)? {
@@ -116,7 +117,7 @@ impl RcThermalModel {
             let i = core.index();
             let node = 2 * n + i;
             let missing = 4 - floorplan.neighbors(core)?.len();
-            let leak = config.g_sink_ambient + missing as f64 * config.g_sink_edge;
+            let leak = config.g_sink_ambient + usize_to_f64(missing) * config.g_sink_edge;
             b[(node, node)] += leak;
             g[node] = leak;
         }
@@ -227,8 +228,9 @@ impl RcThermalModel {
         })
     }
 
-    /// Expands a per-core power vector (length `n`, junction dissipation)
-    /// into a full node power vector (length `N`, zeros elsewhere).
+    /// Expands a per-core power vector in W (length `n`, junction
+    /// dissipation) into a full node power vector (length `N`, zeros
+    /// elsewhere).
     ///
     /// # Errors
     ///
@@ -248,7 +250,8 @@ impl RcThermalModel {
         Ok(p)
     }
 
-    /// Extracts the junction (core) temperatures from a full node state.
+    /// Extracts the junction (core) temperatures, °C, from a full node
+    /// state.
     ///
     /// # Panics
     ///
@@ -300,7 +303,7 @@ mod tests {
     fn zero_power_settles_at_ambient() {
         let m = model_4x4();
         let t = m.steady_state(&Vector::zeros(16)).unwrap();
-        for &ti in t.iter() {
+        for &ti in &t {
             assert!((ti - 45.0).abs() < 1e-8, "node at {ti}");
         }
     }

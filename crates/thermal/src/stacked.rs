@@ -15,6 +15,7 @@
 //! rotation sequence.
 
 use hp_floorplan::GridFloorplan;
+use hp_linalg::convert::usize_to_f64;
 use hp_linalg::{Matrix, Vector};
 
 use crate::{RcThermalModel, Result, ThermalConfig, ThermalError};
@@ -120,7 +121,7 @@ pub fn stacked_model(
             &mut b,
             cores + i,
             cores + n + i,
-            config.g_spreader_sink + missing as f64 * config.g_spreader_edge,
+            config.g_spreader_sink + usize_to_f64(missing) * config.g_spreader_edge,
         );
         // Lateral coupling inside every junction die + spreader + sink.
         for nb in floorplan.neighbors(core)? {
@@ -135,7 +136,7 @@ pub fn stacked_model(
         }
         // Ambient leak with peripheral bonus.
         let node = cores + n + i;
-        let leak = config.g_sink_ambient + missing as f64 * config.g_sink_edge;
+        let leak = config.g_sink_ambient + usize_to_f64(missing) * config.g_sink_edge;
         b[(node, node)] += leak;
         g[node] = leak;
     }
@@ -219,7 +220,7 @@ mod tests {
     fn zero_power_settles_at_ambient() {
         let m = model(3);
         let t = m.steady_state(&Vector::zeros(48)).expect("solves");
-        for &ti in t.iter() {
+        for &ti in &t {
             assert!((ti - 45.0).abs() < 1e-8);
         }
     }

@@ -1,6 +1,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+use hp_linalg::convert::usize_to_f64;
 use hp_linalg::eigen::SystemEigen;
 use hp_linalg::{Matrix, Vector};
 
@@ -117,7 +118,12 @@ impl TransientSolver {
 
     /// Cached decay factors `e^{λᵢ·dt}` for one step length.
     fn decay_for(&self, dt: f64) -> Arc<Vector> {
-        let mut cache = self.decay_cache.lock().expect("decay cache poisoned");
+        // A poisoned lock only means another thread panicked mid-insert;
+        // the cache holds immutable Arcs, so its contents stay valid.
+        let mut cache = self
+            .decay_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(m) = cache.get(&dt.to_bits()) {
             return Arc::clone(m);
         }
@@ -157,6 +163,8 @@ impl TransientSolver {
         dt: f64,
     ) -> Result<Vector> {
         let mut out = self.step_many(model, &[(node_temps, core_power)], dt)?;
+        // xtask: allow(panic) — step_many returns exactly one state per
+        // input pair, so a batch of one always pops.
         Ok(out.pop().expect("batch of one"))
     }
 
@@ -292,7 +300,7 @@ impl TransientSolver {
         const SAMPLES: usize = 48;
         let mut e = Matrix::zeros(SAMPLES + 1, nodes);
         for s in 0..=SAMPLES {
-            let t = horizon * s as f64 / SAMPLES as f64;
+            let t = horizon * usize_to_f64(s) / usize_to_f64(SAMPLES);
             let row = e.row_mut(s);
             for (k, slot) in row.iter_mut().enumerate() {
                 *slot = (lambda[k] * t).exp() * w[k];
@@ -309,12 +317,12 @@ impl TransientSolver {
             }
             if val > best_v {
                 best_v = val;
-                best_t = horizon * s as f64 / SAMPLES as f64;
+                best_t = horizon * usize_to_f64(s) / usize_to_f64(SAMPLES);
             }
         }
 
         // Golden-section refinement of the winning bracket.
-        let step = horizon / SAMPLES as f64;
+        let step = horizon / usize_to_f64(SAMPLES);
         let (mut lo, mut hi) = ((best_t - step).max(0.0), (best_t + step).min(horizon));
         const PHI: f64 = 0.618_033_988_749_894_8;
         for _ in 0..40 {
@@ -363,7 +371,7 @@ impl TransientSolver {
 
         let mut e = Matrix::zeros(samples, n);
         for k in 1..=samples {
-            let t = dt * k as f64 / samples as f64;
+            let t = dt * usize_to_f64(k) / usize_to_f64(samples);
             let row = e.row_mut(k - 1);
             for (i, slot) in row.iter_mut().enumerate() {
                 *slot = (lambda[i] * t).exp() * y[i];
@@ -396,7 +404,7 @@ impl TransientSolver {
         let deviation = node_temps - &t_steady;
         let mut out = Vec::with_capacity(samples);
         for k in 1..=samples {
-            let t = dt * k as f64 / samples as f64;
+            let t = dt * usize_to_f64(k) / usize_to_f64(samples);
             let decayed = self.eigen.exp_apply(t, &deviation);
             out.push(&t_steady + &decayed);
         }
@@ -458,7 +466,7 @@ mod tests {
         let mut t = model.ambient_state();
         let mut t_ref = model.ambient_state();
         for k in 0..10 {
-            let dt = 1e-4 * (1 + k % 3) as f64;
+            let dt = 1e-4 * f64::from(1 + k % 3);
             t = solver.step(&model, &t, &p, dt).unwrap();
             t_ref = solver.step_reference(&model, &t_ref, &p, dt).unwrap();
             for i in 0..model.node_count() {
@@ -525,7 +533,7 @@ mod tests {
         p[3] = 6.0;
         let t0 = model.ambient_state();
         let a = solver.step(&model, &t0, &p, 5e-4).unwrap();
-        let b = solver.clone().step(&model, &t0, &p, 5e-4).unwrap();
+        let b = solver.step(&model, &t0, &p, 5e-4).unwrap();
         for i in 0..model.node_count() {
             assert_eq!(a[i].to_bits(), b[i].to_bits());
         }
@@ -618,7 +626,7 @@ mod tests {
         // Dense reference.
         let mut reference = f64::NEG_INFINITY;
         for s in 0..=2000 {
-            let t = horizon * s as f64 / 2000.0;
+            let t = horizon * f64::from(s) / 2000.0;
             let state = solver.step(&model, &t0, &p, t).unwrap();
             reference = reference.max(model.core_temperatures(&state).max());
         }

@@ -8,6 +8,7 @@
 //! core stays within what TSP would allow.
 
 use hp_floorplan::CoreId;
+use hp_linalg::convert::usize_to_f64;
 use hp_linalg::Vector;
 
 use crate::{RcThermalModel, Result, ThermalError};
@@ -179,7 +180,7 @@ pub fn per_core_budgets(
     }
 
     const MAX_ITERS: usize = 200;
-    for iter in 0..MAX_ITERS {
+    for _ in 0..MAX_ITERS {
         let t = model.steady_state(&p)?;
         let mut worst = 0.0f64;
         for (k, &c) in active.iter().enumerate() {
@@ -192,14 +193,11 @@ pub fn per_core_budgets(
         if worst < 1e-6 {
             return Ok(active.iter().map(|c| p[c.index()]).collect());
         }
-        if iter == MAX_ITERS - 1 {
-            return Err(ThermalError::InvalidParameter {
-                name: "iterations",
-                value: MAX_ITERS as f64,
-            });
-        }
     }
-    unreachable!("loop either returns or errors");
+    Err(ThermalError::InvalidParameter {
+        name: "iterations",
+        value: usize_to_f64(MAX_ITERS),
+    })
 }
 
 /// TSP for the *worst-case* mapping of `k` active cores: the densest
@@ -228,7 +226,7 @@ pub fn worst_case_budget(
     if k > n {
         return Err(ThermalError::InvalidParameter {
             name: "k",
-            value: k as f64,
+            value: usize_to_f64(k),
         });
     }
     // Pick the k cores with the highest steady-state self-coupling to the
@@ -240,7 +238,7 @@ pub fn worst_case_budget(
     let expanded = model.expand_power(&all)?;
     let sens = model.b_lu().solve(&expanded)?;
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| sens[b].partial_cmp(&sens[a]).expect("finite sensitivity"));
+    order.sort_by(|&a, &b| sens[b].total_cmp(&sens[a]));
     let active: Vec<CoreId> = order[..k].iter().map(|&i| CoreId(i)).collect();
     budget(model, &active, t_dtm, idle_power)
 }

@@ -1,0 +1,96 @@
+//! Negative tests: the transient solver and the RC model must reject
+//! malformed inputs with typed errors instead of panicking. Pins the
+//! behavioural half of the `cargo xtask check` no-panic contract for
+//! hp-thermal.
+
+use hp_floorplan::GridFloorplan;
+use hp_linalg::Vector;
+use hp_thermal::{RcThermalModel, ThermalConfig, ThermalError, TransientSolver};
+
+fn model_4x4() -> RcThermalModel {
+    let fp = GridFloorplan::new(4, 4).expect("non-empty grid");
+    RcThermalModel::new(&fp, &ThermalConfig::default()).expect("valid config")
+}
+
+#[test]
+fn step_rejects_non_finite_or_negative_dt() {
+    let model = model_4x4();
+    let solver = TransientSolver::new(&model).expect("decomposes");
+    let t0 = model.ambient_state();
+    let p = Vector::constant(16, 1.0);
+    for dt in [-1e-4, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let err = solver
+            .step(&model, &t0, &p, dt)
+            .expect_err("bad dt must not step");
+        assert!(
+            matches!(err, ThermalError::InvalidParameter { name: "dt", .. }),
+            "dt {dt}: {err}"
+        );
+    }
+}
+
+#[test]
+fn step_rejects_power_dimension_mismatch() {
+    let model = model_4x4();
+    let solver = TransientSolver::new(&model).expect("decomposes");
+    let t0 = model.ambient_state();
+    // 9 cores of power against the 16-core model.
+    let err = solver
+        .step(&model, &t0, &Vector::constant(9, 1.0), 1e-4)
+        .expect_err("wrong power length");
+    assert!(
+        matches!(err, ThermalError::PowerLengthMismatch { .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn step_many_rejects_one_bad_pair_among_good() {
+    let model = model_4x4();
+    let solver = TransientSolver::new(&model).expect("decomposes");
+    let t0 = model.ambient_state();
+    let good = Vector::constant(16, 1.0);
+    let bad = Vector::constant(3, 1.0);
+    let pairs = [(&t0, &good), (&t0, &bad)];
+    assert!(solver.step_many(&model, &pairs, 1e-4).is_err());
+    // The empty batch, by contrast, is a valid no-op.
+    assert_eq!(solver.step_many(&model, &[], 1e-4).expect("ok").len(), 0);
+}
+
+#[test]
+fn trajectory_rejects_bad_inputs_like_step() {
+    let model = model_4x4();
+    let solver = TransientSolver::new(&model).expect("decomposes");
+    let t0 = model.ambient_state();
+    let p = Vector::constant(16, 1.0);
+    assert!(solver.trajectory(&model, &t0, &p, f64::NAN, 4).is_err());
+    assert!(solver
+        .trajectory(&model, &t0, &Vector::constant(2, 1.0), 1e-4, 4)
+        .is_err());
+}
+
+#[test]
+fn steady_state_rejects_dimension_mismatch() {
+    let model = model_4x4();
+    let err = model
+        .steady_state(&Vector::constant(5, 1.0))
+        .expect_err("wrong core count");
+    assert!(
+        matches!(err, ThermalError::PowerLengthMismatch { .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn config_rejects_non_finite_ambient() {
+    for ambient in [f64::NAN, f64::INFINITY] {
+        let cfg = ThermalConfig {
+            ambient,
+            ..ThermalConfig::default()
+        };
+        assert!(
+            cfg.validate().is_err(),
+            "ambient {ambient} must not validate"
+        );
+    }
+}

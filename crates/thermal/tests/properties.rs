@@ -30,7 +30,7 @@ proptest! {
         let n = w * h;
         let p = Vector::from_fn(n, |i| ((seed as usize + i) % 5) as f64);
         let t = model.steady_state(&p).unwrap();
-        for &ti in t.iter() {
+        for &ti in &t {
             prop_assert!(ti >= 45.0 - 1e-9, "no node below ambient: {ti}");
         }
     }

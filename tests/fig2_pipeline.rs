@@ -113,8 +113,8 @@ fn fig2_magnitudes_are_in_paper_range() {
     // Accept a generous band around those: the substrate differs.
     let penalty = rot.makespan / unmanaged.makespan - 1.0;
     let gain = tsp_m.makespan / rot.makespan - 1.0;
-    assert!(penalty > 0.0 && penalty < 0.20, "penalty {:.3}", penalty);
-    assert!(gain > 0.03 && gain < 0.40, "gain {:.3}", gain);
+    assert!(penalty > 0.0 && penalty < 0.20, "penalty {penalty:.3}");
+    assert!(gain > 0.03 && gain < 0.40, "gain {gain:.3}");
 
     // Unmanaged overshoot is around the paper's ~80 C.
     assert!(

@@ -77,7 +77,7 @@ fn arrivals_are_respected() {
     let mut hp = HotPotato::new(model(), HotPotatoConfig::default()).expect("valid config");
     let m = run(&mut hp, 50.0, 21);
     for j in &m.jobs {
-        assert!(j.started + 1e-9 >= j.arrival, "{:?}", j);
+        assert!(j.started + 1e-9 >= j.arrival, "{j:?}");
         if let Some(done) = j.completed {
             assert!(done > j.arrival);
         }

@@ -1,0 +1,297 @@
+//! A scrubbing lexer: reduces Rust source to a per-line view that the
+//! lint rules can scan with plain string matching.
+//!
+//! For every input line the lexer produces
+//!
+//! * `code` — the line with comment bodies and string/char-literal
+//!   contents blanked out (replaced by spaces, so column numbers and
+//!   token boundaries survive),
+//! * `comments` — the text of every comment that *starts or continues*
+//!   on the line (line comments, doc comments, block comments), and
+//! * `strings` — the contents of every string literal on the line (the
+//!   lint rules need these for `#[target_feature(enable = "...")]` /
+//!   `is_x86_feature_detected!("...")` matching).
+//!
+//! The lexer understands line comments, nested block comments, string
+//! escapes, raw strings (`r"…"`, `r#"…"#`, `br#"…"#`), byte/char
+//! literals, and distinguishes lifetimes (`'a`) from char literals
+//! (`'x'`, `'\n'`). It does not need to be a full Rust lexer — only
+//! faithful enough that keyword and method-call scanning on `code`
+//! never fires inside a string or comment.
+
+/// One source line after scrubbing.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code with comments and literal contents blanked.
+    pub code: String,
+    /// Comment text present on this line (without the `//` / `/*`).
+    pub comments: Vec<String>,
+    /// String-literal contents present on this line.
+    pub strings: Vec<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    /// Inside `/* … */`, tracking nesting depth.
+    Block(u32),
+    /// Inside a normal string literal.
+    Str,
+    /// Inside a raw string with `n` trailing `#` marks.
+    RawStr(u32),
+}
+
+/// Scrubs a whole source file into lines.
+pub fn scrub(src: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    for raw in src.lines() {
+        let mut line = Line::default();
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let mut string = String::new();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let c = bytes[i];
+            let next = bytes.get(i + 1).copied();
+            match mode {
+                Mode::Code => match c {
+                    '/' if next == Some('/') => {
+                        // Line comment (incl. doc comments); rest of line.
+                        let text: String = bytes[i..].iter().collect();
+                        line.comments.push(strip_comment_prefix(&text));
+                        code.push_str(&" ".repeat(bytes.len() - i));
+                        i = bytes.len();
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        mode = Mode::Block(1);
+                        code.push_str("  ");
+                        comment.clear();
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        mode = Mode::Str;
+                        string.clear();
+                        code.push('"');
+                    }
+                    'r' | 'b' => {
+                        // Possible raw string r"…", r#"…"#, br"…", br#"…"#.
+                        if let Some((hashes, skip)) = raw_string_open(&bytes[i..]) {
+                            mode = Mode::RawStr(hashes);
+                            string.clear();
+                            code.push_str(&" ".repeat(skip));
+                            i += skip;
+                            continue;
+                        }
+                        code.push(c);
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime. A char literal closes
+                        // with a `'` within a few chars; a lifetime does not.
+                        if let Some(len) = char_literal_len(&bytes[i..]) {
+                            code.push('\'');
+                            code.push_str(&" ".repeat(len - 2));
+                            code.push('\'');
+                            i += len;
+                            continue;
+                        }
+                        code.push('\'');
+                    }
+                    _ => code.push(c),
+                },
+                Mode::Block(depth) => {
+                    if c == '*' && next == Some('/') {
+                        if depth == 1 {
+                            mode = Mode::Code;
+                            line.comments.push(comment.clone());
+                            comment.clear();
+                        } else {
+                            mode = Mode::Block(depth - 1);
+                        }
+                        code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        mode = Mode::Block(depth + 1);
+                        code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    comment.push(c);
+                    code.push(' ');
+                }
+                Mode::Str => match c {
+                    '\\' => {
+                        string.push(c);
+                        if let Some(n) = next {
+                            string.push(n);
+                        }
+                        code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        mode = Mode::Code;
+                        line.strings.push(string.clone());
+                        string.clear();
+                        code.push('"');
+                    }
+                    _ => {
+                        string.push(c);
+                        code.push(' ');
+                    }
+                },
+                Mode::RawStr(hashes) => {
+                    if c == '"' && closes_raw(&bytes[i..], hashes) {
+                        mode = Mode::Code;
+                        line.strings.push(string.clone());
+                        string.clear();
+                        code.push('"');
+                        code.push_str(&" ".repeat(hashes as usize));
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                    string.push(c);
+                    code.push(' ');
+                }
+            }
+            i += 1;
+        }
+        // A comment or string still open at end-of-line carries over; flush
+        // the partial comment text so same-line markers are visible.
+        match mode {
+            Mode::Block(_) if !comment.is_empty() => {
+                line.comments.push(comment.clone());
+                comment.clear();
+            }
+            Mode::Str
+                // Plain strings do not span lines without `\`; treat the
+                // newline as a continuation either way.
+                if !string.is_empty() => {
+                    line.strings.push(string.clone());
+                    string.clear();
+                }
+            Mode::RawStr(_)
+                if !string.is_empty() => {
+                    line.strings.push(string.clone());
+                    string.clear();
+                }
+            _ => {}
+        }
+        line.code = code;
+        out.push(line);
+    }
+    out
+}
+
+/// Strips `//`, `///`, `//!` prefixes from a line-comment slice.
+fn strip_comment_prefix(text: &str) -> String {
+    let t = text
+        .trim_start_matches('/')
+        .trim_start_matches('!')
+        .trim_start();
+    t.to_string()
+}
+
+/// If `chars` begins a raw string (`r"`, `r#"`, `br##"` …), returns
+/// `(hash_count, chars_consumed_through_opening_quote)`.
+fn raw_string_open(chars: &[char]) -> Option<(u32, usize)> {
+    let mut i = 0;
+    if chars.first() == Some(&'b') {
+        i += 1;
+    }
+    if chars.get(i) != Some(&'r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0u32;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) == Some(&'"') {
+        Some((hashes, i + 1))
+    } else {
+        None
+    }
+}
+
+/// Whether the `"` at `chars[0]` is followed by `hashes` `#` marks.
+fn closes_raw(chars: &[char], hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(k) == Some(&'#'))
+}
+
+/// If `chars` begins a char/byte literal (`'x'`, `'\n'`, `'\u{1F600}'`),
+/// returns its total length; `None` for lifetimes.
+fn char_literal_len(chars: &[char]) -> Option<usize> {
+    debug_assert_eq!(chars.first(), Some(&'\''));
+    let mut i = 1;
+    if chars.get(i) == Some(&'\\') {
+        i += 1;
+        if chars.get(i) == Some(&'u') {
+            // '\u{…}'
+            while i < chars.len() && chars[i] != '}' {
+                i += 1;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    } else {
+        i += 1;
+    }
+    if chars.get(i) == Some(&'\'') {
+        Some(i + 1)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_strings_and_comments() {
+        let lines = scrub("let x = \"unsafe .unwrap()\"; // panic! here\n");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(!lines[0].code.contains("panic"));
+        assert_eq!(lines[0].strings, vec!["unsafe .unwrap()".to_string()]);
+        assert_eq!(lines[0].comments, vec!["panic! here".to_string()]);
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let lines = scrub("a /* one\n unsafe two */ b\n");
+        assert!(!lines[1].code.contains("unsafe"));
+        assert!(lines[0].comments[0].contains("one"));
+        assert!(lines[1].comments[0].contains("two"));
+        assert!(lines[1].code.contains('b'));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = scrub("fn f<'a>(x: &'a str) -> char { 'x' }\n");
+        assert!(lines[0].code.contains("<'a>"));
+        assert!(!lines[0].code.contains("'x'"));
+    }
+
+    #[test]
+    fn raw_strings() {
+        let lines = scrub("let s = r#\"a \"quoted\" panic!\"#;\n");
+        assert!(!lines[0].code.contains("panic"));
+        assert_eq!(lines[0].strings.len(), 1);
+        assert!(lines[0].strings[0].contains("quoted"));
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_string() {
+        let lines = scrub("let s = \"a\\\"b.unwrap()\"; let y = 1;\n");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("let y = 1"));
+    }
+}

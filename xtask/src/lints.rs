@@ -1,0 +1,660 @@
+//! The project-specific lint rules behind `cargo xtask check`.
+//!
+//! Stock `clippy` cannot express the workspace's own invariants, so this
+//! module scans every crate source (through the scrubbing
+//! [`lexer`](crate::lexer)) and enforces:
+//!
+//! * **`panic`** — no `unwrap()` / `expect()` / `panic!` /
+//!   `unreachable!` / `todo!` / `unimplemented!` in *library* code of the
+//!   solver crates (`hotpotato`, `hp-thermal`, `hp-linalg`, `hp-sim`,
+//!   `hp-sched`). Tests, benches, binaries and examples are allowlisted;
+//!   a justified site carries a `// xtask: allow(panic) — why` marker.
+//! * **`safety`** — every `unsafe` keyword (block, fn, impl) must be
+//!   justified by a `// SAFETY:` comment on or just above the line, or a
+//!   `# Safety` section in the item's doc block.
+//! * **`dispatch`** — every `#[target_feature(enable = "X")]` kernel must
+//!   have a runtime `is_x86_feature_detected!("X")` guard somewhere in
+//!   the same crate.
+//! * **`cast`** — no bare `as` numeric casts in `hp-linalg` / `hp-thermal`
+//!   library math; use the checked/documented conversion helpers
+//!   (`hp_linalg::convert`) or a `// xtask: allow(cast) — why` marker.
+//! * **`unit`** — public functions of the thermal crates whose names speak
+//!   of temperatures, times or powers must name the unit in the signature
+//!   (`_celsius`, `_seconds`, `_watts`, …) or in their doc comment.
+//! * **`index`** (advisory, `--pedantic` only) — direct slice indexing in
+//!   library code of the no-panic crates; `get()` is preferred where the
+//!   index is not structurally in range.
+
+use crate::lexer::{scrub, Line};
+
+/// How a source file participates in the build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code (crate `src/` outside `src/bin`).
+    Lib,
+    /// Binary targets (`src/bin`, `src/main.rs` of bin-only crates).
+    Bin,
+    /// Integration tests.
+    Test,
+    /// Benchmarks.
+    Bench,
+    /// Examples.
+    Example,
+}
+
+/// One finding, printed as `file:line: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (`panic`, `safety`, `dispatch`, `cast`, `unit`).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub msg: String,
+    /// Advisory findings are printed but do not fail the gate.
+    pub advisory: bool,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Per-file scan output; `features` feed the crate-wide dispatch check.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// All findings in this file.
+    pub diags: Vec<Diagnostic>,
+    /// `(feature, line)` of every `#[target_feature(enable = …)]`.
+    pub features: Vec<(String, usize)>,
+    /// Features guarded by `is_x86_feature_detected!` in this file.
+    pub guards: Vec<String>,
+}
+
+/// Crates whose library code must stay panic-free.
+pub const NO_PANIC_CRATES: &[&str] =
+    &["hotpotato", "hp-thermal", "hp-linalg", "hp-sim", "hp-sched"];
+
+/// Crates whose library math must not use bare `as` numeric casts.
+pub const NO_CAST_CRATES: &[&str] = &["hp-linalg", "hp-thermal"];
+
+/// Crates whose public API must name physical units.
+pub const UNIT_CRATES: &[&str] = &["hotpotato", "hp-thermal", "hp-sim"];
+
+const NUMERIC_TYPES: &[&str] = &[
+    "f32", "f64", "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128",
+    "isize",
+];
+
+const QUANTITY_WORDS: &[&str] = &["temp", "power", "time"];
+
+const UNIT_NAME_TOKENS: &[&str] = &[
+    "celsius", "kelvin", "seconds", "secs", "_ms", "_us", "_ns", "watts", "_hz", "ghz",
+];
+
+const UNIT_DOC_TOKENS: &[&str] = &[
+    "C", "Celsius", "celsius", "K", "Kelvin", "W", "watt", "watts", "s", "sec", "second",
+    "seconds", "ms", "us", "ns", "Hz", "GHz", "IPS",
+];
+
+/// Scans one source file. `file` is only used to label diagnostics.
+pub fn check_source(file: &str, crate_name: &str, kind: FileKind, src: &str) -> FileReport {
+    let lines = scrub(src);
+    let in_test = test_regions(&lines);
+    let mut report = FileReport::default();
+
+    // Library-only rules are skipped wholesale for allowlisted targets.
+    let lib = kind == FileKind::Lib;
+    let panic_scope = lib && NO_PANIC_CRATES.contains(&crate_name);
+    let cast_scope = lib && NO_CAST_CRATES.contains(&crate_name);
+    let unit_scope = lib && UNIT_CRATES.contains(&crate_name);
+
+    for (idx, line) in lines.iter().enumerate() {
+        let n = idx + 1;
+        let code = line.code.as_str();
+
+        // --- dispatch bookkeeping (all kinds: guards often live in tests).
+        if code.contains("is_x86_feature_detected!") {
+            for s in &line.strings {
+                report.guards.push(s.clone());
+            }
+        }
+        if code.contains("target_feature") && code.contains("enable") {
+            if let Some(feat) = line.strings.first() {
+                report.features.push((feat.clone(), n));
+            }
+        }
+
+        if in_test[idx] {
+            continue;
+        }
+
+        // --- safety: every `unsafe` needs a SAFETY justification.
+        if has_word(code, "unsafe") && !safety_justified(&lines, idx) {
+            report.diags.push(Diagnostic {
+                file: file.to_string(),
+                line: n,
+                rule: "safety",
+                msg: "`unsafe` without a `// SAFETY:` comment or `# Safety` doc section"
+                    .to_string(),
+                advisory: false,
+            });
+        }
+
+        // --- panic: no panicking calls in library code of solver crates.
+        if panic_scope && !allowed(&lines, idx, "panic") {
+            for what in panic_sites(code) {
+                report.diags.push(Diagnostic {
+                    file: file.to_string(),
+                    line: n,
+                    rule: "panic",
+                    msg: format!(
+                        "`{what}` in library code; return the crate's typed error \
+                         (or mark `// xtask: allow(panic) — why`)"
+                    ),
+                    advisory: false,
+                });
+            }
+        }
+
+        // --- cast: no bare `as` numeric casts in thermal/linalg math.
+        if cast_scope && !allowed(&lines, idx, "cast") {
+            for ty in bare_casts(code) {
+                report.diags.push(Diagnostic {
+                    file: file.to_string(),
+                    line: n,
+                    rule: "cast",
+                    msg: format!(
+                        "bare `as {ty}` cast in numeric code; use hp_linalg::convert \
+                         helpers (or mark `// xtask: allow(cast) — why`)"
+                    ),
+                    advisory: false,
+                });
+            }
+        }
+
+        // --- unit: public quantity-bearing APIs must name their unit.
+        if unit_scope && !allowed(&lines, idx, "unit") {
+            if let Some(name) = pub_fn_name(code) {
+                let lower = name.to_lowercase();
+                if QUANTITY_WORDS.iter().any(|q| lower.contains(q))
+                    && !UNIT_NAME_TOKENS.iter().any(|u| lower.contains(u))
+                    && !doc_mentions_unit(&lines, idx)
+                {
+                    report.diags.push(Diagnostic {
+                        file: file.to_string(),
+                        line: n,
+                        rule: "unit",
+                        msg: format!(
+                            "public fn `{name}` takes/returns a physical quantity but \
+                             neither its name nor its doc names the unit \
+                             (`_celsius`, `_seconds`, `_watts`, …)"
+                        ),
+                        advisory: false,
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Advisory scan: direct indexing in library code of the no-panic crates.
+pub fn check_indexing(file: &str, crate_name: &str, kind: FileKind, src: &str) -> Vec<Diagnostic> {
+    if kind != FileKind::Lib || !NO_PANIC_CRATES.contains(&crate_name) {
+        return Vec::new();
+    }
+    let lines = scrub(src);
+    let in_test = test_regions(&lines);
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] || allowed(&lines, idx, "index") {
+            continue;
+        }
+        let chars: Vec<char> = line.code.chars().collect();
+        for i in 1..chars.len() {
+            if chars[i] == '['
+                && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_' || chars[i - 1] == ')')
+            {
+                // Attribute lines (`#[...]`) are not indexing.
+                if line.code.trim_start().starts_with('#') {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    rule: "index",
+                    msg: "direct indexing; prefer `get()` unless the bound is structurally \
+                          guaranteed"
+                        .to_string(),
+                    advisory: true,
+                });
+                break; // one note per line is enough
+            }
+        }
+    }
+    out
+}
+
+/// Whether `code` contains `word` as a standalone token.
+fn has_word(code: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let left_ok = start == 0 || {
+            let c = code[..start].chars().next_back().unwrap_or(' ');
+            !(c.is_alphanumeric() || c == '_')
+        };
+        let right_ok = end == code.len() || {
+            let c = code[end..].chars().next().unwrap_or(' ');
+            !(c.is_alphanumeric() || c == '_')
+        };
+        if left_ok && right_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Marks every line inside a `#[cfg(test)] mod … { … }` region.
+fn test_regions(lines: &[Line]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        let code = lines[i].code.as_str();
+        if code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test") {
+            // Find the opening brace of the annotated item.
+            let mut j = i;
+            let mut depth: i64 = 0;
+            let mut opened = false;
+            while j < lines.len() {
+                for c in lines[j].code.chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                mask[j] = true;
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// Whether the finding on line `idx` is suppressed by an
+/// `xtask: allow(rule)` marker.
+///
+/// The marker may sit at the end of the offending line, on an earlier
+/// line of the same (possibly wrapped) statement, or in the comment
+/// block directly above the statement — a multi-line justification stays
+/// attached to the code it guards. The upward walk stops at the first
+/// line that ends a previous statement (`;`, `{`, `}`), and is bounded
+/// so a stray marker further away never suppresses anything.
+fn allowed(lines: &[Line], idx: usize, rule: &str) -> bool {
+    let marker_a = format!("xtask: allow({rule})");
+    let marker_b = format!("xtask:allow({rule})");
+    let hit = |l: &Line| {
+        l.comments
+            .iter()
+            .any(|c| c.contains(&marker_a) || c.contains(&marker_b))
+    };
+    if hit(&lines[idx]) {
+        return true;
+    }
+    let mut j = idx;
+    let mut budget = 8;
+    while j > 0 && budget > 0 {
+        j -= 1;
+        budget -= 1;
+        let l = &lines[j];
+        if hit(l) {
+            return true;
+        }
+        let code = l.code.trim();
+        let comment_only = code.is_empty();
+        if !comment_only && (code.ends_with(';') || code.ends_with('{') || code.ends_with('}')) {
+            return false;
+        }
+    }
+    false
+}
+
+/// Whether the `unsafe` on line `idx` is justified by a `SAFETY:` comment
+/// nearby or a `# Safety` doc section above the item.
+fn safety_justified(lines: &[Line], idx: usize) -> bool {
+    // `// SAFETY:` on the line itself or up to three lines above.
+    let lo = idx.saturating_sub(3);
+    for line in &lines[lo..=idx] {
+        if line.comments.iter().any(|c| c.contains("SAFETY:")) {
+            return true;
+        }
+    }
+    // `# Safety` in the contiguous doc/attribute block above.
+    let mut j = idx;
+    let mut budget = 60;
+    while j > 0 && budget > 0 {
+        j -= 1;
+        budget -= 1;
+        let l = &lines[j];
+        let code = l.code.trim();
+        let is_doc = code.is_empty() && !l.comments.is_empty();
+        let is_attr = code.starts_with("#[") || code.starts_with("#!");
+        if !(is_doc || is_attr || code.is_empty()) {
+            break;
+        }
+        if l.comments.iter().any(|c| c.contains("# Safety")) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Panicking constructs present in a scrubbed code line.
+fn panic_sites(code: &str) -> Vec<&'static str> {
+    let mut out = Vec::new();
+    if code.contains(".unwrap()") {
+        out.push(".unwrap()");
+    }
+    if code.contains(".expect(") {
+        out.push(".expect()");
+    }
+    for mac in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+        if let Some(pos) = code.find(mac) {
+            let boundary = pos == 0 || {
+                let prev = code.as_bytes()[pos - 1] as char;
+                !(prev.is_alphanumeric() || prev == '_')
+            };
+            if boundary {
+                out.push(match mac {
+                    "panic!" => "panic!",
+                    "unreachable!" => "unreachable!",
+                    "todo!" => "todo!",
+                    _ => "unimplemented!",
+                });
+            }
+        }
+    }
+    out
+}
+
+/// `as <numeric>` casts present in a scrubbed code line.
+fn bare_casts(code: &str) -> Vec<&'static str> {
+    let mut out = Vec::new();
+    let tokens: Vec<&str> = code
+        .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .filter(|t| !t.is_empty())
+        .collect();
+    for w in tokens.windows(2) {
+        if w[0] == "as" {
+            if let Some(ty) = NUMERIC_TYPES.iter().find(|t| **t == w[1]) {
+                out.push(*ty);
+            }
+        }
+    }
+    out
+}
+
+/// The identifier of a `pub fn` declared on this line, if any.
+fn pub_fn_name(code: &str) -> Option<&str> {
+    let t = code.trim_start();
+    let rest = t.strip_prefix("pub fn ").or_else(|| {
+        t.strip_prefix("pub const fn ")
+            .or_else(|| t.strip_prefix("pub unsafe fn "))
+    })?;
+    let end = rest
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    if end == 0 {
+        None
+    } else {
+        Some(&rest[..end])
+    }
+}
+
+/// Whether the doc block above line `idx` mentions a physical unit.
+fn doc_mentions_unit(lines: &[Line], idx: usize) -> bool {
+    let mut j = idx;
+    let mut budget = 80;
+    while j > 0 && budget > 0 {
+        j -= 1;
+        budget -= 1;
+        let l = &lines[j];
+        let code = l.code.trim();
+        let is_doc = code.is_empty() && !l.comments.is_empty();
+        let is_attr = code.starts_with("#[") || code.starts_with("#!");
+        if !(is_doc || is_attr || code.is_empty()) {
+            return false;
+        }
+        for c in &l.comments {
+            if c.contains("°C") {
+                return true;
+            }
+            let has = c
+                .split(|ch: char| !(ch.is_alphanumeric() || ch == '_'))
+                .any(|tok| UNIT_DOC_TOKENS.contains(&tok));
+            if has {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Cross-file check: every `#[target_feature]` feature needs a runtime
+/// guard somewhere in the same crate.
+pub fn check_dispatch(crate_name: &str, reports: &[(String, FileReport)]) -> Vec<Diagnostic> {
+    let guards: Vec<&String> = reports.iter().flat_map(|(_, r)| &r.guards).collect();
+    let mut out = Vec::new();
+    for (file, report) in reports {
+        for (feat, line) in &report.features {
+            if !guards.contains(&feat) {
+                out.push(Diagnostic {
+                    file: file.clone(),
+                    line: *line,
+                    rule: "dispatch",
+                    msg: format!(
+                        "#[target_feature(enable = \"{feat}\")] kernel in crate \
+                         `{crate_name}` has no `is_x86_feature_detected!(\"{feat}\")` \
+                         runtime guard"
+                    ),
+                    advisory: false,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib(src: &str) -> Vec<Diagnostic> {
+        check_source("fixture.rs", "hp-linalg", FileKind::Lib, src).diags
+    }
+
+    #[test]
+    fn uncommented_unsafe_block_is_one_diagnostic_with_location() {
+        let src = "fn f(p: *const f64) -> f64 {\n    unsafe { *p }\n}\n";
+        let diags = lib(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "safety");
+        assert_eq!(diags[0].file, "fixture.rs");
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn safety_comment_satisfies_unsafe_block() {
+        let src = "fn f(p: *const f64) -> f64 {\n    // SAFETY: caller guarantees p valid\n    unsafe { *p }\n}\n";
+        assert!(lib(src).is_empty());
+    }
+
+    #[test]
+    fn safety_doc_section_satisfies_unsafe_fn() {
+        let src = "/// Dereferences.\n///\n/// # Safety\n///\n/// `p` must be valid.\n#[inline]\npub unsafe fn f(p: *const f64) -> f64 {\n    // SAFETY: contract forwarded\n    unsafe { *p }\n}\n";
+        assert!(lib(src).is_empty());
+    }
+
+    #[test]
+    fn library_unwrap_is_one_diagnostic_with_location() {
+        let src = "fn g(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let diags = lib(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "panic");
+        assert_eq!(diags[0].line, 2);
+        assert!(diags[0].msg.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn expect_and_macros_flagged_but_unwrap_or_is_fine() {
+        let src = "fn g(x: Option<u32>) -> u32 {\n    let _ = x.expect(\"x\");\n    if x.is_none() { panic!(\"no\"); }\n    x.unwrap_or(0)\n}\n";
+        let diags = lib(src);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "panic"));
+    }
+
+    #[test]
+    fn bare_cast_is_one_diagnostic_with_location() {
+        let src = "fn h(n: usize) -> f64 {\n    n as f64\n}\n";
+        let diags = lib(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "cast");
+        assert_eq!(diags[0].line, 2);
+        assert!(diags[0].msg.contains("as f64"));
+    }
+
+    #[test]
+    fn cast_allow_marker_suppresses() {
+        let src = "fn h(n: usize) -> f64 {\n    // xtask: allow(cast) — exact below 2^53\n    n as f64\n}\n";
+        assert!(lib(src).is_empty());
+    }
+
+    #[test]
+    fn casts_outside_scoped_crates_are_ignored() {
+        let src = "fn h(n: usize) -> f64 { n as f64 }\n";
+        let diags = check_source("fixture.rs", "hp-manycore", FileKind::Lib, src).diags;
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_allowlisted() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(lib(src).is_empty());
+    }
+
+    #[test]
+    fn bins_and_tests_are_allowlisted_for_panics() {
+        let src = "fn main() { Some(1).unwrap(); }\n";
+        for kind in [
+            FileKind::Bin,
+            FileKind::Test,
+            FileKind::Bench,
+            FileKind::Example,
+        ] {
+            assert!(check_source("fixture.rs", "hp-linalg", kind, src)
+                .diags
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = "fn f() -> &'static str {\n    // .unwrap() is banned, as f64 too, unsafe also\n    \"panic! .unwrap() as f64 unsafe\"\n}\n";
+        assert!(lib(src).is_empty());
+    }
+
+    #[test]
+    fn allow_panic_marker_with_reason() {
+        let src = "fn f(m: std::sync::Mutex<u32>) -> u32 {\n    // xtask: allow(panic) — poisoning is unrecoverable here\n    *m.lock().expect(\"poisoned\")\n}\n";
+        assert!(lib(src).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_covers_wrapped_statements() {
+        // Marker in the comment block above a statement whose panicking
+        // call sits on a continuation line.
+        let src = "fn f(v: &[f64]) -> &[f64; 4] {\n    // xtask: allow(panic) — slice is exactly 4 wide\n    // by construction.\n    let tile: &[f64; 4] =\n        v.try_into().expect(\"width\");\n    tile\n}\n";
+        assert!(lib(src).is_empty(), "{:?}", lib(src));
+    }
+
+    #[test]
+    fn allow_marker_does_not_leak_past_statement_boundary() {
+        // The marker guards the first statement only; the second still fires.
+        let src = "fn f(a: Option<u32>, b: Option<u32>) -> u32 {\n    // xtask: allow(panic) — justified here\n    let x = a.unwrap();\n    x + b.unwrap()\n}\n";
+        let diags = lib(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn target_feature_without_guard_is_flagged() {
+        let src = "#[target_feature(enable = \"avx2\")]\n// SAFETY: caller checks avx2\nunsafe fn k() {}\n";
+        let report = check_source("fixture.rs", "hp-linalg", FileKind::Lib, src);
+        let diags = check_dispatch("hp-linalg", &[("fixture.rs".to_string(), report)]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "dispatch");
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn target_feature_with_guard_passes() {
+        let src = "/// # Safety\n/// caller checks avx2\n#[target_feature(enable = \"avx2\")]\nunsafe fn k() {}\nfn d() {\n    if std::arch::is_x86_feature_detected!(\"avx2\") {\n        // SAFETY: just checked\n        unsafe { k() }\n    }\n}\n";
+        let report = check_source("fixture.rs", "hp-linalg", FileKind::Lib, src);
+        assert!(report.diags.is_empty(), "{:?}", report.diags);
+        let diags = check_dispatch("hp-linalg", &[("fixture.rs".to_string(), report)]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn quantity_api_without_unit_is_flagged() {
+        let src = "pub fn peak_temperature(x: f64) -> f64 { x }\n";
+        let diags = check_source("fixture.rs", "hp-thermal", FileKind::Lib, src).diags;
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "unit");
+    }
+
+    #[test]
+    fn unit_in_name_or_doc_passes() {
+        let named = "pub fn peak_temperature_celsius(x: f64) -> f64 { x }\n";
+        assert!(check_source("f.rs", "hp-thermal", FileKind::Lib, named)
+            .diags
+            .is_empty());
+        let documented =
+            "/// Peak junction temperature, °C.\npub fn peak_temperature(x: f64) -> f64 { x }\n";
+        assert!(
+            check_source("f.rs", "hp-thermal", FileKind::Lib, documented)
+                .diags
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn indexing_advisory_only_fires_in_scope() {
+        let src = "fn f(v: &[f64], i: usize) -> f64 { v[i] }\n";
+        let notes = check_indexing("f.rs", "hp-linalg", FileKind::Lib, src);
+        assert_eq!(notes.len(), 1);
+        assert!(notes[0].advisory);
+        assert!(check_indexing("f.rs", "hp-cli", FileKind::Lib, src).is_empty());
+        assert!(check_indexing("f.rs", "hp-linalg", FileKind::Bin, src).is_empty());
+    }
+}

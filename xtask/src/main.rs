@@ -1,0 +1,188 @@
+//! `cargo xtask` — workspace automation.
+//!
+//! Subcommands:
+//!
+//! * `check [--pedantic]` — run the repo-specific static-analysis gate
+//!   over every workspace crate (see [`lints`] for the rule set). With
+//!   `--pedantic`, additionally print advisory notes about direct slice
+//!   indexing in the no-panic crates. Exits non-zero on any
+//!   non-advisory finding.
+//!
+//! The pass is intentionally dependency-free: it scrubs sources with a
+//! small hand-rolled lexer instead of a full parser, which keeps it
+//! runnable in offline/CI environments with nothing but the workspace
+//! itself.
+
+mod lexer;
+mod lints;
+
+use lints::{check_dispatch, check_indexing, check_source, Diagnostic, FileKind, FileReport};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => {
+            let pedantic = args.iter().any(|a| a == "--pedantic");
+            check(pedantic)
+        }
+        Some(other) => {
+            eprintln!("unknown xtask subcommand `{other}`; try `cargo xtask check`");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask check [--pedantic]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check(pedantic: bool) -> ExitCode {
+    let root = workspace_root();
+    let mut files: Vec<(String, String, FileKind, PathBuf)> = Vec::new(); // (crate, rel, kind, abs)
+
+    // Workspace member crates under crates/ plus the xtask crate itself.
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                crate_dirs.push(p);
+            }
+        }
+    }
+    crate_dirs.push(root.join("xtask"));
+    crate_dirs.sort();
+
+    for dir in &crate_dirs {
+        let Some(name) = crate_name(dir) else {
+            continue;
+        };
+        for sub in ["src", "tests", "benches", "examples"] {
+            let mut found = Vec::new();
+            collect_rs(&dir.join(sub), &mut found);
+            for abs in found {
+                let kind = classify(&abs, sub);
+                let rel = rel_path(&root, &abs);
+                files.push((name.clone(), rel, kind, abs));
+            }
+        }
+    }
+    // Top-level examples/ and tests/ (wired into member crates by path);
+    // they are allowlisted kinds but still get the safety rule.
+    for (sub, kind) in [("examples", FileKind::Example), ("tests", FileKind::Test)] {
+        let mut found = Vec::new();
+        collect_rs(&root.join(sub), &mut found);
+        for abs in found {
+            let rel = rel_path(&root, &abs);
+            files.push(("workspace".to_string(), rel, kind, abs));
+        }
+    }
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut per_crate: BTreeMap<String, Vec<(String, FileReport)>> = BTreeMap::new();
+    let mut scanned = 0usize;
+
+    for (crate_name, rel, kind, abs) in &files {
+        let Ok(src) = std::fs::read_to_string(abs) else {
+            eprintln!("warning: unreadable source file {rel}");
+            continue;
+        };
+        scanned += 1;
+        let report = check_source(rel, crate_name, *kind, &src);
+        diags.extend(report.diags.iter().cloned());
+        if pedantic {
+            diags.extend(check_indexing(rel, crate_name, *kind, &src));
+        }
+        per_crate
+            .entry(crate_name.clone())
+            .or_default()
+            .push((rel.clone(), report));
+    }
+
+    for (crate_name, reports) in &per_crate {
+        diags.extend(check_dispatch(crate_name, reports));
+    }
+
+    diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    let hard = diags.iter().filter(|d| !d.advisory).count();
+    let soft = diags.len() - hard;
+    for d in &diags {
+        if d.advisory {
+            println!("{d} (advisory)");
+        } else {
+            println!("{d}");
+        }
+    }
+    println!("xtask check: {scanned} files scanned, {hard} violation(s), {soft} advisory note(s)");
+    if hard == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Repo root: parent of the xtask crate (compile-time manifest dir), or
+/// the current directory when run from a copied binary.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    match manifest.parent() {
+        Some(p) if p.join("Cargo.toml").is_file() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    }
+}
+
+/// Package name from a crate dir's Cargo.toml (`name = "…"`).
+fn crate_name(dir: &Path) -> Option<String> {
+    let manifest = std::fs::read_to_string(dir.join("Cargo.toml")).ok()?;
+    for line in manifest.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("name") {
+            let rest = rest.trim_start().strip_prefix('=')?.trim();
+            let rest = rest.strip_prefix('"')?;
+            let end = rest.find('"')?;
+            return Some(rest[..end].to_string());
+        }
+    }
+    None
+}
+
+fn classify(path: &Path, sub: &str) -> FileKind {
+    let s = path.to_string_lossy();
+    match sub {
+        "tests" => FileKind::Test,
+        "benches" => FileKind::Bench,
+        "examples" => FileKind::Example,
+        _ => {
+            if s.contains("/src/bin/") || s.ends_with("/src/main.rs") {
+                FileKind::Bin
+            } else {
+                FileKind::Lib
+            }
+        }
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+    out.sort();
+}
+
+fn rel_path(root: &Path, abs: &Path) -> String {
+    abs.strip_prefix(root)
+        .unwrap_or(abs)
+        .to_string_lossy()
+        .into_owned()
+}
