@@ -5,12 +5,15 @@ use std::fs::File;
 use std::io::BufWriter;
 
 use hotpotato::{EpochPowerSequence, HotPotato, HotPotatoConfig, RotationPeakSolver};
+use hp_faults::FaultPlan;
 use hp_floorplan::{CoreId, GridFloorplan};
 use hp_linalg::Vector;
 use hp_manycore::{ArchConfig, Machine};
-use hp_sched::{HotPotatoDvfs, PcGov, PcMig, PcMigConfig, TspUniform};
+use hp_sched::{
+    FallbackChain, FallbackConfig, HotPotatoDvfs, PcGov, PcMig, PcMigConfig, TspUniform,
+};
 use hp_sim::schedulers::PinnedScheduler;
-use hp_sim::{Scheduler, SimConfig, Simulation};
+use hp_sim::{Metrics, Scheduler, SimConfig, Simulation};
 use hp_thermal::{tsp, RcThermalModel, ThermalConfig};
 use hp_workload::{closed_batch, open_poisson, Benchmark, Job, JobId};
 
@@ -187,9 +190,21 @@ pub fn simulate(args: &ParsedArgs) -> CliResult {
         }
     };
 
+    // Fault injection: `--faults plan.json` loads a serialized FaultPlan,
+    // `--fault-seed N` overrides its RNG seed (deterministic replays).
+    let mut faults = match args.get("faults") {
+        Some(path) => {
+            let raw = std::fs::read_to_string(path).map_err(|e| format!("--faults {path}: {e}"))?;
+            FaultPlan::from_json_str(&raw).map_err(|e| format!("--faults {path}: {e}"))?
+        }
+        None => FaultPlan::default(),
+    };
+    faults.seed = args.get_or("fault-seed", faults.seed)?;
+
     let sim_config = SimConfig {
         horizon: 600.0,
         record_trace: args.get("trace").is_some(),
+        faults,
         ..SimConfig::default()
     };
     let mut sim = Simulation::new(machine(w, h)?, ThermalConfig::default(), sim_config)?;
@@ -200,6 +215,11 @@ pub fn simulate(args: &ParsedArgs) -> CliResult {
             model(w, h)?,
             HotPotatoConfig::default(),
         )?),
+        "fallback" => Box::new(FallbackChain::new(
+            model(w, h)?,
+            HotPotatoConfig::default(),
+            FallbackConfig::default(),
+        )?),
         "pcmig" => Box::new(PcMig::new(model(w, h)?, PcMigConfig::default())),
         "pcgov" => Box::new(PcGov::new(model(w, h)?, 70.0, 0.3)),
         "tsp" => Box::new(TspUniform::new(model(w, h)?, 70.0, 0.3)),
@@ -207,12 +227,35 @@ pub fn simulate(args: &ParsedArgs) -> CliResult {
         other => return Err(format!("unknown scheduler `{other}`").into()),
     };
 
-    let metrics = sim.run(jobs, scheduler.as_mut()).map_err(|e| {
-        format!(
-            "simulate: scheduler `{scheduler_name}`, benchmark `{benchmark_name}` \
-             on {w}x{h} grid: {e}"
-        )
-    })?;
+    let metrics = match sim.run(jobs, scheduler.as_mut()) {
+        Ok(m) => m,
+        Err(e) => {
+            // A mid-run abort still carries everything accumulated so
+            // far; print it before failing so the run is not a total loss.
+            if let Some(partial) = e.partial_metrics() {
+                println!(
+                    "aborted at t={:.3} s — partial results:",
+                    partial.simulated_time
+                );
+                print_simulate_metrics(partial, &scheduler_name, w, h);
+            }
+            return Err(format!(
+                "simulate: scheduler `{scheduler_name}`, benchmark `{benchmark_name}` \
+                 on {w}x{h} grid: {e}"
+            )
+            .into());
+        }
+    };
+    print_simulate_metrics(&metrics, &scheduler_name, w, h);
+    if let Some(path) = args.get("trace") {
+        let file = File::create(path)?;
+        sim.trace().write_csv(BufWriter::new(file))?;
+        println!("  temperature trace written to {path}");
+    }
+    Ok(())
+}
+
+fn print_simulate_metrics(metrics: &Metrics, scheduler_name: &str, w: usize, h: usize) {
     println!("scheduler {scheduler_name} on {w}x{h} chip:");
     println!(
         "  makespan {:.1} ms | mean response {:.1} ms | peak {:.1} C",
@@ -224,6 +267,28 @@ pub fn simulate(args: &ParsedArgs) -> CliResult {
         "  DTM intervals {} | migrations {} | avg freq {:.2} GHz | energy {:.1} J",
         metrics.dtm_intervals, metrics.migrations, metrics.avg_frequency_ghz, metrics.energy
     );
+    let r = &metrics.robustness;
+    if r.faults_enabled {
+        println!(
+            "  faults: {} noisy / {} stuck / {} dropped readings | {} failed migrations | \
+             {} power spikes | min confidence {:.2}",
+            r.noisy_readings,
+            r.stuck_readings,
+            r.sensor_dropouts,
+            r.migration_faults,
+            r.power_spikes,
+            r.min_sensor_confidence
+        );
+        println!(
+            "  degradation: {} fallback hooks ({} activations) | {} watchdog intervals \
+             ({} trips) | {} actions dropped",
+            r.fallback_intervals,
+            r.fallback_activations,
+            r.watchdog_intervals,
+            r.watchdog_activations,
+            r.dropped_actions
+        );
+    }
     for job in &metrics.jobs {
         println!(
             "    {} x{}: {:.1} ms, {} migrations",
@@ -233,12 +298,6 @@ pub fn simulate(args: &ParsedArgs) -> CliResult {
             job.migrations
         );
     }
-    if let Some(path) = args.get("trace") {
-        let file = File::create(path)?;
-        sim.trace().write_csv(BufWriter::new(file))?;
-        println!("  temperature trace written to {path}");
-    }
-    Ok(())
 }
 
 fn parse_benchmark(name: &str) -> Result<Benchmark, Box<dyn Error>> {
@@ -306,5 +365,47 @@ mod tests {
         assert!(simulate(&args).is_err());
         let args = ParsedArgs::parse(["simulate", "--benchmark", "quake"]).unwrap();
         assert!(simulate(&args).is_err());
+    }
+
+    #[test]
+    fn simulate_with_fault_plan_and_fallback_scheduler() {
+        let plan_path = std::env::temp_dir().join("hp_cli_fault_plan_test.json");
+        std::fs::write(&plan_path, "{\"seed\": 1, \"sensor_dropout_rate\": 0.2}").unwrap();
+        let args = ParsedArgs::parse([
+            "simulate",
+            "--grid",
+            "4x4",
+            "--benchmark",
+            "canneal",
+            "--cores",
+            "4",
+            "--scheduler",
+            "fallback",
+            "--faults",
+            plan_path.to_str().unwrap(),
+            "--fault-seed",
+            "7",
+        ])
+        .unwrap();
+        simulate(&args).unwrap();
+        std::fs::remove_file(&plan_path).ok();
+    }
+
+    #[test]
+    fn simulate_rejects_missing_or_bad_fault_plan() {
+        let args = ParsedArgs::parse(["simulate", "--faults", "/nonexistent/plan.json"]).unwrap();
+        assert!(simulate(&args).is_err());
+        let plan_path = std::env::temp_dir().join("hp_cli_bad_fault_plan_test.json");
+        std::fs::write(&plan_path, "{\"sensor_dropout_rate\": \"lots\"}").unwrap();
+        let args = ParsedArgs::parse([
+            "simulate",
+            "--grid",
+            "4x4",
+            "--faults",
+            plan_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(simulate(&args).is_err());
+        std::fs::remove_file(&plan_path).ok();
     }
 }

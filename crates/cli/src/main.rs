@@ -7,6 +7,7 @@
 //! hotpotato-cli tsp      [--grid WxH] [--active N] [--t-dtm C]
 //! hotpotato-cli simulate [--grid WxH] [--scheduler NAME] [--benchmark NAME]
 //!                        [--cores N] [--jobs J] [--rate R] [--trace FILE]
+//!                        [--faults PLAN.json] [--fault-seed N]
 //! ```
 
 mod args;
@@ -25,8 +26,9 @@ USAGE:
   hotpotato-cli tsp      [--grid WxH] [--active N] [--t-dtm C]
   hotpotato-cli simulate [--grid WxH] [--scheduler NAME] [--benchmark NAME]
                          [--cores N] [--jobs J] [--rate R] [--trace FILE]
+                         [--faults PLAN.json] [--fault-seed N]
 
-SCHEDULERS: hotpotato (default), hybrid, pcmig, pcgov, tsp, pinned
+SCHEDULERS: hotpotato (default), hybrid, fallback, pcmig, pcgov, tsp, pinned
 BENCHMARKS: blackscholes bodytrack canneal dedup fluidanimate
             streamcluster swaptions x264 (or `mixed` with --jobs/--rate)
 
@@ -35,6 +37,7 @@ EXAMPLES:
   hotpotato-cli peak --grid 4x4 --ring 0 --tau-ms 0.5 --watts 7,7
   hotpotato-cli simulate --benchmark swaptions --cores 16 --scheduler hybrid
   hotpotato-cli simulate --benchmark mixed --jobs 12 --rate 40 --trace t.csv
+  hotpotato-cli simulate --scheduler fallback --faults plan.json --fault-seed 42
 ";
 
 fn main() -> ExitCode {

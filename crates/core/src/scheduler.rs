@@ -28,7 +28,7 @@ use std::collections::BTreeMap;
 
 use hp_floorplan::CoreId;
 use hp_linalg::Vector;
-use hp_sim::{Action, Scheduler, SimView, ThreadId};
+use hp_sim::{Action, Scheduler, SchedulerHealth, SimView, ThreadId};
 use hp_thermal::RcThermalModel;
 
 use crate::{EpochPowerSequence, Result, RingRotation, RotationPeakSolver};
@@ -127,6 +127,9 @@ pub struct HotPotato {
     powers: BTreeMap<ThreadId, f64>,
     /// Number of Algorithm-1 evaluations performed (for the overhead study).
     evaluations: u64,
+    /// Number of Algorithm-1 evaluations that failed (malformed sequence
+    /// or solver error) and were read as `T_peak = ∞`.
+    solver_failures: u64,
 }
 
 impl HotPotato {
@@ -153,6 +156,7 @@ impl HotPotato {
             assignment_dirty: true,
             powers: BTreeMap::new(),
             evaluations: 0,
+            solver_failures: 0,
         })
     }
 
@@ -174,6 +178,54 @@ impl HotPotato {
     /// Number of Algorithm-1 evaluations performed so far.
     pub fn evaluations(&self) -> u64 {
         self.evaluations
+    }
+
+    /// Number of Algorithm-1 evaluations that failed and degraded to a
+    /// `T_peak = ∞` reading. A monotone counter: fallback wrappers detect
+    /// fresh failures by differencing across scheduling hooks.
+    pub fn solver_failures(&self) -> u64 {
+        self.solver_failures
+    }
+
+    /// Rebuilds the internal ring occupancy from the engine's ground
+    /// truth.
+    ///
+    /// Under injected migration faults (or after a fallback policy has
+    /// been driving the chip), the scheduler's slot bookkeeping can
+    /// drift from where threads actually run. This drops every ring
+    /// assignment and power estimate and re-seats each live thread at
+    /// the slot of the core it currently occupies, so the next
+    /// [`Scheduler::schedule`] call starts from reality.
+    pub fn resync_from_view(&mut self, view: &SimView<'_>) {
+        if self.rings.is_empty() {
+            self.rings = view
+                .machine
+                .rings()
+                .iter()
+                .map(|r| RingRotation::new(r.cores().to_vec()))
+                .collect();
+        }
+        for ring in &mut self.rings {
+            for s in 0..ring.capacity() {
+                if let Some(t) = ring.occupant(s) {
+                    ring.remove(t);
+                }
+            }
+        }
+        self.powers.clear();
+        for t in view.threads {
+            for ring in &mut self.rings {
+                let Some(slot) = (0..ring.capacity()).find(|&s| ring.core_of_slot(s) == t.core)
+                else {
+                    continue;
+                };
+                if ring.occupant(slot).is_none() {
+                    ring.occupy(slot, t.id);
+                }
+                break;
+            }
+        }
+        self.assignment_dirty = true;
     }
 
     /// Access to the peak solver (for the overhead benchmarks).
@@ -247,10 +299,17 @@ impl HotPotato {
                 }
             }
             let Ok(seq) = EpochPowerSequence::new(tau.max(1e-6), vec![p]) else {
+                self.solver_failures += 1;
                 return f64::INFINITY; // malformed sequence reads as unsafe
             };
             self.evaluations += 1;
-            return self.solver.peak_celsius(&seq).unwrap_or(f64::INFINITY);
+            return match self.solver.peak_celsius(&seq) {
+                Ok(peak) => peak,
+                Err(_) => {
+                    self.solver_failures += 1;
+                    f64::INFINITY
+                }
+            };
         }
 
         // One rotation sequence per occupied ring, evaluated as one batch
@@ -278,22 +337,35 @@ impl HotPotato {
                 .collect();
             match EpochPowerSequence::new(tau, epochs) {
                 Ok(seq) => seqs.push(seq),
-                Err(_) => return f64::INFINITY, // malformed sequence reads as unsafe
+                Err(_) => {
+                    self.solver_failures += 1;
+                    return f64::INFINITY; // malformed sequence reads as unsafe
+                }
             }
         }
         if seqs.is_empty() {
             // Empty chip: idle steady state.
             let p = Vector::constant(n, idle);
             let Ok(seq) = EpochPowerSequence::new(tau.max(1e-6), vec![p]) else {
+                self.solver_failures += 1;
                 return f64::INFINITY; // malformed sequence reads as unsafe
             };
             self.evaluations += 1;
-            return self.solver.peak_celsius(&seq).unwrap_or(f64::INFINITY);
+            return match self.solver.peak_celsius(&seq) {
+                Ok(peak) => peak,
+                Err(_) => {
+                    self.solver_failures += 1;
+                    f64::INFINITY
+                }
+            };
         }
         self.evaluations += seqs.len() as u64;
         match self.solver.peak_celsius_many(&seqs) {
             Ok(peaks) => peaks.into_iter().fold(f64::NEG_INFINITY, f64::max),
-            Err(_) => f64::INFINITY,
+            Err(_) => {
+                self.solver_failures += 1;
+                f64::INFINITY
+            }
         }
     }
 
@@ -324,6 +396,16 @@ impl HotPotato {
 impl Scheduler for HotPotato {
     fn name(&self) -> &str {
         "hotpotato"
+    }
+
+    fn health(&self) -> SchedulerHealth {
+        // An infinite peak estimate means Algorithm 1 could not evaluate
+        // the current assignment — the policy is flying blind.
+        if self.last_peak.is_infinite() {
+            SchedulerHealth::Degraded
+        } else {
+            SchedulerHealth::Nominal
+        }
     }
 
     fn schedule(&mut self, view: &SimView<'_>) -> Vec<Action> {

@@ -75,8 +75,24 @@ pub fn try_run(
     let name = scheduler.name().to_owned();
     let mut sim = Simulation::new(machine, ThermalConfig::default(), sim_config)
         .with_context(|| format!("building simulation for scheduler `{name}`"))?;
-    sim.run(jobs, scheduler)
-        .with_context(|| format!("running scheduler `{name}`"))
+    let result = sim.run(jobs, scheduler);
+    if let Err(e) = &result {
+        // Mid-run aborts still carry everything accumulated up to the
+        // failure; report it so a sweep's partial data is not lost.
+        if let Some(partial) = e.partial_metrics() {
+            eprintln!(
+                "{name}: aborted at t={:.3} s — partial results: {}/{} jobs complete, \
+                 peak {:.1} C, {} DTM intervals, {} migrations",
+                partial.simulated_time,
+                partial.completed_jobs(),
+                partial.jobs.len(),
+                partial.peak_temperature,
+                partial.dtm_intervals,
+                partial.migrations,
+            );
+        }
+    }
+    result.with_context(|| format!("running scheduler `{name}`"))
 }
 
 /// Runs `jobs` on `machine` under `scheduler` with the given config and

@@ -1,0 +1,324 @@
+use crate::inject::SensorReading;
+
+/// The conditioned per-core temperature view schedulers consume.
+///
+/// Confidence is in `[0, 1]` per core: `1.0` for a fresh reading,
+/// decaying while a value is held through dropouts, lower again when a
+/// core's temperature had to be reconstructed from its neighbours, and
+/// `0.0` when nothing better than the configured fallback was available.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrustedTemps {
+    /// Conditioned temperature estimate per core, °C.
+    pub temps_celsius: Vec<f64>,
+    /// Trust in each estimate, in `[0, 1]`.
+    pub confidence: Vec<f64>,
+}
+
+impl TrustedTemps {
+    /// The least-trusted core's confidence (`1.0` for an empty chip).
+    pub fn min_confidence(&self) -> f64 {
+        self.confidence.iter().copied().fold(1.0, f64::min)
+    }
+
+    /// The hottest conditioned estimate, °C (`f64::NEG_INFINITY` for an
+    /// empty chip).
+    pub fn max_celsius(&self) -> f64 {
+        self.temps_celsius
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Turns raw, possibly missing sensor readings into a [`TrustedTemps`]
+/// view via a fixed fallback ladder:
+///
+/// 1. **Fresh reading** — delivered value, confidence `1.0`.
+/// 2. **Last-good hold** — while a core has missed at most
+///    `staleness_budget` consecutive readings, its last delivered value
+///    is held; confidence decays linearly toward the budget.
+/// 3. **Spatial median** — past the budget, the median of the core's
+///    neighbours' current estimates (themselves rung-1 or rung-2 values)
+///    stands in, at half the contributing neighbours' mean confidence.
+/// 4. **Fallback constant** — with no usable neighbours either, the
+///    configured fallback temperature is reported at confidence `0.0`.
+///
+/// The conditioner is pure bookkeeping — no RNG — so identical reading
+/// sequences always condition identically.
+#[derive(Debug, Clone)]
+pub struct SensorConditioner {
+    /// Consecutive missed readings a held value survives.
+    staleness_budget: u64,
+    /// Reported when a core has no history and no usable neighbours, °C.
+    fallback_temp_celsius: f64,
+    /// Adjacency list per core (engine supplies mesh neighbours).
+    neighbors: Vec<Vec<usize>>,
+    last_good_celsius: Vec<f64>,
+    /// Consecutive intervals since the core last delivered a reading.
+    staleness: Vec<u64>,
+    /// Whether the core has ever delivered a reading.
+    seen: Vec<bool>,
+}
+
+impl SensorConditioner {
+    /// Builds a conditioner for `neighbors.len()` cores.
+    pub fn new(
+        neighbors: Vec<Vec<usize>>,
+        staleness_budget: u64,
+        fallback_temp_celsius: f64,
+    ) -> Self {
+        let cores = neighbors.len();
+        SensorConditioner {
+            staleness_budget,
+            fallback_temp_celsius,
+            neighbors,
+            last_good_celsius: vec![fallback_temp_celsius; cores],
+            staleness: vec![0; cores],
+            seen: vec![false; cores],
+        }
+    }
+
+    /// Number of cores this conditioner tracks.
+    pub fn cores(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Conditions one interval's readings. `readings` beyond the
+    /// configured core count are ignored; missing trailing entries are
+    /// treated as dropouts.
+    pub fn condition(&mut self, readings: &[SensorReading]) -> TrustedTemps {
+        let cores = self.neighbors.len();
+        let mut temps = vec![self.fallback_temp_celsius; cores];
+        let mut confidence = vec![0.0; cores];
+        // Cores that still need the spatial-median rung after the
+        // hold rung has run for everyone.
+        let mut unresolved = Vec::new();
+
+        for core in 0..cores {
+            match readings.get(core).copied().flatten() {
+                Some(value) => {
+                    if let (Some(last), Some(stale), Some(seen)) = (
+                        self.last_good_celsius.get_mut(core),
+                        self.staleness.get_mut(core),
+                        self.seen.get_mut(core),
+                    ) {
+                        *last = value;
+                        *stale = 0;
+                        *seen = true;
+                    }
+                    if let (Some(t), Some(c)) = (temps.get_mut(core), confidence.get_mut(core)) {
+                        *t = value;
+                        *c = 1.0;
+                    }
+                }
+                None => {
+                    if let Some(stale) = self.staleness.get_mut(core) {
+                        *stale = stale.saturating_add(1);
+                    }
+                    let stale = self.staleness.get(core).copied().unwrap_or(u64::MAX);
+                    let seen = self.seen.get(core).copied().unwrap_or(false);
+                    if seen && stale <= self.staleness_budget {
+                        let held = self
+                            .last_good_celsius
+                            .get(core)
+                            .copied()
+                            .unwrap_or(self.fallback_temp_celsius);
+                        // Linear decay: one missed interval on a budget
+                        // of b costs 1/(b+1) of full trust.
+                        let decayed = 1.0 - (stale as f64) / (self.staleness_budget as f64 + 1.0);
+                        if let (Some(t), Some(c)) = (temps.get_mut(core), confidence.get_mut(core))
+                        {
+                            *t = held;
+                            *c = decayed.max(0.0);
+                        }
+                    } else {
+                        unresolved.push(core);
+                    }
+                }
+            }
+        }
+
+        // Spatial rung: reconstruct from neighbours that resolved on the
+        // first pass (fresh or held). Neighbours that are themselves
+        // unresolved this interval contribute nothing.
+        for &core in &unresolved {
+            let mut samples: Vec<(f64, f64)> = Vec::new();
+            for &n in self.neighbors.get(core).map(Vec::as_slice).unwrap_or(&[]) {
+                if let (Some(&t), Some(&c)) = (temps.get(n), confidence.get(n)) {
+                    if c > 0.0 && !unresolved.contains(&n) {
+                        samples.push((t, c));
+                    }
+                }
+            }
+            if samples.is_empty() {
+                // Rung 4: nothing to lean on. Keep whatever history we
+                // have (or the fallback constant) at zero confidence.
+                let held = if self.seen.get(core).copied().unwrap_or(false) {
+                    self.last_good_celsius
+                        .get(core)
+                        .copied()
+                        .unwrap_or(self.fallback_temp_celsius)
+                } else {
+                    self.fallback_temp_celsius
+                };
+                if let (Some(t), Some(c)) = (temps.get_mut(core), confidence.get_mut(core)) {
+                    *t = held;
+                    *c = 0.0;
+                }
+            } else {
+                samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+                let median = if samples.len() % 2 == 1 {
+                    samples
+                        .get(samples.len() / 2)
+                        .map(|s| s.0)
+                        .unwrap_or(self.fallback_temp_celsius)
+                } else {
+                    let hi = samples.len() / 2;
+                    let a = samples
+                        .get(hi - 1)
+                        .map(|s| s.0)
+                        .unwrap_or(self.fallback_temp_celsius);
+                    let b = samples
+                        .get(hi)
+                        .map(|s| s.0)
+                        .unwrap_or(self.fallback_temp_celsius);
+                    0.5 * (a + b)
+                };
+                let mean_conf: f64 =
+                    samples.iter().map(|s| s.1).sum::<f64>() / samples.len() as f64;
+                if let (Some(t), Some(c)) = (temps.get_mut(core), confidence.get_mut(core)) {
+                    *t = median;
+                    *c = 0.5 * mean_conf;
+                }
+            }
+        }
+
+        TrustedTemps {
+            temps_celsius: temps,
+            confidence,
+        }
+    }
+}
+
+/// Builds the 4-neighbour (von Neumann) adjacency lists for a
+/// `rows × cols` mesh in row-major core order — the layout the interval
+/// simulator uses for its floorplans.
+pub fn mesh_neighbors(rows: usize, cols: usize) -> Vec<Vec<usize>> {
+    let mut neighbors = Vec::with_capacity(rows.saturating_mul(cols));
+    for r in 0..rows {
+        for c in 0..cols {
+            let mut adj = Vec::with_capacity(4);
+            if r > 0 {
+                adj.push((r - 1) * cols + c);
+            }
+            if r + 1 < rows {
+                adj.push((r + 1) * cols + c);
+            }
+            if c > 0 {
+                adj.push(r * cols + c - 1);
+            }
+            if c + 1 < cols {
+                adj.push(r * cols + c + 1);
+            }
+            neighbors.push(adj);
+        }
+    }
+    neighbors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_readings_pass_through_with_full_confidence() {
+        let mut cond = SensorConditioner::new(mesh_neighbors(2, 2), 3, 45.0);
+        let out = cond.condition(&[Some(50.0), Some(51.0), Some(52.0), Some(53.0)]);
+        assert_eq!(out.temps_celsius, vec![50.0, 51.0, 52.0, 53.0]);
+        assert_eq!(out.confidence, vec![1.0; 4]);
+        assert_eq!(out.min_confidence(), 1.0);
+        assert_eq!(out.max_celsius(), 53.0);
+    }
+
+    #[test]
+    fn hold_decays_then_spatial_median_takes_over() {
+        let mut cond = SensorConditioner::new(mesh_neighbors(2, 2), 2, 45.0);
+        cond.condition(&[Some(50.0), Some(60.0), Some(70.0), Some(80.0)]);
+        // Core 0 goes silent; cores 1/2 stay fresh.
+        let out = cond.condition(&[None, Some(60.0), Some(70.0), Some(80.0)]);
+        assert_eq!(out.temps_celsius[0], 50.0);
+        assert!(out.confidence[0] < 1.0 && out.confidence[0] > 0.0);
+        let first_hold_conf = out.confidence[0];
+        let out = cond.condition(&[None, Some(60.0), Some(70.0), Some(80.0)]);
+        assert_eq!(out.temps_celsius[0], 50.0);
+        assert!(out.confidence[0] < first_hold_conf);
+        // Budget (2) exhausted: neighbours 1 and 2 stand in via median.
+        let out = cond.condition(&[None, Some(60.0), Some(70.0), Some(80.0)]);
+        assert_eq!(out.temps_celsius[0], 65.0);
+        assert!(out.confidence[0] <= 0.5);
+        assert!(out.confidence[0] > 0.0);
+    }
+
+    #[test]
+    fn recovery_restores_full_confidence() {
+        let mut cond = SensorConditioner::new(mesh_neighbors(2, 2), 1, 45.0);
+        cond.condition(&[Some(50.0), Some(50.0), Some(50.0), Some(50.0)]);
+        cond.condition(&[None, Some(50.0), Some(50.0), Some(50.0)]);
+        let out = cond.condition(&[Some(55.0), Some(50.0), Some(50.0), Some(50.0)]);
+        assert_eq!(out.temps_celsius[0], 55.0);
+        assert_eq!(out.confidence[0], 1.0);
+    }
+
+    #[test]
+    fn total_blackout_reports_fallback_at_zero_confidence() {
+        let mut cond = SensorConditioner::new(mesh_neighbors(2, 2), 0, 45.0);
+        let out = cond.condition(&[None, None, None, None]);
+        assert_eq!(out.temps_celsius, vec![45.0; 4]);
+        assert_eq!(out.confidence, vec![0.0; 4]);
+        assert_eq!(out.min_confidence(), 0.0);
+    }
+
+    #[test]
+    fn blackout_after_history_holds_last_good_at_zero_confidence() {
+        let mut cond = SensorConditioner::new(mesh_neighbors(1, 2), 0, 45.0);
+        cond.condition(&[Some(58.0), Some(62.0)]);
+        let out = cond.condition(&[None, None]);
+        // Neither core resolved, so the spatial rung finds no samples and
+        // history is kept rather than snapping to the fallback constant.
+        assert_eq!(out.temps_celsius, vec![58.0, 62.0]);
+        assert_eq!(out.confidence, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn short_reading_slice_counts_as_dropout() {
+        let mut cond = SensorConditioner::new(mesh_neighbors(2, 2), 3, 45.0);
+        cond.condition(&[Some(50.0), Some(50.0), Some(50.0), Some(50.0)]);
+        let out = cond.condition(&[Some(51.0)]);
+        assert_eq!(out.temps_celsius[0], 51.0);
+        assert_eq!(out.temps_celsius[1], 50.0);
+        assert!(out.confidence[1] < 1.0);
+    }
+
+    #[test]
+    fn mesh_neighbors_shape() {
+        let n = mesh_neighbors(2, 3);
+        assert_eq!(n.len(), 6);
+        assert_eq!(n[0], vec![3, 1]);
+        assert_eq!(n[4], vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn conditioning_is_deterministic() {
+        let readings: Vec<Vec<SensorReading>> = vec![
+            vec![Some(50.0), None, Some(52.0), Some(53.0)],
+            vec![None, None, Some(52.5), Some(53.5)],
+            vec![None, Some(51.0), None, Some(54.0)],
+        ];
+        let run = |mut cond: SensorConditioner| -> Vec<TrustedTemps> {
+            readings.iter().map(|r| cond.condition(r)).collect()
+        };
+        let a = run(SensorConditioner::new(mesh_neighbors(2, 2), 1, 45.0));
+        let b = run(SensorConditioner::new(mesh_neighbors(2, 2), 1, 45.0));
+        assert_eq!(a, b);
+    }
+}

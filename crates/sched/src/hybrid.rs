@@ -159,9 +159,20 @@ mod tests {
         let jobs = closed_batch(Benchmark::Swaptions, 16, 1);
         let m = sim.run(jobs, &mut s).expect("completes");
         assert_eq!(m.completed_jobs(), m.jobs.len());
+        // The DTM watchdog holds each engagement until the peak falls a
+        // full hysteresis band below t_dtm, so a trip now costs several
+        // intervals; "rare" means a handful of engagements, not a
+        // per-interval duty cycle (which would be thousands).
         assert!(
-            m.dtm_intervals < 20,
+            m.dtm_intervals < 60,
             "DVFS valve keeps DTM rare ({} intervals)",
+            m.dtm_intervals
+        );
+        assert!(
+            m.robustness.watchdog_activations > 0
+                && m.robustness.watchdog_activations <= m.dtm_intervals,
+            "engagement edges are counted ({} trips over {} intervals)",
+            m.robustness.watchdog_activations,
             m.dtm_intervals
         );
         assert!(m.peak_temperature <= 71.0, "peak {:.1}", m.peak_temperature);

@@ -35,11 +35,13 @@
 //! ```
 
 mod budget;
+mod fallback;
 mod hybrid;
 mod pcmig;
 mod tsp_uniform;
 
 pub use budget::assign_levels_for_budget;
+pub use fallback::{FallbackChain, FallbackConfig};
 pub use hybrid::HotPotatoDvfs;
 pub use pcmig::{PcGov, PcMig, PcMigConfig};
 pub use tsp_uniform::TspUniform;

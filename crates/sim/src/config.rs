@@ -1,3 +1,4 @@
+use hp_faults::{FaultError, FaultPlan};
 use serde::{Deserialize, Serialize};
 
 use crate::{Result, SimError};
@@ -53,6 +54,21 @@ pub struct SimConfig {
     /// sink is already warm — the regime where Algorithm 1's d→∞ cycle is
     /// exact. `None` (default) starts cold at ambient.
     pub prewarm_power: Option<f64>,
+    /// Width of the DTM hysteresis band, °C: the throttle engages when a
+    /// junction reaches `t_dtm` and releases only once it falls below
+    /// `t_dtm − dtm_hysteresis_celsius`. A band of `0.0` reproduces the
+    /// historical stateless comparison bit-for-bit (and its per-interval
+    /// oscillation at the boundary).
+    pub dtm_hysteresis_celsius: f64,
+    /// Fault-injection plan. [`FaultPlan::default`] is inert: the fault
+    /// layer is bypassed entirely and runs are bit-identical to builds
+    /// without it.
+    pub faults: FaultPlan,
+    /// How many consecutive missed sensor readings the conditioning
+    /// layer bridges with the core's last good value before falling back
+    /// to the spatial median of its neighbours. Only consulted when
+    /// `faults` is active.
+    pub sensor_staleness_budget_intervals: u64,
 }
 
 impl Default for SimConfig {
@@ -67,6 +83,9 @@ impl Default for SimConfig {
             record_trace: false,
             power_history_window: 10e-3,
             prewarm_power: None,
+            dtm_hysteresis_celsius: 1.0,
+            faults: FaultPlan::default(),
+            sensor_staleness_budget_intervals: 5,
         }
     }
 }
@@ -108,6 +127,21 @@ impl SimConfig {
                 value: self.sched_period,
             });
         }
+        if !(self.dtm_hysteresis_celsius.is_finite() && self.dtm_hysteresis_celsius >= 0.0) {
+            return Err(SimError::InvalidParameter {
+                name: "dtm_hysteresis_celsius",
+                value: self.dtm_hysteresis_celsius,
+            });
+        }
+        self.faults.validate().map_err(|e| match e {
+            FaultError::InvalidParameter { name, value } => {
+                SimError::InvalidParameter { name, value }
+            }
+            _ => SimError::InvalidParameter {
+                name: "faults",
+                value: f64::NAN,
+            },
+        })?;
         Ok(())
     }
 }
@@ -138,5 +172,32 @@ mod tests {
             ..SimConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_negative_hysteresis() {
+        let c = SimConfig {
+            dtm_hysteresis_celsius: -0.5,
+            ..SimConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_fault_plan() {
+        let c = SimConfig {
+            faults: FaultPlan {
+                sensor_dropout_rate: 2.0,
+                ..FaultPlan::default()
+            },
+            ..SimConfig::default()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(SimError::InvalidParameter {
+                name: "sensor_dropout_rate",
+                ..
+            })
+        ));
     }
 }

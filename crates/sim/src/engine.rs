@@ -1,6 +1,7 @@
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
+use hp_faults::{mesh_neighbors, FaultError, FaultInjector, SensorConditioner, SensorReading};
 use hp_floorplan::CoreId;
 use hp_linalg::Vector;
 use hp_manycore::Machine;
@@ -10,15 +11,27 @@ use hp_workload::{Job, JobId};
 
 use crate::job::{JobRuntime, ThreadId, ThreadPhaseState};
 use crate::metrics::{JobRecord, Metrics};
-use crate::scheduler::{Action, PendingJobView, Scheduler, SimView, ThreadView};
-use crate::trace::TemperatureTrace;
+use crate::scheduler::{Action, PendingJobView, Scheduler, SchedulerHealth, SimView, ThreadView};
+use crate::trace::{TemperatureTrace, TraceEventKind};
 use crate::{Result, SimConfig, SimError};
+
+/// Minimum per-core sensor confidence below which the run is logged as
+/// running on degraded sensors (trace event only; policy floors live in
+/// the schedulers).
+const SENSOR_DEGRADED_CONFIDENCE: f64 = 0.5;
 
 /// The interval simulation engine.
 ///
 /// Owns the machine, the thermal model and its transient solver; a run
 /// processes a workload to completion under a [`Scheduler`] and produces
 /// [`Metrics`]. See the [crate docs](crate) for the per-interval loop.
+///
+/// With an active [`FaultPlan`](hp_faults::FaultPlan) in the
+/// [`SimConfig`], the engine additionally drives the fault-injection and
+/// sensor-conditioning layers: schedulers then see conditioned sensor
+/// temperatures with per-core confidence instead of ground truth, while
+/// the hardware DTM watchdog keeps acting on the true junction
+/// temperatures (modelling its dedicated thermal-diode path).
 #[derive(Debug)]
 pub struct Simulation {
     machine: Machine,
@@ -26,6 +39,67 @@ pub struct Simulation {
     solver: TransientSolver,
     config: SimConfig,
     trace: TemperatureTrace,
+}
+
+/// Fault-layer runtime for one run: the injector, the conditioning
+/// ladder, and the conditioned view handed to schedulers.
+#[derive(Debug)]
+struct FaultRuntime {
+    injector: FaultInjector,
+    conditioner: SensorConditioner,
+    /// Conditioned sensor temperatures, refreshed every interval, °C.
+    sensed_temps: Vector,
+    /// Per-core confidence of `sensed_temps`, in `[0, 1]`.
+    confidence: Vec<f64>,
+    /// Whether the run is currently below the degraded-confidence
+    /// threshold (for transition events).
+    sensors_degraded: bool,
+}
+
+/// Everything a run accumulates. Boxed into [`SimError::Aborted`] on a
+/// mid-run failure so no measurement is ever discarded.
+struct RunState {
+    total_jobs: usize,
+    arrivals: VecDeque<Job>,
+    n: usize,
+    dt: f64,
+    sched_every: u64,
+    node_temps: Vector,
+    levels: Vec<DvfsLevel>,
+    occupancy: Vec<Option<ThreadId>>,
+    pending: VecDeque<Job>,
+    active: BTreeMap<JobId, JobRuntime>,
+    records: BTreeMap<JobId, JobRecord>,
+    metrics: Metrics,
+    completed: usize,
+    step: u64,
+    /// Chip-wide DTM hysteresis latch state after the last interval.
+    dtm_last_interval: bool,
+    /// Per-core DTM hysteresis latches (only driven in per-core scope).
+    dtm_core_latch: Vec<bool>,
+    busy_freq_integral: f64,
+    busy_time: f64,
+    /// All-ones confidence slice for the fault-free path.
+    full_confidence: Vec<f64>,
+    faults: Option<FaultRuntime>,
+    /// Whether the scheduler reported degraded health at the last hook.
+    sched_was_degraded: bool,
+}
+
+impl RunState {
+    fn now(&self) -> f64 {
+        self.step as f64 * self.dt
+    }
+}
+
+fn fault_error(e: FaultError) -> SimError {
+    match e {
+        FaultError::InvalidParameter { name, value } => SimError::InvalidParameter { name, value },
+        _ => SimError::InvalidParameter {
+            name: "faults",
+            value: f64::NAN,
+        },
+    }
 }
 
 impl Simulation {
@@ -63,8 +137,10 @@ impl Simulation {
         &self.config
     }
 
-    /// The temperature trace of the last run (empty unless
-    /// [`SimConfig::record_trace`] was set).
+    /// The temperature trace of the last run. Temperature samples are
+    /// only recorded under [`SimConfig::record_trace`]; degradation
+    /// [events](TemperatureTrace::events) are always recorded. Retained
+    /// even when the run aborted mid-flight.
     pub fn trace(&self) -> &TemperatureTrace {
         &self.trace
     }
@@ -73,270 +149,467 @@ impl Simulation {
     ///
     /// # Errors
     ///
+    /// Any mid-run failure is returned as [`SimError::Aborted`] carrying
+    /// the metrics accumulated so far (the trace is likewise retained on
+    /// the engine). Causes include:
+    ///
     /// * [`SimError::HorizonExceeded`] if jobs remain unfinished at the
     ///   configured horizon.
     /// * Validation errors for malformed scheduler actions
     ///   ([`SimError::CoreConflict`], [`SimError::PlacementArity`], …).
-    pub fn run(&mut self, mut jobs: Vec<Job>, scheduler: &mut dyn Scheduler) -> Result<Metrics> {
+    pub fn run(&mut self, jobs: Vec<Job>, scheduler: &mut dyn Scheduler) -> Result<Metrics> {
+        let mut st = self.init_run(jobs, scheduler.name())?;
+        let outcome = loop {
+            match self.step_interval(&mut st, scheduler) {
+                Ok(false) => {}
+                Ok(true) => break Ok(()),
+                Err(e) => break Err(e),
+            }
+        };
+        let metrics = Self::finalize(st);
+        match outcome {
+            Ok(()) => Ok(metrics),
+            Err(cause) => Err(SimError::Aborted {
+                at: metrics.simulated_time,
+                cause: Box::new(cause),
+                partial: Box::new(metrics),
+            }),
+        }
+    }
+
+    /// Prepares the run state (initial temperatures, queues, fault
+    /// layer). Failures here carry no partial results — nothing has been
+    /// simulated yet.
+    fn init_run(&mut self, mut jobs: Vec<Job>, scheduler_name: &str) -> Result<RunState> {
         jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
         let total_jobs = jobs.len();
-        let mut arrivals: VecDeque<Job> = jobs.into();
+        let arrivals: VecDeque<Job> = jobs.into();
 
         let n = self.machine.core_count();
         let dt = self.config.dt;
         let sched_every = (self.config.sched_period / dt).round().max(1.0) as u64;
 
-        let mut node_temps = match self.config.prewarm_power {
+        let node_temps = match self.config.prewarm_power {
             None => self.thermal.ambient_state(),
             Some(p) => self.thermal.steady_state(&Vector::constant(n, p))?,
         };
-        let mut levels = vec![self.machine.config().dvfs.max_level(); n];
-        let mut occupancy: Vec<Option<ThreadId>> = vec![None; n];
-        let mut pending: VecDeque<Job> = VecDeque::new();
-        let mut active: BTreeMap<JobId, JobRuntime> = BTreeMap::new();
-        let mut records: BTreeMap<JobId, JobRecord> = BTreeMap::new();
+
+        let faults = if self.config.faults.is_inert() {
+            None
+        } else {
+            let injector = FaultInjector::new(&self.config.faults, n).map_err(fault_error)?;
+            let arch = self.machine.config();
+            let conditioner = SensorConditioner::new(
+                mesh_neighbors(arch.grid_height, arch.grid_width),
+                self.config.sensor_staleness_budget_intervals,
+                self.thermal.config().ambient,
+            );
+            Some(FaultRuntime {
+                injector,
+                conditioner,
+                sensed_temps: Vector::zeros(n),
+                confidence: vec![1.0; n],
+                sensors_degraded: false,
+            })
+        };
 
         self.trace = TemperatureTrace::new();
         let mut metrics = Metrics {
-            scheduler: scheduler.name().to_string(),
+            scheduler: scheduler_name.to_string(),
             ..Metrics::default()
         };
-        let mut completed = 0usize;
-        let mut step: u64 = 0;
-        let mut dtm_last_interval = false;
-        let mut busy_freq_integral = 0.0f64;
-        let mut busy_time = 0.0f64;
+        metrics.robustness.faults_enabled = faults.is_some();
 
-        loop {
-            let now = step as f64 * dt;
-            if completed == total_jobs {
-                metrics.simulated_time = now;
-                break;
-            }
-            if now > self.config.horizon {
-                return Err(SimError::HorizonExceeded {
-                    horizon: self.config.horizon,
-                    unfinished: total_jobs - completed,
-                });
-            }
+        Ok(RunState {
+            total_jobs,
+            arrivals,
+            n,
+            dt,
+            sched_every,
+            node_temps,
+            levels: vec![self.machine.config().dvfs.max_level(); n],
+            occupancy: vec![None; n],
+            pending: VecDeque::new(),
+            active: BTreeMap::new(),
+            records: BTreeMap::new(),
+            metrics,
+            completed: 0,
+            step: 0,
+            dtm_last_interval: false,
+            dtm_core_latch: vec![false; n],
+            busy_freq_integral: 0.0,
+            busy_time: 0.0,
+            full_confidence: vec![1.0; n],
+            faults,
+            sched_was_degraded: false,
+        })
+    }
 
-            // 1. Admission: move arrived jobs into the pending queue.
-            while arrivals.front().is_some_and(|j| j.arrival <= now + 1e-12) {
-                let Some(job) = arrivals.pop_front() else {
-                    break;
-                };
-                pending.push_back(job);
-            }
-
-            // Junction temperatures for this interval, shared by the
-            // scheduling hook, the DTM check, and the power evaluation
-            // (node_temps only changes at the thermal step below).
-            let core_temps = self.thermal.core_temperatures(&node_temps);
-
-            // 2. Scheduling hook.
-            if step.is_multiple_of(sched_every) {
-                let thread_views = build_thread_views(&active);
-                let pending_views: Vec<PendingJobView> = pending
-                    .iter()
-                    .map(|j| PendingJobView {
-                        job: j.id,
-                        benchmark: j.benchmark,
-                        threads: j.spec.thread_count(),
-                        arrival: j.arrival,
-                    })
-                    .collect();
-                let actions = {
-                    let view = SimView {
-                        time: now,
-                        machine: &self.machine,
-                        core_temps: &core_temps,
-                        levels: &levels,
-                        occupancy: &occupancy,
-                        threads: &thread_views,
-                        pending: &pending_views,
-                        t_dtm: self.config.t_dtm,
-                        dtm_active: dtm_last_interval,
-                    };
-                    scheduler.schedule(&view)
-                };
-                self.apply_actions(
-                    actions,
-                    now,
-                    &mut pending,
-                    &mut active,
-                    &mut records,
-                    &mut occupancy,
-                    &mut levels,
-                    &mut metrics,
-                )?;
-            }
-
-            // 3. Hardware DTM: frequency crash while too hot (chip-wide
-            // or per-core, per configuration).
-            let dtm_now = self.config.dtm_enabled && core_temps.max() >= self.config.t_dtm;
-            if dtm_now {
-                metrics.dtm_intervals += 1;
-            }
-            dtm_last_interval = dtm_now;
-            let min_level = self.machine.config().dvfs.min_level();
-            let throttled = |core: usize| match self.config.dtm_scope {
-                crate::DtmScope::Chip => dtm_now,
-                crate::DtmScope::PerCore => {
-                    self.config.dtm_enabled && core_temps[core] >= self.config.t_dtm
-                }
-            };
-
-            // 4. Performance + power for this interval.
-            let mut power = Vector::zeros(n);
-            for core in 0..n {
-                let temp = core_temps[core];
-                let level = if throttled(core) {
-                    min_level
-                } else {
-                    levels[core]
-                };
-                match occupancy[core] {
-                    None => {
-                        power[core] = self.machine.idle_power(temp);
-                    }
-                    Some(tid) => {
-                        let jr = active
-                            .get_mut(&tid.job)
-                            .ok_or(SimError::UnknownThread(tid))?;
-                        let nominal = jr.work_point(tid.index);
-                        let t = &mut jr.threads[tid.index];
-                        // Migration flush stall eats into the interval.
-                        let exec_start = t.stall_until.max(now);
-                        let exec_time = ((now + dt) - exec_start).clamp(0.0, dt);
-                        let nominal_stack =
-                            self.machine
-                                .cpi_stack_at_level(&nominal, CoreId(core), level)?;
-                        let effective = if now < t.warmup_until {
-                            // Cold private caches: the flushed lines refill
-                            // through the LLC, bounded by cache capacity.
-                            let extra = self
-                                .machine
-                                .config()
-                                .migration
-                                .warmup_extra_mpki(nominal_stack.ips());
-                            nominal.with_extra_l1_mpki(extra)
-                        } else {
-                            nominal
-                        };
-                        let stack =
-                            self.machine
-                                .cpi_stack_at_level(&effective, CoreId(core), level)?;
-                        let retired = (stack.ips() * exec_time) as u64;
-                        if let ThreadPhaseState::Running { remaining } = t.state {
-                            let done = retired.min(remaining);
-                            t.instructions_retired += done;
-                            let left = remaining - done;
-                            t.state = if left == 0 {
-                                ThreadPhaseState::AtBarrier
-                            } else {
-                                ThreadPhaseState::Running { remaining: left }
-                            };
-                        }
-                        t.last_cpi = if nominal.is_idle() {
-                            f64::INFINITY
-                        } else {
-                            nominal_stack.total()
-                        };
-                        let watts = self.machine.core_power(&stack, level, temp);
-                        t.history.push(dt, watts);
-                        t.energy += watts * dt;
-                        power[core] = watts;
-                        if !nominal.is_idle() {
-                            busy_freq_integral +=
-                                self.machine.config().dvfs.frequency_ghz(level) * dt;
-                            busy_time += dt;
-                        }
-                    }
-                }
-            }
-
-            // 5. Exact thermal step for the interval. `step` is the
-            // batched GEMM kernel applied to a batch of one; the fixed
-            // `dt` hits the solver's decay cache every interval, so no
-            // per-step eigenvalue exponentials are recomputed.
-            node_temps = self.solver.step(&self.thermal, &node_temps, &power, dt)?;
-            let after = self.thermal.core_temperatures(&node_temps);
-            metrics.peak_temperature = metrics.peak_temperature.max(after.max());
-            metrics.energy += power.sum() * dt;
-            if self.config.record_trace {
-                self.trace.push(now + dt, after.into_inner());
-            }
-
-            // 6. Barrier release / phase advance / completion.
-            let done_ids: Vec<JobId> = active
-                .iter_mut()
-                .filter_map(|(&id, jr)| {
-                    while jr.phase_done() {
-                        if !jr.advance_phase() {
-                            jr.completed = Some(now + dt);
-                            return Some(id);
-                        }
-                    }
-                    None
-                })
-                .collect();
-            for id in done_ids {
-                let Some(jr) = active.remove(&id) else {
-                    continue; // id came from `active` above; a miss is a no-op
-                };
-                for t in &jr.threads {
-                    occupancy[t.core.index()] = None;
-                }
-                let completed_at = jr.completed.unwrap_or(now + dt);
-                if let Some(rec) = records.get_mut(&id) {
-                    rec.completed = Some(completed_at);
-                    rec.instructions = jr.threads.iter().map(|t| t.instructions_retired).sum();
-                    rec.migrations = jr.threads.iter().map(|t| t.migrations).sum();
-                    rec.energy = jr.threads.iter().map(|t| t.energy).sum();
-                }
-                metrics.makespan = metrics.makespan.max(completed_at);
-                completed += 1;
-            }
-
-            step += 1;
-        }
-
-        metrics.avg_frequency_ghz = if busy_time > 0.0 {
-            busy_freq_integral / busy_time
+    /// Turns an ended run (complete or aborted) into its metrics.
+    fn finalize(mut st: RunState) -> Metrics {
+        st.metrics.avg_frequency_ghz = if st.busy_time > 0.0 {
+            st.busy_freq_integral / st.busy_time
         } else {
             0.0
         };
-        metrics.jobs = records.into_values().collect();
-        Ok(metrics)
+        if let Some(fr) = &st.faults {
+            let s = fr.injector.stats();
+            st.metrics.robustness.noisy_readings = s.noisy_readings;
+            st.metrics.robustness.stuck_readings = s.stuck_readings;
+            st.metrics.robustness.sensor_dropouts = s.dropouts;
+            st.metrics.robustness.migration_faults = s.migration_failures;
+            st.metrics.robustness.power_spikes = s.power_spikes;
+        }
+        st.metrics.robustness.watchdog_intervals = st.metrics.dtm_intervals;
+        st.metrics.jobs = st.records.into_values().collect();
+        st.metrics
     }
 
-    #[allow(clippy::too_many_arguments)]
+    /// Simulates one interval. Returns `Ok(true)` when the workload has
+    /// completed.
+    fn step_interval(&mut self, st: &mut RunState, scheduler: &mut dyn Scheduler) -> Result<bool> {
+        let n = st.n;
+        let dt = st.dt;
+        let now = st.now();
+        st.metrics.simulated_time = now;
+        if st.completed == st.total_jobs {
+            return Ok(true);
+        }
+        if now > self.config.horizon {
+            return Err(SimError::HorizonExceeded {
+                horizon: self.config.horizon,
+                unfinished: st.total_jobs - st.completed,
+            });
+        }
+
+        // 1. Admission: move arrived jobs into the pending queue.
+        while st
+            .arrivals
+            .front()
+            .is_some_and(|j| j.arrival <= now + 1e-12)
+        {
+            let Some(job) = st.arrivals.pop_front() else {
+                break;
+            };
+            st.pending.push_back(job);
+        }
+
+        // True junction temperatures for this interval, shared by the
+        // DTM check and the power evaluation (node_temps only changes at
+        // the thermal step below). With faults active, schedulers see
+        // the conditioned sensor view built right below instead.
+        let core_temps = self.thermal.core_temperatures(&st.node_temps);
+
+        // 1b. Fault layer: draw this interval's sensor faults and
+        // condition the readings into the trusted view.
+        if let Some(fr) = st.faults.as_mut() {
+            fr.injector.begin_interval();
+            let readings: Vec<SensorReading> = (0..n)
+                .map(|c| fr.injector.sense(c, core_temps[c]))
+                .collect();
+            let trusted = fr.conditioner.condition(&readings);
+            let min_conf = trusted.min_confidence();
+            if min_conf < st.metrics.robustness.min_sensor_confidence {
+                st.metrics.robustness.min_sensor_confidence = min_conf;
+            }
+            if min_conf < SENSOR_DEGRADED_CONFIDENCE && !fr.sensors_degraded {
+                fr.sensors_degraded = true;
+                self.trace.push_event(
+                    now,
+                    TraceEventKind::SensorsDegraded,
+                    format!("min sensor confidence {min_conf:.2}"),
+                );
+            } else if min_conf >= SENSOR_DEGRADED_CONFIDENCE && fr.sensors_degraded {
+                fr.sensors_degraded = false;
+                self.trace.push_event(
+                    now,
+                    TraceEventKind::SensorsRecovered,
+                    format!("min sensor confidence {min_conf:.2}"),
+                );
+            }
+            fr.sensed_temps = Vector::from(trusted.temps_celsius);
+            fr.confidence = trusted.confidence;
+        }
+
+        // 2. Scheduling hook.
+        if st.step.is_multiple_of(st.sched_every) {
+            let thread_views = build_thread_views(&st.active);
+            let pending_views: Vec<PendingJobView> = st
+                .pending
+                .iter()
+                .map(|j| PendingJobView {
+                    job: j.id,
+                    benchmark: j.benchmark,
+                    threads: j.spec.thread_count(),
+                    arrival: j.arrival,
+                })
+                .collect();
+            let actions = {
+                let (view_temps, view_conf): (&Vector, &[f64]) = match st.faults.as_ref() {
+                    Some(fr) => (&fr.sensed_temps, fr.confidence.as_slice()),
+                    None => (&core_temps, st.full_confidence.as_slice()),
+                };
+                let view = SimView {
+                    time: now,
+                    machine: &self.machine,
+                    core_temps: view_temps,
+                    levels: &st.levels,
+                    occupancy: &st.occupancy,
+                    threads: &thread_views,
+                    pending: &pending_views,
+                    t_dtm: self.config.t_dtm,
+                    dtm_active: st.dtm_last_interval,
+                    sensor_confidence: view_conf,
+                };
+                scheduler.schedule(&view)
+            };
+            Self::apply_actions(
+                &self.machine,
+                &self.config,
+                &mut self.trace,
+                actions,
+                now,
+                st,
+            )?;
+
+            // Poll the policy's self-reported health and account
+            // fallback transitions.
+            let degraded = scheduler.health() != SchedulerHealth::Nominal;
+            if degraded {
+                st.metrics.robustness.fallback_intervals += 1;
+                if !st.sched_was_degraded {
+                    st.metrics.robustness.fallback_activations += 1;
+                    self.trace.push_event(
+                        now,
+                        TraceEventKind::FallbackEngaged,
+                        format!("scheduler {} degraded", scheduler.name()),
+                    );
+                }
+            } else if st.sched_was_degraded {
+                self.trace.push_event(
+                    now,
+                    TraceEventKind::FallbackRecovered,
+                    format!("scheduler {} nominal", scheduler.name()),
+                );
+            }
+            st.sched_was_degraded = degraded;
+        }
+
+        // 3. Hardware DTM watchdog: frequency crash while too hot, with
+        // a hysteresis latch — engage at `t_dtm`, release only below
+        // `t_dtm − dtm_hysteresis_celsius` (a band of 0 reproduces the
+        // historical stateless comparison exactly). The watchdog reads
+        // the TRUE junction temperatures — hardware DTM has its own
+        // thermal-diode path and is not fooled by injected sensor
+        // faults; it is the final backstop of the degradation chain.
+        let t_dtm = self.config.t_dtm;
+        let band = self.config.dtm_hysteresis_celsius;
+        let max_temp = core_temps.max();
+        let dtm_now = self.config.dtm_enabled
+            && (max_temp >= t_dtm || (st.dtm_last_interval && max_temp > t_dtm - band));
+        if dtm_now {
+            st.metrics.dtm_intervals += 1;
+            if !st.dtm_last_interval {
+                st.metrics.robustness.watchdog_activations += 1;
+                self.trace.push_event(
+                    now,
+                    TraceEventKind::WatchdogEngaged,
+                    format!("peak {max_temp:.3} C reached t_dtm {t_dtm} C"),
+                );
+            }
+        } else if st.dtm_last_interval {
+            self.trace.push_event(
+                now,
+                TraceEventKind::WatchdogReleased,
+                format!("peak {max_temp:.3} C below {:.3} C", t_dtm - band),
+            );
+        }
+        st.dtm_last_interval = dtm_now;
+        if self.config.dtm_enabled && self.config.dtm_scope == crate::DtmScope::PerCore {
+            for core in 0..n {
+                let t = core_temps[core];
+                let was = st.dtm_core_latch[core];
+                st.dtm_core_latch[core] = t >= t_dtm || (was && t > t_dtm - band);
+            }
+        }
+        let min_level = self.machine.config().dvfs.min_level();
+        let dtm_enabled = self.config.dtm_enabled;
+        let scope = self.config.dtm_scope;
+        let core_latch = &st.dtm_core_latch;
+        let throttled = |core: usize| match scope {
+            crate::DtmScope::Chip => dtm_now,
+            crate::DtmScope::PerCore => dtm_enabled && core_latch[core],
+        };
+
+        // 4. Performance + power for this interval.
+        let mut power = Vector::zeros(n);
+        for core in 0..n {
+            let temp = core_temps[core];
+            let level = if throttled(core) {
+                min_level
+            } else {
+                st.levels[core]
+            };
+            match st.occupancy[core] {
+                None => {
+                    power[core] = self.machine.idle_power(temp);
+                }
+                Some(tid) => {
+                    let jr = st
+                        .active
+                        .get_mut(&tid.job)
+                        .ok_or(SimError::UnknownThread(tid))?;
+                    let nominal = jr.work_point(tid.index);
+                    let t = &mut jr.threads[tid.index];
+                    // Migration flush stall eats into the interval.
+                    let exec_start = t.stall_until.max(now);
+                    let exec_time = ((now + dt) - exec_start).clamp(0.0, dt);
+                    let nominal_stack =
+                        self.machine
+                            .cpi_stack_at_level(&nominal, CoreId(core), level)?;
+                    let effective = if now < t.warmup_until {
+                        // Cold private caches: the flushed lines refill
+                        // through the LLC, bounded by cache capacity.
+                        let extra = self
+                            .machine
+                            .config()
+                            .migration
+                            .warmup_extra_mpki(nominal_stack.ips());
+                        nominal.with_extra_l1_mpki(extra)
+                    } else {
+                        nominal
+                    };
+                    let stack = self
+                        .machine
+                        .cpi_stack_at_level(&effective, CoreId(core), level)?;
+                    let retired = (stack.ips() * exec_time) as u64;
+                    if let ThreadPhaseState::Running { remaining } = t.state {
+                        let done = retired.min(remaining);
+                        t.instructions_retired += done;
+                        let left = remaining - done;
+                        t.state = if left == 0 {
+                            ThreadPhaseState::AtBarrier
+                        } else {
+                            ThreadPhaseState::Running { remaining: left }
+                        };
+                    }
+                    t.last_cpi = if nominal.is_idle() {
+                        f64::INFINITY
+                    } else {
+                        nominal_stack.total()
+                    };
+                    let watts = self.machine.core_power(&stack, level, temp);
+                    t.history.push(dt, watts);
+                    t.energy += watts * dt;
+                    power[core] = watts;
+                    if !nominal.is_idle() {
+                        st.busy_freq_integral +=
+                            self.machine.config().dvfs.frequency_ghz(level) * dt;
+                        st.busy_time += dt;
+                    }
+                }
+            }
+            // Transient power-spike faults ride on top of whatever the
+            // core draws (idle or busy).
+            if let Some(fr) = st.faults.as_ref() {
+                let spike = fr.injector.power_spike_watts(core);
+                if spike > 0.0 {
+                    power[core] += spike;
+                }
+            }
+        }
+
+        // 5. Exact thermal step for the interval. `step` is the
+        // batched GEMM kernel applied to a batch of one; the fixed
+        // `dt` hits the solver's decay cache every interval, so no
+        // per-step eigenvalue exponentials are recomputed.
+        st.node_temps = self
+            .solver
+            .step(&self.thermal, &st.node_temps, &power, dt)?;
+        let after = self.thermal.core_temperatures(&st.node_temps);
+        st.metrics.peak_temperature = st.metrics.peak_temperature.max(after.max());
+        st.metrics.energy += power.sum() * dt;
+        if self.config.record_trace {
+            self.trace.push(now + dt, after.into_inner());
+        }
+
+        // 6. Barrier release / phase advance / completion.
+        let done_ids: Vec<JobId> = st
+            .active
+            .iter_mut()
+            .filter_map(|(&id, jr)| {
+                while jr.phase_done() {
+                    if !jr.advance_phase() {
+                        jr.completed = Some(now + dt);
+                        return Some(id);
+                    }
+                }
+                None
+            })
+            .collect();
+        for id in done_ids {
+            let Some(jr) = st.active.remove(&id) else {
+                continue; // id came from `active` above; a miss is a no-op
+            };
+            for t in &jr.threads {
+                st.occupancy[t.core.index()] = None;
+            }
+            let completed_at = jr.completed.unwrap_or(now + dt);
+            if let Some(rec) = st.records.get_mut(&id) {
+                rec.completed = Some(completed_at);
+                rec.instructions = jr.threads.iter().map(|t| t.instructions_retired).sum();
+                rec.migrations = jr.threads.iter().map(|t| t.migrations).sum();
+                rec.energy = jr.threads.iter().map(|t| t.energy).sum();
+            }
+            st.metrics.makespan = st.metrics.makespan.max(completed_at);
+            st.completed += 1;
+        }
+
+        st.step += 1;
+        Ok(false)
+    }
+
+    /// Validates and applies one scheduling hook's action batch.
+    ///
+    /// With the fault layer active the engine is *lenient* about
+    /// migration faults: a requested migration may be silently dropped
+    /// by an injected failure, and if the surviving batch no longer
+    /// forms a valid permutation the whole batch is dropped (and
+    /// counted) instead of aborting the run — schedulers whose internal
+    /// bookkeeping has drifted from reality are a symptom of the very
+    /// faults under study. Placement and DVFS validation stays strict in
+    /// both modes: those failures are policy bugs, not injected faults.
     fn apply_actions(
-        &self,
+        machine: &Machine,
+        config: &SimConfig,
+        trace: &mut TemperatureTrace,
         actions: Vec<Action>,
         now: f64,
-        pending: &mut VecDeque<Job>,
-        active: &mut BTreeMap<JobId, JobRuntime>,
-        records: &mut BTreeMap<JobId, JobRecord>,
-        occupancy: &mut [Option<ThreadId>],
-        levels: &mut [DvfsLevel],
-        metrics: &mut Metrics,
+        st: &mut RunState,
     ) -> Result<()> {
-        let n = occupancy.len();
+        let n = st.occupancy.len();
+        let lenient = st.faults.is_some();
         // Phase 1: placements.
         let mut migrations: Vec<(ThreadId, CoreId)> = Vec::new();
         for action in actions {
             match action {
                 Action::PlaceJob { job, cores } => {
-                    let pos = pending
+                    let pos = st
+                        .pending
                         .iter()
                         .position(|j| j.id == job)
                         .ok_or(SimError::UnknownJob(job))?;
-                    let j = pending.remove(pos).ok_or(SimError::UnknownJob(job))?;
-                    if cores.len() != j.spec.thread_count() {
+                    // Validate before removing from the queue so a
+                    // failed placement leaves the pending set intact.
+                    let threads = st
+                        .pending
+                        .get(pos)
+                        .map(|j| j.spec.thread_count())
+                        .unwrap_or(0);
+                    if cores.len() != threads {
                         return Err(SimError::PlacementArity {
                             job,
-                            threads: j.spec.thread_count(),
+                            threads,
                             cores: cores.len(),
                         });
                     }
@@ -352,16 +625,17 @@ impl Simulation {
                         }
                         // Conflicts both with running threads and with
                         // duplicates inside this very placement.
-                        if occupancy[c.index()].is_some() || claimed[c.index()] {
+                        if st.occupancy[c.index()].is_some() || claimed[c.index()] {
                             return Err(SimError::CoreConflict { core: c });
                         }
                         claimed[c.index()] = true;
                     }
-                    let rt = JobRuntime::start(j, &cores, self.config.power_history_window);
+                    let j = st.pending.remove(pos).ok_or(SimError::UnknownJob(job))?;
+                    let rt = JobRuntime::start(j, &cores, config.power_history_window);
                     for t in &rt.threads {
-                        occupancy[t.core.index()] = Some(t.id);
+                        st.occupancy[t.core.index()] = Some(t.id);
                     }
-                    records.insert(
+                    st.records.insert(
                         job,
                         JobRecord {
                             job,
@@ -375,7 +649,7 @@ impl Simulation {
                             energy: 0.0,
                         },
                     );
-                    active.insert(job, rt);
+                    st.active.insert(job, rt);
                 }
                 Action::Migrate { thread, to } => migrations.push((thread, to)),
                 Action::SetLevel { core, level } => {
@@ -387,22 +661,26 @@ impl Simulation {
                             },
                         ));
                     }
-                    self.machine.config().dvfs.check(level).map_err(|_| {
-                        SimError::InvalidParameter {
+                    machine
+                        .config()
+                        .dvfs
+                        .check(level)
+                        .map_err(|_| SimError::InvalidParameter {
                             name: "dvfs level",
                             value: level.index() as f64,
-                        }
-                    })?;
-                    levels[core.index()] = level;
+                        })?;
+                    st.levels[core.index()] = level;
                 }
                 Action::SetAllLevels { level } => {
-                    self.machine.config().dvfs.check(level).map_err(|_| {
-                        SimError::InvalidParameter {
+                    machine
+                        .config()
+                        .dvfs
+                        .check(level)
+                        .map_err(|_| SimError::InvalidParameter {
                             name: "dvfs level",
                             value: level.index() as f64,
-                        }
-                    })?;
-                    levels.fill(level);
+                        })?;
+                    st.levels.fill(level);
                 }
             }
         }
@@ -410,14 +688,23 @@ impl Simulation {
         // Phase 2: migrations, applied as one atomic batch so synchronous
         // rotations (cyclic permutations) are expressible.
         if !migrations.is_empty() {
-            // Validate sources.
+            // Validate sources, roll injected migration faults.
             let mut staged: Vec<(ThreadId, CoreId, CoreId)> = Vec::new(); // (thread, from, to)
             for &(tid, to) in &migrations {
-                let jr = active.get(&tid.job).ok_or(SimError::UnknownThread(tid))?;
-                let t = jr
-                    .threads
-                    .get(tid.index)
-                    .ok_or(SimError::UnknownThread(tid))?;
+                let source = st
+                    .active
+                    .get(&tid.job)
+                    .and_then(|jr| jr.threads.get(tid.index))
+                    .map(|t| t.core);
+                let Some(from) = source else {
+                    if lenient {
+                        // Scheduler bookkeeping drifted after earlier
+                        // injected failures; drop just this migration.
+                        st.metrics.robustness.dropped_actions += 1;
+                        continue;
+                    }
+                    return Err(SimError::UnknownThread(tid));
+                };
                 if to.index() >= n {
                     return Err(SimError::Floorplan(
                         hp_floorplan::FloorplanError::CoreOutOfRange {
@@ -426,27 +713,56 @@ impl Simulation {
                         },
                     ));
                 }
-                staged.push((tid, t.core, to));
+                if let Some(fr) = st.faults.as_mut() {
+                    if fr.injector.migration_fails() {
+                        // The injected fault: the request is accepted
+                        // but silently never takes effect.
+                        continue;
+                    }
+                }
+                staged.push((tid, from, to));
             }
             // Simulate the batch on a copy of the occupancy.
-            let mut next: Vec<Option<ThreadId>> = occupancy.to_vec();
+            let mut next: Vec<Option<ThreadId>> = st.occupancy.to_vec();
             for &(_, from, _) in &staged {
                 next[from.index()] = None;
             }
+            let mut conflict: Option<CoreId> = None;
             for &(tid, _, to) in &staged {
                 if next[to.index()].is_some() {
-                    return Err(SimError::CoreConflict { core: to });
+                    conflict = Some(to);
+                    break;
                 }
                 next[to.index()] = Some(tid);
             }
-            occupancy.copy_from_slice(&next);
-            let flush = self.machine.config().migration.flush_seconds();
-            let warmup = self.machine.config().migration.warmup_seconds();
+            if let Some(core) = conflict {
+                if lenient {
+                    // Injected failures broke the permutation; applying
+                    // a subset would corrupt occupancy, so the whole
+                    // batch is dropped and the scheduler retries next
+                    // hook with a resynced view.
+                    st.metrics.robustness.dropped_actions += staged.len() as u64;
+                    trace.push_event(
+                        now,
+                        TraceEventKind::ActionsDropped,
+                        format!(
+                            "dropped {} staged migrations: batch no longer a permutation at {core}",
+                            staged.len()
+                        ),
+                    );
+                    return Ok(());
+                }
+                return Err(SimError::CoreConflict { core });
+            }
+            st.occupancy.copy_from_slice(&next);
+            let flush = machine.config().migration.flush_seconds();
+            let warmup = machine.config().migration.warmup_seconds();
             for (tid, from, to) in staged {
                 if from == to {
                     continue; // no-op migration costs nothing
                 }
-                let jr = active
+                let jr = st
+                    .active
                     .get_mut(&tid.job)
                     .ok_or(SimError::UnknownThread(tid))?;
                 let t = &mut jr.threads[tid.index];
@@ -454,7 +770,7 @@ impl Simulation {
                 t.stall_until = now + flush;
                 t.warmup_until = now + flush + warmup;
                 t.migrations += 1;
-                metrics.migrations += 1;
+                st.metrics.migrations += 1;
             }
         }
         Ok(())

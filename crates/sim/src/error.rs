@@ -7,6 +7,7 @@ use hp_thermal::ThermalError;
 use hp_workload::JobId;
 
 use crate::job::ThreadId;
+use crate::metrics::Metrics;
 
 /// Errors produced by the simulation engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +47,18 @@ pub enum SimError {
         /// Jobs still incomplete.
         unfinished: usize,
     },
+    /// A run ended mid-flight but the work done up to that point was
+    /// recovered: `partial` holds the metrics (and the engine keeps the
+    /// trace) accumulated before `cause` stopped the run. Raised for
+    /// [`SimError::HorizonExceeded`] and any other mid-run failure.
+    Aborted {
+        /// Simulated time at which the run stopped, s.
+        at: f64,
+        /// The underlying failure (never itself `Aborted`).
+        cause: Box<SimError>,
+        /// Everything measured before the abort.
+        partial: Box<Metrics>,
+    },
     /// An underlying thermal-model operation failed.
     Thermal(ThermalError),
     /// An underlying machine-model operation failed.
@@ -83,6 +96,12 @@ impl fmt::Display for SimError {
                 f,
                 "simulation horizon of {horizon} s exceeded with {unfinished} unfinished jobs"
             ),
+            SimError::Aborted { at, cause, .. } => {
+                write!(
+                    f,
+                    "simulation aborted at t={at} s: {cause} (partial metrics retained)"
+                )
+            }
             SimError::Thermal(e) => write!(f, "thermal model failure: {e}"),
             SimError::Manycore(e) => write!(f, "machine model failure: {e}"),
             SimError::Floorplan(e) => write!(f, "floorplan failure: {e}"),
@@ -93,9 +112,21 @@ impl fmt::Display for SimError {
 impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
+            SimError::Aborted { cause, .. } => Some(cause.as_ref()),
             SimError::Thermal(e) => Some(e),
             SimError::Manycore(e) => Some(e),
             SimError::Floorplan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl SimError {
+    /// The metrics recovered from an aborted run, if this error carries
+    /// any — the partial-result path for CLI and experiment reporting.
+    pub fn partial_metrics(&self) -> Option<&Metrics> {
+        match self {
+            SimError::Aborted { partial, .. } => Some(partial),
             _ => None,
         }
     }
@@ -132,9 +163,32 @@ mod tests {
                 horizon: 1.0,
                 unfinished: 2,
             },
+            SimError::Aborted {
+                at: 0.5,
+                cause: Box::new(SimError::HorizonExceeded {
+                    horizon: 1.0,
+                    unfinished: 2,
+                }),
+                partial: Box::new(Metrics::default()),
+            },
         ];
         for e in samples {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn aborted_exposes_partial_and_source() {
+        let e = SimError::Aborted {
+            at: 2.0,
+            cause: Box::new(SimError::UnknownJob(JobId(1))),
+            partial: Box::new(Metrics {
+                simulated_time: 2.0,
+                ..Metrics::default()
+            }),
+        };
+        assert_eq!(e.partial_metrics().map(|m| m.simulated_time), Some(2.0));
+        assert!(e.source().is_some());
+        assert_eq!(SimError::UnknownJob(JobId(1)).partial_metrics(), None);
     }
 }

@@ -53,9 +53,9 @@ pub use config::{DtmScope, SimConfig};
 pub use engine::Simulation;
 pub use error::SimError;
 pub use job::ThreadId;
-pub use metrics::{JobRecord, Metrics};
-pub use scheduler::{Action, PendingJobView, Scheduler, SimView, ThreadView};
-pub use trace::TemperatureTrace;
+pub use metrics::{JobRecord, Metrics, Robustness};
+pub use scheduler::{Action, PendingJobView, Scheduler, SchedulerHealth, SimView, ThreadView};
+pub use trace::{TemperatureTrace, TraceEvent, TraceEventKind};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SimError>;

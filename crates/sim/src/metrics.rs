@@ -32,6 +32,65 @@ impl JobRecord {
     }
 }
 
+/// Degradation accounting for one run: how much sensor/migration/power
+/// abuse the fault layer injected and how often each rung of the
+/// fallback ladder (scheduler fallback → DTM watchdog) had to act.
+///
+/// All counters are zero (and `min_sensor_confidence` is `1.0`) for a
+/// run without faults and without DTM engagement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Robustness {
+    /// Whether the fault layer was engaged at all this run.
+    pub faults_enabled: bool,
+    /// Sensor readings perturbed by Gaussian noise.
+    pub noisy_readings: u64,
+    /// Sensor readings served from a stuck sensor.
+    pub stuck_readings: u64,
+    /// Sensor readings dropped entirely.
+    pub sensor_dropouts: u64,
+    /// Requested migrations that silently failed due to injected faults.
+    pub migration_faults: u64,
+    /// Transient power spikes injected.
+    pub power_spikes: u64,
+    /// Scheduler actions the engine dropped in lenient (fault) mode
+    /// because injected failures had invalidated them.
+    pub dropped_actions: u64,
+    /// Lowest per-core sensor confidence seen over the run (1.0 = every
+    /// reading fresh).
+    pub min_sensor_confidence: f64,
+    /// Scheduling hooks at which the scheduler reported a degraded
+    /// health state (e.g. running on its fallback policy).
+    pub fallback_intervals: u64,
+    /// Transitions of the scheduler from nominal into a degraded state.
+    pub fallback_activations: u64,
+    /// Intervals the DTM watchdog spent engaged (same quantity as
+    /// `Metrics::dtm_intervals`, duplicated here so the robustness block
+    /// is self-contained).
+    pub watchdog_intervals: u64,
+    /// Times the DTM watchdog newly engaged (rising edges of the
+    /// hysteresis latch).
+    pub watchdog_activations: u64,
+}
+
+impl Default for Robustness {
+    fn default() -> Self {
+        Robustness {
+            faults_enabled: false,
+            noisy_readings: 0,
+            stuck_readings: 0,
+            sensor_dropouts: 0,
+            migration_faults: 0,
+            power_spikes: 0,
+            dropped_actions: 0,
+            min_sensor_confidence: 1.0,
+            fallback_intervals: 0,
+            fallback_activations: 0,
+            watchdog_intervals: 0,
+            watchdog_activations: 0,
+        }
+    }
+}
+
 /// Aggregate results of a simulation run.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Metrics {
@@ -54,6 +113,9 @@ pub struct Metrics {
     pub avg_frequency_ghz: f64,
     /// Scheduler name that produced this run.
     pub scheduler: String,
+    /// Fault-injection and degradation accounting (all-zero when the
+    /// fault layer was inert and DTM never engaged).
+    pub robustness: Robustness,
 }
 
 impl Metrics {
@@ -111,5 +173,14 @@ mod tests {
     #[test]
     fn empty_metrics_have_no_mean() {
         assert_eq!(Metrics::default().mean_response_time(), None);
+    }
+
+    #[test]
+    fn default_robustness_is_clean() {
+        let r = Robustness::default();
+        assert!(!r.faults_enabled);
+        assert_eq!(r.min_sensor_confidence, 1.0);
+        assert_eq!(r.fallback_activations, 0);
+        assert_eq!(r.watchdog_activations, 0);
     }
 }

@@ -93,6 +93,11 @@ pub struct SimView<'a> {
     pub t_dtm: f64,
     /// Whether the hardware DTM throttled the chip during the last interval.
     pub dtm_active: bool,
+    /// Trust in each entry of `core_temps`, in `[0, 1]`. All `1.0`
+    /// without fault injection; under faults, `core_temps` is the
+    /// conditioned sensor view and this reports how much of it is fresh
+    /// measurement versus held or spatially reconstructed values.
+    pub sensor_confidence: &'a [f64],
 }
 
 impl SimView<'_> {
@@ -105,6 +110,25 @@ impl SimView<'_> {
             .map(|(i, _)| CoreId(i))
             .collect()
     }
+
+    /// The least-trusted core's sensor confidence (`1.0` on an empty
+    /// confidence slice, i.e. without fault injection).
+    pub fn min_sensor_confidence(&self) -> f64 {
+        self.sensor_confidence.iter().copied().fold(1.0, f64::min)
+    }
+}
+
+/// Self-reported condition of a scheduling policy, polled by the engine
+/// after every scheduling hook and folded into
+/// [`Metrics`](crate::Metrics) (`robustness.fallback_*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerHealth {
+    /// Running its primary policy.
+    #[default]
+    Nominal,
+    /// Running a fallback policy (e.g. the peak solver failed or sensor
+    /// confidence fell below the policy's floor).
+    Degraded,
 }
 
 /// A scheduling policy plugged into the [`Simulation`](crate::Simulation)
@@ -121,6 +145,16 @@ pub trait Scheduler {
     /// Inspect the state and decide placements, migrations and DVFS
     /// settings for the next period.
     fn schedule(&mut self, view: &SimView<'_>) -> Vec<Action>;
+
+    /// Whether the policy is currently running in a degraded mode.
+    ///
+    /// Polled by the engine right after [`schedule`](Scheduler::schedule);
+    /// the default is permanently [`SchedulerHealth::Nominal`], which
+    /// keeps ordinary single-policy schedulers oblivious to the
+    /// degradation machinery.
+    fn health(&self) -> SchedulerHealth {
+        SchedulerHealth::Nominal
+    }
 }
 
 #[cfg(test)]
@@ -155,7 +189,9 @@ mod tests {
             pending: &[],
             t_dtm: 70.0,
             dtm_active: false,
+            sensor_confidence: &[1.0, 0.4],
         };
         assert_eq!(view.free_cores(), vec![CoreId(1)]);
+        assert_eq!(view.min_sensor_confidence(), 0.4);
     }
 }

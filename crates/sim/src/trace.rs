@@ -2,13 +2,47 @@ use std::io::{self, Write};
 
 use serde::{Deserialize, Serialize};
 
+/// What kind of degradation transition a [`TraceEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEventKind {
+    /// The DTM watchdog latch engaged (temperature reached `t_dtm`).
+    WatchdogEngaged,
+    /// The DTM watchdog latch released (fell below `t_dtm − ΔT`).
+    WatchdogReleased,
+    /// The scheduler reported leaving its nominal policy.
+    FallbackEngaged,
+    /// The scheduler reported returning to its nominal policy.
+    FallbackRecovered,
+    /// Per-core sensor confidence dropped below the degraded threshold.
+    SensorsDegraded,
+    /// Sensor confidence recovered above the degraded threshold.
+    SensorsRecovered,
+    /// The engine dropped scheduler actions invalidated by injected
+    /// faults (lenient mode).
+    ActionsDropped,
+}
+
+/// One timestamped degradation transition, recorded unconditionally
+/// (independent of [`record_trace`](crate::SimConfig::record_trace) —
+/// events are sparse; temperature samples are not).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulated time of the transition, s.
+    pub time_seconds: f64,
+    /// The transition.
+    pub kind: TraceEventKind,
+    /// Human-readable context (peak temperature, counts, …).
+    pub detail: String,
+}
+
 /// A recorded per-interval temperature trace (the raw material of the
-/// paper's Fig. 2 thermal plots).
+/// paper's Fig. 2 thermal plots) plus the run's degradation event log.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct TemperatureTrace {
     times: Vec<f64>,
     /// `temps[k][c]` = junction temperature of core `c` at `times[k]`, °C.
     temps: Vec<Vec<f64>>,
+    events: Vec<TraceEvent>,
 }
 
 impl TemperatureTrace {
@@ -20,6 +54,19 @@ impl TemperatureTrace {
     pub(crate) fn push(&mut self, time: f64, core_temps: Vec<f64>) {
         self.times.push(time);
         self.temps.push(core_temps);
+    }
+
+    pub(crate) fn push_event(&mut self, time: f64, kind: TraceEventKind, detail: String) {
+        self.events.push(TraceEvent {
+            time_seconds: time,
+            kind,
+            detail,
+        });
+    }
+
+    /// Degradation transitions recorded during the run, in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
     }
 
     /// Number of samples.
@@ -138,5 +185,16 @@ mod tests {
         let mut buf = Vec::new();
         TemperatureTrace::new().write_csv(&mut buf).unwrap();
         assert_eq!(String::from_utf8(buf).unwrap(), "time_s\n");
+    }
+
+    #[test]
+    fn events_are_recorded_in_order() {
+        let mut t = TemperatureTrace::new();
+        assert!(t.events().is_empty());
+        t.push_event(0.1, TraceEventKind::WatchdogEngaged, "peak 70.2 C".into());
+        t.push_event(0.3, TraceEventKind::WatchdogReleased, "peak 68.9 C".into());
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].kind, TraceEventKind::WatchdogEngaged);
+        assert_eq!(t.events()[1].time_seconds, 0.3);
     }
 }

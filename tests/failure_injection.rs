@@ -1,5 +1,26 @@
 //! Failure injection: deliberately bad schedules must be caught by the
 //! engine's validation or contained by the hardware DTM.
+//!
+//! Mid-run validation failures surface as [`SimError::Aborted`] wrapping
+//! the specific cause and carrying the metrics accumulated up to the
+//! abort — a rejected schedule must not discard the measurements that
+//! led up to it.
+
+/// Unwraps the [`SimError::Aborted`] layer, asserting partials are
+/// retained, and returns the underlying cause.
+fn unwrap_abort(err: SimError) -> SimError {
+    match err {
+        SimError::Aborted { at, cause, partial } => {
+            assert!(at >= 0.0, "abort time must be a valid sim time");
+            assert!(
+                partial.simulated_time >= 0.0,
+                "partial metrics must be populated"
+            );
+            *cause
+        }
+        other => panic!("expected Aborted wrapper, got {other}"),
+    }
+}
 
 use hotpotato::{HotPotato, HotPotatoConfig};
 use hp_floorplan::{CoreId, GridFloorplan};
@@ -100,7 +121,7 @@ impl Scheduler for GhostMigrator {
 fn conflicting_placement_is_rejected() {
     let mut sim = Simulation::new(machine(), ThermalConfig::default(), SimConfig::default())
         .expect("valid sim config");
-    let err = sim.run(swaptions(2), &mut ConflictingPlacer).unwrap_err();
+    let err = unwrap_abort(sim.run(swaptions(2), &mut ConflictingPlacer).unwrap_err());
     assert!(matches!(err, SimError::CoreConflict { .. }), "{err}");
 }
 
@@ -108,9 +129,10 @@ fn conflicting_placement_is_rejected() {
 fn conflicting_migration_is_rejected() {
     let mut sim = Simulation::new(machine(), ThermalConfig::default(), SimConfig::default())
         .expect("valid sim config");
-    let err = sim
-        .run(swaptions(2), &mut BadMigrator { placed: false })
-        .unwrap_err();
+    let err = unwrap_abort(
+        sim.run(swaptions(2), &mut BadMigrator { placed: false })
+            .unwrap_err(),
+    );
     assert!(matches!(err, SimError::CoreConflict { .. }), "{err}");
 }
 
@@ -118,7 +140,7 @@ fn conflicting_migration_is_rejected() {
 fn unknown_thread_is_rejected() {
     let mut sim = Simulation::new(machine(), ThermalConfig::default(), SimConfig::default())
         .expect("valid sim config");
-    let err = sim.run(swaptions(2), &mut GhostMigrator).unwrap_err();
+    let err = unwrap_abort(sim.run(swaptions(2), &mut GhostMigrator).unwrap_err());
     assert!(matches!(err, SimError::UnknownThread(_)), "{err}");
 }
 
