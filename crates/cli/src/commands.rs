@@ -168,8 +168,15 @@ pub fn simulate(args: &ParsedArgs) -> CliResult {
     let scheduler_name = args.get("scheduler").unwrap_or("hotpotato").to_string();
     let benchmark_name = args.get("benchmark").unwrap_or("blackscholes").to_string();
     let cores: usize = args.get_or("cores", n)?;
+    if cores == 0 || cores > n {
+        return Err(format!("--cores {cores}: must be in 1..={n} for a {w}x{h} grid").into());
+    }
     let jobs_n: usize = args.get_or("jobs", 0)?;
     let rate: f64 = args.get_or("rate", 40.0)?;
+    let horizon: f64 = args.get_or("horizon", 600.0)?;
+    if horizon.is_nan() || horizon <= 0.0 {
+        return Err(format!("--horizon {horizon}: must be positive seconds").into());
+    }
 
     let jobs: Vec<Job> = if benchmark_name == "mixed" {
         let count = if jobs_n == 0 { 10 } else { jobs_n };
@@ -202,7 +209,7 @@ pub fn simulate(args: &ParsedArgs) -> CliResult {
     faults.seed = args.get_or("fault-seed", faults.seed)?;
 
     let sim_config = SimConfig {
-        horizon: 600.0,
+        horizon,
         record_trace: args.get("trace").is_some(),
         faults,
         ..SimConfig::default()
@@ -231,13 +238,17 @@ pub fn simulate(args: &ParsedArgs) -> CliResult {
         Ok(m) => m,
         Err(e) => {
             // A mid-run abort still carries everything accumulated so
-            // far; print it before failing so the run is not a total loss.
+            // far; print it and flush the partial trace/report before
+            // failing so the run is not a total loss.
             if let Some(partial) = e.partial_metrics() {
+                let note = format!("aborted at t={:.3} s: {e}", partial.simulated_time);
                 println!(
                     "aborted at t={:.3} s — partial results:",
                     partial.simulated_time
                 );
                 print_simulate_metrics(partial, &scheduler_name, w, h);
+                write_trace(&sim, args, "partial temperature trace")?;
+                write_report(partial, args, &scheduler_name, w, h, Some(&note))?;
             }
             return Err(format!(
                 "simulate: scheduler `{scheduler_name}`, benchmark `{benchmark_name}` \
@@ -247,20 +258,56 @@ pub fn simulate(args: &ParsedArgs) -> CliResult {
         }
     };
     print_simulate_metrics(&metrics, &scheduler_name, w, h);
+    write_trace(&sim, args, "temperature trace")?;
+    write_report(&metrics, args, &scheduler_name, w, h, None)?;
+    Ok(())
+}
+
+/// Writes the recorded temperature trace as CSV when `--trace` was given.
+fn write_trace(sim: &Simulation, args: &ParsedArgs, what: &str) -> CliResult {
     if let Some(path) = args.get("trace") {
         let file = File::create(path)?;
         sim.trace().write_csv(BufWriter::new(file))?;
-        println!("  temperature trace written to {path}");
+        println!("  {what} written to {path}");
     }
     Ok(())
+}
+
+/// Writes the run's observability report (`hp-report-v1` JSON) when
+/// `--report` was given, annotated with the CLI-level run context.
+fn write_report(
+    metrics: &Metrics,
+    args: &ParsedArgs,
+    scheduler_name: &str,
+    w: usize,
+    h: usize,
+    aborted: Option<&str>,
+) -> CliResult {
+    if let Some(path) = args.get("report") {
+        let mut report = metrics.observability.clone();
+        report.push_meta("scheduler", scheduler_name);
+        report.push_meta("grid", &format!("{w}x{h}"));
+        if let Some(note) = aborted {
+            report.push_meta("aborted", note);
+        }
+        std::fs::write(path, report.to_json_string())?;
+        println!("  observability report written to {path}");
+    }
+    Ok(())
+}
+
+/// Renders an optional duration (s) as `X.X ms`, or `n/a` when absent —
+/// e.g. the mean response of a run where no job completed.
+fn fmt_ms_or_na(seconds: Option<f64>) -> String {
+    seconds.map_or_else(|| "n/a".to_string(), |s| format!("{:.1} ms", s * 1e3))
 }
 
 fn print_simulate_metrics(metrics: &Metrics, scheduler_name: &str, w: usize, h: usize) {
     println!("scheduler {scheduler_name} on {w}x{h} chip:");
     println!(
-        "  makespan {:.1} ms | mean response {:.1} ms | peak {:.1} C",
+        "  makespan {:.1} ms | mean response {} | peak {:.1} C",
         metrics.makespan * 1e3,
-        metrics.mean_response_time().unwrap_or(f64::NAN) * 1e3,
+        fmt_ms_or_na(metrics.mean_response_time()),
         metrics.peak_temperature
     );
     println!(
@@ -291,10 +338,10 @@ fn print_simulate_metrics(metrics: &Metrics, scheduler_name: &str, w: usize, h: 
     }
     for job in &metrics.jobs {
         println!(
-            "    {} x{}: {:.1} ms, {} migrations",
+            "    {} x{}: {}, {} migrations",
             job.benchmark,
             job.threads,
-            job.response_time().map_or(f64::NAN, |t| t * 1e3),
+            fmt_ms_or_na(job.response_time()),
             job.migrations
         );
     }
@@ -389,6 +436,110 @@ mod tests {
         .unwrap();
         simulate(&args).unwrap();
         std::fs::remove_file(&plan_path).ok();
+    }
+
+    fn simulate_args(extra: &[&str]) -> ParsedArgs {
+        let mut argv = vec![
+            "simulate",
+            "--grid",
+            "4x4",
+            "--benchmark",
+            "canneal",
+            "--cores",
+            "4",
+            "--scheduler",
+            "hotpotato",
+        ];
+        argv.extend_from_slice(extra);
+        ParsedArgs::parse(argv).unwrap()
+    }
+
+    #[test]
+    fn simulate_rejects_cores_beyond_grid() {
+        let args = ParsedArgs::parse(["simulate", "--grid", "4x4", "--cores", "17"]).unwrap();
+        let err = simulate(&args).unwrap_err().to_string();
+        assert!(err.contains("1..=16"), "got: {err}");
+        let args = ParsedArgs::parse(["simulate", "--grid", "4x4", "--cores", "0"]).unwrap();
+        assert!(simulate(&args).is_err());
+        let args = ParsedArgs::parse(["simulate", "--horizon", "0"]).unwrap();
+        assert!(simulate(&args).is_err());
+    }
+
+    #[test]
+    fn simulate_trace_starts_at_time_zero() {
+        let trace_path = std::env::temp_dir().join("hp_cli_trace_t0_test.csv");
+        let args = simulate_args(&["--trace", trace_path.to_str().unwrap()]);
+        simulate(&args).unwrap();
+        let csv = std::fs::read_to_string(&trace_path).unwrap();
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("time_s,core0"));
+        let first = lines.next().expect("at least one sample");
+        assert_eq!(
+            first.split(',').next().unwrap(),
+            "0",
+            "first trace sample must be the initial t=0 state, got `{first}`"
+        );
+        std::fs::remove_file(&trace_path).ok();
+    }
+
+    #[test]
+    fn simulate_abort_still_writes_trace_and_report() {
+        // A 50 ms horizon cannot finish canneal: the run aborts with
+        // HorizonExceeded, but the partial trace and report must land on
+        // disk anyway.
+        let trace_path = std::env::temp_dir().join("hp_cli_abort_trace_test.csv");
+        let report_path = std::env::temp_dir().join("hp_cli_abort_report_test.json");
+        let args = simulate_args(&[
+            "--horizon",
+            "0.05",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--report",
+            report_path.to_str().unwrap(),
+        ]);
+        let err = simulate(&args).unwrap_err().to_string();
+        assert!(err.contains("horizon"), "got: {err}");
+
+        let csv = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(csv.lines().count() > 1, "partial trace has samples");
+
+        let raw = std::fs::read_to_string(&report_path).unwrap();
+        let report = hp_obs::RunReport::from_json_str(&raw).unwrap();
+        let aborted = report.meta_value("aborted").expect("abort note present");
+        assert!(aborted.starts_with("aborted at t="), "got: {aborted}");
+        assert!(report.counter("engine.intervals").unwrap_or(0) > 0);
+
+        std::fs::remove_file(&trace_path).ok();
+        std::fs::remove_file(&report_path).ok();
+    }
+
+    #[test]
+    fn simulate_report_roundtrips_and_counters_are_deterministic() {
+        let path_a = std::env::temp_dir().join("hp_cli_report_a_test.json");
+        let path_b = std::env::temp_dir().join("hp_cli_report_b_test.json");
+        for path in [&path_a, &path_b] {
+            let args = simulate_args(&["--report", path.to_str().unwrap()]);
+            simulate(&args).unwrap();
+        }
+        let a = hp_obs::RunReport::from_json_str(&std::fs::read_to_string(&path_a).unwrap())
+            .expect("report parses back through hp-obs");
+        let b = hp_obs::RunReport::from_json_str(&std::fs::read_to_string(&path_b).unwrap())
+            .expect("report parses back through hp-obs");
+        // Full report round-trip: export → parse → export is identity.
+        assert_eq!(a.to_json_string(), {
+            let reparsed = hp_obs::RunReport::from_json_str(&a.to_json_string()).unwrap();
+            reparsed.to_json_string()
+        });
+        // Same-seed runs: every counter, gauge, meta entry and event is
+        // bit-identical; only the wall-clock histograms may differ.
+        assert_eq!(a.without_timings(), b.without_timings());
+        assert!(a.counter("engine.intervals").unwrap_or(0) > 0);
+        assert!(a.counter("sched.alg1.evaluations").unwrap_or(0) > 0);
+        assert!(a.histogram("hook.schedule").is_some());
+        assert_eq!(a.meta_value("scheduler"), Some("hotpotato"));
+        assert_eq!(a.meta_value("grid"), Some("4x4"));
+        std::fs::remove_file(&path_a).ok();
+        std::fs::remove_file(&path_b).ok();
     }
 
     #[test]

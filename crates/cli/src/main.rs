@@ -6,7 +6,8 @@
 //! hotpotato-cli peak     [--grid WxH] [--ring R] [--tau-ms T] [--watts a,b,...]
 //! hotpotato-cli tsp      [--grid WxH] [--active N] [--t-dtm C]
 //! hotpotato-cli simulate [--grid WxH] [--scheduler NAME] [--benchmark NAME]
-//!                        [--cores N] [--jobs J] [--rate R] [--trace FILE]
+//!                        [--cores N] [--jobs J] [--rate R] [--horizon S]
+//!                        [--trace FILE] [--report FILE]
 //!                        [--faults PLAN.json] [--fault-seed N]
 //! ```
 
@@ -25,7 +26,8 @@ USAGE:
   hotpotato-cli peak     [--grid WxH] [--ring R] [--tau-ms T] [--watts a,b,..]
   hotpotato-cli tsp      [--grid WxH] [--active N] [--t-dtm C]
   hotpotato-cli simulate [--grid WxH] [--scheduler NAME] [--benchmark NAME]
-                         [--cores N] [--jobs J] [--rate R] [--trace FILE]
+                         [--cores N] [--jobs J] [--rate R] [--horizon S]
+                         [--trace FILE] [--report FILE]
                          [--faults PLAN.json] [--fault-seed N]
 
 SCHEDULERS: hotpotato (default), hybrid, fallback, pcmig, pcgov, tsp, pinned
@@ -37,6 +39,7 @@ EXAMPLES:
   hotpotato-cli peak --grid 4x4 --ring 0 --tau-ms 0.5 --watts 7,7
   hotpotato-cli simulate --benchmark swaptions --cores 16 --scheduler hybrid
   hotpotato-cli simulate --benchmark mixed --jobs 12 --rate 40 --trace t.csv
+  hotpotato-cli simulate --scheduler hotpotato --report report.json
   hotpotato-cli simulate --scheduler fallback --faults plan.json --fault-seed 42
 ";
 

@@ -51,6 +51,7 @@
 //! matrices, plus a per-τ cache of the `e^{λτ}` decay data).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use hp_floorplan::CoreId;
@@ -63,6 +64,53 @@ use crate::{EpochPowerSequence, HotPotatoError, Result};
 /// Distinct τ values cached per solver; the scheduler's τ-acceleration
 /// explores a handful, so the cap only guards against pathological churn.
 const DECAY_CACHE_CAP: usize = 64;
+
+/// Snapshot of an Algorithm-1 solver's activity tallies, taken with
+/// [`RotationPeakSolver::stats`]. All values count events since
+/// construction (or the last [`RotationPeakSolver::reset_stats`]) and
+/// depend only on the sequence of solver calls — never on wall-clock
+/// time — so they are seed-deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Alg1Stats {
+    /// Batched GEMM evaluations
+    /// ([`peak_celsius_many`](RotationPeakSolver::peak_celsius_many),
+    /// including the batch-of-one
+    /// [`peak_celsius`](RotationPeakSolver::peak_celsius) path).
+    pub batch_calls: u64,
+    /// Total candidate rotations pushed through the batched kernel.
+    pub batched_candidates: u64,
+    /// `e^{λτ}` lookups served from the per-τ decay cache.
+    pub decay_cache_hits: u64,
+    /// `e^{λτ}` lookups that computed fresh epoch-decay data.
+    pub decay_cache_misses: u64,
+}
+
+/// Interior-mutable counter cells behind [`Alg1Stats`].
+#[derive(Debug, Default)]
+struct StatsCells {
+    batch_calls: AtomicU64,
+    batched_candidates: AtomicU64,
+    decay_cache_hits: AtomicU64,
+    decay_cache_misses: AtomicU64,
+}
+
+impl StatsCells {
+    fn snapshot(&self) -> Alg1Stats {
+        Alg1Stats {
+            batch_calls: self.batch_calls.load(Ordering::Relaxed),
+            batched_candidates: self.batched_candidates.load(Ordering::Relaxed),
+            decay_cache_hits: self.decay_cache_hits.load(Ordering::Relaxed),
+            decay_cache_misses: self.decay_cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.batch_calls.store(0, Ordering::Relaxed);
+        self.batched_candidates.store(0, Ordering::Relaxed);
+        self.decay_cache_hits.store(0, Ordering::Relaxed);
+        self.decay_cache_misses.store(0, Ordering::Relaxed);
+    }
+}
 
 /// One steady-cycle weight of paper Eq. (10):
 /// `e^{age·λτ} · (1 − e^{λτ}) / (1 − e^{δλτ})`.
@@ -177,6 +225,8 @@ pub struct RotationPeakSolver {
     /// `τ.to_bits() → EpochDecay`, cached because the scheduler probes
     /// many candidate rotations at few distinct τ.
     decay_cache: Mutex<HashMap<u64, Arc<EpochDecay>>>,
+    /// Activity tallies for run reports ([`RotationPeakSolver::stats`]).
+    stats: StatsCells,
 }
 
 impl Clone for RotationPeakSolver {
@@ -195,6 +245,9 @@ impl Clone for RotationPeakSolver {
             proj_t: self.proj_t.clone(),
             v_junction_t: self.v_junction_t.clone(),
             decay_cache: Mutex::new(cache),
+            // A clone starts its own tally: stats describe what *this*
+            // handle performed, not its ancestry.
+            stats: StatsCells::default(),
         }
     }
 }
@@ -227,12 +280,25 @@ impl RotationPeakSolver {
             proj_t,
             v_junction_t,
             decay_cache: Mutex::new(HashMap::new()),
+            stats: StatsCells::default(),
         })
     }
 
     /// The thermal model the solver was built for.
     pub fn model(&self) -> &RcThermalModel {
         &self.model
+    }
+
+    /// Snapshot of the solver's activity tallies (batched GEMM counts,
+    /// decay-cache hits/misses) since construction or the last
+    /// [`reset_stats`](RotationPeakSolver::reset_stats).
+    pub fn stats(&self) -> Alg1Stats {
+        self.stats.snapshot()
+    }
+
+    /// Zeroes the activity tallies (start of a new measured run).
+    pub fn reset_stats(&self) {
+        self.stats.reset();
     }
 
     /// Cached `e^{λτ}` decay data for one epoch length.
@@ -244,8 +310,12 @@ impl RotationPeakSolver {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(d) = cache.get(&tau.to_bits()) {
+            self.stats.decay_cache_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(d);
         }
+        self.stats
+            .decay_cache_misses
+            .fetch_add(1, Ordering::Relaxed);
         if cache.len() >= DECAY_CACHE_CAP {
             cache.clear();
         }
@@ -470,6 +540,10 @@ impl RotationPeakSolver {
         if seqs.is_empty() {
             return Ok(Vec::new());
         }
+        self.stats.batch_calls.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .batched_candidates
+            .fetch_add(seqs.len() as u64, Ordering::Relaxed);
         let cores = self.model.core_count();
         let nodes = self.model.node_count();
         for seq in seqs {
@@ -953,6 +1027,27 @@ mod tests {
             EpochPowerSequence::new(0.5e-3, epochs).unwrap()
         };
         assert!(s.peak(&hi).unwrap().peak_celsius > s.peak(&lo).unwrap().peak_celsius);
+    }
+
+    #[test]
+    fn stats_count_batches_and_cache_traffic() {
+        let s = solver_4x4();
+        assert_eq!(s.stats(), Alg1Stats::default());
+        let seq = fig1_sequence(1e-3);
+        s.peak_celsius(&seq).unwrap();
+        s.peak_celsius_many(&[seq.clone(), seq, fig1_sequence(2e-3)])
+            .unwrap();
+        let st = s.stats();
+        assert_eq!(st.batch_calls, 1);
+        assert_eq!(st.batched_candidates, 3);
+        // τ = 1e-3 was computed once and reused twice; τ = 2e-3 is fresh.
+        assert_eq!(st.decay_cache_misses, 2);
+        assert_eq!(st.decay_cache_hits, 2);
+        // A clone starts from zero; reset clears the original.
+        let fresh = s.clone();
+        assert_eq!(fresh.stats(), Alg1Stats::default());
+        s.reset_stats();
+        assert_eq!(s.stats(), Alg1Stats::default());
     }
 
     #[test]

@@ -25,9 +25,11 @@
 //!   cores is the mean). `T_peak` is the max over per-ring evaluations.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use hp_floorplan::CoreId;
-use hp_linalg::Vector;
+use hp_linalg::{Matrix, Vector};
+use hp_obs::{Registry, RunReport};
 use hp_sim::{Action, Scheduler, SchedulerHealth, SimView, ThreadId};
 use hp_thermal::RcThermalModel;
 
@@ -130,6 +132,9 @@ pub struct HotPotato {
     /// Number of Algorithm-1 evaluations that failed (malformed sequence
     /// or solver error) and were read as `T_peak = ∞`.
     solver_failures: u64,
+    /// Probe wall-clock histograms and policy counters, surfaced through
+    /// [`Scheduler::observability`].
+    obs: Registry,
 }
 
 impl HotPotato {
@@ -157,6 +162,7 @@ impl HotPotato {
             powers: BTreeMap::new(),
             evaluations: 0,
             solver_failures: 0,
+            obs: Registry::new(),
         })
     }
 
@@ -260,8 +266,24 @@ impl HotPotato {
     }
 
     /// `T_peak` of the current assignment (Algorithm 1 over every occupied
-    /// ring, cross-ring coupling averaged).
+    /// ring, cross-ring coupling averaged). Each probe's wall-clock time
+    /// lands in the `alg1.probe` histogram — this is the quantity behind
+    /// the paper's per-decision scheduling-overhead measurement.
     fn estimate_peak(
+        &mut self,
+        rings: &[RingRotation<ThreadId>],
+        powers: &BTreeMap<ThreadId, f64>,
+        tau: f64,
+        rotating: bool,
+    ) -> f64 {
+        let probe_start = Instant::now();
+        let peak = self.estimate_peak_inner(rings, powers, tau, rotating);
+        self.obs
+            .observe_seconds("alg1.probe", probe_start.elapsed().as_secs_f64());
+        peak
+    }
+
+    fn estimate_peak_inner(
         &mut self,
         rings: &[RingRotation<ThreadId>],
         powers: &BTreeMap<ThreadId, f64>,
@@ -406,6 +428,22 @@ impl Scheduler for HotPotato {
         } else {
             SchedulerHealth::Nominal
         }
+    }
+
+    fn observability(&self) -> Option<RunReport> {
+        let mut report = self.obs.snapshot();
+        report.push_counter("alg1.evaluations", self.evaluations);
+        report.push_counter("alg1.solver_failures", self.solver_failures);
+        let s = self.solver.stats();
+        report.push_counter("alg1.batch_calls", s.batch_calls);
+        report.push_counter("alg1.batched_candidates", s.batched_candidates);
+        report.push_counter("alg1.decay_cache_hits", s.decay_cache_hits);
+        report.push_counter("alg1.decay_cache_misses", s.decay_cache_misses);
+        report.push_counter("rotation.active", u64::from(self.rotating));
+        report.push_gauge("rotation.tau_seconds", self.tau());
+        report.push_gauge("alg1.estimated_peak_celsius", self.last_peak);
+        report.push_meta("gemm_backend", Matrix::gemm_backend());
+        Some(report)
     }
 
     fn schedule(&mut self, view: &SimView<'_>) -> Vec<Action> {
@@ -1001,5 +1039,37 @@ mod tests {
         let mut hp = HotPotato::new(model_4x4(), HotPotatoConfig::default()).unwrap();
         sim.run(blackscholes_job(), &mut hp).unwrap();
         assert!(hp.evaluations() > 0);
+    }
+
+    #[test]
+    fn observability_reports_probe_activity() {
+        let mut sim = Simulation::new(
+            machine_4x4(),
+            ThermalConfig::default(),
+            SimConfig::default(),
+        )
+        .unwrap();
+        let mut hp = HotPotato::new(model_4x4(), HotPotatoConfig::default()).unwrap();
+        let metrics = sim.run(blackscholes_job(), &mut hp).unwrap();
+        let report = hp.observability().expect("hotpotato reports");
+        assert_eq!(report.counter("alg1.evaluations"), Some(hp.evaluations()));
+        assert_eq!(report.counter("alg1.solver_failures"), Some(0));
+        assert!(report.counter("alg1.batched_candidates").unwrap_or(0) > 0);
+        assert!(report.histogram("alg1.probe").is_some_and(|h| h.count > 0));
+        assert!(report.meta_value("gemm_backend").is_some());
+        // The engine folded the same report in under the `sched.` prefix.
+        let merged = &metrics.observability;
+        assert_eq!(
+            merged.counter("sched.alg1.evaluations"),
+            Some(hp.evaluations())
+        );
+        assert!(merged.counter("engine.intervals").unwrap_or(0) > 0);
+        assert!(merged
+            .histogram("hook.schedule")
+            .is_some_and(|h| h.count > 0));
+        assert_eq!(
+            merged.meta_value("gemm_backend"),
+            Matrix::gemm_backend().into()
+        );
     }
 }

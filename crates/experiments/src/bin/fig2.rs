@@ -122,5 +122,10 @@ fn main() -> Result<(), ContextError> {
         (c.makespan / a.makespan - 1.0) * 100.0,
         (b.makespan / c.makespan - 1.0) * 100.0
     );
+    println!();
+    println!("scheduling-hook overhead per manager (paper §VI: 23.76 us mean for rotation):");
+    for m in [&a, &b, &c] {
+        hp_experiments::print_hook_overhead(m);
+    }
     Ok(())
 }

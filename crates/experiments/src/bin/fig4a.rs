@@ -32,6 +32,7 @@ fn main() -> Result<(), ContextError> {
     );
     let mut speedups = Vec::new();
     let mut hybrid_speedups = Vec::new();
+    let mut last_runs = None;
     for benchmark in Benchmark::all() {
         let jobs = closed_batch(benchmark, 64, 42);
 
@@ -80,6 +81,7 @@ fn main() -> Result<(), ContextError> {
             hp_m.peak_temperature,
             pm_m.peak_temperature
         );
+        last_runs = Some((hp_m, pm_m, hy_m));
     }
     let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
     let avg_h = hybrid_speedups.iter().sum::<f64>() / hybrid_speedups.len() as f64;
@@ -90,5 +92,12 @@ fn main() -> Result<(), ContextError> {
         avg_h * 100.0
     );
     println!("csv,fig4a-summary,{:.4},{:.4}", avg * 100.0, avg_h * 100.0);
+    if let Some((hp_m, pm_m, hy_m)) = &last_runs {
+        println!();
+        println!("scheduling-hook overhead per scheduler (last benchmark, fully loaded chip):");
+        for m in [hp_m, pm_m, hy_m] {
+            hp_experiments::print_hook_overhead(m);
+        }
+    }
     Ok(())
 }

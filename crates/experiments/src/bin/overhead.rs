@@ -5,13 +5,14 @@
 //! computation across 10 000 runs (4.75 % of a 0.5 ms epoch). We time
 //! (a) one full-chip Algorithm-1 peak evaluation (the efficient
 //! recurrence), (b) the literal Eq.-(10) reference form, and (c) the
-//! design-time phase (eigendecomposition).
-
-use std::time::Instant;
+//! design-time phase (eigendecomposition) — all through the shared
+//! [`hp_obs`] profiler, so the output reports the same p50/p95/max
+//! percentiles the engine records for live scheduler hooks.
 
 use hotpotato::{EpochPowerSequence, RotationPeakSolver};
 use hp_experiments::thermal_model_for_grid;
 use hp_linalg::Vector;
+use hp_obs::{Registry, ScopedTimer};
 
 fn full_load_sequence(cores: usize, delta: usize, tau: f64) -> EpochPowerSequence {
     // A rotation of `delta` epochs over a fully loaded chip: a mix of hot
@@ -25,44 +26,66 @@ fn full_load_sequence(cores: usize, delta: usize, tau: f64) -> EpochPowerSequenc
     EpochPowerSequence::new(tau, epochs).expect("valid sequence")
 }
 
+fn print_summary(label: &str, delta: usize, h: &hp_obs::HistogramSummary) {
+    println!(
+        "delta={delta:>2}: {label:<24} mean {:>8.2} us | p50 {:>8.2} us | \
+         p95 {:>8.2} us | max {:>8.2} us ({} reps)",
+        h.mean_us, h.p50_us, h.p95_us, h.max_us, h.count
+    );
+    println!(
+        "csv,overhead,{delta},{label},{:.4},{:.4},{:.4},{:.4}",
+        h.mean_us, h.p50_us, h.p95_us, h.max_us
+    );
+}
+
 fn main() {
     let model = thermal_model_for_grid(8, 8);
+    let reg = Registry::new();
 
-    let t0 = Instant::now();
-    let solver = RotationPeakSolver::new(model).expect("eigendecomposition succeeds");
-    let design_time = t0.elapsed();
-
-    println!("Run-time overhead on the 64-core chip (paper: 23.76 us per schedule)");
-    println!("design-time phase (eigendecomposition of N=192 nodes): {design_time:?}");
+    let solver = {
+        let _t = ScopedTimer::start(&reg, "design.eigendecomposition");
+        RotationPeakSolver::new(model).expect("eigendecomposition succeeds")
+    };
+    reg.set_meta("gemm_backend", hp_linalg::Matrix::gemm_backend());
 
     for delta in [4usize, 8, 16] {
         let seq = full_load_sequence(64, delta, 0.5e-3);
         // Warm up, then measure.
         let _ = solver.peak_celsius(&seq).expect("peak computes");
-        let reps = 10_000;
-        let t0 = Instant::now();
-        for _ in 0..reps {
+        let alg1 = format!("alg1.delta{delta}");
+        for _ in 0..10_000 {
+            let _t = ScopedTimer::start(&reg, &alg1);
             std::hint::black_box(solver.peak_celsius(&seq).expect("peak computes"));
         }
-        let per_call = t0.elapsed().as_secs_f64() / f64::from(reps);
-
-        let ref_reps = 1_000;
-        let t0 = Instant::now();
-        for _ in 0..ref_reps {
+        let reference = format!("eq10.delta{delta}");
+        for _ in 0..1_000 {
+            let _t = ScopedTimer::start(&reg, &reference);
             std::hint::black_box(solver.peak_reference(&seq).expect("peak computes"));
         }
-        let per_ref = t0.elapsed().as_secs_f64() / f64::from(ref_reps);
+    }
 
+    let report = reg.snapshot();
+    println!("Run-time overhead on the 64-core chip (paper: 23.76 us per schedule)");
+    println!(
+        "GEMM backend: {}",
+        report.meta_value("gemm_backend").unwrap_or("unknown")
+    );
+    if let Some(h) = report.histogram("design.eigendecomposition") {
         println!(
-            "delta={delta:>2}: algorithm 1 (recurrence) {:>8.2} us | literal Eq.(10) {:>8.2} us | {:.2}% of a 0.5 ms epoch",
-            per_call * 1e6,
-            per_ref * 1e6,
-            per_call / 0.5e-3 * 100.0
+            "design-time phase (eigendecomposition of N=192 nodes): {:.1} ms",
+            h.max_us / 1e3
         );
-        println!(
-            "csv,overhead,{delta},{:.4},{:.4}",
-            per_call * 1e6,
-            per_ref * 1e6
-        );
+    }
+    for delta in [4usize, 8, 16] {
+        if let Some(h) = report.histogram(&format!("alg1.delta{delta}")) {
+            print_summary("algorithm 1 (recurrence)", delta, h);
+            println!(
+                "          -> {:.2}% of a 0.5 ms epoch at p50",
+                h.p50_us / 500.0 * 100.0
+            );
+        }
+        if let Some(h) = report.histogram(&format!("eq10.delta{delta}")) {
+            print_summary("literal Eq.(10)", delta, h);
+        }
     }
 }

@@ -120,6 +120,28 @@ pub fn pct(x: f64) -> String {
     format!("{:+.2}%", x * 100.0)
 }
 
+/// Prints the wall-clock scheduler-hook overhead a run recorded in its
+/// observability report (`hook.schedule` histogram): count, mean and
+/// p50/p95/max percentiles in µs, plus a machine-readable `csv,` line.
+///
+/// The paper (§VI) reports a 23.76 µs mean per HotPotato scheduling
+/// decision; this surfaces the same quantity for any scheduler run
+/// through the engine. Silent for runs without hook timings.
+pub fn print_hook_overhead(m: &Metrics) {
+    let Some(h) = m.observability.histogram("hook.schedule") else {
+        return;
+    };
+    println!(
+        "  {} scheduling-hook overhead: {} hooks | mean {:.2} us | \
+         p50 {:.2} us | p95 {:.2} us | max {:.2} us",
+        m.scheduler, h.count, h.mean_us, h.p50_us, h.p95_us, h.max_us
+    );
+    println!(
+        "csv,hook_overhead,{},{},{:.4},{:.4},{:.4},{:.4}",
+        m.scheduler, h.count, h.mean_us, h.p50_us, h.p95_us, h.max_us
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +156,22 @@ mod tests {
     fn pct_formats() {
         assert_eq!(pct(0.1072), "+10.72%");
         assert_eq!(pct(-0.05), "-5.00%");
+    }
+
+    #[test]
+    fn hook_overhead_handles_present_and_absent_timings() {
+        // Silent on a run without hook timings.
+        print_hook_overhead(&Metrics::default());
+        // And readable when the engine recorded them.
+        let reg = hp_obs::Registry::new();
+        reg.observe_seconds("hook.schedule", 20e-6);
+        let m = Metrics {
+            observability: reg.snapshot(),
+            ..Metrics::default()
+        };
+        let h = m.observability.histogram("hook.schedule").unwrap();
+        assert_eq!(h.count, 1);
+        assert!(h.max_us > 0.0);
+        print_hook_overhead(&m);
     }
 }

@@ -1,0 +1,45 @@
+//! Validates an `hp-report-v1` JSON document.
+//!
+//! Used by the CI chaos job to assert that `hp simulate --report`
+//! output parses back through the library:
+//!
+//! ```text
+//! cargo run -p hp-obs --example validate -- report.json
+//! ```
+//!
+//! Exits non-zero (with a diagnostic on stderr) when the file is
+//! missing, malformed, or carries an unknown schema tag.
+
+use std::process::ExitCode;
+
+use hp_obs::RunReport;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: validate <report.json>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match RunReport::from_json_str(&text) {
+        Ok(report) => {
+            println!(
+                "ok: {} counters, {} gauges, {} histograms, {} events",
+                report.counters.len(),
+                report.gauges.len(),
+                report.histograms.len(),
+                report.events.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: `{path}` is not a valid report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

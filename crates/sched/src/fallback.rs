@@ -210,6 +210,16 @@ impl Scheduler for FallbackChain {
             SchedulerHealth::Nominal
         }
     }
+
+    fn observability(&self) -> Option<hp_obs::RunReport> {
+        // Forward the wrapped rotation scheduler's report and stack the
+        // chain's own degradation accounting on top.
+        let mut report = self.primary.observability().unwrap_or_default();
+        report.push_counter("fallback.degradations", self.degradations);
+        report.push_counter("fallback.recoveries", self.recoveries);
+        report.push_counter("fallback.active", u64::from(self.degraded));
+        Some(report)
+    }
 }
 
 #[cfg(test)]

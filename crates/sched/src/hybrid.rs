@@ -115,6 +115,14 @@ impl Scheduler for HotPotatoDvfs {
         }
         actions
     }
+
+    fn observability(&self) -> Option<hp_obs::RunReport> {
+        // Forward the wrapped rotation scheduler's report; the valve
+        // itself only contributes its current throttle state.
+        let mut report = self.inner.observability().unwrap_or_default();
+        report.push_counter("dvfs.throttled", u64::from(self.throttle.is_some()));
+        Some(report)
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
+use std::time::Instant;
 
 use hp_faults::{mesh_neighbors, FaultError, FaultInjector, SensorConditioner, SensorReading};
 use hp_floorplan::CoreId;
@@ -84,6 +85,9 @@ struct RunState {
     faults: Option<FaultRuntime>,
     /// Whether the scheduler reported degraded health at the last hook.
     sched_was_degraded: bool,
+    /// Live observability: interval/hook counters and wall-clock
+    /// histograms, snapshotted into `Metrics::observability` at run end.
+    obs: hp_obs::Registry,
 }
 
 impl RunState {
@@ -166,7 +170,12 @@ impl Simulation {
                 Err(e) => break Err(e),
             }
         };
-        let metrics = Self::finalize(st);
+        let obs = std::mem::take(&mut st.obs);
+        let mut metrics = Self::finalize(st);
+        // The observability block rides on the metrics in the Ok and the
+        // Aborted path alike: an aborted run's partial report is often
+        // the most interesting one.
+        metrics.observability = self.build_report(&obs, scheduler);
         match outcome {
             Ok(()) => Ok(metrics),
             Err(cause) => Err(SimError::Aborted {
@@ -175,6 +184,28 @@ impl Simulation {
                 partial: Box::new(metrics),
             }),
         }
+    }
+
+    /// Assembles the run's observability report: the live registry
+    /// (interval counters, hook histograms), the thermal solver's
+    /// activity tallies, the GEMM dispatch backend, the degradation
+    /// event log, and the scheduler's own report under the `sched.`
+    /// namespace.
+    fn build_report(&self, obs: &hp_obs::Registry, scheduler: &dyn Scheduler) -> hp_obs::RunReport {
+        let mut report = obs.snapshot();
+        let s = self.solver.stats();
+        report.push_counter("thermal.step_batches", s.batch_calls);
+        report.push_counter("thermal.batched_states", s.batched_states);
+        report.push_counter("thermal.decay_cache_hits", s.decay_cache_hits);
+        report.push_counter("thermal.decay_cache_misses", s.decay_cache_misses);
+        report.push_meta("gemm_backend", hp_linalg::Matrix::gemm_backend());
+        for ev in self.trace.events() {
+            report.push_event(ev.time_seconds, ev.kind.label(), &ev.detail);
+        }
+        if let Some(sched_report) = scheduler.observability() {
+            report.merge_prefixed("sched", &sched_report);
+        }
+        report
     }
 
     /// Prepares the run state (initial temperatures, queues, fault
@@ -214,6 +245,16 @@ impl Simulation {
         };
 
         self.trace = TemperatureTrace::new();
+        // Each run reports its own solver activity.
+        self.solver.reset_stats();
+        if self.config.record_trace {
+            // The t = 0 starting condition (ambient or prewarmed) leads
+            // the trace; the per-interval loop appends at `now + dt`.
+            self.trace.push(
+                0.0,
+                self.thermal.core_temperatures(&node_temps).into_inner(),
+            );
+        }
         let mut metrics = Metrics {
             scheduler: scheduler_name.to_string(),
             ..Metrics::default()
@@ -242,6 +283,7 @@ impl Simulation {
             full_confidence: vec![1.0; n],
             faults,
             sched_was_degraded: false,
+            obs: hp_obs::Registry::new(),
         })
     }
 
@@ -268,6 +310,7 @@ impl Simulation {
     /// Simulates one interval. Returns `Ok(true)` when the workload has
     /// completed.
     fn step_interval(&mut self, st: &mut RunState, scheduler: &mut dyn Scheduler) -> Result<bool> {
+        let interval_start = Instant::now();
         let n = st.n;
         let dt = st.dt;
         let now = st.now();
@@ -344,6 +387,8 @@ impl Simulation {
                     arrival: j.arrival,
                 })
                 .collect();
+            st.obs.inc("engine.sched_hooks");
+            let hook_start = Instant::now();
             let actions = {
                 let (view_temps, view_conf): (&Vector, &[f64]) = match st.faults.as_ref() {
                     Some(fr) => (&fr.sensed_temps, fr.confidence.as_slice()),
@@ -363,6 +408,9 @@ impl Simulation {
                 };
                 scheduler.schedule(&view)
             };
+            st.obs
+                .observe_seconds("hook.schedule", hook_start.elapsed().as_secs_f64());
+            let apply_start = Instant::now();
             Self::apply_actions(
                 &self.machine,
                 &self.config,
@@ -371,14 +419,18 @@ impl Simulation {
                 now,
                 st,
             )?;
+            st.obs
+                .observe_seconds("hook.apply_actions", apply_start.elapsed().as_secs_f64());
 
             // Poll the policy's self-reported health and account
             // fallback transitions.
             let degraded = scheduler.health() != SchedulerHealth::Nominal;
             if degraded {
                 st.metrics.robustness.fallback_intervals += 1;
+                st.obs.inc("engine.fallback.hooks");
                 if !st.sched_was_degraded {
                     st.metrics.robustness.fallback_activations += 1;
+                    st.obs.inc("engine.fallback.activations");
                     self.trace.push_event(
                         now,
                         TraceEventKind::FallbackEngaged,
@@ -411,6 +463,7 @@ impl Simulation {
             st.metrics.dtm_intervals += 1;
             if !st.dtm_last_interval {
                 st.metrics.robustness.watchdog_activations += 1;
+                st.obs.inc("engine.dtm.activations");
                 self.trace.push_event(
                     now,
                     TraceEventKind::WatchdogEngaged,
@@ -523,9 +576,12 @@ impl Simulation {
         // batched GEMM kernel applied to a batch of one; the fixed
         // `dt` hits the solver's decay cache every interval, so no
         // per-step eigenvalue exponentials are recomputed.
+        let thermal_start = Instant::now();
         st.node_temps = self
             .solver
             .step(&self.thermal, &st.node_temps, &power, dt)?;
+        st.obs
+            .observe_seconds("engine.thermal_step", thermal_start.elapsed().as_secs_f64());
         let after = self.thermal.core_temperatures(&st.node_temps);
         st.metrics.peak_temperature = st.metrics.peak_temperature.max(after.max());
         st.metrics.energy += power.sum() * dt;
@@ -566,6 +622,12 @@ impl Simulation {
         }
 
         st.step += 1;
+        st.obs.inc("engine.intervals");
+        if dtm_now {
+            st.obs.inc("engine.dtm.intervals");
+        }
+        st.obs
+            .observe_seconds("engine.interval", interval_start.elapsed().as_secs_f64());
         Ok(false)
     }
 
@@ -650,6 +712,7 @@ impl Simulation {
                         },
                     );
                     st.active.insert(job, rt);
+                    st.obs.inc("engine.actions.placements");
                 }
                 Action::Migrate { thread, to } => migrations.push((thread, to)),
                 Action::SetLevel { core, level } => {
@@ -670,6 +733,7 @@ impl Simulation {
                             value: level.index() as f64,
                         })?;
                     st.levels[core.index()] = level;
+                    st.obs.inc("engine.actions.dvfs_sets");
                 }
                 Action::SetAllLevels { level } => {
                     machine
@@ -681,6 +745,7 @@ impl Simulation {
                             value: level.index() as f64,
                         })?;
                     st.levels.fill(level);
+                    st.obs.inc("engine.actions.dvfs_sets");
                 }
             }
         }
@@ -701,6 +766,7 @@ impl Simulation {
                         // Scheduler bookkeeping drifted after earlier
                         // injected failures; drop just this migration.
                         st.metrics.robustness.dropped_actions += 1;
+                        st.obs.inc("engine.actions.dropped");
                         continue;
                     }
                     return Err(SimError::UnknownThread(tid));
@@ -742,6 +808,7 @@ impl Simulation {
                     // batch is dropped and the scheduler retries next
                     // hook with a resynced view.
                     st.metrics.robustness.dropped_actions += staged.len() as u64;
+                    st.obs.add("engine.actions.dropped", staged.len() as u64);
                     trace.push_event(
                         now,
                         TraceEventKind::ActionsDropped,
@@ -771,6 +838,7 @@ impl Simulation {
                 t.warmup_until = now + flush + warmup;
                 t.migrations += 1;
                 st.metrics.migrations += 1;
+                st.obs.inc("engine.actions.migrations");
             }
         }
         Ok(())

@@ -116,6 +116,13 @@ pub struct Metrics {
     /// Fault-injection and degradation accounting (all-zero when the
     /// fault layer was inert and DTM never engaged).
     pub robustness: Robustness,
+    /// Engine/solver/scheduler observability: counters, gauges and
+    /// scheduler-hook wall-clock histograms (DESIGN.md §10). Counters
+    /// and gauges are seed-deterministic; histograms are wall-clock
+    /// measurements and differ between runs — compare metrics across
+    /// same-seed runs via
+    /// [`RunReport::without_timings`](hp_obs::RunReport::without_timings).
+    pub observability: hp_obs::RunReport,
 }
 
 impl Metrics {

@@ -155,6 +155,19 @@ pub trait Scheduler {
     fn health(&self) -> SchedulerHealth {
         SchedulerHealth::Nominal
     }
+
+    /// The policy's own observability snapshot (solver counters, probe
+    /// timings, backend metadata), if it keeps one.
+    ///
+    /// Polled by the engine once at the end of a run and merged into
+    /// [`Metrics::observability`](crate::Metrics) under the `sched.`
+    /// namespace. The default `None` keeps plain schedulers oblivious to
+    /// the observability machinery. Counters and gauges in the returned
+    /// report must be seed-deterministic; wall-clock histograms need not
+    /// be (DESIGN.md §10).
+    fn observability(&self) -> Option<hp_obs::RunReport> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,22 @@ pub enum TraceEventKind {
     ActionsDropped,
 }
 
+impl TraceEventKind {
+    /// Stable snake-case label used as the `kind` of exported report
+    /// events ([`hp_obs::ReportEvent`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceEventKind::WatchdogEngaged => "watchdog_engaged",
+            TraceEventKind::WatchdogReleased => "watchdog_released",
+            TraceEventKind::FallbackEngaged => "fallback_engaged",
+            TraceEventKind::FallbackRecovered => "fallback_recovered",
+            TraceEventKind::SensorsDegraded => "sensors_degraded",
+            TraceEventKind::SensorsRecovered => "sensors_recovered",
+            TraceEventKind::ActionsDropped => "actions_dropped",
+        }
+    }
+}
+
 /// One timestamped degradation transition, recorded unconditionally
 /// (independent of [`record_trace`](crate::SimConfig::record_trace) —
 /// events are sparse; temperature samples are not).

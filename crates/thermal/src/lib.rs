@@ -56,7 +56,7 @@ pub mod tsp;
 pub use config::ThermalConfig;
 pub use error::ThermalError;
 pub use model::{Layer, RcThermalModel};
-pub use transient::TransientSolver;
+pub use transient::{TransientSolver, TransientStats};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ThermalError>;

@@ -1,4 +1,5 @@
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use hp_linalg::convert::usize_to_f64;
@@ -11,6 +12,51 @@ use crate::{RcThermalModel, Result, ThermalError};
 /// one fixed `dt` (plus the occasional trace sub-step), so the cap only
 /// guards against pathological churn.
 const DECAY_CACHE_CAP: usize = 64;
+
+/// Snapshot of a solver's internal activity tallies, taken with
+/// [`TransientSolver::stats`]. All values count events since
+/// construction (or the last [`TransientSolver::reset_stats`]) and are
+/// seed-deterministic: they depend only on the sequence of solver calls,
+/// never on wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransientStats {
+    /// Batched kernel invocations ([`TransientSolver::step_many`],
+    /// including the batch-of-one [`TransientSolver::step`] path).
+    pub batch_calls: u64,
+    /// Total `(state, power)` pairs pushed through the batched kernel.
+    pub batched_states: u64,
+    /// Decay-factor lookups served from the per-`dt` cache.
+    pub decay_cache_hits: u64,
+    /// Decay-factor lookups that had to compute `N` fresh exponentials.
+    pub decay_cache_misses: u64,
+}
+
+/// Interior-mutable counter cells behind [`TransientStats`].
+#[derive(Debug, Default)]
+struct StatsCells {
+    batch_calls: AtomicU64,
+    batched_states: AtomicU64,
+    decay_cache_hits: AtomicU64,
+    decay_cache_misses: AtomicU64,
+}
+
+impl StatsCells {
+    fn snapshot(&self) -> TransientStats {
+        TransientStats {
+            batch_calls: self.batch_calls.load(Ordering::Relaxed),
+            batched_states: self.batched_states.load(Ordering::Relaxed),
+            decay_cache_hits: self.decay_cache_hits.load(Ordering::Relaxed),
+            decay_cache_misses: self.decay_cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.batch_calls.store(0, Ordering::Relaxed);
+        self.batched_states.store(0, Ordering::Relaxed);
+        self.decay_cache_hits.store(0, Ordering::Relaxed);
+        self.decay_cache_misses.store(0, Ordering::Relaxed);
+    }
+}
 
 /// MatEx-style transient temperature solver.
 ///
@@ -75,6 +121,8 @@ pub struct TransientSolver {
     /// `dt.to_bits() → e^{λ·dt}`, cached because an interval simulator
     /// steps at one fixed `dt`.
     decay_cache: Mutex<HashMap<u64, Arc<Vector>>>,
+    /// Activity tallies for run reports ([`TransientSolver::stats`]).
+    stats: StatsCells,
 }
 
 impl Clone for TransientSolver {
@@ -89,6 +137,9 @@ impl Clone for TransientSolver {
             v_t: self.v_t.clone(),
             v_inv_t: self.v_inv_t.clone(),
             decay_cache: Mutex::new(cache),
+            // A clone starts its own tally: stats describe what *this*
+            // handle performed, not its ancestry.
+            stats: StatsCells::default(),
         }
     }
 }
@@ -108,12 +159,25 @@ impl TransientSolver {
             v_t,
             v_inv_t,
             decay_cache: Mutex::new(HashMap::new()),
+            stats: StatsCells::default(),
         })
     }
 
     /// The underlying eigendecomposition of `C = −A⁻¹B`.
     pub fn eigen(&self) -> &SystemEigen {
         &self.eigen
+    }
+
+    /// Snapshot of the solver's activity tallies (batch counts,
+    /// decay-cache hits/misses) since construction or the last
+    /// [`reset_stats`](TransientSolver::reset_stats).
+    pub fn stats(&self) -> TransientStats {
+        self.stats.snapshot()
+    }
+
+    /// Zeroes the activity tallies (start of a new measured run).
+    pub fn reset_stats(&self) {
+        self.stats.reset();
     }
 
     /// Cached decay factors `e^{λᵢ·dt}` for one step length.
@@ -125,8 +189,12 @@ impl TransientSolver {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(m) = cache.get(&dt.to_bits()) {
+            self.stats.decay_cache_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(m);
         }
+        self.stats
+            .decay_cache_misses
+            .fetch_add(1, Ordering::Relaxed);
         if cache.len() >= DECAY_CACHE_CAP {
             cache.clear();
         }
@@ -193,6 +261,12 @@ impl TransientSolver {
         if pairs.is_empty() {
             return Ok(Vec::new());
         }
+        self.stats.batch_calls.fetch_add(1, Ordering::Relaxed);
+        // xtask: allow(cast) — usize→u64 is lossless on every supported
+        // target.
+        self.stats
+            .batched_states
+            .fetch_add(pairs.len() as u64, Ordering::Relaxed);
         let n = self.eigen.dim();
         let m = self.decay_for(dt);
 
@@ -676,6 +750,29 @@ mod tests {
         assert!(solver
             .peak_within(&model, &model.ambient_state(), &Vector::zeros(16), -1.0)
             .is_err());
+    }
+
+    #[test]
+    fn stats_count_batches_and_cache_traffic() {
+        let (model, solver) = setup();
+        let t0 = model.ambient_state();
+        let p = Vector::constant(16, 0.5);
+        assert_eq!(solver.stats(), TransientStats::default());
+        solver.step(&model, &t0, &p, 1e-3).unwrap();
+        solver.step(&model, &t0, &p, 1e-3).unwrap();
+        let pairs = [(&t0, &p), (&t0, &p), (&t0, &p)];
+        solver.step_many(&model, &pairs, 2e-3).unwrap();
+        let s = solver.stats();
+        assert_eq!(s.batch_calls, 3);
+        assert_eq!(s.batched_states, 5);
+        // Two distinct dt values → two misses; the repeated step hits.
+        assert_eq!(s.decay_cache_misses, 2);
+        assert_eq!(s.decay_cache_hits, 1);
+        // A clone starts from zero; reset clears the original.
+        let fresh = solver.clone();
+        assert_eq!(fresh.stats(), TransientStats::default());
+        solver.reset_stats();
+        assert_eq!(solver.stats(), TransientStats::default());
     }
 
     #[test]
