@@ -1,0 +1,196 @@
+//! The shared, immutable model cache.
+//!
+//! Every job in a sweep needs the same expensive per-chip-configuration
+//! artifacts: the machine description with its AMD ring decomposition,
+//! the RC thermal model (one LU factorization of `B`), and the
+//! eigendecomposition of `C = −A⁻¹B` behind both the transient solver
+//! and Algorithm 1's rotation-peak solver. [`ModelCache`] memoizes one
+//! [`ChipArtifacts`] per grid size; jobs then *clone* the handles — a
+//! plain matrix copy — instead of re-factorizing.
+//!
+//! The cache is keyed by grid dimensions only: a campaign always runs
+//! with the default RC parameters ([`ThermalConfig::default`]), so the
+//! grid fully determines the model (DESIGN.md §11).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use hotpotato::RotationPeakSolver;
+use hp_linalg::eigen::SystemEigen;
+use hp_manycore::{ArchConfig, Machine};
+use hp_thermal::{RcThermalModel, ThermalConfig, TransientSolver};
+
+use crate::error::{CampaignError, Result};
+
+/// The memoized per-chip-configuration artifacts, built once per grid
+/// size and shared across every job of a campaign via `Arc`.
+///
+/// All fields are cheap to clone relative to construction: the solvers'
+/// `Clone` impls copy already-factorized matrices and start fresh
+/// activity tallies.
+#[derive(Debug)]
+pub struct ChipArtifacts {
+    /// The machine (floorplan + AMD ring decomposition).
+    pub machine: Machine,
+    /// The RC thermal model (LU of `B` already factorized).
+    pub model: RcThermalModel,
+    /// The engine's transient solver, sharing the one eigendecomposition.
+    pub transient: TransientSolver,
+    /// Algorithm 1's rotation-peak solver, sharing the same
+    /// eigendecomposition.
+    pub peak: RotationPeakSolver,
+}
+
+impl ChipArtifacts {
+    /// Builds the artifacts for a `width × height` grid with the default
+    /// thermal configuration: one machine, one LU factorization, one
+    /// eigendecomposition shared by both solvers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Build`] on invalid grids or failed
+    /// factorizations.
+    pub fn build(width: usize, height: usize) -> Result<Self> {
+        let build_err = |what: &str, e: &dyn std::fmt::Display| -> CampaignError {
+            CampaignError::Build(format!("{width}x{height} grid: {what}: {e}"))
+        };
+        let machine = Machine::new(ArchConfig {
+            grid_width: width,
+            grid_height: height,
+            ..ArchConfig::default()
+        })
+        .map_err(|e| build_err("machine", &e))?;
+        let model = RcThermalModel::new(machine.floorplan(), &ThermalConfig::default())
+            .map_err(|e| build_err("thermal model", &e))?;
+        let eigen = SystemEigen::new(model.a_diag(), model.b())
+            .map_err(|e| build_err("eigendecomposition", &e))?;
+        let transient = TransientSolver::with_eigen(eigen.clone());
+        let peak = RotationPeakSolver::with_eigen(model.clone(), eigen);
+        Ok(ChipArtifacts {
+            machine,
+            model,
+            transient,
+            peak,
+        })
+    }
+}
+
+/// Thread-safe memoization of [`ChipArtifacts`] by grid size, with
+/// deterministic hit/miss counters.
+///
+/// Lookups serialize on one mutex and build missing entries under the
+/// lock, so each grid is factorized exactly once no matter how many
+/// workers race for it — which also makes the counters independent of
+/// scheduling: for any worker count, `misses` equals the number of
+/// distinct grids touched and `hits` equals `lookups − misses`.
+///
+/// A disabled cache (`ModelCache::new(false)`) builds fresh artifacts on
+/// every lookup and counts each as a miss; results are bit-identical
+/// either way, only wall-clock time differs.
+#[derive(Debug)]
+pub struct ModelCache {
+    enabled: bool,
+    entries: Mutex<HashMap<(usize, usize), Arc<ChipArtifacts>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ModelCache {
+    /// Creates an empty cache; `enabled = false` turns it into a
+    /// pass-through that rebuilds per lookup (for A/B measurements).
+    pub fn new(enabled: bool) -> Self {
+        ModelCache {
+            enabled,
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The artifacts for a `width × height` grid, built on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ChipArtifacts::build`] failures.
+    pub fn get_or_build(&self, width: usize, height: usize) -> Result<Arc<ChipArtifacts>> {
+        if !self.enabled {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::new(ChipArtifacts::build(width, height)?));
+        }
+        // A poisoned lock only means another worker panicked mid-insert;
+        // the map holds immutable Arcs, so its contents stay valid.
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(art) = entries.get(&(width, height)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(art));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let art = Arc::new(ChipArtifacts::build(width, height)?);
+        entries.insert((width, height), Arc::clone(&art));
+        Ok(art)
+    }
+
+    /// Whether memoization is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that built fresh artifacts.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let cache = ModelCache::new(true);
+        let a = cache.get_or_build(4, 4).unwrap();
+        let b = cache.get_or_build(4, 4).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup shares the entry");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        cache.get_or_build(2, 2).unwrap();
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn disabled_cache_rebuilds_every_time() {
+        let cache = ModelCache::new(false);
+        let a = cache.get_or_build(2, 2).unwrap();
+        let b = cache.get_or_build(2, 2).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn invalid_grid_is_a_build_error() {
+        let cache = ModelCache::new(true);
+        let err = cache.get_or_build(0, 4).unwrap_err();
+        assert!(matches!(err, CampaignError::Build(_)), "{err}");
+    }
+
+    #[test]
+    fn cached_solvers_match_fresh_construction() {
+        use hp_linalg::Vector;
+        let art = ChipArtifacts::build(4, 4).unwrap();
+        let fresh = TransientSolver::new(&art.model).unwrap();
+        let power = Vector::constant(16, 2.0);
+        let t0 = art.model.ambient_state();
+        let cached = art.transient.step(&art.model, &t0, &power, 1e-3).unwrap();
+        let direct = fresh.step(&art.model, &t0, &power, 1e-3).unwrap();
+        for i in 0..cached.len() {
+            assert_eq!(cached[i].to_bits(), direct[i].to_bits());
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for the campaign runner.
+
+use std::fmt;
+
+/// Anything that can go wrong while parsing a sweep spec, building the
+/// shared model artifacts, or driving a campaign.
+///
+/// Per-job *simulation* failures never surface here: they are folded
+/// into the job's [`JobStatus`](crate::JobStatus) (aborted jobs keep
+/// their partial results) so one bad scenario cannot sink a sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// A malformed or semantically invalid sweep specification.
+    Spec(String),
+    /// Building a shared chip artifact (machine, RC model,
+    /// eigendecomposition) failed.
+    Build(String),
+    /// Reading or writing campaign artefacts (manifest, reports) failed.
+    Io(String),
+    /// A campaign report document failed to parse.
+    Parse(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Spec(msg) => write!(f, "sweep spec: {msg}"),
+            CampaignError::Build(msg) => write!(f, "model cache: {msg}"),
+            CampaignError::Io(msg) => write!(f, "campaign io: {msg}"),
+            CampaignError::Parse(msg) => write!(f, "campaign report: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CampaignError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_layer() {
+        assert!(CampaignError::Spec("x".into()).to_string().contains("spec"));
+        assert!(CampaignError::Build("x".into())
+            .to_string()
+            .contains("model cache"));
+        assert!(CampaignError::Io("x".into()).to_string().contains("io"));
+        assert!(CampaignError::Parse("x".into())
+            .to_string()
+            .contains("report"));
+    }
+}

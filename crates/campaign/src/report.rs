@@ -1,0 +1,522 @@
+//! The deterministic campaign result document (`hp-campaign-v1`).
+//!
+//! A [`CampaignReport`] collects one [`JobOutcome`] per expanded job —
+//! in job-index order, independent of worker count or completion order —
+//! plus a campaign-level hp-obs [`RunReport`] carrying the
+//! `campaign.*` counters (cache traffic, job tallies).
+//!
+//! # Determinism contract
+//!
+//! Everything in the document except wall-clock histograms inside the
+//! embedded run reports is a function of the expanded job list and the
+//! seeds (DESIGN.md §11): comparing
+//! `report.without_timings().to_json_string()` across runs with
+//! different `--jobs` values must be a bit-identical comparison.
+
+use std::fmt::Write as _;
+
+use hp_obs::json::{self, Json};
+use hp_obs::RunReport;
+
+use crate::error::{CampaignError, Result};
+
+/// Document schema tag.
+pub const SCHEMA: &str = "hp-campaign-v1";
+
+/// How a job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The workload ran to completion.
+    Completed,
+    /// The engine aborted mid-run ([`hp_sim::SimError::Aborted`]); the
+    /// outcome carries the partial metrics and report.
+    Aborted,
+    /// The job could not be set up (bad scheduler/spec/model); no
+    /// simulation output exists.
+    Failed,
+}
+
+impl JobStatus {
+    /// The status as its JSON label.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobStatus::Completed => "completed",
+            JobStatus::Aborted => "aborted",
+            JobStatus::Failed => "failed",
+        }
+    }
+
+    fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "completed" => Some(JobStatus::Completed),
+            "aborted" => Some(JobStatus::Aborted),
+            "failed" => Some(JobStatus::Failed),
+            _ => None,
+        }
+    }
+}
+
+/// The result of one campaign job: scenario coordinates, headline
+/// metrics and the job's full observability report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// The job's stable label (unique within the campaign).
+    pub label: String,
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Chip grid `(width, height)`.
+    pub grid: (usize, usize),
+    /// Canonical workload description.
+    pub workload: String,
+    /// Spec digest used by the resume manifest.
+    pub digest: u64,
+    /// How the job ended.
+    pub status: JobStatus,
+    /// Failure/abort cause (empty for completed jobs).
+    pub cause: String,
+    /// Makespan, seconds (0 when nothing completed).
+    pub makespan_seconds: f64,
+    /// Peak junction temperature over the run, °C.
+    pub peak_celsius: f64,
+    /// Simulated time reached, seconds.
+    pub simulated_seconds: f64,
+    /// Total energy, joules.
+    pub energy_joules: f64,
+    /// Busy-time-weighted average core frequency, GHz.
+    pub avg_frequency_ghz: f64,
+    /// Intervals with the DTM watchdog engaged.
+    pub dtm_intervals: u64,
+    /// Thread migrations performed.
+    pub migrations: u64,
+    /// Jobs of the workload that completed.
+    pub jobs_completed: usize,
+    /// Jobs of the workload in total.
+    pub jobs_total: usize,
+    /// Whether this outcome was loaded from a resume manifest instead of
+    /// being re-run.
+    pub resumed: bool,
+    /// Hottest-junction trace series (empty unless the job asked for it).
+    pub peak_series: Vec<f64>,
+    /// The job's hp-obs run report (timings are wall-clock and excluded
+    /// from the determinism contract).
+    pub report: RunReport,
+}
+
+/// The full result of a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Per-job outcomes in expansion (job-index) order.
+    pub jobs: Vec<JobOutcome>,
+    /// Campaign-level counters (`campaign.cache.*`, `campaign.jobs.*`).
+    pub campaign: RunReport,
+}
+
+impl CampaignReport {
+    /// A copy with every wall-clock histogram stripped (per-job and
+    /// campaign-level): the seed-deterministic subset, suitable for
+    /// bit-identical comparison across worker counts.
+    pub fn without_timings(&self) -> CampaignReport {
+        CampaignReport {
+            jobs: self
+                .jobs
+                .iter()
+                .map(|j| JobOutcome {
+                    report: j.report.without_timings(),
+                    ..j.clone()
+                })
+                .collect(),
+            campaign: self.campaign.without_timings(),
+        }
+    }
+
+    /// Outcomes that completed.
+    pub fn completed(&self) -> usize {
+        self.count(JobStatus::Completed)
+    }
+
+    /// Outcomes that aborted mid-run (partials retained).
+    pub fn aborted(&self) -> usize {
+        self.count(JobStatus::Aborted)
+    }
+
+    /// Outcomes that failed to set up.
+    pub fn failed(&self) -> usize {
+        self.count(JobStatus::Failed)
+    }
+
+    fn count(&self, status: JobStatus) -> usize {
+        self.jobs.iter().filter(|j| j.status == status).count()
+    }
+
+    /// Serialises to the `hp-campaign-v1` JSON document.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        let _ = write!(out, "  \"schema\": \"{SCHEMA}\",\n  \"jobs\": [");
+        for (i, job) in self.jobs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&job_to_json(job, true));
+        }
+        out.push_str(if self.jobs.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"campaign\": ");
+        out.push_str(self.campaign.to_json_string().trim_end());
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Deserialises an `hp-campaign-v1` JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Parse`] on malformed JSON, a wrong
+    /// schema tag, or entries of the wrong shape.
+    pub fn from_json_str(src: &str) -> Result<CampaignReport> {
+        let doc = json::parse(src).map_err(|e| CampaignError::Parse(e.to_string()))?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| CampaignError::Parse("missing `schema` tag".into()))?;
+        if schema != SCHEMA {
+            return Err(CampaignError::Parse(format!(
+                "unknown schema `{schema}` (expected `{SCHEMA}`)"
+            )));
+        }
+        let mut jobs = Vec::new();
+        if let Some(Json::Arr(items)) = doc.get("jobs") {
+            for item in items {
+                jobs.push(job_from_json(item)?);
+            }
+        }
+        let campaign = match doc.get("campaign") {
+            Some(sub) => RunReport::from_json_str(&render_json(sub))
+                .map_err(|e| CampaignError::Parse(format!("campaign report: {e}")))?,
+            None => RunReport::new(),
+        };
+        Ok(CampaignReport { jobs, campaign })
+    }
+}
+
+/// Serialises one job outcome as a JSON object. With
+/// `include_report = false` the (potentially large) run report is
+/// omitted — the manifest format, where the report lives in the job's
+/// own `job-NNN.report.json` file.
+pub(crate) fn job_to_json(job: &JobOutcome, include_report: bool) -> String {
+    let mut out = String::with_capacity(256);
+    let _ = write!(
+        out,
+        "{{\"label\": \"{}\", \"scheduler\": \"{}\", \"grid\": \"{}x{}\", \
+         \"workload\": \"{}\", \"digest\": \"{:016x}\", \"status\": \"{}\", \
+         \"cause\": \"{}\", \"makespan_s\": {}, \"peak_c\": {}, \"simulated_s\": {}, \
+         \"energy_j\": {}, \"avg_freq_ghz\": {}, \"dtm_intervals\": {}, \
+         \"migrations\": {}, \"jobs_completed\": {}, \"jobs_total\": {}, \
+         \"resumed\": {}",
+        json::escape(&job.label),
+        json::escape(&job.scheduler),
+        job.grid.0,
+        job.grid.1,
+        json::escape(&job.workload),
+        job.digest,
+        job.status.label(),
+        json::escape(&job.cause),
+        fmt_f64(job.makespan_seconds),
+        fmt_f64(job.peak_celsius),
+        fmt_f64(job.simulated_seconds),
+        fmt_f64(job.energy_joules),
+        fmt_f64(job.avg_frequency_ghz),
+        job.dtm_intervals,
+        job.migrations,
+        job.jobs_completed,
+        job.jobs_total,
+        job.resumed,
+    );
+    out.push_str(", \"peak_series\": [");
+    for (i, v) in job.peak_series.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&fmt_f64(*v));
+    }
+    out.push(']');
+    if include_report {
+        out.push_str(", \"report\": ");
+        out.push_str(compact(&job.report.to_json_string()).trim_end());
+    }
+    out.push('}');
+    out
+}
+
+/// Parses one job outcome object (campaign document or manifest line).
+/// A missing `report` member yields an empty run report — the manifest
+/// caller re-attaches it from the job's report file.
+pub(crate) fn job_from_json(item: &Json) -> Result<JobOutcome> {
+    let s = |key: &str| -> Result<String> {
+        item.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| CampaignError::Parse(format!("job entry missing string `{key}`")))
+    };
+    let f = |key: &str| -> Result<f64> {
+        match item.get(key) {
+            Some(Json::Null) => Ok(f64::NAN),
+            Some(v) => v
+                .as_f64()
+                .ok_or_else(|| CampaignError::Parse(format!("job entry `{key}` is not a number"))),
+            None => Err(CampaignError::Parse(format!("job entry missing `{key}`"))),
+        }
+    };
+    let u = |key: &str| -> Result<u64> {
+        item.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| CampaignError::Parse(format!("job entry `{key}` is not a u64")))
+    };
+    let grid_raw = s("grid")?;
+    let grid = parse_grid(&grid_raw)?;
+    let digest_raw = s("digest")?;
+    let digest = u64::from_str_radix(&digest_raw, 16)
+        .map_err(|_| CampaignError::Parse(format!("bad digest `{digest_raw}`")))?;
+    let status_raw = s("status")?;
+    let status = JobStatus::from_label(&status_raw)
+        .ok_or_else(|| CampaignError::Parse(format!("unknown status `{status_raw}`")))?;
+    let resumed = matches!(item.get("resumed"), Some(Json::Bool(true)));
+    let mut peak_series = Vec::new();
+    if let Some(Json::Arr(items)) = item.get("peak_series") {
+        for v in items {
+            peak_series.push(
+                v.as_f64().ok_or_else(|| {
+                    CampaignError::Parse("peak_series entry is not a number".into())
+                })?,
+            );
+        }
+    }
+    let report = match item.get("report") {
+        Some(sub) => RunReport::from_json_str(&render_json(sub))
+            .map_err(|e| CampaignError::Parse(format!("embedded report: {e}")))?,
+        None => RunReport::new(),
+    };
+    Ok(JobOutcome {
+        label: s("label")?,
+        scheduler: s("scheduler")?,
+        grid,
+        workload: s("workload")?,
+        digest,
+        status,
+        cause: s("cause")?,
+        makespan_seconds: f("makespan_s")?,
+        peak_celsius: f("peak_c")?,
+        simulated_seconds: f("simulated_s")?,
+        energy_joules: f("energy_j")?,
+        avg_frequency_ghz: f("avg_freq_ghz")?,
+        dtm_intervals: u("dtm_intervals")?,
+        migrations: u("migrations")?,
+        jobs_completed: u("jobs_completed")? as usize,
+        jobs_total: u("jobs_total")? as usize,
+        resumed,
+        peak_series,
+        report,
+    })
+}
+
+/// Parses `"WxH"` into grid dimensions.
+pub(crate) fn parse_grid(raw: &str) -> Result<(usize, usize)> {
+    let Some((a, b)) = raw.split_once(['x', 'X']) else {
+        return Err(CampaignError::Parse(format!(
+            "bad grid `{raw}` (expected WxH)"
+        )));
+    };
+    let w: usize = a
+        .trim()
+        .parse()
+        .map_err(|_| CampaignError::Parse(format!("bad grid width `{a}`")))?;
+    let h: usize = b
+        .trim()
+        .parse()
+        .map_err(|_| CampaignError::Parse(format!("bad grid height `{b}`")))?;
+    if w == 0 || h == 0 {
+        return Err(CampaignError::Parse(format!(
+            "grid `{raw}` has a zero dimension"
+        )));
+    }
+    Ok((w, h))
+}
+
+/// Re-serialises a parsed [`Json`] value. Numbers keep their raw source
+/// text, so round-trips are exact; used to hand nested sub-documents
+/// (embedded run reports, inline fault plans) to their own parsers.
+pub(crate) fn render_json(v: &Json) -> String {
+    let mut out = String::new();
+    render_into(v, &mut out);
+    out
+}
+
+fn render_into(v: &Json, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(raw) => out.push_str(raw),
+        Json::Str(s) => {
+            out.push('"');
+            out.push_str(&json::escape(s));
+            out.push('"');
+        }
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_into(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            out.push('{');
+            for (i, (k, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&json::escape(k));
+                out.push_str("\": ");
+                render_into(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Collapses a pretty-printed JSON document onto one line by reparsing
+/// and re-rendering it (exact: numbers keep their raw text).
+pub(crate) fn compact(src: &str) -> String {
+    match json::parse(src) {
+        Ok(v) => render_json(&v),
+        // Unreachable for hp-obs output; keep the original on the
+        // defensive path rather than dropping data.
+        Err(_) => src.to_string(),
+    }
+}
+
+/// Formats a float for JSON output: non-finite values become `null`.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> JobOutcome {
+        let mut report = RunReport::new();
+        report.push_counter("engine.intervals", 42);
+        report.push_meta("gemm_backend", "scalar");
+        JobOutcome {
+            label: "s=hotpotato b=canneal".into(),
+            scheduler: "hotpotato".into(),
+            grid: (4, 4),
+            workload: "closed:canneal:8:42".into(),
+            digest: 0xdead_beef,
+            status: JobStatus::Completed,
+            cause: String::new(),
+            makespan_seconds: 0.123456789,
+            peak_celsius: 69.25,
+            simulated_seconds: 0.2,
+            energy_joules: 10.5,
+            avg_frequency_ghz: 4.0,
+            dtm_intervals: 3,
+            migrations: 17,
+            jobs_completed: 2,
+            jobs_total: 2,
+            resumed: false,
+            peak_series: vec![45.0, 61.5],
+            report,
+        }
+    }
+
+    #[test]
+    fn document_round_trips_exactly() {
+        let report = CampaignReport {
+            jobs: vec![outcome()],
+            campaign: {
+                let mut r = RunReport::new();
+                r.push_counter("campaign.cache.hits", 3);
+                r
+            },
+        };
+        let text = report.to_json_string();
+        let parsed = CampaignReport::from_json_str(&text).unwrap();
+        assert_eq!(parsed, report);
+        // Canonical form is a fixed point.
+        assert_eq!(parsed.to_json_string(), text);
+    }
+
+    #[test]
+    fn without_timings_strips_all_histograms() {
+        let mut o = outcome();
+        o.report.push_histogram(
+            "hook.schedule",
+            hp_obs::HistogramSummary {
+                count: 1,
+                mean_us: 1.0,
+                p50_us: 1.0,
+                p95_us: 1.0,
+                max_us: 1.0,
+            },
+        );
+        let report = CampaignReport {
+            jobs: vec![o],
+            campaign: RunReport::new(),
+        };
+        let stripped = report.without_timings();
+        assert!(stripped.jobs[0].report.histogram("hook.schedule").is_none());
+        assert_eq!(
+            stripped.jobs[0].report.counter("engine.intervals"),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn manifest_shape_omits_the_report() {
+        let o = outcome();
+        let line = job_to_json(&o, false);
+        assert!(!line.contains("\"report\""));
+        let parsed = job_from_json(&json::parse(&line).unwrap()).unwrap();
+        assert!(parsed.report.is_empty());
+        assert_eq!(parsed.label, o.label);
+        assert_eq!(parsed.digest, o.digest);
+        assert_eq!(parsed.peak_series, o.peak_series);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(CampaignReport::from_json_str("{}").is_err());
+        assert!(CampaignReport::from_json_str("{\"schema\": \"other\"}").is_err());
+        assert!(parse_grid("4by4").is_err());
+        assert!(parse_grid("0x4").is_err());
+        let bad_status = "{\"label\": \"x\", \"scheduler\": \"s\", \"grid\": \"4x4\", \
+             \"workload\": \"w\", \"digest\": \"ff\", \"status\": \"exploded\"}";
+        assert!(job_from_json(&json::parse(bad_status).unwrap()).is_err());
+    }
+
+    #[test]
+    fn status_counts() {
+        let mut a = outcome();
+        a.status = JobStatus::Aborted;
+        let report = CampaignReport {
+            jobs: vec![outcome(), a],
+            campaign: RunReport::new(),
+        };
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.aborted(), 1);
+        assert_eq!(report.failed(), 0);
+    }
+}

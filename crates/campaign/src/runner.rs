@@ -1,0 +1,516 @@
+//! The parallel campaign executor.
+//!
+//! [`run_campaign`] drives a job vector over a scoped worker pool: a
+//! shared atomic cursor hands out job indices, every worker pulls the
+//! chip artifacts for its job from the shared [`ModelCache`], builds its
+//! scheduler *inside its own thread* (schedulers are not `Send`), runs
+//! the interval engine, and deposits the outcome into the job's slot.
+//! Outcomes land in expansion order regardless of which worker finished
+//! first, so the assembled [`CampaignReport`] is bit-identical for any
+//! `workers` value (timings aside — DESIGN.md §11).
+//!
+//! With an output directory configured, each finished job writes its own
+//! standalone `hp-report-v1` document (`job-NNN.report.json`) and
+//! appends one summary line to `manifest.jsonl`; a re-run with
+//! `resume = true` reuses every manifest entry whose digest still
+//! matches the current expansion, so a crashed sweep continues instead
+//! of restarting.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use hp_obs::json;
+use hp_obs::RunReport;
+use hp_sim::{SimError, Simulation};
+
+use crate::cache::ModelCache;
+use crate::error::{CampaignError, Result};
+use crate::job::{build_scheduler, CampaignJob};
+use crate::report::{job_from_json, job_to_json, CampaignReport, JobOutcome, JobStatus};
+
+/// File name of the per-campaign resume manifest.
+pub const MANIFEST_FILE: &str = "manifest.jsonl";
+
+/// File name of the assembled campaign document.
+pub const CAMPAIGN_FILE: &str = "campaign.json";
+
+/// How to drive a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Worker threads (clamped to at least 1). Results are identical
+    /// for any value; only wall-clock time changes.
+    pub workers: usize,
+    /// Whether the shared [`ModelCache`] memoizes (disable only for A/B
+    /// cost measurements).
+    pub cache_enabled: bool,
+    /// Directory for per-job reports, the manifest and the campaign
+    /// document (`None` keeps everything in memory).
+    pub out_dir: Option<PathBuf>,
+    /// Reuse digest-matching completed jobs from an existing manifest in
+    /// `out_dir` instead of re-running them.
+    pub resume: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            workers: 1,
+            cache_enabled: true,
+            out_dir: None,
+            resume: false,
+        }
+    }
+}
+
+/// Runs every job and assembles the deterministic campaign report.
+///
+/// Per-job simulation failures never abort the sweep: they fold into
+/// the job's [`JobStatus`] (aborted jobs keep their partial metrics and
+/// report). Only infrastructure failures — an unwritable output
+/// directory — surface as errors.
+///
+/// # Errors
+///
+/// Returns [`CampaignError::Io`] when the output directory cannot be
+/// created or written.
+pub fn run_campaign(jobs: &[CampaignJob], config: &CampaignConfig) -> Result<CampaignReport> {
+    let sink = match &config.out_dir {
+        Some(dir) => Some(OutputSink::open(dir)?),
+        None => None,
+    };
+    let resumed: Vec<Option<JobOutcome>> = match (&config.out_dir, config.resume) {
+        (Some(dir), true) => resume_outcomes(dir, jobs),
+        _ => vec![None; jobs.len()],
+    };
+
+    let cache = ModelCache::new(config.cache_enabled);
+    let pending: Vec<usize> = (0..jobs.len()).filter(|&i| resumed[i].is_none()).collect();
+    let slots: Mutex<Vec<Option<JobOutcome>>> = Mutex::new(resumed);
+    let cursor = AtomicUsize::new(0);
+    let workers = config.workers.max(1).min(pending.len().max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let at = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&index) = pending.get(at) else {
+                    break;
+                };
+                let outcome = execute_job(&jobs[index], &cache);
+                if let Some(sink) = &sink {
+                    sink.record(index, &outcome);
+                }
+                let mut slots = slots.lock().unwrap_or_else(PoisonError::into_inner);
+                if let Some(slot) = slots.get_mut(index) {
+                    *slot = Some(outcome);
+                }
+            });
+        }
+    });
+
+    let outcomes = slots.into_inner().unwrap_or_else(PoisonError::into_inner);
+    let report = assemble(outcomes, &cache);
+    if let Some(sink) = &sink {
+        sink.finish(&report)?;
+    }
+    Ok(report)
+}
+
+/// Runs one job against the shared cache; never fails — setup and
+/// simulation errors fold into the outcome's status.
+fn execute_job(job: &CampaignJob, cache: &ModelCache) -> JobOutcome {
+    let art = match cache.get_or_build(job.grid.0, job.grid.1) {
+        Ok(art) => art,
+        Err(e) => return failed_outcome(job, &e),
+    };
+    let mut scheduler = match build_scheduler(job, &art) {
+        Ok(s) => s,
+        Err(e) => return failed_outcome(job, &e),
+    };
+    let mut sim = match Simulation::with_thermal(
+        art.machine.clone(),
+        art.model.clone(),
+        art.transient.clone(),
+        job.sim,
+    ) {
+        Ok(sim) => sim,
+        Err(e) => return failed_outcome(job, &e),
+    };
+    let workload = job.workload.materialize();
+    let jobs_total = workload.len();
+    let (status, cause, metrics) = match sim.run(workload, scheduler.as_mut()) {
+        Ok(m) => (JobStatus::Completed, String::new(), m),
+        Err(SimError::Aborted { cause, partial, .. }) => {
+            (JobStatus::Aborted, cause.to_string(), *partial)
+        }
+        // Setup-stage failures inside run() carry no partials.
+        Err(e) => return failed_outcome(job, &e),
+    };
+    let peak_series = if job.keep_peak_series {
+        sim.trace().peak_series()
+    } else {
+        Vec::new()
+    };
+    JobOutcome {
+        label: job.label.clone(),
+        scheduler: job.scheduler.clone(),
+        grid: job.grid,
+        workload: job.workload.describe(),
+        digest: job.digest(),
+        status,
+        cause,
+        makespan_seconds: metrics.makespan,
+        peak_celsius: metrics.peak_temperature,
+        simulated_seconds: metrics.simulated_time,
+        energy_joules: metrics.energy,
+        avg_frequency_ghz: metrics.avg_frequency_ghz,
+        dtm_intervals: metrics.dtm_intervals,
+        migrations: metrics.migrations,
+        jobs_completed: metrics.completed_jobs(),
+        jobs_total,
+        resumed: false,
+        peak_series,
+        report: metrics.observability,
+    }
+}
+
+/// The outcome of a job that never produced simulation output.
+fn failed_outcome(job: &CampaignJob, cause: &dyn std::fmt::Display) -> JobOutcome {
+    JobOutcome {
+        label: job.label.clone(),
+        scheduler: job.scheduler.clone(),
+        grid: job.grid,
+        workload: job.workload.describe(),
+        digest: job.digest(),
+        status: JobStatus::Failed,
+        cause: cause.to_string(),
+        makespan_seconds: 0.0,
+        peak_celsius: 0.0,
+        simulated_seconds: 0.0,
+        energy_joules: 0.0,
+        avg_frequency_ghz: 0.0,
+        dtm_intervals: 0,
+        migrations: 0,
+        jobs_completed: 0,
+        jobs_total: 0,
+        resumed: false,
+        peak_series: Vec::new(),
+        report: RunReport::new(),
+    }
+}
+
+/// Builds the campaign-level report from the ordered outcomes and the
+/// cache counters. `Metrics`-less slots (impossible in practice — every
+/// pending job writes its slot) degrade to failed placeholders rather
+/// than panicking.
+fn assemble(outcomes: Vec<Option<JobOutcome>>, cache: &ModelCache) -> CampaignReport {
+    let jobs: Vec<JobOutcome> = outcomes
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| {
+                failed_outcome(
+                    &CampaignJob::new(
+                        format!("missing-{i}"),
+                        "unknown",
+                        (1, 1),
+                        crate::job::Workload::Explicit(Vec::new()),
+                        Default::default(),
+                    ),
+                    &"no outcome recorded",
+                )
+            })
+        })
+        .collect();
+    let mut campaign = RunReport::new();
+    campaign.push_counter("campaign.cache.hits", cache.hits());
+    campaign.push_counter("campaign.cache.misses", cache.misses());
+    campaign.push_counter("campaign.jobs.total", jobs.len() as u64);
+    let count = |s: JobStatus| jobs.iter().filter(|j| j.status == s).count() as u64;
+    campaign.push_counter("campaign.jobs.completed", count(JobStatus::Completed));
+    campaign.push_counter("campaign.jobs.aborted", count(JobStatus::Aborted));
+    campaign.push_counter("campaign.jobs.failed", count(JobStatus::Failed));
+    campaign.push_counter(
+        "campaign.jobs.resumed",
+        jobs.iter().filter(|j| j.resumed).count() as u64,
+    );
+    campaign.push_meta(
+        "campaign.cache",
+        if cache.is_enabled() {
+            "enabled"
+        } else {
+            "disabled"
+        },
+    );
+    CampaignReport { jobs, campaign }
+}
+
+/// File name of a job's standalone report document.
+fn report_file_name(index: usize) -> String {
+    format!("job-{index:03}.report.json")
+}
+
+/// Loads reusable outcomes from an existing manifest: one slot per
+/// current job, filled where a manifest entry's digest matches and its
+/// report file still parses. Malformed manifest lines (a crash mid-
+/// append) and stale digests are skipped silently — those jobs re-run.
+fn resume_outcomes(dir: &Path, jobs: &[CampaignJob]) -> Vec<Option<JobOutcome>> {
+    let mut slots: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
+    let Ok(manifest) = fs::read_to_string(dir.join(MANIFEST_FILE)) else {
+        return slots;
+    };
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(entry) = json::parse(line) else {
+            continue;
+        };
+        let Ok(mut outcome) = job_from_json(&entry) else {
+            continue;
+        };
+        let Some(file) = entry.get("file").and_then(json::Json::as_str) else {
+            continue;
+        };
+        let Some(index) = jobs
+            .iter()
+            .position(|j| j.label == outcome.label && j.digest() == outcome.digest)
+        else {
+            continue;
+        };
+        let Ok(report_src) = fs::read_to_string(dir.join(file)) else {
+            continue;
+        };
+        let Ok(report) = RunReport::from_json_str(&report_src) else {
+            continue;
+        };
+        outcome.report = report;
+        outcome.resumed = true;
+        if let Some(slot) = slots.get_mut(index) {
+            *slot = Some(outcome);
+        }
+    }
+    slots
+}
+
+/// Serialized writer for the output directory: per-job report files plus
+/// the append-only manifest.
+struct OutputSink {
+    dir: PathBuf,
+    // One lock covers manifest appends *and* the first-error slot;
+    // workers record outcomes concurrently.
+    state: Mutex<SinkState>,
+}
+
+struct SinkState {
+    manifest: Option<fs::File>,
+    first_error: Option<CampaignError>,
+}
+
+impl OutputSink {
+    fn open(dir: &Path) -> Result<Self> {
+        fs::create_dir_all(dir)
+            .map_err(|e| CampaignError::Io(format!("create {}: {e}", dir.display())))?;
+        Ok(OutputSink {
+            dir: dir.to_path_buf(),
+            state: Mutex::new(SinkState {
+                manifest: None,
+                first_error: None,
+            }),
+        })
+    }
+
+    /// Writes the job's report document and appends its manifest line.
+    /// Errors are latched (first wins) and surfaced by [`Self::finish`].
+    fn record(&self, index: usize, outcome: &JobOutcome) {
+        let file = report_file_name(index);
+        let report_path = self.dir.join(&file);
+        let write_result = fs::write(&report_path, outcome.report.to_json_string());
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Err(e) = write_result {
+            if state.first_error.is_none() {
+                state.first_error = Some(CampaignError::Io(format!(
+                    "write {}: {e}",
+                    report_path.display()
+                )));
+            }
+            return;
+        }
+        if state.manifest.is_none() {
+            match fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.dir.join(MANIFEST_FILE))
+            {
+                Ok(f) => state.manifest = Some(f),
+                Err(e) => {
+                    if state.first_error.is_none() {
+                        state.first_error =
+                            Some(CampaignError::Io(format!("open {MANIFEST_FILE}: {e}")));
+                    }
+                    return;
+                }
+            }
+        }
+        let mut line = job_to_json(outcome, false);
+        line.pop(); // strip the closing brace to splice the file name in
+        let _ = write!(line, ", \"file\": \"{file}\"}}");
+        if let Some(manifest) = &mut state.manifest {
+            if let Err(e) = writeln!(manifest, "{line}") {
+                if state.first_error.is_none() {
+                    state.first_error =
+                        Some(CampaignError::Io(format!("append {MANIFEST_FILE}: {e}")));
+                }
+            }
+        }
+    }
+
+    /// Writes the assembled campaign document and surfaces any latched
+    /// per-job IO error.
+    fn finish(&self, report: &CampaignReport) -> Result<()> {
+        let path = self.dir.join(CAMPAIGN_FILE);
+        fs::write(&path, report.to_json_string())
+            .map_err(|e| CampaignError::Io(format!("write {}: {e}", path.display())))?;
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        match state.first_error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Workload;
+    use hp_sim::SimConfig;
+    use hp_workload::Benchmark;
+
+    fn quick_job(label: &str, scheduler: &str) -> CampaignJob {
+        let sim = SimConfig {
+            horizon: 2.0,
+            ..SimConfig::default()
+        };
+        CampaignJob::new(
+            label,
+            scheduler,
+            (4, 4),
+            Workload::Closed {
+                benchmark: Benchmark::Blackscholes,
+                cores: 4,
+                seed: 7,
+            },
+            sim,
+        )
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hp-campaign-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn campaign_runs_and_counts_outcomes() {
+        let jobs = vec![
+            quick_job("a", "hotpotato"),
+            quick_job("b", "pinned"),
+            quick_job("c", "nonsense"),
+        ];
+        let report = run_campaign(&jobs, &CampaignConfig::default()).unwrap();
+        assert_eq!(report.jobs.len(), 3);
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.failed(), 1);
+        assert_eq!(report.campaign.counter("campaign.jobs.total"), Some(3));
+        // Two jobs share the 4x4 grid: one miss, one hit.
+        assert_eq!(report.campaign.counter("campaign.cache.misses"), Some(1));
+        assert!(report.campaign.counter("campaign.cache.hits") >= Some(1));
+        assert!(report.jobs[2].cause.contains("unknown scheduler"));
+    }
+
+    #[test]
+    fn aborted_jobs_keep_partials() {
+        let mut job = quick_job("tight", "pinned");
+        // A horizon far too short for the batch forces HorizonExceeded.
+        job.sim.horizon = 0.005;
+        let report = run_campaign(&[job], &CampaignConfig::default()).unwrap();
+        assert_eq!(report.aborted(), 1);
+        let outcome = &report.jobs[0];
+        assert!(outcome.cause.contains("horizon"), "{}", outcome.cause);
+        assert!(outcome.simulated_seconds > 0.0, "partials retained");
+        assert!(!outcome.report.is_empty(), "partial report retained");
+    }
+
+    #[test]
+    fn output_directory_holds_reports_manifest_and_campaign() {
+        let dir = temp_dir("outdir");
+        let jobs = vec![quick_job("a", "pinned"), quick_job("b", "pinned")];
+        let config = CampaignConfig {
+            out_dir: Some(dir.clone()),
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&jobs, &config).unwrap();
+        assert!(dir.join("job-000.report.json").is_file());
+        assert!(dir.join("job-001.report.json").is_file());
+        let manifest = fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
+        assert_eq!(manifest.lines().count(), 2);
+        let campaign = fs::read_to_string(dir.join(CAMPAIGN_FILE)).unwrap();
+        let parsed = CampaignReport::from_json_str(&campaign).unwrap();
+        assert_eq!(parsed.without_timings(), report.without_timings());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_reuses_matching_jobs_and_reruns_drifted_ones() {
+        let dir = temp_dir("resume");
+        let jobs = vec![quick_job("a", "pinned"), quick_job("b", "pinned")];
+        let config = CampaignConfig {
+            out_dir: Some(dir.clone()),
+            resume: true,
+            ..CampaignConfig::default()
+        };
+        let first = run_campaign(&jobs, &config).unwrap();
+        assert_eq!(first.campaign.counter("campaign.jobs.resumed"), Some(0));
+
+        // Same spec: everything resumes, nothing rebuilds.
+        let second = run_campaign(&jobs, &config).unwrap();
+        assert_eq!(second.campaign.counter("campaign.jobs.resumed"), Some(2));
+        assert_eq!(second.campaign.counter("campaign.cache.misses"), Some(0));
+        assert!(second.jobs.iter().all(|j| j.resumed));
+        assert_eq!(
+            second.jobs[0].report.without_timings(),
+            first.jobs[0].report.without_timings()
+        );
+
+        // Drift one job's config: its digest moves, it re-runs.
+        let mut drifted = jobs;
+        drifted[1].sim.horizon = 3.0;
+        let third = run_campaign(&drifted, &config).unwrap();
+        assert_eq!(third.campaign.counter("campaign.jobs.resumed"), Some(1));
+        assert!(third.jobs[0].resumed);
+        assert!(!third.jobs[1].resumed);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_lines_are_skipped() {
+        let dir = temp_dir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(MANIFEST_FILE), "{not json\n").unwrap();
+        let jobs = vec![quick_job("a", "pinned")];
+        let config = CampaignConfig {
+            out_dir: Some(dir.clone()),
+            resume: true,
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&jobs, &config).unwrap();
+        assert_eq!(report.campaign.counter("campaign.jobs.resumed"), Some(0));
+        assert_eq!(report.completed(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

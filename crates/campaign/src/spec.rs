@@ -1,0 +1,472 @@
+//! The declarative sweep specification.
+//!
+//! A [`SweepSpec`] names the axes of a cartesian scenario grid —
+//! scheduler × benchmark × load level × chip size × fault plan × seed —
+//! and [`SweepSpec::expand`] unrolls it into the runner's job vector in
+//! a deterministic nested-loop order. The JSON grammar is hand-rolled
+//! on [`hp_obs::json`], matching the `hp-faults` plan format (inline
+//! fault-plan objects embed verbatim).
+//!
+//! ```json
+//! {
+//!   "schedulers": ["hotpotato", "pcmig"],
+//!   "benchmarks": ["blackscholes"],
+//!   "loads": [0.5, 1.0],
+//!   "grids": ["4x4"],
+//!   "seeds": [42],
+//!   "horizon_seconds": 2.0
+//! }
+//! ```
+
+use std::fmt::Write as _;
+
+use hp_faults::FaultPlan;
+use hp_obs::json::{self, Json};
+use hp_sim::SimConfig;
+use hp_workload::Benchmark;
+
+use crate::error::{CampaignError, Result};
+use crate::job::{CampaignJob, Workload, SCHEDULER_NAMES};
+use crate::report::{compact, parse_grid, render_json};
+
+/// The benchmark axis value selecting an open heterogeneous system
+/// instead of a closed single-benchmark batch.
+pub const MIXED: &str = "mixed";
+
+/// A declarative cartesian sweep over scenario coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Scheduler names (required, each from
+    /// [`SCHEDULER_NAMES`](crate::SCHEDULER_NAMES)).
+    pub schedulers: Vec<String>,
+    /// Benchmark names, or [`MIXED`] for an open Poisson system.
+    pub benchmarks: Vec<String>,
+    /// Load levels: fraction of the chip's cores filled by the closed
+    /// batch (or multiplier on `open_jobs` for [`MIXED`]).
+    pub loads: Vec<f64>,
+    /// Chip grids `(width, height)`.
+    pub grids: Vec<(usize, usize)>,
+    /// Workload generator seeds.
+    pub seeds: Vec<u64>,
+    /// Fault plans (the default is a single inert plan).
+    pub fault_plans: Vec<FaultPlan>,
+    /// Simulation horizon per job, seconds.
+    pub horizon_seconds: f64,
+    /// Job count for [`MIXED`] workloads at load 1.0.
+    pub open_jobs: usize,
+    /// Poisson arrival rate for [`MIXED`] workloads, jobs per second.
+    pub rate_per_s: f64,
+}
+
+impl SweepSpec {
+    /// A spec sweeping the given schedulers with every other axis at its
+    /// default (blackscholes, full load, 8×8, seed 42, no faults).
+    pub fn new<S: Into<String>>(schedulers: impl IntoIterator<Item = S>) -> Self {
+        SweepSpec {
+            schedulers: schedulers.into_iter().map(Into::into).collect(),
+            benchmarks: vec!["blackscholes".into()],
+            loads: vec![1.0],
+            grids: vec![(8, 8)],
+            seeds: vec![42],
+            fault_plans: vec![FaultPlan::default()],
+            horizon_seconds: 10.0,
+            open_jobs: 16,
+            rate_per_s: 50.0,
+        }
+    }
+
+    /// Parses a spec document, rejecting unknown keys so typos fail
+    /// loudly instead of silently sweeping a default axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Spec`] on malformed JSON, unknown keys,
+    /// or invalid axis values.
+    pub fn from_json_str(src: &str) -> Result<Self> {
+        let doc = json::parse(src).map_err(|e| CampaignError::Spec(e.to_string()))?;
+        let Json::Obj(members) = &doc else {
+            return Err(CampaignError::Spec("spec must be a JSON object".into()));
+        };
+        const KNOWN: &[&str] = &[
+            "schedulers",
+            "benchmarks",
+            "loads",
+            "grids",
+            "seeds",
+            "fault_plans",
+            "horizon_seconds",
+            "open_jobs",
+            "rate_per_s",
+        ];
+        for (key, _) in members {
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(CampaignError::Spec(format!(
+                    "unknown key `{key}` (expected one of {KNOWN:?})"
+                )));
+            }
+        }
+        let mut spec = SweepSpec::new(Vec::<String>::new());
+        spec.schedulers = string_axis(&doc, "schedulers")?
+            .ok_or_else(|| CampaignError::Spec("missing required `schedulers` axis".into()))?;
+        if let Some(b) = string_axis(&doc, "benchmarks")? {
+            spec.benchmarks = b;
+        }
+        if let Some(l) = f64_axis(&doc, "loads")? {
+            spec.loads = l;
+        }
+        if let Some(g) = string_axis(&doc, "grids")? {
+            spec.grids = g
+                .iter()
+                .map(|raw| parse_grid(raw).map_err(|e| CampaignError::Spec(e.to_string())))
+                .collect::<Result<Vec<_>>>()?;
+        }
+        if let Some(s) = u64_axis(&doc, "seeds")? {
+            spec.seeds = s;
+        }
+        if let Some(Json::Arr(items)) = doc.get("fault_plans") {
+            let mut plans = Vec::new();
+            for item in items {
+                plans.push(
+                    FaultPlan::from_json_str(&render_json(item))
+                        .map_err(|e| CampaignError::Spec(format!("fault plan: {e}")))?,
+                );
+            }
+            spec.fault_plans = plans;
+        }
+        if let Some(v) = doc.get("horizon_seconds") {
+            spec.horizon_seconds = v
+                .as_f64()
+                .ok_or_else(|| CampaignError::Spec("`horizon_seconds` must be a number".into()))?;
+        }
+        if let Some(v) = doc.get("open_jobs") {
+            spec.open_jobs = v
+                .as_u64()
+                .ok_or_else(|| CampaignError::Spec("`open_jobs` must be a u64".into()))?
+                as usize;
+        }
+        if let Some(v) = doc.get("rate_per_s") {
+            spec.rate_per_s = v
+                .as_f64()
+                .ok_or_else(|| CampaignError::Spec("`rate_per_s` must be a number".into()))?;
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Serialises the spec back to its JSON grammar.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::from("{\n");
+        let strings = |items: &[String]| -> String {
+            items
+                .iter()
+                .map(|s| format!("\"{}\"", json::escape(s)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let _ = writeln!(out, "  \"schedulers\": [{}],", strings(&self.schedulers));
+        let _ = writeln!(out, "  \"benchmarks\": [{}],", strings(&self.benchmarks));
+        let loads: Vec<String> = self.loads.iter().map(|v| format!("{v}")).collect();
+        let _ = writeln!(out, "  \"loads\": [{}],", loads.join(", "));
+        let grids: Vec<String> = self
+            .grids
+            .iter()
+            .map(|(w, h)| format!("\"{w}x{h}\""))
+            .collect();
+        let _ = writeln!(out, "  \"grids\": [{}],", grids.join(", "));
+        let seeds: Vec<String> = self.seeds.iter().map(|s| format!("{s}")).collect();
+        let _ = writeln!(out, "  \"seeds\": [{}],", seeds.join(", "));
+        let plans: Vec<String> = self
+            .fault_plans
+            .iter()
+            .map(|p| compact(&p.to_json_string()))
+            .collect();
+        let _ = writeln!(out, "  \"fault_plans\": [{}],", plans.join(", "));
+        let _ = writeln!(out, "  \"horizon_seconds\": {},", self.horizon_seconds);
+        let _ = writeln!(out, "  \"open_jobs\": {},", self.open_jobs);
+        let _ = writeln!(out, "  \"rate_per_s\": {}", self.rate_per_s);
+        out.push_str("}\n");
+        out
+    }
+
+    /// Checks the axes for semantic validity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Spec`] naming the offending axis.
+    pub fn validate(&self) -> Result<()> {
+        if self.schedulers.is_empty() {
+            return Err(CampaignError::Spec("`schedulers` axis is empty".into()));
+        }
+        for s in &self.schedulers {
+            if !SCHEDULER_NAMES.contains(&s.as_str()) {
+                return Err(CampaignError::Spec(format!(
+                    "unknown scheduler `{s}` (expected one of {SCHEDULER_NAMES:?})"
+                )));
+            }
+        }
+        for b in &self.benchmarks {
+            if b != MIXED && parse_benchmark(b).is_none() {
+                return Err(CampaignError::Spec(format!("unknown benchmark `{b}`")));
+            }
+        }
+        if self.benchmarks.is_empty() {
+            return Err(CampaignError::Spec("`benchmarks` axis is empty".into()));
+        }
+        if self.loads.is_empty() {
+            return Err(CampaignError::Spec("`loads` axis is empty".into()));
+        }
+        for &l in &self.loads {
+            if !l.is_finite() || l <= 0.0 {
+                return Err(CampaignError::Spec(format!(
+                    "load `{l}` must be finite and positive"
+                )));
+            }
+        }
+        if self.grids.is_empty() {
+            return Err(CampaignError::Spec("`grids` axis is empty".into()));
+        }
+        if self.seeds.is_empty() {
+            return Err(CampaignError::Spec("`seeds` axis is empty".into()));
+        }
+        if self.fault_plans.is_empty() {
+            return Err(CampaignError::Spec("`fault_plans` axis is empty".into()));
+        }
+        if !self.horizon_seconds.is_finite() || self.horizon_seconds <= 0.0 {
+            return Err(CampaignError::Spec(format!(
+                "horizon `{}` must be finite and positive",
+                self.horizon_seconds
+            )));
+        }
+        if !self.rate_per_s.is_finite() || self.rate_per_s <= 0.0 {
+            return Err(CampaignError::Spec(format!(
+                "rate `{}` must be finite and positive",
+                self.rate_per_s
+            )));
+        }
+        Ok(())
+    }
+
+    /// Unrolls the cartesian grid into the runner's job vector.
+    ///
+    /// Order is the deterministic nested-loop order grid → scheduler →
+    /// benchmark → load → fault plan → seed; job labels encode the full
+    /// coordinates and are unique within the campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Spec`] if [`SweepSpec::validate`] fails.
+    pub fn expand(&self) -> Result<Vec<CampaignJob>> {
+        self.validate()?;
+        let mut jobs = Vec::new();
+        for &(w, h) in &self.grids {
+            for scheduler in &self.schedulers {
+                for benchmark in &self.benchmarks {
+                    for &load in &self.loads {
+                        for (fi, plan) in self.fault_plans.iter().enumerate() {
+                            for &seed in &self.seeds {
+                                let workload = if benchmark == MIXED {
+                                    let scaled = (self.open_jobs as f64 * load).round();
+                                    Workload::OpenPoisson {
+                                        count: (scaled as usize).max(1),
+                                        rate_per_s: self.rate_per_s,
+                                        seed,
+                                    }
+                                } else {
+                                    let Some(b) = parse_benchmark(benchmark) else {
+                                        // validate() already rejected unknown names.
+                                        continue;
+                                    };
+                                    let scaled = ((w * h) as f64 * load).round();
+                                    Workload::Closed {
+                                        benchmark: b,
+                                        cores: (scaled as usize).max(1),
+                                        seed,
+                                    }
+                                };
+                                let label = format!(
+                                    "g={w}x{h} s={scheduler} b={benchmark} l={load} f={fi} seed={seed}"
+                                );
+                                let mut sim = SimConfig {
+                                    horizon: self.horizon_seconds,
+                                    ..SimConfig::default()
+                                };
+                                sim.faults = *plan;
+                                jobs.push(CampaignJob::new(
+                                    label,
+                                    scheduler.clone(),
+                                    (w, h),
+                                    workload,
+                                    sim,
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(jobs)
+    }
+}
+
+/// Resolves a benchmark by its canonical name.
+fn parse_benchmark(name: &str) -> Option<Benchmark> {
+    Benchmark::all().into_iter().find(|b| b.name() == name)
+}
+
+fn string_axis(doc: &Json, key: &str) -> Result<Option<Vec<String>>> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(Json::Arr(items)) => {
+            let mut out = Vec::new();
+            for item in items {
+                out.push(
+                    item.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| non_string(key))?,
+                );
+            }
+            Ok(Some(out))
+        }
+        Some(_) => Err(non_string(key)),
+    }
+}
+
+fn f64_axis(doc: &Json, key: &str) -> Result<Option<Vec<f64>>> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(Json::Arr(items)) => {
+            let mut out = Vec::new();
+            for item in items {
+                out.push(item.as_f64().ok_or_else(|| non_number(key))?);
+            }
+            Ok(Some(out))
+        }
+        Some(_) => Err(non_number(key)),
+    }
+}
+
+fn u64_axis(doc: &Json, key: &str) -> Result<Option<Vec<u64>>> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(Json::Arr(items)) => {
+            let mut out = Vec::new();
+            for item in items {
+                out.push(item.as_u64().ok_or_else(|| non_number(key))?);
+            }
+            Ok(Some(out))
+        }
+        Some(_) => Err(non_number(key)),
+    }
+}
+
+fn non_string(key: &str) -> CampaignError {
+    CampaignError::Spec(format!("`{key}` must be an array of strings"))
+}
+
+fn non_number(key: &str) -> CampaignError {
+    CampaignError::Spec(format!("`{key}` must be an array of numbers"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_spec_uses_defaults() {
+        let spec = SweepSpec::from_json_str("{\"schedulers\": [\"hotpotato\"]}").unwrap();
+        assert_eq!(spec.benchmarks, vec!["blackscholes"]);
+        assert_eq!(spec.grids, vec![(8, 8)]);
+        let jobs = spec.expand().unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].grid, (8, 8));
+        assert!(matches!(
+            jobs[0].workload,
+            Workload::Closed { cores: 64, .. }
+        ));
+    }
+
+    #[test]
+    fn expansion_is_the_full_cartesian_product_in_stable_order() {
+        let spec = SweepSpec::from_json_str(
+            "{\"schedulers\": [\"hotpotato\", \"pcmig\"], \"loads\": [0.5, 1.0], \
+             \"grids\": [\"4x4\"], \"seeds\": [1, 2]}",
+        )
+        .unwrap();
+        let jobs = spec.expand().unwrap();
+        assert_eq!(jobs.len(), 2 * 2 * 2);
+        assert_eq!(
+            jobs[0].label,
+            "g=4x4 s=hotpotato b=blackscholes l=0.5 f=0 seed=1"
+        );
+        // Seeds are the innermost axis.
+        assert_eq!(
+            jobs[1].label,
+            "g=4x4 s=hotpotato b=blackscholes l=0.5 f=0 seed=2"
+        );
+        // Half load on 4x4 fills 8 cores.
+        assert!(matches!(
+            jobs[0].workload,
+            Workload::Closed { cores: 8, .. }
+        ));
+        let labels: std::collections::HashSet<_> = jobs.iter().map(|j| &j.label).collect();
+        assert_eq!(labels.len(), jobs.len(), "labels are unique");
+    }
+
+    #[test]
+    fn mixed_benchmark_expands_to_open_poisson() {
+        let mut spec = SweepSpec::new(["hotpotato"]);
+        spec.benchmarks = vec![MIXED.into()];
+        spec.loads = vec![0.5];
+        spec.open_jobs = 10;
+        let jobs = spec.expand().unwrap();
+        assert!(matches!(
+            jobs[0].workload,
+            Workload::OpenPoisson { count: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let mut spec = SweepSpec::new(["hotpotato", "tsp"]);
+        spec.loads = vec![0.25, 1.0];
+        spec.grids = vec![(4, 4), (6, 6)];
+        let text = spec.to_json_string();
+        let parsed = SweepSpec::from_json_str(&text).unwrap();
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        // Unknown key.
+        let err = SweepSpec::from_json_str("{\"schedulers\": [\"hotpotato\"], \"schedulrs\": []}")
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown key"), "{err}");
+        // Missing required axis.
+        assert!(SweepSpec::from_json_str("{}").is_err());
+        // Unknown scheduler / benchmark.
+        assert!(SweepSpec::from_json_str("{\"schedulers\": [\"magic\"]}").is_err());
+        assert!(SweepSpec::from_json_str(
+            "{\"schedulers\": [\"hotpotato\"], \"benchmarks\": [\"quake\"]}"
+        )
+        .is_err());
+        // Bad load and grid values.
+        assert!(
+            SweepSpec::from_json_str("{\"schedulers\": [\"hotpotato\"], \"loads\": [0]}").is_err()
+        );
+        assert!(SweepSpec::from_json_str(
+            "{\"schedulers\": [\"hotpotato\"], \"grids\": [\"4by4\"]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn inline_fault_plans_round_trip() {
+        let plan = FaultPlan::default();
+        let src = format!(
+            "{{\"schedulers\": [\"hotpotato\"], \"fault_plans\": [{}]}}",
+            plan.to_json_string()
+        );
+        let spec = SweepSpec::from_json_str(&src).unwrap();
+        assert_eq!(spec.fault_plans.len(), 1);
+    }
+}

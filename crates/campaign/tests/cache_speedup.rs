@@ -1,0 +1,59 @@
+//! Measures the shared model cache's payoff: a sweep whose jobs all
+//! target the same chip grid pays the machine build, LU factorization
+//! and eigendecomposition once with the cache on, and once *per job*
+//! with it off. Ignored by default (it is a wall-clock measurement);
+//! run explicitly:
+//!
+//! ```sh
+//! cargo test --release -p hp-campaign --test cache_speedup -- --ignored
+//! ```
+
+use std::time::Instant;
+
+use hp_campaign::{run_campaign, CampaignConfig, CampaignJob, SweepSpec};
+
+fn jobs() -> Vec<CampaignJob> {
+    // 8 cheap jobs on the 8×8 chip: a 2-core blackscholes under the
+    // pinned baseline finishes in tens of simulated milliseconds, so per
+    // run the dominant cost with the cache disabled is rebuilding the
+    // 8×8 artifacts (eigendecomposition of the ~300-node RC system).
+    let mut spec = SweepSpec::new(["pinned"]);
+    spec.loads = vec![1.0 / 32.0];
+    spec.seeds = (1..=8).collect();
+    spec.horizon_seconds = 5.0;
+    let jobs = spec.expand().expect("spec expands");
+    assert_eq!(jobs.len(), 8);
+    jobs
+}
+
+fn wall_seconds(cache_enabled: bool) -> f64 {
+    let jobs = jobs();
+    let config = CampaignConfig {
+        workers: 1,
+        cache_enabled,
+        ..CampaignConfig::default()
+    };
+    let start = Instant::now();
+    let report = run_campaign(&jobs, &config).expect("campaign runs");
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(report.completed(), 8, "all jobs complete");
+    elapsed
+}
+
+#[test]
+#[ignore = "wall-clock benchmark; run with --ignored --release"]
+fn shared_cache_speeds_up_same_grid_sweeps() {
+    // Warm up allocator/code paths so the first measurement isn't biased.
+    let _ = wall_seconds(true);
+    let cached = wall_seconds(true);
+    let uncached = wall_seconds(false);
+    let speedup = uncached / cached;
+    eprintln!(
+        "8-job 8x8 sweep: cached {cached:.3} s, uncached {uncached:.3} s, speedup {speedup:.2}x"
+    );
+    assert!(
+        speedup >= 1.5,
+        "shared cache must yield >= 1.5x on a same-grid sweep \
+         (cached {cached:.3} s vs uncached {uncached:.3} s = {speedup:.2}x)"
+    );
+}

@@ -1,0 +1,73 @@
+//! The campaign determinism contract (DESIGN.md §11), tested
+//! end-to-end: the assembled report is a function of the job vector
+//! alone — worker count and cache mode change wall-clock time, never
+//! results.
+
+use hp_campaign::{run_campaign, CampaignConfig, CampaignReport, SweepSpec};
+
+fn spec() -> SweepSpec {
+    let mut spec = SweepSpec::new(["hotpotato", "tsp", "pcmig", "pinned"]);
+    spec.grids = vec![(4, 4), (2, 2)];
+    spec.loads = vec![0.5];
+    spec.horizon_seconds = 5.0;
+    spec
+}
+
+fn run_with(workers: usize, cache_enabled: bool) -> CampaignReport {
+    let jobs = spec().expand().expect("spec expands");
+    assert_eq!(jobs.len(), 8, "4 schedulers x 2 grids");
+    run_campaign(
+        &jobs,
+        &CampaignConfig {
+            workers,
+            cache_enabled,
+            ..CampaignConfig::default()
+        },
+    )
+    .expect("campaign runs")
+}
+
+#[test]
+fn serial_and_parallel_campaigns_are_bit_identical() {
+    let serial = run_with(1, true);
+    let parallel = run_with(8, true);
+    // The full documents — per-job scalars, embedded reports, campaign
+    // counters — agree to the bit once wall-clock histograms are
+    // stripped. In particular the cache counters are scheduling-
+    // independent: misses = distinct grids, hits = lookups − misses.
+    assert_eq!(
+        serial.without_timings().to_json_string(),
+        parallel.without_timings().to_json_string(),
+        "worker count changed campaign results"
+    );
+    assert_eq!(serial.completed(), 8);
+}
+
+#[test]
+fn cache_traffic_is_observable_and_deterministic() {
+    let report = run_with(8, true);
+    // 8 jobs over 2 distinct grids: 2 misses, 6 hits, for any worker
+    // interleaving (entries build under the cache lock).
+    assert_eq!(report.campaign.counter("campaign.cache.misses"), Some(2));
+    assert_eq!(report.campaign.counter("campaign.cache.hits"), Some(6));
+    assert_eq!(
+        report.campaign.meta_value("campaign.cache"),
+        Some("enabled")
+    );
+}
+
+#[test]
+fn disabling_the_cache_changes_no_job_result() {
+    let cached = run_with(4, true);
+    let uncached = run_with(4, false);
+    // Per-job outcomes are bit-identical — the cache is a pure
+    // memoization. Only the campaign-level cache counters differ (the
+    // disabled cache counts every lookup as a miss).
+    assert_eq!(
+        cached.without_timings().jobs,
+        uncached.without_timings().jobs,
+        "cache mode changed job results"
+    );
+    assert_eq!(uncached.campaign.counter("campaign.cache.hits"), Some(0));
+    assert_eq!(uncached.campaign.counter("campaign.cache.misses"), Some(8));
+}

@@ -17,9 +17,26 @@ use hp_sim::{Metrics, Scheduler, SimConfig, Simulation};
 use hp_thermal::{tsp, RcThermalModel, ThermalConfig};
 use hp_workload::{closed_batch, open_poisson, Benchmark, Job, JobId};
 
+use hp_campaign::{run_campaign, CampaignConfig, SweepSpec};
+
 use crate::args::ParsedArgs;
 
 type CliResult = Result<(), Box<dyn Error>>;
+
+/// Marker error for a simulation that aborted mid-run *after* flushing
+/// its partial trace/report. `main` maps it to a distinct exit code
+/// (2) so callers can tell "failed, but partials exist" from plain
+/// failures (1).
+#[derive(Debug)]
+pub struct AbortedRun(pub String);
+
+impl std::fmt::Display for AbortedRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for AbortedRun {}
 
 fn machine(w: usize, h: usize) -> Result<Machine, Box<dyn Error>> {
     Ok(Machine::new(ArchConfig {
@@ -237,9 +254,14 @@ pub fn simulate(args: &ParsedArgs) -> CliResult {
     let metrics = match sim.run(jobs, scheduler.as_mut()) {
         Ok(m) => m,
         Err(e) => {
+            let context = format!(
+                "simulate: scheduler `{scheduler_name}`, benchmark `{benchmark_name}` \
+                 on {w}x{h} grid: {e}"
+            );
             // A mid-run abort still carries everything accumulated so
             // far; print it and flush the partial trace/report before
-            // failing so the run is not a total loss.
+            // failing so the run is not a total loss. The AbortedRun
+            // marker gives these runs their own exit code.
             if let Some(partial) = e.partial_metrics() {
                 let note = format!("aborted at t={:.3} s: {e}", partial.simulated_time);
                 println!(
@@ -249,17 +271,84 @@ pub fn simulate(args: &ParsedArgs) -> CliResult {
                 print_simulate_metrics(partial, &scheduler_name, w, h);
                 write_trace(&sim, args, "partial temperature trace")?;
                 write_report(partial, args, &scheduler_name, w, h, Some(&note))?;
+                return Err(Box::new(AbortedRun(context)));
             }
-            return Err(format!(
-                "simulate: scheduler `{scheduler_name}`, benchmark `{benchmark_name}` \
-                 on {w}x{h} grid: {e}"
-            )
-            .into());
+            return Err(context.into());
         }
     };
     print_simulate_metrics(&metrics, &scheduler_name, w, h);
     write_trace(&sim, args, "temperature trace")?;
     write_report(&metrics, args, &scheduler_name, w, h, None)?;
+    Ok(())
+}
+
+/// `sweep`: expand a declarative spec into a scenario campaign and run
+/// it on a worker pool with the shared model cache.
+pub fn sweep(args: &ParsedArgs) -> CliResult {
+    let spec_path = args
+        .get("spec")
+        .ok_or("sweep: --spec FILE is required")?
+        .to_string();
+    let raw =
+        std::fs::read_to_string(&spec_path).map_err(|e| format!("--spec {spec_path}: {e}"))?;
+    let spec = SweepSpec::from_json_str(&raw).map_err(|e| format!("--spec {spec_path}: {e}"))?;
+    let jobs = spec.expand()?;
+    let default_workers = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let workers: usize = args.get_or("jobs", default_workers)?;
+    if workers == 0 {
+        return Err("--jobs 0: need at least one worker".into());
+    }
+    let config = CampaignConfig {
+        workers,
+        cache_enabled: !matches!(args.get("cache"), Some("off" | "false" | "0")),
+        out_dir: args.get("out").map(std::path::PathBuf::from),
+        resume: matches!(args.get("resume"), Some("true" | "1" | "yes")),
+    };
+    println!(
+        "sweep: {} jobs on {} workers (cache {})",
+        jobs.len(),
+        workers,
+        if config.cache_enabled { "on" } else { "off" }
+    );
+    let report = run_campaign(&jobs, &config)?;
+    for outcome in &report.jobs {
+        let status = match outcome.status {
+            hp_campaign::JobStatus::Completed => "ok     ",
+            hp_campaign::JobStatus::Aborted => "aborted",
+            hp_campaign::JobStatus::Failed => "FAILED ",
+        };
+        println!(
+            "  [{status}] {} | peak {:.1} C | makespan {:.1} ms | {}/{} jobs",
+            outcome.label,
+            outcome.peak_celsius,
+            outcome.makespan_seconds * 1e3,
+            outcome.jobs_completed,
+            outcome.jobs_total
+        );
+        if !outcome.cause.is_empty() {
+            println!("            cause: {}", outcome.cause);
+        }
+    }
+    let counter = |name: &str| report.campaign.counter(name).unwrap_or(0);
+    println!(
+        "sweep done: {} completed, {} aborted, {} failed, {} resumed | \
+         cache {} hits / {} misses",
+        report.completed(),
+        report.aborted(),
+        report.failed(),
+        counter("campaign.jobs.resumed"),
+        counter("campaign.cache.hits"),
+        counter("campaign.cache.misses"),
+    );
+    if let Some(dir) = &config.out_dir {
+        println!(
+            "  campaign written to {}",
+            dir.join("campaign.json").display()
+        );
+    }
+    if report.failed() > 0 {
+        return Err(format!("sweep: {} job(s) failed to run", report.failed()).into());
+    }
     Ok(())
 }
 
@@ -497,7 +586,12 @@ mod tests {
             "--report",
             report_path.to_str().unwrap(),
         ]);
-        let err = simulate(&args).unwrap_err().to_string();
+        let err = simulate(&args).unwrap_err();
+        assert!(
+            err.downcast_ref::<AbortedRun>().is_some(),
+            "abort-with-partials must carry the AbortedRun marker"
+        );
+        let err = err.to_string();
         assert!(err.contains("horizon"), "got: {err}");
 
         let csv = std::fs::read_to_string(&trace_path).unwrap();
@@ -540,6 +634,74 @@ mod tests {
         assert_eq!(a.meta_value("grid"), Some("4x4"));
         std::fs::remove_file(&path_a).ok();
         std::fs::remove_file(&path_b).ok();
+    }
+
+    #[test]
+    fn simulate_setup_failure_has_no_aborted_marker() {
+        // Unknown scheduler fails before any simulation: plain error,
+        // not AbortedRun (exit 1, not 2).
+        let args = ParsedArgs::parse(["simulate", "--scheduler", "magic"]).unwrap();
+        let err = simulate(&args).unwrap_err();
+        assert!(err.downcast_ref::<AbortedRun>().is_none());
+    }
+
+    #[test]
+    fn sweep_runs_a_small_campaign_to_disk() {
+        let dir = std::env::temp_dir().join(format!("hp_cli_sweep_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec_path = std::env::temp_dir().join("hp_cli_sweep_spec_test.json");
+        std::fs::write(
+            &spec_path,
+            "{\"schedulers\": [\"pinned\", \"tsp\"], \"grids\": [\"4x4\"], \
+             \"loads\": [0.25], \"horizon_seconds\": 2}",
+        )
+        .unwrap();
+        let args = ParsedArgs::parse([
+            "sweep",
+            "--spec",
+            spec_path.to_str().unwrap(),
+            "--jobs",
+            "2",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        sweep(&args).unwrap();
+        // Each job's standalone report parses back through hp-obs, and
+        // the campaign document parses through hp-campaign.
+        for name in ["job-000.report.json", "job-001.report.json"] {
+            let raw = std::fs::read_to_string(dir.join(name)).unwrap();
+            hp_obs::RunReport::from_json_str(&raw).expect("job report parses");
+        }
+        let raw = std::fs::read_to_string(dir.join("campaign.json")).unwrap();
+        let report = hp_campaign::CampaignReport::from_json_str(&raw).unwrap();
+        assert_eq!(report.completed(), 2);
+        std::fs::remove_file(&spec_path).ok();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_rejects_bad_inputs() {
+        let args = ParsedArgs::parse(["sweep"]).unwrap();
+        assert!(sweep(&args).unwrap_err().to_string().contains("--spec"));
+        let args = ParsedArgs::parse(["sweep", "--spec", "/nonexistent/spec.json"]).unwrap();
+        assert!(sweep(&args).is_err());
+        let spec_path = std::env::temp_dir().join("hp_cli_sweep_bad_spec_test.json");
+        std::fs::write(&spec_path, "{\"schedulers\": [\"magic\"]}").unwrap();
+        let args = ParsedArgs::parse(["sweep", "--spec", spec_path.to_str().unwrap()]).unwrap();
+        assert!(sweep(&args).is_err());
+        std::fs::write(&spec_path, "{\"schedulers\": [\"pinned\"]}").unwrap();
+        let args = ParsedArgs::parse([
+            "sweep",
+            "--spec",
+            spec_path.to_str().unwrap(),
+            "--jobs",
+            "0",
+        ])
+        .unwrap();
+        let err = sweep(&args).unwrap_err().to_string();
+        assert!(err.contains("--jobs 0"), "got: {err}");
+        std::fs::remove_file(&spec_path).ok();
     }
 
     #[test]

@@ -9,7 +9,12 @@
 //!                        [--cores N] [--jobs J] [--rate R] [--horizon S]
 //!                        [--trace FILE] [--report FILE]
 //!                        [--faults PLAN.json] [--fault-seed N]
+//! hotpotato-cli sweep    --spec SPEC.json [--jobs N] [--out DIR]
+//!                        [--resume true] [--cache off]
 //! ```
+//!
+//! Exit codes: 0 success, 1 failure, 2 aborted-with-partials (the
+//! simulation stopped mid-run but the partial trace/report was written).
 
 mod args;
 mod commands;
@@ -29,10 +34,14 @@ USAGE:
                          [--cores N] [--jobs J] [--rate R] [--horizon S]
                          [--trace FILE] [--report FILE]
                          [--faults PLAN.json] [--fault-seed N]
+  hotpotato-cli sweep    --spec SPEC.json [--jobs N] [--out DIR]
+                         [--resume true] [--cache off]
 
 SCHEDULERS: hotpotato (default), hybrid, fallback, pcmig, pcgov, tsp, pinned
 BENCHMARKS: blackscholes bodytrack canneal dedup fluidanimate
             streamcluster swaptions x264 (or `mixed` with --jobs/--rate)
+
+EXIT CODES: 0 success | 1 failure | 2 simulation aborted, partials written
 
 EXAMPLES:
   hotpotato-cli rings --grid 8x8
@@ -41,6 +50,7 @@ EXAMPLES:
   hotpotato-cli simulate --benchmark mixed --jobs 12 --rate 40 --trace t.csv
   hotpotato-cli simulate --scheduler hotpotato --report report.json
   hotpotato-cli simulate --scheduler fallback --faults plan.json --fault-seed 42
+  hotpotato-cli sweep --spec sweep.json --jobs 8 --out results/
 ";
 
 fn main() -> ExitCode {
@@ -61,12 +71,18 @@ fn main() -> ExitCode {
         "peak" => commands::peak(&parsed),
         "tsp" => commands::tsp(&parsed),
         "simulate" => commands::simulate(&parsed),
+        "sweep" => commands::sweep(&parsed),
         other => Err(format!("unknown subcommand `{other}`").into()),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
+            // Aborted-with-partials gets its own exit code: the run
+            // failed, but the partial trace/report was written.
+            if e.downcast_ref::<commands::AbortedRun>().is_some() {
+                return ExitCode::from(2);
+            }
             ExitCode::FAILURE
         }
     }

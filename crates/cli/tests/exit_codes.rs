@@ -1,0 +1,87 @@
+//! Exit-code contract of the `hotpotato-cli` binary.
+//!
+//! 0 — success; 1 — failure (bad arguments, setup errors); 2 — the
+//! simulation aborted mid-run but the partial trace/report was written.
+//! Pinned here by spawning the real binary, because the codes are the
+//! scriptable API: CI and sweep wrappers branch on them.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hotpotato-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hp_exit_codes_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn success_exits_zero() {
+    let out = cli()
+        .args([
+            "simulate",
+            "--grid",
+            "4x4",
+            "--benchmark",
+            "canneal",
+            "--cores",
+            "4",
+            "--scheduler",
+            "pinned",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn setup_failure_exits_one() {
+    let out = cli()
+        .args(["simulate", "--scheduler", "magic"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let out = cli().args(["nonsense"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}
+
+#[test]
+fn aborted_run_exits_two_and_writes_partials() {
+    let trace = tmp("trace.csv");
+    let report = tmp("report.json");
+    // A 50 ms horizon cannot finish the canneal batch: the engine aborts
+    // with HorizonExceeded after flushing partial artefacts.
+    let out = cli()
+        .args([
+            "simulate",
+            "--grid",
+            "4x4",
+            "--benchmark",
+            "canneal",
+            "--cores",
+            "4",
+            "--scheduler",
+            "pinned",
+            "--horizon",
+            "0.05",
+            "--trace",
+            trace.to_str().expect("utf-8 temp path"),
+            "--report",
+            report.to_str().expect("utf-8 temp path"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("horizon"), "stderr: {stderr}");
+
+    let csv = std::fs::read_to_string(&trace).expect("partial trace written");
+    assert!(csv.lines().count() > 1, "trace has samples");
+    let raw = std::fs::read_to_string(&report).expect("partial report written");
+    let parsed = hp_obs::RunReport::from_json_str(&raw).expect("report parses");
+    assert!(parsed.meta_value("aborted").is_some());
+
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&report).ok();
+}

@@ -260,6 +260,17 @@ impl RotationPeakSolver {
     /// Propagates eigendecomposition failures.
     pub fn new(model: RcThermalModel) -> Result<Self> {
         let eigen = SystemEigen::new(model.a_diag(), model.b())?;
+        Ok(Self::with_eigen(model, eigen))
+    }
+
+    /// Builds the solver from a prebuilt eigendecomposition of the
+    /// model's `C = −A⁻¹B` (the design-time phase already paid for).
+    ///
+    /// This is the cache-handle constructor used by sweep runners that
+    /// factorize each chip configuration once and share the result
+    /// across jobs. The eigendecomposition must belong to `model`; a
+    /// mismatch yields meaningless peak estimates (not unsoundness).
+    pub fn with_eigen(model: RcThermalModel, eigen: SystemEigen) -> Self {
         let nodes = model.node_count();
         let cores = model.core_count();
         let v_inv = eigen.v_inv();
@@ -271,7 +282,7 @@ impl RotationPeakSolver {
         let v_junction = Matrix::from_fn(cores, nodes, |c, k| v[(c, k)]);
         let proj_t = proj.transpose();
         let v_junction_t = v_junction.transpose();
-        Ok(RotationPeakSolver {
+        RotationPeakSolver {
             model,
             eigen,
             proj,
@@ -281,7 +292,7 @@ impl RotationPeakSolver {
             v_junction_t,
             decay_cache: Mutex::new(HashMap::new()),
             stats: StatsCells::default(),
-        })
+        }
     }
 
     /// The thermal model the solver was built for.

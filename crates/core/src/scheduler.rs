@@ -147,8 +147,22 @@ impl HotPotato {
     ///
     /// Propagates configuration and eigendecomposition failures.
     pub fn new(model: RcThermalModel, config: HotPotatoConfig) -> Result<Self> {
-        config.validate()?;
         let solver = RotationPeakSolver::new(model)?;
+        Self::with_solver(solver, config)
+    }
+
+    /// Builds the scheduler around a prebuilt [`RotationPeakSolver`]
+    /// (e.g. a cheap clone of a shared, cached handle), skipping the
+    /// design-time eigendecomposition entirely.
+    ///
+    /// Sweep runners use this so N jobs on the same chip configuration
+    /// pay for one factorization instead of N.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures.
+    pub fn with_solver(solver: RotationPeakSolver, config: HotPotatoConfig) -> Result<Self> {
+        config.validate()?;
         Ok(HotPotato {
             tau_index: config.initial_tau_index,
             rotating: config.rotation_enabled,

@@ -7,41 +7,25 @@
 //!
 //! The paper reports 68 ms / 84 ms / 74 ms response times with (a)
 //! violating the 70 °C threshold (~80 °C) and (b), (c) staying below it.
+//!
+//! The three scenarios run as one campaign: programmatic
+//! [`CampaignJob`]s (the pinned cores and fixed τ are beyond the sweep
+//! grammar) sharing the 4×4 chip's factorizations through the model
+//! cache, with each job keeping its hottest-junction trace.
 
-use hotpotato::{HotPotato, HotPotatoConfig};
+use hp_campaign::{run_campaign, CampaignConfig, CampaignJob, JobStatus, Workload};
 use hp_experiments::context::{Context, ContextError};
 use hp_experiments::plot::ascii_chart;
-use hp_experiments::{motivational_machine, thermal_model_for_grid};
-use hp_floorplan::CoreId;
-use hp_sched::TspUniform;
-use hp_sim::schedulers::PinnedScheduler;
 use hp_sim::SimConfig;
 use hp_workload::{Benchmark, Job, JobId};
 
-fn job() -> Vec<Job> {
-    vec![Job {
+fn workload() -> Workload {
+    Workload::Explicit(vec![Job {
         id: JobId(0),
         benchmark: Benchmark::Blackscholes,
         spec: Benchmark::Blackscholes.spec(2),
         arrival: 0.0,
-    }]
-}
-
-fn run_traced(
-    cfg: SimConfig,
-    scheduler: &mut dyn hp_sim::Scheduler,
-) -> Result<(hp_sim::Metrics, Vec<f64>), ContextError> {
-    let name = scheduler.name().to_owned();
-    let mut sim = hp_sim::Simulation::new(
-        motivational_machine(),
-        hp_thermal::ThermalConfig::default(),
-        cfg,
-    )
-    .with_context(|| format!("fig2: simulation config for `{name}`"))?;
-    let metrics = sim
-        .run(job(), scheduler)
-        .with_context(|| format!("fig2: trace run for `{name}`"))?;
-    Ok((metrics, sim.trace().peak_series()))
+    }])
 }
 
 fn main() -> Result<(), ContextError> {
@@ -52,52 +36,79 @@ fn main() -> Result<(), ContextError> {
 
     // (a) Unmanaged: DTM disabled so the overshoot is observable, as in
     // the paper's trace.
-    let unmanaged_cfg = SimConfig {
-        dtm_enabled: false,
-        ..trace_cfg
-    };
-    let mut pinned = PinnedScheduler::with_preferred_cores(vec![CoreId(5), CoreId(10)]);
-    let (a, trace_a) = run_traced(unmanaged_cfg, &mut pinned)?;
+    let mut unmanaged = CampaignJob::new(
+        "(a) unmanaged @ 4 GHz",
+        "pinned",
+        (4, 4),
+        workload(),
+        SimConfig {
+            dtm_enabled: false,
+            ..trace_cfg
+        },
+    );
+    unmanaged.preferred_cores = vec![5, 10];
+    unmanaged.keep_peak_series = true;
 
     // (b) TSP DVFS budgeting, pinned on the same cores.
-    let mut tsp = TspUniform::new(thermal_model_for_grid(4, 4), 70.0, 0.3)
-        .with_preferred_cores(vec![CoreId(5), CoreId(10)]);
-    let (b, trace_b) = run_traced(trace_cfg, &mut tsp)?;
+    let mut tsp = CampaignJob::new(
+        "(b) TSP power budgeting",
+        "tsp",
+        (4, 4),
+        workload(),
+        trace_cfg,
+    );
+    tsp.preferred_cores = vec![5, 10];
+    tsp.keep_peak_series = true;
 
     // (c) HotPotato synchronous rotation at the paper's fixed τ = 0.5 ms
     // ("rotated ... at a rotation interval of 0.5 ms in every phase").
-    let fixed_tau = HotPotatoConfig {
-        tau_levels: vec![0.5e-3],
-        initial_tau_index: 0,
-        ..HotPotatoConfig::default()
+    let mut rotation = CampaignJob::new(
+        "(c) synchronous rotation",
+        "hotpotato",
+        (4, 4),
+        workload(),
+        trace_cfg,
+    );
+    rotation.fixed_tau_seconds = Some(0.5e-3);
+    rotation.keep_peak_series = true;
+
+    let jobs = vec![unmanaged, tsp, rotation];
+    let config = CampaignConfig {
+        workers: jobs.len(),
+        ..CampaignConfig::default()
     };
-    let mut hp = HotPotato::new(thermal_model_for_grid(4, 4), fixed_tau)
-        .context("fig2: HotPotato config with fixed tau = 0.5 ms")?;
-    let (c, trace_c) = run_traced(trace_cfg, &mut hp)?;
+    let report = run_campaign(&jobs, &config).context("fig2: campaign")?;
+    for o in &report.jobs {
+        if o.status != JobStatus::Completed {
+            return Err(ContextError::msg(format!(
+                "fig2: {}: {} ({})",
+                o.label,
+                o.status.label(),
+                o.cause
+            )));
+        }
+    }
+    let (a, b, c) = (&report.jobs[0], &report.jobs[1], &report.jobs[2]);
 
     println!("Fig. 2 — two-threaded blackscholes on a 16-core chip (threshold 70 C)");
     println!(
         "{:<28} {:>12} {:>10} {:>6} {:>11}",
         "manager", "response ms", "peak C", "DTM", "migrations"
     );
-    for (label, m) in [
-        ("(a) unmanaged @ 4 GHz", &a),
-        ("(b) TSP power budgeting", &b),
-        ("(c) synchronous rotation", &c),
-    ] {
+    for m in [a, b, c] {
         println!(
             "{:<28} {:>12.1} {:>10.1} {:>6} {:>11}",
-            label,
-            m.makespan * 1e3,
-            m.peak_temperature,
+            m.label,
+            m.makespan_seconds * 1e3,
+            m.peak_celsius,
             m.dtm_intervals,
             m.migrations
         );
         println!(
             "csv,fig2,{},{:.4},{:.2},{},{}",
-            label.split_whitespace().next().unwrap_or(label),
-            m.makespan * 1e3,
-            m.peak_temperature,
+            m.label.split_whitespace().next().unwrap_or(&m.label),
+            m.makespan_seconds * 1e3,
+            m.peak_celsius,
             m.dtm_intervals,
             m.migrations
         );
@@ -106,26 +117,34 @@ fn main() -> Result<(), ContextError> {
     println!("hottest-junction traces (a = unmanaged, b = TSP, c = rotation):");
     print!(
         "{}",
-        ascii_chart(&[('a', &trace_a), ('b', &trace_b), ('c', &trace_c)], 70, 12)
+        ascii_chart(
+            &[
+                ('a', &a.peak_series),
+                ('b', &b.peak_series),
+                ('c', &c.peak_series)
+            ],
+            70,
+            12
+        )
     );
     println!();
     println!(
         "rotation penalty vs unmanaged: {:+.1}%  (paper: +8.1%)",
-        (c.makespan / a.makespan - 1.0) * 100.0
+        (c.makespan_seconds / a.makespan_seconds - 1.0) * 100.0
     );
     println!(
         "rotation speedup vs TSP/DVFS:  {:+.1}%  (paper: +11.9%)",
-        (b.makespan / c.makespan - 1.0) * 100.0
+        (b.makespan_seconds / c.makespan_seconds - 1.0) * 100.0
     );
     println!(
         "csv,fig2-summary,{:.4},{:.4}",
-        (c.makespan / a.makespan - 1.0) * 100.0,
-        (b.makespan / c.makespan - 1.0) * 100.0
+        (c.makespan_seconds / a.makespan_seconds - 1.0) * 100.0,
+        (b.makespan_seconds / c.makespan_seconds - 1.0) * 100.0
     );
     println!();
     println!("scheduling-hook overhead per manager (paper §VI: 23.76 us mean for rotation):");
-    for m in [&a, &b, &c] {
-        hp_experiments::print_hook_overhead(m);
+    for m in [a, b, c] {
+        hp_experiments::print_hook_overhead_report(&m.scheduler, &m.report);
     }
     Ok(())
 }

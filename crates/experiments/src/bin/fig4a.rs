@@ -5,19 +5,53 @@
 //! together); the makespan under HotPotato is compared with PCMig.
 //! The paper reports an average 10.72 % speedup, with the memory-bound
 //! *canneal* showing the smallest gain (0.73 %).
+//!
+//! The binary is a thin sweep spec: 3 schedulers × 8 benchmarks expand
+//! through `hp-campaign`, which runs them on a worker pool and shares
+//! the 8×8 chip's factorizations across all 24 jobs via the model
+//! cache.
 
-use hotpotato::{HotPotato, HotPotatoConfig};
+use hp_campaign::{run_campaign, CampaignConfig, JobOutcome, JobStatus, SweepSpec};
 use hp_experiments::context::{Context, ContextError};
-use hp_experiments::{paper_machine, thermal_model_for_grid, try_run};
-use hp_sched::{HotPotatoDvfs, PcMig, PcMigConfig};
-use hp_sim::SimConfig;
-use hp_workload::{closed_batch, Benchmark};
+use hp_workload::Benchmark;
 
 fn main() -> Result<(), ContextError> {
-    let sim_cfg = SimConfig {
-        horizon: 120.0,
-        ..SimConfig::default()
+    let mut spec = SweepSpec::new(["hotpotato", "pcmig", "hybrid"]);
+    spec.benchmarks = Benchmark::all()
+        .iter()
+        .map(|b| b.name().to_string())
+        .collect();
+    spec.grids = vec![(8, 8)];
+    spec.horizon_seconds = 120.0;
+    let jobs = spec.expand().context("fig4a: sweep spec")?;
+    let config = CampaignConfig {
+        workers: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        ..CampaignConfig::default()
     };
+    let report = run_campaign(&jobs, &config).context("fig4a: campaign")?;
+
+    // Outcomes arrive in expansion order (scheduler-major); index them by
+    // (scheduler, benchmark) for the comparison table.
+    let outcome = |scheduler: &str, benchmark: Benchmark| -> Result<&JobOutcome, ContextError> {
+        let prefix = format!("closed:{}:", benchmark.name());
+        let o = report
+            .jobs
+            .iter()
+            .find(|o| o.scheduler == scheduler && o.workload.starts_with(&prefix))
+            .with_context(|| {
+                format!("fig4a: no outcome for {scheduler} on {}", benchmark.name())
+            })?;
+        if o.status != JobStatus::Completed {
+            return Err(ContextError::msg(format!(
+                "fig4a: {scheduler} on {}: {} ({})",
+                benchmark.name(),
+                o.status.label(),
+                o.cause
+            )));
+        }
+        Ok(o)
+    };
+
     println!("Fig. 4(a) — homogeneous workloads on the 64-core chip (normalized makespan)");
     println!(
         "{:<14} {:>12} {:>12} {:>11} {:>9} {:>9} {:>7} {:>7}",
@@ -34,35 +68,20 @@ fn main() -> Result<(), ContextError> {
     let mut hybrid_speedups = Vec::new();
     let mut last_runs = None;
     for benchmark in Benchmark::all() {
-        let jobs = closed_batch(benchmark, 64, 42);
+        let hp_m = outcome("hotpotato", benchmark)?;
+        let pm_m = outcome("pcmig", benchmark)?;
+        let hy_m = outcome("hybrid", benchmark)?;
 
-        let scenario = |what: &str| format!("fig4a: benchmark {}: {what}", benchmark.name());
-
-        let mut hp = HotPotato::new(thermal_model_for_grid(8, 8), HotPotatoConfig::default())
-            .with_context(|| scenario("HotPotato config"))?;
-        let hp_m = try_run(paper_machine(), sim_cfg, jobs.clone(), &mut hp)
-            .with_context(|| scenario("hotpotato run"))?;
-
-        let mut pm = PcMig::new(thermal_model_for_grid(8, 8), PcMigConfig::default());
-        let pm_m = try_run(paper_machine(), sim_cfg, jobs.clone(), &mut pm)
-            .with_context(|| scenario("pcmig run"))?;
-
-        // Extension (paper future work): rotation unified with DVFS.
-        let mut hy = HotPotatoDvfs::new(thermal_model_for_grid(8, 8), HotPotatoConfig::default())
-            .with_context(|| scenario("hybrid config"))?;
-        let hy_m = try_run(paper_machine(), sim_cfg, jobs, &mut hy)
-            .with_context(|| scenario("hybrid run"))?;
-
-        let speedup = pm_m.makespan / hp_m.makespan - 1.0;
-        let hybrid_speedup = pm_m.makespan / hy_m.makespan - 1.0;
+        let speedup = pm_m.makespan_seconds / hp_m.makespan_seconds - 1.0;
+        let hybrid_speedup = pm_m.makespan_seconds / hy_m.makespan_seconds - 1.0;
         speedups.push(speedup);
         hybrid_speedups.push(hybrid_speedup);
         println!(
             "{:<14} {:>12.1} {:>12.1} {:>11.1} {:>8.2}% {:>8.2}% {:>7} {:>7}",
             benchmark.name(),
-            hp_m.makespan * 1e3,
-            pm_m.makespan * 1e3,
-            hy_m.makespan * 1e3,
+            hp_m.makespan_seconds * 1e3,
+            pm_m.makespan_seconds * 1e3,
+            hy_m.makespan_seconds * 1e3,
             speedup * 100.0,
             hybrid_speedup * 100.0,
             hp_m.dtm_intervals,
@@ -71,15 +90,15 @@ fn main() -> Result<(), ContextError> {
         println!(
             "csv,fig4a,{},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{:.2},{:.2}",
             benchmark.name(),
-            hp_m.makespan * 1e3,
-            pm_m.makespan * 1e3,
-            hy_m.makespan * 1e3,
+            hp_m.makespan_seconds * 1e3,
+            pm_m.makespan_seconds * 1e3,
+            hy_m.makespan_seconds * 1e3,
             speedup * 100.0,
             hybrid_speedup * 100.0,
             hp_m.dtm_intervals,
             pm_m.dtm_intervals,
-            hp_m.peak_temperature,
-            pm_m.peak_temperature
+            hp_m.peak_celsius,
+            pm_m.peak_celsius
         );
         last_runs = Some((hp_m, pm_m, hy_m));
     }
@@ -95,9 +114,17 @@ fn main() -> Result<(), ContextError> {
     if let Some((hp_m, pm_m, hy_m)) = &last_runs {
         println!();
         println!("scheduling-hook overhead per scheduler (last benchmark, fully loaded chip):");
-        for m in [hp_m, pm_m, hy_m] {
-            hp_experiments::print_hook_overhead(m);
+        for o in [hp_m, pm_m, hy_m] {
+            hp_experiments::print_hook_overhead_report(&o.scheduler, &o.report);
         }
     }
+    let cache = &report.campaign;
+    println!();
+    println!(
+        "model cache: {} hits / {} misses across {} jobs",
+        cache.counter("campaign.cache.hits").unwrap_or(0),
+        cache.counter("campaign.cache.misses").unwrap_or(0),
+        report.jobs.len()
+    );
     Ok(())
 }

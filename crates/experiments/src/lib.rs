@@ -128,17 +128,24 @@ pub fn pct(x: f64) -> String {
 /// decision; this surfaces the same quantity for any scheduler run
 /// through the engine. Silent for runs without hook timings.
 pub fn print_hook_overhead(m: &Metrics) {
-    let Some(h) = m.observability.histogram("hook.schedule") else {
+    print_hook_overhead_report(&m.scheduler, &m.observability);
+}
+
+/// [`print_hook_overhead`] for a bare run report, as carried by a
+/// campaign [`JobOutcome`](hp_campaign::JobOutcome) (which has no
+/// `Metrics` — its scalars live beside the report).
+pub fn print_hook_overhead_report(scheduler: &str, report: &hp_obs::RunReport) {
+    let Some(h) = report.histogram("hook.schedule") else {
         return;
     };
     println!(
         "  {} scheduling-hook overhead: {} hooks | mean {:.2} us | \
          p50 {:.2} us | p95 {:.2} us | max {:.2} us",
-        m.scheduler, h.count, h.mean_us, h.p50_us, h.p95_us, h.max_us
+        scheduler, h.count, h.mean_us, h.p50_us, h.p95_us, h.max_us
     );
     println!(
         "csv,hook_overhead,{},{},{:.4},{:.4},{:.4},{:.4}",
-        m.scheduler, h.count, h.mean_us, h.p50_us, h.p95_us, h.max_us
+        scheduler, h.count, h.mean_us, h.p50_us, h.p95_us, h.max_us
     );
 }
 

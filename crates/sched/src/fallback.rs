@@ -95,8 +95,30 @@ impl FallbackChain {
     ) -> hotpotato::Result<Self> {
         let t_dtm = config.t_dtm;
         let idle_power = config.idle_power;
-        Ok(FallbackChain {
-            primary: HotPotato::new(model, config)?,
+        let primary = HotPotato::new(model, config)?;
+        Ok(Self::around(primary, fallback, t_dtm, idle_power))
+    }
+
+    /// Creates the chain around a prebuilt rotation-peak solver (shared
+    /// cache handle — see [`HotPotato::with_solver`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates HotPotato configuration failures.
+    pub fn with_solver(
+        solver: hotpotato::RotationPeakSolver,
+        config: HotPotatoConfig,
+        fallback: FallbackConfig,
+    ) -> hotpotato::Result<Self> {
+        let t_dtm = config.t_dtm;
+        let idle_power = config.idle_power;
+        let primary = HotPotato::with_solver(solver, config)?;
+        Ok(Self::around(primary, fallback, t_dtm, idle_power))
+    }
+
+    fn around(primary: HotPotato, fallback: FallbackConfig, t_dtm: f64, idle_power: f64) -> Self {
+        FallbackChain {
+            primary,
             fallback,
             t_dtm,
             idle_power,
@@ -104,7 +126,7 @@ impl FallbackChain {
             hooks_on_fallback: 0,
             degradations: 0,
             recoveries: 0,
-        })
+        }
     }
 
     /// Whether the chain is currently running on the fallback policy.

@@ -58,6 +58,24 @@ impl HotPotatoDvfs {
         })
     }
 
+    /// Creates the hybrid scheduler around a prebuilt rotation-peak
+    /// solver (shared cache handle — see [`HotPotato::with_solver`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates HotPotato configuration failures.
+    pub fn with_solver(
+        solver: hotpotato::RotationPeakSolver,
+        config: HotPotatoConfig,
+    ) -> hotpotato::Result<Self> {
+        let t_dtm = config.t_dtm;
+        Ok(HotPotatoDvfs {
+            inner: HotPotato::with_solver(solver, config)?,
+            t_dtm,
+            throttle: None,
+        })
+    }
+
     /// The currently applied chip-wide throttle, if any.
     pub fn throttle(&self) -> Option<DvfsLevel> {
         self.throttle

@@ -114,9 +114,39 @@ impl Simulation {
     ///
     /// Propagates configuration and model-construction failures.
     pub fn new(machine: Machine, thermal: ThermalConfig, config: SimConfig) -> Result<Self> {
-        config.validate()?;
         let model = RcThermalModel::new(machine.floorplan(), &thermal)?;
         let solver = TransientSolver::new(&model)?;
+        Self::with_thermal(machine, model, solver, config)
+    }
+
+    /// Builds an engine around a prebuilt thermal model and transient
+    /// solver, skipping the LU factorization and eigendecomposition that
+    /// [`Simulation::new`] performs.
+    ///
+    /// This is the cache-handle constructor for sweep runners: each job
+    /// clones shared, already-factorized handles (both clones are plain
+    /// matrix copies) instead of re-deriving them. The model and solver
+    /// must describe `machine`'s floorplan — a mismatch is rejected when
+    /// the node counts disagree, but a same-sized model for a different
+    /// chip produces wrong temperatures, not unsoundness.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures and rejects a model
+    /// whose core count does not match `machine`.
+    pub fn with_thermal(
+        machine: Machine,
+        model: RcThermalModel,
+        solver: TransientSolver,
+        config: SimConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        if model.core_count() != machine.core_count() {
+            return Err(SimError::InvalidParameter {
+                name: "thermal model core count",
+                value: model.core_count() as f64,
+            });
+        }
         Ok(Simulation {
             machine,
             thermal: model,

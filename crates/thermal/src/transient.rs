@@ -152,15 +152,28 @@ impl TransientSolver {
     /// Propagates eigendecomposition failures as [`ThermalError::Linalg`].
     pub fn new(model: &RcThermalModel) -> Result<Self> {
         let eigen = SystemEigen::new(model.a_diag(), model.b())?;
+        Ok(Self::with_eigen(eigen))
+    }
+
+    /// Builds the solver from a prebuilt eigendecomposition of the
+    /// model's `C = −A⁻¹B`, skipping the factorization entirely.
+    ///
+    /// This is the cache-handle constructor: a sweep runner that
+    /// factorizes each chip configuration once can hand every job a
+    /// solver derived from the shared [`SystemEigen`] instead of paying
+    /// the decomposition per job. The eigendecomposition must belong to
+    /// the model the solver is later stepped with — a mismatch produces
+    /// meaningless temperatures (not unsoundness).
+    pub fn with_eigen(eigen: SystemEigen) -> Self {
         let v_t = eigen.v().transpose();
         let v_inv_t = eigen.v_inv().transpose();
-        Ok(TransientSolver {
+        TransientSolver {
             eigen,
             v_t,
             v_inv_t,
             decay_cache: Mutex::new(HashMap::new()),
             stats: StatsCells::default(),
-        })
+        }
     }
 
     /// The underlying eigendecomposition of `C = −A⁻¹B`.

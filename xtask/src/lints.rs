@@ -87,13 +87,21 @@ pub const NO_PANIC_CRATES: &[&str] = &[
     "hp-sched",
     "hp-faults",
     "hp-obs",
+    "hp-campaign",
 ];
 
 /// Crates whose library math must not use bare `as` numeric casts.
 pub const NO_CAST_CRATES: &[&str] = &["hp-linalg", "hp-thermal"];
 
 /// Crates whose public API must name physical units.
-pub const UNIT_CRATES: &[&str] = &["hotpotato", "hp-thermal", "hp-sim", "hp-faults", "hp-obs"];
+pub const UNIT_CRATES: &[&str] = &[
+    "hotpotato",
+    "hp-thermal",
+    "hp-sim",
+    "hp-faults",
+    "hp-obs",
+    "hp-campaign",
+];
 
 const NUMERIC_TYPES: &[&str] = &[
     "f32", "f64", "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128",
