@@ -96,6 +96,9 @@ pub fn run_campaign(jobs: &[CampaignJob], config: &CampaignConfig) -> Result<Cam
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                // xtask: allow(relaxed) — work-stealing cursor; fetch_add is
+                // atomic regardless of ordering and each index is claimed
+                // exactly once. Job output slots are merged under a lock.
                 let at = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(&index) = pending.get(at) else {
                     break;
@@ -342,6 +345,9 @@ impl OutputSink {
             return;
         }
         if state.manifest.is_none() {
+            // xtask: allow(lockio) — the manifest append must be serialised
+            // across workers; the sink lock is exactly that serialisation
+            // point and is never taken on a latency-sensitive path.
             match fs::OpenOptions::new()
                 .create(true)
                 .append(true)

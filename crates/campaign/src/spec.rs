@@ -408,7 +408,7 @@ mod tests {
             jobs[0].workload,
             Workload::Closed { cores: 8, .. }
         ));
-        let labels: std::collections::HashSet<_> = jobs.iter().map(|j| &j.label).collect();
+        let labels: std::collections::BTreeSet<_> = jobs.iter().map(|j| &j.label).collect();
         assert_eq!(labels.len(), jobs.len(), "labels are unique");
     }
 

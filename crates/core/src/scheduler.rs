@@ -290,6 +290,8 @@ impl HotPotato {
         tau: f64,
         rotating: bool,
     ) -> f64 {
+        // xtask: allow(nondet) — wall-clock observability timing; the
+        // histogram it feeds is excluded from golden outputs.
         let probe_start = Instant::now();
         let peak = self.estimate_peak_inner(rings, powers, tau, rotating);
         self.obs

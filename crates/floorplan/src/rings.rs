@@ -100,7 +100,7 @@ impl RingSet {
         let n = fp.core_count();
         let mut order: Vec<usize> = (0..n).collect();
         let amd = fp.amd_values();
-        order.sort_by(|&a, &b| amd[a].partial_cmp(&amd[b]).expect("NaN AMD"));
+        order.sort_by(|&a, &b| amd[a].total_cmp(&amd[b]));
 
         let cx = (fp.width() as f64 - 1.0) / 2.0;
         let cy = (fp.height() as f64 - 1.0) / 2.0;
@@ -118,27 +118,25 @@ impl RingSet {
                     cores: Vec::new(),
                 });
             }
-            let idx = rings.len() - 1;
-            rings
-                .last_mut()
-                .expect("ring exists")
-                .cores
-                .push(CoreId(core));
+            let idx = rings.len().saturating_sub(1);
+            if let Some(ring) = rings.last_mut() {
+                ring.cores.push(CoreId(core));
+            }
             ring_of[core] = idx;
         }
 
         // Order each ring's cores as a cyclic walk around the die centre.
+        // Out-of-range cores cannot occur (all ids come from `0..n`);
+        // the sentinel keeps the comparator total instead of panicking.
+        let angle_of = |c: CoreId| -> f64 {
+            match fp.coord(c) {
+                Ok(p) => (p.y as f64 - cy).atan2(p.x as f64 - cx),
+                Err(_) => f64::NEG_INFINITY,
+            }
+        };
         for ring in &mut rings {
-            ring.cores.sort_by(|&a, &b| {
-                let pa = fp.coord(a).expect("core in range");
-                let pb = fp.coord(b).expect("core in range");
-                let ang_a = (pa.y as f64 - cy).atan2(pa.x as f64 - cx);
-                let ang_b = (pb.y as f64 - cy).atan2(pb.x as f64 - cx);
-                ang_a
-                    .partial_cmp(&ang_b)
-                    .expect("finite angles")
-                    .then(a.cmp(&b))
-            });
+            ring.cores
+                .sort_by(|&a, &b| angle_of(a).total_cmp(&angle_of(b)).then(a.cmp(&b)));
         }
 
         RingSet { rings, ring_of }

@@ -57,11 +57,9 @@ impl Machine {
         // times (n-1)/n; the correction is negligible and we use AMD
         // directly, matching [19]).
         let llc_latency_ns = floorplan
-            .cores()
-            .map(|c| {
-                let amd = floorplan.amd(c).expect("core in range");
-                2.0 * amd * config.noc_hop_ns + config.llc_bank_ns
-            })
+            .amd_values()
+            .iter()
+            .map(|amd| 2.0 * amd * config.noc_hop_ns + config.llc_bank_ns)
             .collect();
         Ok(Machine {
             config,

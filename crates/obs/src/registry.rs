@@ -256,6 +256,8 @@ impl<'a> ScopedTimer<'a> {
         ScopedTimer {
             registry,
             name,
+            // xtask: allow(nondet) — wall-clock observability timing; the
+            // histogram it feeds is excluded from golden outputs.
             start: Instant::now(),
         }
     }

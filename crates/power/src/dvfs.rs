@@ -58,6 +58,8 @@ impl Default for DvfsLadder {
     /// The paper's configuration: 1.0–4.0 GHz in 100 MHz steps,
     /// 0.60–1.20 V.
     fn default() -> Self {
+        // xtask: allow(panic) — constant parameters, pinned by the
+        // `default_ladder_shape` unit test; cannot fail at runtime.
         DvfsLadder::new(1.0, 4.0, 0.1, 0.60, 1.20).expect("default ladder is valid")
     }
 }

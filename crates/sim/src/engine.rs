@@ -340,6 +340,8 @@ impl Simulation {
     /// Simulates one interval. Returns `Ok(true)` when the workload has
     /// completed.
     fn step_interval(&mut self, st: &mut RunState, scheduler: &mut dyn Scheduler) -> Result<bool> {
+        // xtask: allow(nondet) — wall-clock observability timing; the
+        // histogram it feeds is excluded from golden outputs.
         let interval_start = Instant::now();
         let n = st.n;
         let dt = st.dt;
@@ -418,6 +420,8 @@ impl Simulation {
                 })
                 .collect();
             st.obs.inc("engine.sched_hooks");
+            // xtask: allow(nondet) — wall-clock observability timing; the
+            // histogram it feeds is excluded from golden outputs.
             let hook_start = Instant::now();
             let actions = {
                 let (view_temps, view_conf): (&Vector, &[f64]) = match st.faults.as_ref() {
@@ -440,6 +444,8 @@ impl Simulation {
             };
             st.obs
                 .observe_seconds("hook.schedule", hook_start.elapsed().as_secs_f64());
+            // xtask: allow(nondet) — wall-clock observability timing; the
+            // histogram it feeds is excluded from golden outputs.
             let apply_start = Instant::now();
             Self::apply_actions(
                 &self.machine,
@@ -606,6 +612,8 @@ impl Simulation {
         // batched GEMM kernel applied to a batch of one; the fixed
         // `dt` hits the solver's decay cache every interval, so no
         // per-step eigenvalue exponentials are recomputed.
+        // xtask: allow(nondet) — wall-clock observability timing; the
+        // histogram it feeds is excluded from golden outputs.
         let thermal_start = Instant::now();
         st.node_temps = self
             .solver

@@ -1,0 +1,1290 @@
+//! The semantic audit passes behind `cargo xtask audit`.
+//!
+//! Four passes run over the [`graph`](crate::graph) call graph
+//! (DESIGN.md §12):
+//!
+//! * **`panic`** — transitive panic-reachability: public library APIs
+//!   of the audited crates must not reach `panic!` / `unwrap` /
+//!   `expect` through any first-party call chain. Findings print the
+//!   full chain; `// xtask: allow(panic)` markers must sit at the
+//!   actual sink.
+//! * **`nondet`** — determinism: `HashMap`/`HashSet` iteration,
+//!   `Instant::now` / `SystemTime::now`, `thread::current`, and float
+//!   `partial_cmp` are flagged inside functions whose call chains reach
+//!   report/trace/golden-fixture producers. Justify deliberate
+//!   wall-clock sites with `// xtask: allow(nondet) — why`.
+//! * **`relaxed`** — every `Ordering::Relaxed` carries a
+//!   `// xtask: allow(relaxed) — why` justification or is a finding.
+//! * **`lock-cycle` / `lock-io`** — lock-order cycles between mutexes
+//!   (via direct and transitive acquisitions) and locks held across
+//!   file I/O (`// xtask: allow(lockio) — why` for deliberate
+//!   serialization points).
+//!
+//! Markers that no longer guard a matching site are reported as
+//! **`stale-marker`** findings. Suppressed sites are recorded as
+//! suppressions — the reviewed baseline (see [`baseline`](crate::baseline))
+//! enumerates both them and any grandfathered findings.
+
+use std::collections::BTreeMap;
+
+use crate::graph::{CallGraph, FnDef, ParsedFile};
+use crate::lexer::Line;
+use crate::lints::{panic_sites, test_regions};
+
+/// Crates whose public library APIs are panic-reachability roots.
+pub const AUDIT_CRATES: &[&str] = &[
+    "hotpotato",
+    "hp-thermal",
+    "hp-linalg",
+    "hp-sim",
+    "hp-sched",
+    "hp-faults",
+    "hp-obs",
+    "hp-campaign",
+];
+
+/// Types whose methods produce reports, traces or golden fixtures: the
+/// determinism pass protects every function that can reach them.
+const PRODUCER_TYPES: &[&str] = &[
+    "RunReport",
+    "CampaignReport",
+    "TraceEvent",
+    "TemperatureTrace",
+    "Registry",
+    "ScopedTimer",
+];
+
+/// Function-name fragments that mark a producer regardless of type
+/// (manifest writers, golden-fixture helpers).
+const PRODUCER_NAME_HINTS: &[&str] = &["manifest", "golden"];
+
+/// One audit finding (or recorded suppression).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Pass rule: `panic`, `nondet`, `relaxed`, `lock-cycle`,
+    /// `lock-io`, `stale-marker`.
+    pub rule: String,
+    /// Owning crate of the flagged site.
+    pub crate_name: String,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line of the site.
+    pub line: usize,
+    /// 1-based column of the site.
+    pub col: usize,
+    /// Qualified name of the enclosing function (`Type::name`), or
+    /// `<file>` for sites outside any function.
+    pub function: String,
+    /// Stable site token (`.unwrap()`, `Instant::now`,
+    /// `Ordering::Relaxed`, …) — part of the baseline key.
+    pub detail: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Call chain (crate::qual labels), root first, when the pass is
+    /// reachability-based.
+    pub chain: Vec<String>,
+    /// Site carries a justification marker; recorded, not failing.
+    pub suppressed: bool,
+    /// Marker justification text (empty when unsuppressed).
+    pub reason: String,
+    /// Advisory findings never fail the gate and are not baselined.
+    pub advisory: bool,
+    /// Occurrence ordinal among identical (rule, file, function,
+    /// detail) tuples, 1-based; keeps baseline keys stable while
+    /// distinguishing repeated sites in one function.
+    pub occurrence: usize,
+}
+
+impl Finding {
+    /// The stable baseline identity: line numbers excluded so
+    /// unrelated edits do not churn the reviewed ledger.
+    pub fn key(&self) -> String {
+        if self.occurrence > 1 {
+            format!(
+                "{}|{}|{}|{}#{}",
+                self.rule, self.file, self.function, self.detail, self.occurrence
+            )
+        } else {
+            format!(
+                "{}|{}|{}|{}",
+                self.rule, self.file, self.function, self.detail
+            )
+        }
+    }
+
+    /// Whether this entry must be accounted for in the baseline.
+    pub fn accountable(&self) -> bool {
+        !self.advisory
+    }
+
+    /// Whether this finding fails a baseline-less audit run.
+    pub fn failing(&self) -> bool {
+        !self.advisory && !self.suppressed
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [audit/{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )?;
+        if !self.chain.is_empty() {
+            write!(f, "\n    via: {}", self.chain.join(" -> "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Audit configuration.
+#[derive(Debug, Clone, Default)]
+pub struct AuditOptions {
+    /// Also emit advisory slice-indexing reachability notes.
+    pub pedantic: bool,
+}
+
+/// Runs all passes over the parsed library files. `deps_closure` maps
+/// each crate to its transitive first-party dependency closure.
+pub fn run_audit(
+    files: &[ParsedFile],
+    deps_closure: &BTreeMap<String, Vec<String>>,
+    options: &AuditOptions,
+) -> Vec<Finding> {
+    let graph = CallGraph::build(files, deps_closure);
+    let mut findings = Vec::new();
+    panic_pass(files, &graph, options, &mut findings);
+    determinism_pass(files, &graph, &mut findings);
+    atomics_pass(files, &graph, &mut findings);
+    stale_marker_pass(files, &mut findings);
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col, &a.rule, &a.detail)
+            .cmp(&(&b.file, b.line, b.col, &b.rule, &b.detail))
+    });
+    number_occurrences(&mut findings);
+    findings
+}
+
+/// Assigns 1-based occurrence ordinals to findings sharing a baseline
+/// identity. Findings must already be sorted by source position.
+fn number_occurrences(findings: &mut [Finding]) {
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    for f in findings.iter_mut() {
+        let base = format!("{}|{}|{}|{}", f.rule, f.file, f.function, f.detail);
+        let n = seen.entry(base).or_insert(0);
+        *n += 1;
+        f.occurrence = *n;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Marker handling
+// ---------------------------------------------------------------------------
+
+/// If the site on line `idx` is covered by an `xtask: allow(rule)`
+/// marker (same line, an earlier line of the same statement, or the
+/// comment block directly above), returns the marker's line index and
+/// its justification text.
+pub fn marker_for(lines: &[Line], idx: usize, rule: &str) -> Option<(usize, String)> {
+    let hit = |l: &Line| -> Option<String> {
+        for c in &l.comments {
+            if let Some(reason) = marker_reason(c, rule) {
+                return Some(reason);
+            }
+        }
+        None
+    };
+    if let Some(reason) = lines.get(idx).and_then(hit) {
+        return Some((idx, reason));
+    }
+    let mut j = idx;
+    let mut budget = 8;
+    while j > 0 && budget > 0 {
+        j -= 1;
+        budget -= 1;
+        let Some(l) = lines.get(j) else {
+            break;
+        };
+        if let Some(reason) = hit(l) {
+            return Some((j, reason));
+        }
+        let code = l.code.trim();
+        let comment_only = code.is_empty();
+        if !comment_only && (code.ends_with(';') || code.ends_with('{') || code.ends_with('}')) {
+            return None;
+        }
+    }
+    None
+}
+
+/// Byte position just past a live `xtask: allow(rule)` marker in a
+/// comment. Mentions inside backtick code spans (documentation quoting
+/// the marker grammar) are inert.
+fn live_marker_end(comment: &str, rule: &str) -> Option<usize> {
+    for pat in [
+        format!("xtask: allow({rule})"),
+        format!("xtask:allow({rule})"),
+    ] {
+        let mut from = 0;
+        while let Some(p) = comment[from..].find(&pat) {
+            let at = from + p;
+            let quoted = comment[..at].chars().filter(|&c| c == '`').count() % 2 == 1;
+            if !quoted {
+                return Some(at + pat.len());
+            }
+            from = at + pat.len();
+        }
+    }
+    None
+}
+
+/// Extracts the justification text following `xtask: allow(rule)` in a
+/// comment, if the marker is present.
+fn marker_reason(comment: &str, rule: &str) -> Option<String> {
+    let pos = live_marker_end(comment, rule)?;
+    let rest = comment[pos..]
+        .trim_start_matches([' ', '\t'])
+        .trim_start_matches(['—', '-', ':'])
+        .trim();
+    Some(rest.to_string())
+}
+
+/// Every line index carrying a live `xtask: allow(rule)` marker.
+fn marker_lines(lines: &[Line], rule: &str) -> Vec<usize> {
+    lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| {
+            l.comments
+                .iter()
+                .any(|c| live_marker_end(c, rule).is_some())
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Site extraction
+// ---------------------------------------------------------------------------
+
+/// 1-based column of a pattern occurrence, by character count.
+fn char_col(code: &str, byte_pos: usize) -> usize {
+    code[..byte_pos].chars().count() + 1
+}
+
+/// `Ordering::Relaxed` occurrences in a scrubbed code line.
+fn relaxed_sites(code: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("Ordering::Relaxed") {
+        out.push(char_col(code, from + pos));
+        from += pos + 1;
+    }
+    out
+}
+
+/// Nondeterminism tokens (excluding hash iteration, handled separately).
+fn nondet_tokens(code: &str) -> Vec<(&'static str, usize)> {
+    let mut out = Vec::new();
+    for token in ["Instant::now", "SystemTime::now", "thread::current"] {
+        if let Some(pos) = code.find(token) {
+            out.push((token, char_col(code, pos)));
+        }
+    }
+    if let Some(pos) = code.find(".partial_cmp(") {
+        out.push(("partial_cmp", char_col(code, pos)));
+    }
+    out
+}
+
+/// File I/O tokens the lock-io pass treats as I/O while a lock is held.
+const IO_TOKENS: &[&str] = &[
+    "fs::write",
+    "fs::read",
+    "fs::create_dir",
+    "fs::remove",
+    "fs::rename",
+    "fs::copy",
+    "fs::OpenOptions",
+    "OpenOptions::new",
+    "File::create",
+    "File::open",
+    ".write_all(",
+    ".flush(",
+    ".sync_all(",
+    ".read_to_string(",
+    ".read_to_end(",
+];
+
+fn io_sites(code: &str) -> Vec<(&'static str, usize)> {
+    let mut out = Vec::new();
+    for token in IO_TOKENS {
+        if let Some(pos) = code.find(token) {
+            out.push((*token, char_col(code, pos)));
+        }
+    }
+    out
+}
+
+/// `.lock()` acquisitions in a line, with the receiver chain. Receivers
+/// that are exactly `self` are skipped: those are calls to a first-party
+/// `fn lock` helper, which the call graph already covers.
+fn lock_sites(code: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = code.chars().collect();
+    let mut from = 0;
+    let as_string: String = chars.iter().collect();
+    while let Some(pos) = as_string[from..].find(".lock()") {
+        let at = from + pos; // byte == char offset here (ASCII pattern)
+        let upto = as_string[..at].chars().count();
+        let mut k = upto;
+        while k > 0 {
+            let c = chars[k - 1];
+            if c.is_alphanumeric() || c == '_' || c == '.' {
+                k -= 1;
+            } else {
+                break;
+            }
+        }
+        let receiver: String = chars[k..upto].iter().collect();
+        if !receiver.is_empty() && receiver != "self" {
+            out.push((receiver, upto + 1));
+        }
+        from = at + 1;
+    }
+    out
+}
+
+/// Identifiers declared as `HashMap`/`HashSet` in a file (fields, lets,
+/// params). Used to spot iteration over hash-ordered containers.
+fn hash_typed_names(lines: &[Line]) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in lines {
+        let code = line.code.as_str();
+        for hash_ty in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(pos) = code[from..].find(hash_ty) {
+                let at = from + pos;
+                // `name: HashMap<...>` or `name: Mutex<HashMap<...>>`.
+                if let Some(colon) = code[..at].rfind(':') {
+                    let before = code[..colon].trim_end();
+                    // Reject `::` paths (`std::collections::HashMap`)
+                    // only when nothing identifier-like precedes them.
+                    let ident: String = before
+                        .chars()
+                        .rev()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect::<Vec<_>>()
+                        .into_iter()
+                        .rev()
+                        .collect();
+                    if !ident.is_empty()
+                        && !before.ends_with(':')
+                        && !names.contains(&ident)
+                        && code[colon..at].chars().all(|c| {
+                            c == ':' || c == ' ' || c == '<' || c.is_alphanumeric() || c == '_'
+                        })
+                    {
+                        names.push(ident);
+                    }
+                }
+                // `let [mut] name = HashMap::new()`.
+                if let Some(let_pos) = code[..at].rfind("let ") {
+                    let between = &code[let_pos + 4..at];
+                    if between.contains('=') && !between.contains(';') {
+                        let ident: String = between
+                            .trim_start_matches("mut ")
+                            .chars()
+                            .take_while(|c| c.is_alphanumeric() || *c == '_')
+                            .collect();
+                        if !ident.is_empty() && !names.contains(&ident) {
+                            names.push(ident);
+                        }
+                    }
+                }
+                from = at + 1;
+            }
+        }
+    }
+    names
+}
+
+/// Iteration over a hash-typed identifier in a scrubbed code line.
+fn hash_iteration_sites(code: &str, hash_names: &[String]) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for name in hash_names {
+        for method in [
+            ".iter()",
+            ".iter_mut()",
+            ".keys()",
+            ".values()",
+            ".values_mut()",
+            ".drain(",
+            ".into_iter()",
+            ".into_values()",
+            ".into_keys()",
+            ".retain(",
+        ] {
+            let pat = format!("{name}{method}");
+            if let Some(pos) = code.find(&pat) {
+                out.push((format!("{name}{method}"), char_col(code, pos)));
+            }
+        }
+        // `for x in &name {` / `for (k, v) in name.whatever`.
+        if let Some(for_pos) = code.find("for ") {
+            if let Some(in_rel) = code[for_pos..].find(" in ") {
+                let tail = &code[for_pos + in_rel + 4..];
+                let head: &str = tail.split(['{', ';']).next().unwrap_or(tail);
+                let mentions = head
+                    .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+                    .any(|tok| tok == name);
+                if mentions {
+                    out.push((
+                        format!("for-in {name}"),
+                        char_col(code, for_pos + in_rel + 4),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: transitive panic-reachability
+// ---------------------------------------------------------------------------
+
+fn panic_pass(
+    files: &[ParsedFile],
+    graph: &CallGraph,
+    options: &AuditOptions,
+    findings: &mut Vec<Finding>,
+) {
+    // Roots: public APIs of the audited crates.
+    let roots: Vec<usize> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.is_pub && AUDIT_CRATES.contains(&f.crate_name.as_str()))
+        .map(|(i, _)| i)
+        .collect();
+
+    // Forward multi-source reachability with parents for chain printing.
+    let mut reachable = vec![false; graph.fns.len()];
+    let mut parent: Vec<Option<usize>> = vec![None; graph.fns.len()];
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    for &r in &roots {
+        if !reachable[r] {
+            reachable[r] = true;
+            queue.push_back(r);
+        }
+    }
+    while let Some(at) = queue.pop_front() {
+        for &next in &graph.adjacency[at] {
+            if !reachable[next] {
+                reachable[next] = true;
+                parent[next] = Some(at);
+                queue.push_back(next);
+            }
+        }
+    }
+    let chain_to = |target: usize| -> Vec<String> {
+        let mut chain = vec![target];
+        let mut cur = target;
+        while let Some(p) = parent[cur] {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain.iter().map(|&i| graph.fns[i].label()).collect()
+    };
+
+    for pf in files {
+        let in_test = test_regions(&pf.lines);
+        for (idx, line) in pf.lines.iter().enumerate() {
+            if in_test.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            let sites = panic_sites(&line.code);
+            if sites.is_empty() {
+                continue;
+            }
+            let Some(fn_idx) = graph.enclosing_fn(&pf.file, idx) else {
+                continue;
+            };
+            let def = &graph.fns[fn_idx];
+            let marker = marker_for(&pf.lines, idx, "panic");
+            for (token, col0) in &sites {
+                match &marker {
+                    Some((_, reason)) => findings.push(Finding {
+                        rule: "panic".to_string(),
+                        crate_name: pf.crate_name.clone(),
+                        file: pf.file.clone(),
+                        line: idx + 1,
+                        col: char_col(&line.code, *col0),
+                        function: def.qual.clone(),
+                        detail: (*token).to_string(),
+                        message: format!(
+                            "`{token}` in `{}` suppressed by marker at the sink",
+                            def.qual
+                        ),
+                        chain: Vec::new(),
+                        suppressed: true,
+                        reason: reason.clone(),
+                        advisory: false,
+                        occurrence: 1,
+                    }),
+                    None if reachable[fn_idx] => {
+                        let chain = chain_to(fn_idx);
+                        let root = chain.first().cloned().unwrap_or_default();
+                        findings.push(Finding {
+                            rule: "panic".to_string(),
+                            crate_name: pf.crate_name.clone(),
+                            file: pf.file.clone(),
+                            line: idx + 1,
+                            col: char_col(&line.code, *col0),
+                            function: def.qual.clone(),
+                            detail: (*token).to_string(),
+                            message: format!(
+                                "`{token}` reachable from public API `{root}`; return the \
+                                 crate's typed error or mark the sink \
+                                 `// xtask: allow(panic) — why`"
+                            ),
+                            chain,
+                            suppressed: false,
+                            reason: String::new(),
+                            advisory: false,
+                            occurrence: 1,
+                        });
+                    }
+                    // A sink in a non-audited crate that no audited
+                    // public API reaches is that crate's own business.
+                    None => {}
+                }
+            }
+        }
+        if options.pedantic {
+            index_advisories(pf, graph, &reachable, findings);
+        }
+    }
+}
+
+/// Advisory (pedantic-only): direct slice indexing inside functions
+/// reachable from audited public APIs.
+fn index_advisories(
+    pf: &ParsedFile,
+    graph: &CallGraph,
+    reachable: &[bool],
+    findings: &mut Vec<Finding>,
+) {
+    let in_test = test_regions(&pf.lines);
+    for (idx, line) in pf.lines.iter().enumerate() {
+        if in_test.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let chars: Vec<char> = line.code.chars().collect();
+        if line.code.trim_start().starts_with('#') {
+            continue;
+        }
+        for i in 1..chars.len() {
+            if chars[i] == '['
+                && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_' || chars[i - 1] == ')')
+            {
+                let Some(fn_idx) = graph.enclosing_fn(&pf.file, idx) else {
+                    break;
+                };
+                if !reachable[fn_idx] || marker_for(&pf.lines, idx, "index").is_some() {
+                    break;
+                }
+                findings.push(Finding {
+                    rule: "panic".to_string(),
+                    crate_name: pf.crate_name.clone(),
+                    file: pf.file.clone(),
+                    line: idx + 1,
+                    col: i + 1,
+                    function: graph.fns[fn_idx].qual.clone(),
+                    detail: "index".to_string(),
+                    message: "direct indexing reachable from a public API; prefer `get()` \
+                              unless the bound is structurally guaranteed"
+                        .to_string(),
+                    chain: Vec::new(),
+                    suppressed: false,
+                    reason: String::new(),
+                    advisory: true,
+                    occurrence: 1,
+                });
+                break; // one note per line
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: determinism of report/trace paths
+// ---------------------------------------------------------------------------
+
+fn is_producer(def: &FnDef) -> bool {
+    if let Some((ty, _)) = def.qual.split_once("::") {
+        if PRODUCER_TYPES.contains(&ty) {
+            return true;
+        }
+    }
+    let lower = def.name.to_lowercase();
+    PRODUCER_NAME_HINTS.iter().any(|h| lower.contains(h))
+}
+
+fn determinism_pass(files: &[ParsedFile], graph: &CallGraph, findings: &mut Vec<Finding>) {
+    let producers: Vec<usize> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| is_producer(f))
+        .map(|(i, _)| i)
+        .collect();
+    let in_report_path = graph.reverse_reachable(&producers);
+
+    // Shortest chain from a flagged function to the nearest producer.
+    let chain_to_producer = |from: usize| -> Vec<String> {
+        let mut parent: Vec<Option<usize>> = vec![None; graph.fns.len()];
+        let mut visited = vec![false; graph.fns.len()];
+        let mut queue = std::collections::VecDeque::new();
+        visited[from] = true;
+        queue.push_back(from);
+        while let Some(at) = queue.pop_front() {
+            if producers.contains(&at) {
+                let mut chain = vec![at];
+                let mut cur = at;
+                while let Some(p) = parent[cur] {
+                    chain.push(p);
+                    cur = p;
+                }
+                chain.reverse();
+                return chain.iter().map(|&i| graph.fns[i].label()).collect();
+            }
+            for &next in &graph.adjacency[at] {
+                if !visited[next] {
+                    visited[next] = true;
+                    parent[next] = Some(at);
+                    queue.push_back(next);
+                }
+            }
+        }
+        Vec::new()
+    };
+
+    for pf in files {
+        let hash_names = hash_typed_names(&pf.lines);
+        let in_test = test_regions(&pf.lines);
+        for (idx, line) in pf.lines.iter().enumerate() {
+            if in_test.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            let mut sites: Vec<(String, usize)> = nondet_tokens(&line.code)
+                .into_iter()
+                .map(|(t, c)| (t.to_string(), c))
+                .collect();
+            sites.extend(
+                hash_iteration_sites(&line.code, &hash_names)
+                    .into_iter()
+                    .map(|(t, c)| (format!("hash-iter {t}"), c)),
+            );
+            if sites.is_empty() {
+                continue;
+            }
+            let Some(fn_idx) = graph.enclosing_fn(&pf.file, idx) else {
+                continue;
+            };
+            let def = &graph.fns[fn_idx];
+            let marker = marker_for(&pf.lines, idx, "nondet");
+            for (token, col) in sites {
+                match &marker {
+                    Some((_, reason)) => findings.push(Finding {
+                        rule: "nondet".to_string(),
+                        crate_name: pf.crate_name.clone(),
+                        file: pf.file.clone(),
+                        line: idx + 1,
+                        col,
+                        function: def.qual.clone(),
+                        detail: token.clone(),
+                        message: format!(
+                            "nondeterministic `{token}` in `{}` suppressed by marker",
+                            def.qual
+                        ),
+                        chain: Vec::new(),
+                        suppressed: true,
+                        reason: reason.clone(),
+                        advisory: false,
+                        occurrence: 1,
+                    }),
+                    None if in_report_path[fn_idx] => {
+                        let chain = chain_to_producer(fn_idx);
+                        findings.push(Finding {
+                            rule: "nondet".to_string(),
+                            crate_name: pf.crate_name.clone(),
+                            file: pf.file.clone(),
+                            line: idx + 1,
+                            col,
+                            function: def.qual.clone(),
+                            message: format!(
+                                "nondeterministic `{token}` in `{}` feeds a report/trace \
+                                 producer; use BTreeMap/sorted order/total_cmp or mark \
+                                 `// xtask: allow(nondet) — why`",
+                                def.qual
+                            ),
+                            detail: token,
+                            chain,
+                            suppressed: false,
+                            reason: String::new(),
+                            advisory: false,
+                            occurrence: 1,
+                        });
+                    }
+                    None => {}
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: atomics and lock discipline
+// ---------------------------------------------------------------------------
+
+fn atomics_pass(files: &[ParsedFile], graph: &CallGraph, findings: &mut Vec<Finding>) {
+    // 3a. Every `Ordering::Relaxed` needs a justification marker.
+    for pf in files {
+        let in_test = test_regions(&pf.lines);
+        for (idx, line) in pf.lines.iter().enumerate() {
+            if in_test.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            for col in relaxed_sites(&line.code) {
+                let function = graph
+                    .enclosing_fn(&pf.file, idx)
+                    .map(|i| graph.fns[i].qual.clone())
+                    .unwrap_or_else(|| "<file>".to_string());
+                match marker_for(&pf.lines, idx, "relaxed") {
+                    Some((_, reason)) => findings.push(Finding {
+                        rule: "relaxed".to_string(),
+                        crate_name: pf.crate_name.clone(),
+                        file: pf.file.clone(),
+                        line: idx + 1,
+                        col,
+                        function,
+                        detail: "Ordering::Relaxed".to_string(),
+                        message: "justified `Ordering::Relaxed`".to_string(),
+                        chain: Vec::new(),
+                        suppressed: true,
+                        reason,
+                        advisory: false,
+                        occurrence: 1,
+                    }),
+                    None => findings.push(Finding {
+                        rule: "relaxed".to_string(),
+                        crate_name: pf.crate_name.clone(),
+                        file: pf.file.clone(),
+                        line: idx + 1,
+                        col,
+                        function,
+                        detail: "Ordering::Relaxed".to_string(),
+                        message: "`Ordering::Relaxed` without a justification; upgrade the \
+                                  ordering or mark `// xtask: allow(relaxed) — why`"
+                            .to_string(),
+                        chain: Vec::new(),
+                        suppressed: false,
+                        reason: String::new(),
+                        advisory: false,
+                        occurrence: 1,
+                    }),
+                }
+            }
+        }
+    }
+
+    // 3b. Lock graph: direct acquisitions per function, then closure.
+    #[derive(Debug, Clone)]
+    struct Acquisition {
+        lock: String,
+        line: usize, // 0-based
+        col: usize,
+    }
+    let mut acquisitions: Vec<Vec<Acquisition>> = vec![Vec::new(); graph.fns.len()];
+    let mut direct_io: Vec<Vec<(String, usize, usize)>> = vec![Vec::new(); graph.fns.len()];
+    for pf in files {
+        let in_test = test_regions(&pf.lines);
+        for (idx, line) in pf.lines.iter().enumerate() {
+            if in_test.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            let locks = lock_sites(&line.code);
+            let ios = io_sites(&line.code);
+            if locks.is_empty() && ios.is_empty() {
+                continue;
+            }
+            let Some(fn_idx) = graph.enclosing_fn(&pf.file, idx) else {
+                continue;
+            };
+            let def = &graph.fns[fn_idx];
+            for (receiver, col) in locks {
+                let lock = lock_identity(def, &receiver);
+                acquisitions[fn_idx].push(Acquisition {
+                    lock,
+                    line: idx,
+                    col,
+                });
+            }
+            for (token, col) in ios {
+                direct_io[fn_idx].push((token.to_string(), idx, col));
+            }
+        }
+    }
+
+    // Transitive lock closure per function (locks acquired in or below).
+    let lock_closure = transitive_closure(graph, &acquisitions, |acqs| {
+        acqs.iter().map(|a| a.lock.clone()).collect()
+    });
+
+    // Lock-order edges with provenance; lock-io findings.
+    let mut edges: BTreeMap<(String, String), (usize, usize, usize, String)> = BTreeMap::new();
+    for (fn_idx, acqs) in acquisitions.iter().enumerate() {
+        let Some(pf) = files.iter().find(|p| p.file == graph.fns[fn_idx].file) else {
+            continue;
+        };
+        for a in acqs {
+            // Later direct acquisitions in the same function.
+            for b in acqs {
+                if b.line > a.line && b.lock != a.lock {
+                    edges.entry((a.lock.clone(), b.lock.clone())).or_insert((
+                        fn_idx,
+                        b.line,
+                        b.col,
+                        String::new(),
+                    ));
+                }
+            }
+            // Calls after the acquisition that reach other locks.
+            for site in &graph.calls[fn_idx] {
+                if site.line <= a.line + 1 {
+                    continue;
+                }
+                for &callee in &site.resolved {
+                    for lock in &lock_closure[callee] {
+                        if *lock != a.lock {
+                            edges.entry((a.lock.clone(), lock.clone())).or_insert((
+                                fn_idx,
+                                site.line - 1,
+                                1,
+                                graph.fns[callee].label(),
+                            ));
+                        }
+                    }
+                }
+            }
+            // Direct I/O after the acquisition.
+            for (token, io_line, io_col) in &direct_io[fn_idx] {
+                if *io_line <= a.line {
+                    continue;
+                }
+                let def = &graph.fns[fn_idx];
+                match marker_for(&pf.lines, *io_line, "lockio") {
+                    Some((_, reason)) => findings.push(Finding {
+                        rule: "lock-io".to_string(),
+                        crate_name: def.crate_name.clone(),
+                        file: def.file.clone(),
+                        line: io_line + 1,
+                        col: *io_col,
+                        function: def.qual.clone(),
+                        detail: format!("{} under {}", token, a.lock),
+                        message: format!(
+                            "I/O `{token}` while holding `{}` — suppressed by marker",
+                            a.lock
+                        ),
+                        chain: Vec::new(),
+                        suppressed: true,
+                        reason,
+                        advisory: false,
+                        occurrence: 1,
+                    }),
+                    None => findings.push(Finding {
+                        rule: "lock-io".to_string(),
+                        crate_name: def.crate_name.clone(),
+                        file: def.file.clone(),
+                        line: io_line + 1,
+                        col: *io_col,
+                        function: def.qual.clone(),
+                        detail: format!("{} under {}", token, a.lock),
+                        message: format!(
+                            "I/O `{token}` while `{}` may still be held; move the I/O out \
+                             of the critical section or mark \
+                             `// xtask: allow(lockio) — why`",
+                            a.lock
+                        ),
+                        chain: Vec::new(),
+                        suppressed: false,
+                        reason: String::new(),
+                        advisory: false,
+                        occurrence: 1,
+                    }),
+                }
+            }
+        }
+    }
+
+    // Cycle detection over the lock-order digraph.
+    for cycle in find_cycles(&edges) {
+        let (first, second) = (&cycle[0], &cycle[1 % cycle.len()]);
+        if let Some((fn_idx, line, col, via)) = edges.get(&(first.clone(), second.clone())) {
+            let def = &graph.fns[*fn_idx];
+            let mut display = cycle.clone();
+            display.push(first.clone());
+            findings.push(Finding {
+                rule: "lock-cycle".to_string(),
+                crate_name: def.crate_name.clone(),
+                file: def.file.clone(),
+                line: line + 1,
+                col: *col,
+                function: def.qual.clone(),
+                detail: display.join(" -> "),
+                message: format!(
+                    "lock-order cycle {}{}; acquire in one global order",
+                    display.join(" -> "),
+                    if via.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" (via `{via}`)")
+                    }
+                ),
+                chain: Vec::new(),
+                suppressed: false,
+                reason: String::new(),
+                advisory: false,
+                occurrence: 1,
+            });
+        }
+    }
+}
+
+/// Canonical lock identity for a receiver chain in a function body.
+fn lock_identity(def: &FnDef, receiver: &str) -> String {
+    if let Some(field) = receiver.strip_prefix("self.") {
+        match def.qual.split_once("::") {
+            Some((ty, _)) => format!("{ty}::{field}"),
+            None => format!("{}::{field}", def.name),
+        }
+    } else {
+        format!("{}::{receiver}", def.qual)
+    }
+}
+
+/// Per-function transitive closure of values attached to functions
+/// (e.g. locks acquired in or below each function).
+fn transitive_closure<T>(
+    graph: &CallGraph,
+    per_fn: &[Vec<T>],
+    extract: impl Fn(&[T]) -> Vec<String>,
+) -> Vec<Vec<String>> {
+    let mut closure: Vec<Vec<String>> = per_fn.iter().map(|v| extract(v)).collect();
+    // Fixpoint: propagate callee values to callers. The graph is small
+    // (a few hundred nodes); a few sweeps converge.
+    let mut changed = true;
+    let mut sweeps = 0;
+    while changed && sweeps < 64 {
+        changed = false;
+        sweeps += 1;
+        for fn_idx in 0..graph.fns.len() {
+            let mut additions: Vec<String> = Vec::new();
+            for &callee in &graph.adjacency[fn_idx] {
+                for v in &closure[callee] {
+                    if !closure[fn_idx].contains(v) && !additions.contains(v) {
+                        additions.push(v.clone());
+                    }
+                }
+            }
+            if !additions.is_empty() {
+                closure[fn_idx].extend(additions);
+                changed = true;
+            }
+        }
+    }
+    for c in &mut closure {
+        c.sort();
+        c.dedup();
+    }
+    closure
+}
+
+/// Simple cycle enumeration over the lock digraph: for every edge
+/// `a -> b`, report a cycle when `a` is reachable back from `b`. Each
+/// cycle is canonicalized (rotated to its lexicographically smallest
+/// node) and deduplicated.
+fn find_cycles(
+    edges: &BTreeMap<(String, String), (usize, usize, usize, String)>,
+) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a.as_str()).or_default().push(b.as_str());
+    }
+    let mut cycles: Vec<Vec<String>> = Vec::new();
+    for (a, b) in edges.keys() {
+        // BFS from b back to a.
+        let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(b.as_str());
+        let mut found = false;
+        while let Some(at) = queue.pop_front() {
+            if at == a {
+                found = true;
+                break;
+            }
+            for &next in adj.get(at).map(Vec::as_slice).unwrap_or_default() {
+                if next != b.as_str() && !parent.contains_key(next) {
+                    parent.insert(next, at);
+                    queue.push_back(next);
+                }
+            }
+        }
+        if !found && a != b {
+            continue;
+        }
+        // Reconstruct b -> … -> a, then prepend a -> b.
+        let mut path = vec![a.to_string()];
+        if a != b {
+            let mut walk: Vec<&str> = vec![a.as_str()];
+            let mut cur: &str = a.as_str();
+            while let Some(&p) = parent.get(cur) {
+                walk.push(p);
+                cur = p;
+            }
+            walk.reverse(); // b … a
+            walk.pop(); // drop the duplicate a
+            path.extend(walk.iter().map(|s| s.to_string()));
+        }
+        // Canonical rotation.
+        if let Some(min_pos) = path
+            .iter()
+            .enumerate()
+            .min_by(|x, y| x.1.cmp(y.1))
+            .map(|(i, _)| i)
+        {
+            path.rotate_left(min_pos);
+        }
+        if !cycles.contains(&path) {
+            cycles.push(path);
+        }
+    }
+    cycles
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4: stale markers
+// ---------------------------------------------------------------------------
+
+/// Rules whose markers the audit owns and accounts for.
+const MARKER_RULES: &[&str] = &["panic", "nondet", "relaxed", "lockio"];
+
+fn stale_marker_pass(files: &[ParsedFile], findings: &mut Vec<Finding>) {
+    for pf in files {
+        let in_test = test_regions(&pf.lines);
+        for rule in MARKER_RULES {
+            for m in marker_lines(&pf.lines, rule) {
+                if in_test.get(m).copied().unwrap_or(false) {
+                    continue;
+                }
+                let consumed = (m..(m + 9).min(pf.lines.len())).any(|s| {
+                    let line = &pf.lines[s];
+                    let has_site = match *rule {
+                        "panic" => !panic_sites(&line.code).is_empty(),
+                        "nondet" => {
+                            !nondet_tokens(&line.code).is_empty()
+                                || !hash_iteration_sites(&line.code, &hash_typed_names(&pf.lines))
+                                    .is_empty()
+                        }
+                        "relaxed" => !relaxed_sites(&line.code).is_empty(),
+                        "lockio" => !io_sites(&line.code).is_empty(),
+                        _ => false,
+                    };
+                    has_site && marker_for(&pf.lines, s, rule).is_some_and(|(at, _)| at == m)
+                });
+                if !consumed {
+                    findings.push(Finding {
+                        rule: "stale-marker".to_string(),
+                        crate_name: pf.crate_name.clone(),
+                        file: pf.file.clone(),
+                        line: m + 1,
+                        col: 1,
+                        function: "<file>".to_string(),
+                        detail: format!("allow({rule})"),
+                        message: format!(
+                            "`xtask: allow({rule})` marker no longer guards a matching \
+                             site; remove it (markers must sit at the actual sink)"
+                        ),
+                        chain: Vec::new(),
+                        suppressed: false,
+                        reason: String::new(),
+                        advisory: false,
+                        occurrence: 1,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::parse_file;
+    use crate::lexer::scrub;
+
+    fn single(crate_name: &str, src: &str) -> Vec<Finding> {
+        let pf = parse_file(crate_name, "src/lib.rs", &scrub(src));
+        let mut closure = BTreeMap::new();
+        closure.insert(crate_name.to_string(), vec![crate_name.to_string()]);
+        run_audit(&[pf], &closure, &AuditOptions::default())
+    }
+
+    #[test]
+    fn unreachable_panic_in_unaudited_crate_is_silent() {
+        let src = "fn private_only() {\n    Some(1).unwrap();\n}\n";
+        let findings = single("hp-floorplan", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn public_api_panic_is_a_finding_with_chain() {
+        let src = "pub fn api() {\n    helper();\n}\nfn helper() {\n    Some(1).unwrap();\n}\n";
+        let findings = single("hp-thermal", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        let f = &findings[0];
+        assert_eq!(f.rule, "panic");
+        assert!(f.failing());
+        assert_eq!(f.line, 5);
+        assert_eq!(f.chain, vec!["hp-thermal::api", "hp-thermal::helper"]);
+    }
+
+    #[test]
+    fn marker_at_sink_suppresses_and_is_accounted() {
+        let src = "pub fn api() {\n    // xtask: allow(panic) — impossible by construction\n    Some(1).unwrap();\n}\n";
+        let findings = single("hp-thermal", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].suppressed);
+        assert!(!findings[0].failing());
+        assert!(findings[0].accountable());
+        assert_eq!(findings[0].reason, "impossible by construction");
+    }
+
+    #[test]
+    fn stale_marker_is_reported() {
+        let src = "pub fn api() -> u32 {\n    // xtask: allow(panic) — stale, nothing panics below\n    41 + 1\n}\n";
+        let findings = single("hp-thermal", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "stale-marker");
+        assert!(findings[0].failing());
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn relaxed_needs_marker() {
+        let src = "pub fn bump(c: &std::sync::atomic::AtomicU64) {\n    c.fetch_add(1, Ordering::Relaxed);\n}\n";
+        let findings = single("hp-obs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "relaxed");
+        assert!(findings[0].failing());
+        let marked = "pub fn bump(c: &std::sync::atomic::AtomicU64) {\n    // xtask: allow(relaxed) — monotonic tally\n    c.fetch_add(1, Ordering::Relaxed);\n}\n";
+        let findings = single("hp-obs", marked);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].suppressed);
+    }
+
+    #[test]
+    fn hashmap_iteration_in_report_path_is_flagged() {
+        let src = "pub struct RunReport;\n\
+                   impl RunReport {\n    pub fn record_row(&mut self) {}\n}\n\
+                   pub fn summarize(m: &std::collections::HashMap<String, u32>) {\n\
+                   \n    let map: HashMap<String, u32> = HashMap::new();\n\
+                   \n    let mut r = RunReport;\n\
+                   \n    for (k, v) in map.iter() {\n        let _ = (k, v);\n    }\n\
+                   \n    r.record_row();\n}\n";
+        let findings = single("hp-obs", src);
+        let hash: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.detail.starts_with("hash-iter"))
+            .collect();
+        assert!(!hash.is_empty(), "{findings:?}");
+        assert!(hash[0].failing());
+        assert!(!hash[0].chain.is_empty());
+    }
+
+    #[test]
+    fn instant_outside_report_paths_is_silent() {
+        let src = "pub fn standalone() {\n    let _t = Instant::now();\n}\n";
+        let findings = single("hp-sim", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn instant_feeding_a_producer_is_flagged_with_chain() {
+        let src = "pub struct Registry;\n\
+                   impl Registry {\n    pub fn observe(&self) {}\n}\n\
+                   pub fn timed(r: &Registry) {\n    let t = Instant::now();\n    let _ = t;\n    r.observe();\n}\n";
+        let findings = single("hp-sim", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "nondet");
+        assert_eq!(findings[0].detail, "Instant::now");
+        assert_eq!(
+            findings[0].chain,
+            vec!["hp-sim::timed", "hp-sim::Registry::observe"]
+        );
+    }
+
+    #[test]
+    fn lock_across_io_is_flagged_and_markable() {
+        let src = "pub struct Sink { state: std::sync::Mutex<u32> }\n\
+                   impl Sink {\n    pub fn record(&self) {\n        let _g = self.state.lock();\n        let _ = fs::write(\"x\", \"y\");\n    }\n}\n";
+        let findings = single("hp-campaign", src);
+        let io: Vec<&Finding> = findings.iter().filter(|f| f.rule == "lock-io").collect();
+        assert_eq!(io.len(), 1, "{findings:?}");
+        assert!(io[0].failing());
+        assert!(io[0].detail.contains("Sink::state"));
+        let marked = "pub struct Sink { state: std::sync::Mutex<u32> }\n\
+                   impl Sink {\n    pub fn record(&self) {\n        let _g = self.state.lock();\n        // xtask: allow(lockio) — appends must serialize\n        let _ = fs::write(\"x\", \"y\");\n    }\n}\n";
+        let findings = single("hp-campaign", marked);
+        let io: Vec<&Finding> = findings.iter().filter(|f| f.rule == "lock-io").collect();
+        assert_eq!(io.len(), 1);
+        assert!(io[0].suppressed);
+    }
+
+    #[test]
+    fn lock_order_cycle_is_found() {
+        let src = "pub struct P { a: std::sync::Mutex<u32>, b: std::sync::Mutex<u32> }\n\
+                   impl P {\n\
+                   \n    pub fn ab(&self) {\n        let _x = self.a.lock();\n        let _y = self.b.lock();\n    }\n\
+                   \n    pub fn ba(&self) {\n        let _y = self.b.lock();\n        let _x = self.a.lock();\n    }\n\
+                   }\n";
+        let findings = single("hp-campaign", src);
+        let cycles: Vec<&Finding> = findings.iter().filter(|f| f.rule == "lock-cycle").collect();
+        assert!(!cycles.is_empty(), "{findings:?}");
+        assert!(cycles[0].detail.contains("P::a"));
+        assert!(cycles[0].detail.contains("P::b"));
+    }
+
+    #[test]
+    fn occurrences_disambiguate_repeated_sites() {
+        let src = "pub fn bump(a: &A, b: &A) {\n    a.0.fetch_add(1, Ordering::Relaxed);\n    b.0.fetch_add(1, Ordering::Relaxed);\n}\n";
+        let findings = single("hp-obs", src);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert_eq!(findings[0].occurrence, 1);
+        assert_eq!(findings[1].occurrence, 2);
+        assert_ne!(findings[0].key(), findings[1].key());
+    }
+
+    #[test]
+    fn columns_are_one_based() {
+        let src = "pub fn api() {\n    Some(1).unwrap();\n}\n";
+        let findings = single("hp-thermal", src);
+        assert_eq!(findings.len(), 1);
+        // `.unwrap()` begins at the 12th character (1-based), right
+        // after `Some(1)` at 4 spaces of indent.
+        assert_eq!(findings[0].col, 12);
+    }
+}

@@ -1,0 +1,622 @@
+//! `hp-audit-v1` findings serialisation and the reviewed-baseline diff.
+//!
+//! The audit emits machine-readable findings in the same hand-rolled
+//! JSON style as `hp-report-v1` (no serde — the gate runs in offline
+//! CI with zero dependencies). A reviewed `xtask/audit.baseline.json`
+//! enumerates every accountable finding (suppressed sites included):
+//!
+//! * a finding whose key is **not** in the baseline is *new* — CI fails
+//!   until it is fixed or reviewed into the baseline;
+//! * a baseline entry with **no** matching finding is *stale* — CI
+//!   fails until the entry is removed (fixed findings must not linger).
+//!
+//! Keys are line-number-free (`rule|file|function|detail[#k]`) so
+//! unrelated edits do not churn the ledger.
+
+use crate::audit::Finding;
+
+/// Schema tag of the findings document.
+pub const AUDIT_SCHEMA: &str = "hp-audit-v1";
+
+/// Schema tag of the baseline document.
+pub const BASELINE_SCHEMA: &str = "hp-audit-baseline-v1";
+
+// ---------------------------------------------------------------------------
+// Serialisation
+// ---------------------------------------------------------------------------
+
+/// JSON string escaping (control characters, quotes, backslashes).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u");
+                let code = c as u32;
+                for shift in [12u32, 8, 4, 0] {
+                    let digit = (code >> shift) & 0xF;
+                    out.push(char::from_digit(digit, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialises findings as an `hp-audit-v1` document.
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{AUDIT_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"count\": {},\n", findings.len()));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"key\": \"{}\", ", escape(&f.key())));
+        out.push_str(&format!("\"rule\": \"{}\", ", escape(&f.rule)));
+        out.push_str(&format!("\"crate\": \"{}\", ", escape(&f.crate_name)));
+        out.push_str(&format!("\"file\": \"{}\", ", escape(&f.file)));
+        out.push_str(&format!("\"line\": {}, ", f.line));
+        out.push_str(&format!("\"col\": {}, ", f.col));
+        out.push_str(&format!("\"function\": \"{}\", ", escape(&f.function)));
+        out.push_str(&format!("\"detail\": \"{}\", ", escape(&f.detail)));
+        out.push_str(&format!("\"occurrence\": {}, ", f.occurrence));
+        out.push_str(&format!("\"suppressed\": {}, ", f.suppressed));
+        out.push_str(&format!("\"advisory\": {}, ", f.advisory));
+        out.push_str(&format!("\"reason\": \"{}\", ", escape(&f.reason)));
+        out.push_str("\"chain\": [");
+        for (j, link) in f.chain.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\"", escape(link)));
+        }
+        out.push_str("], ");
+        out.push_str(&format!("\"message\": \"{}\"", escape(&f.message)));
+        out.push('}');
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Parses an `hp-audit-v1` document back into findings (round-trip
+/// counterpart of [`findings_to_json`]).
+pub fn findings_from_json(src: &str) -> Result<Vec<Finding>, String> {
+    let value = parse_json(src)?;
+    let obj = value.as_obj().ok_or("top level is not an object")?;
+    match get(obj, "schema").and_then(Value::as_str) {
+        Some(s) if s == AUDIT_SCHEMA => {}
+        Some(s) => return Err(format!("unsupported schema `{s}`")),
+        None => return Err("missing `schema` field".to_string()),
+    }
+    let raw = get(obj, "findings")
+        .and_then(Value::as_arr)
+        .ok_or("missing `findings` array")?;
+    let mut findings = Vec::with_capacity(raw.len());
+    for item in raw {
+        let o = item.as_obj().ok_or("finding is not an object")?;
+        let s = |k: &str| -> Result<String, String> {
+            get(o, k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("finding missing string field `{k}`"))
+        };
+        let n = |k: &str| -> Result<usize, String> {
+            get(o, k)
+                .and_then(Value::as_num)
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("finding missing numeric field `{k}`"))
+        };
+        let b = |k: &str| -> Result<bool, String> {
+            get(o, k)
+                .and_then(Value::as_bool)
+                .ok_or_else(|| format!("finding missing bool field `{k}`"))
+        };
+        let chain = match get(o, "chain").and_then(Value::as_arr) {
+            Some(items) => {
+                let mut chain = Vec::with_capacity(items.len());
+                for link in items {
+                    chain.push(
+                        link.as_str()
+                            .map(str::to_string)
+                            .ok_or("chain link is not a string")?,
+                    );
+                }
+                chain
+            }
+            None => Vec::new(),
+        };
+        findings.push(Finding {
+            rule: s("rule")?,
+            crate_name: s("crate")?,
+            file: s("file")?,
+            line: n("line")?,
+            col: n("col")?,
+            function: s("function")?,
+            detail: s("detail")?,
+            message: s("message")?,
+            chain,
+            suppressed: b("suppressed")?,
+            reason: s("reason")?,
+            advisory: b("advisory")?,
+            occurrence: n("occurrence")?,
+        });
+    }
+    Ok(findings)
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+/// One reviewed baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Stable finding key (`rule|file|function|detail[#k]`).
+    pub key: String,
+    /// Rule the entry belongs to (redundant with the key, kept for
+    /// human review).
+    pub rule: String,
+    /// Whether the finding was marker-suppressed when reviewed.
+    pub suppressed: bool,
+    /// Marker justification (or reviewer note for grandfathered,
+    /// unsuppressed findings).
+    pub note: String,
+}
+
+/// The reviewed ledger of accountable findings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Entries sorted by key.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Builds a baseline from a finished audit run: every accountable
+    /// (non-advisory) finding becomes an entry.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: Vec<BaselineEntry> = findings
+            .iter()
+            .filter(|f| f.accountable())
+            .map(|f| BaselineEntry {
+                key: f.key(),
+                rule: f.rule.clone(),
+                suppressed: f.suppressed,
+                note: f.reason.clone(),
+            })
+            .collect();
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
+        entries.dedup_by(|a, b| a.key == b.key);
+        Baseline { entries }
+    }
+
+    /// Serialises as an `hp-audit-baseline-v1` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{BASELINE_SCHEMA}\",\n"));
+        out.push_str(&format!("  \"count\": {},\n", self.entries.len()));
+        out.push_str("  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"key\": \"{}\", ", escape(&e.key)));
+            out.push_str(&format!("\"rule\": \"{}\", ", escape(&e.rule)));
+            out.push_str(&format!("\"suppressed\": {}, ", e.suppressed));
+            out.push_str(&format!("\"note\": \"{}\"", escape(&e.note)));
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses an `hp-audit-baseline-v1` document.
+    pub fn parse(src: &str) -> Result<Baseline, String> {
+        let value = parse_json(src)?;
+        let obj = value.as_obj().ok_or("top level is not an object")?;
+        match get(obj, "schema").and_then(Value::as_str) {
+            Some(s) if s == BASELINE_SCHEMA => {}
+            Some(s) => return Err(format!("unsupported baseline schema `{s}`")),
+            None => return Err("missing `schema` field".to_string()),
+        }
+        let raw = get(obj, "entries")
+            .and_then(Value::as_arr)
+            .ok_or("missing `entries` array")?;
+        let mut entries = Vec::with_capacity(raw.len());
+        for item in raw {
+            let o = item.as_obj().ok_or("entry is not an object")?;
+            entries.push(BaselineEntry {
+                key: get(o, "key")
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or("entry missing `key`")?,
+                rule: get(o, "rule")
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .unwrap_or_default(),
+                suppressed: get(o, "suppressed")
+                    .and_then(Value::as_bool)
+                    .unwrap_or(false),
+                note: get(o, "note")
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .unwrap_or_default(),
+            });
+        }
+        Ok(Baseline { entries })
+    }
+}
+
+/// Outcome of diffing a run's findings against the reviewed baseline.
+#[derive(Debug, Default)]
+pub struct BaselineDiff {
+    /// Findings not present in the baseline (fail CI until fixed or
+    /// reviewed in).
+    pub new: Vec<Finding>,
+    /// Baseline entries with no matching finding (fail CI until the
+    /// stale entry is removed).
+    pub stale: Vec<BaselineEntry>,
+}
+
+impl BaselineDiff {
+    /// The gate passes only on an empty diff.
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Diffs accountable findings against the baseline, both directions.
+pub fn diff(findings: &[Finding], baseline: &Baseline) -> BaselineDiff {
+    let mut have: Vec<&str> = Vec::new();
+    let mut out = BaselineDiff::default();
+    let keys: Vec<String> = findings.iter().map(Finding::key).collect();
+    for (f, key) in findings.iter().zip(keys.iter()) {
+        if !f.accountable() {
+            continue;
+        }
+        have.push(key.as_str());
+        if !baseline.entries.iter().any(|e| &e.key == key) {
+            out.new.push(f.clone());
+        }
+    }
+    for e in &baseline.entries {
+        if !have.contains(&e.key.as_str()) {
+            out.stale.push(e.clone());
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (objects, arrays, strings, unsigned ints, bools)
+// ---------------------------------------------------------------------------
+
+/// Parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// String.
+    Str(String),
+    /// Unsigned integer (the only numeric shape the schemas use).
+    Num(u64),
+    /// Boolean.
+    Bool(bool),
+    /// Null.
+    Null,
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object (insertion-ordered key/value pairs).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_num(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+    fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Parses a complete JSON document.
+pub fn parse_json(src: &str) -> Result<Value, String> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut p = Parser { chars, pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.peek().is_some() {
+        return Err(format!("trailing input at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            Some(got) => Err(format!(
+                "expected `{c}`, got `{got}` at offset {}",
+                self.pos
+            )),
+            None => Err(format!("expected `{c}`, got end of input")),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some('t') => self.literal("true", Value::Bool(true)),
+            Some('f') => self.literal("false", Value::Bool(false)),
+            Some('n') => self.literal("null", Value::Null),
+            Some(c) if c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected `{c}` at offset {}", self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        for expected in word.chars() {
+            match self.bump() {
+                Some(c) if c == expected => {}
+                _ => return Err(format!("malformed literal near offset {}", self.pos)),
+            }
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let mut n: u64 = 0;
+        let mut digits = 0;
+        while let Some(c) = self.peek() {
+            let Some(d) = c.to_digit(10) else {
+                break;
+            };
+            self.pos += 1;
+            digits += 1;
+            n = n
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(u64::from(d)))
+                .ok_or_else(|| format!("integer overflow at offset {}", self.pos))?;
+        }
+        if digits == 0 {
+            return Err(format!("malformed number at offset {}", self.pos));
+        }
+        Ok(Value::Num(n))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('u') => {
+                        let mut code: u32 = 0;
+                        for _ in 0..4 {
+                            let d = self.bump().and_then(|c| c.to_digit(16)).ok_or_else(|| {
+                                format!("malformed \\u escape at offset {}", self.pos)
+                            })?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    Some(c) => return Err(format!("unknown escape `\\{c}`")),
+                    None => return Err("unterminated string".to_string()),
+                },
+                Some(c) => out.push(c),
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.eat('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => return Ok(Value::Arr(items)),
+                _ => return Err(format!("malformed array near offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.eat('{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(':')?;
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(Value::Obj(pairs)),
+                _ => return Err(format!("malformed object near offset {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_finding() -> Finding {
+        Finding {
+            rule: "panic".to_string(),
+            crate_name: "hp-thermal".to_string(),
+            file: "crates/thermal/src/solver.rs".to_string(),
+            line: 42,
+            col: 17,
+            function: "Solver::step".to_string(),
+            detail: ".unwrap()".to_string(),
+            message: "`.unwrap()` reachable from public API `hp-thermal::Solver::run`".to_string(),
+            chain: vec![
+                "hp-thermal::Solver::run".to_string(),
+                "hp-thermal::Solver::step".to_string(),
+            ],
+            suppressed: false,
+            reason: String::new(),
+            advisory: false,
+            occurrence: 1,
+        }
+    }
+
+    #[test]
+    fn findings_round_trip_through_hp_audit_v1() {
+        let mut second = sample_finding();
+        second.rule = "nondet".to_string();
+        second.detail = "Instant::now".to_string();
+        second.suppressed = true;
+        second.reason = "wall-clock histogram, \"excluded\" from goldens — see §12".to_string();
+        second.occurrence = 2;
+        second.chain.clear();
+        let originals = vec![sample_finding(), second];
+        let json = findings_to_json(&originals);
+        let parsed = findings_from_json(&json).unwrap();
+        assert_eq!(parsed, originals);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let json = findings_to_json(&[sample_finding()]).replace("hp-audit-v1", "hp-audit-v0");
+        let err = findings_from_json(&json).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn baseline_round_trips_and_diffs_clean() {
+        let findings = vec![sample_finding()];
+        let baseline = Baseline::from_findings(&findings);
+        let parsed = Baseline::parse(&baseline.to_json()).unwrap();
+        assert_eq!(parsed, baseline);
+        let d = diff(&findings, &parsed);
+        assert!(d.is_clean(), "{d:?}");
+    }
+
+    #[test]
+    fn new_finding_fails_the_diff() {
+        let baseline = Baseline::from_findings(&[]);
+        let d = diff(&[sample_finding()], &baseline);
+        assert_eq!(d.new.len(), 1);
+        assert!(d.stale.is_empty());
+        assert!(!d.is_clean());
+    }
+
+    #[test]
+    fn stale_entry_fails_the_diff() {
+        let baseline = Baseline::from_findings(&[sample_finding()]);
+        let d = diff(&[], &baseline);
+        assert!(d.new.is_empty());
+        assert_eq!(d.stale.len(), 1);
+        assert_eq!(
+            d.stale.first().map(|e| e.key.as_str()),
+            Some("panic|crates/thermal/src/solver.rs|Solver::step|.unwrap()")
+        );
+    }
+
+    #[test]
+    fn advisory_findings_are_not_accountable() {
+        let mut f = sample_finding();
+        f.advisory = true;
+        let baseline = Baseline::from_findings(&[f.clone()]);
+        assert!(baseline.entries.is_empty());
+        assert!(diff(&[f], &baseline).is_clean());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_rejects_trailing_garbage() {
+        let v = parse_json("{\"a\": \"x\\n\\\"y\\\"\", \"b\": [1, 2], \"c\": true}").unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(get(obj, "a").and_then(Value::as_str), Some("x\n\"y\""));
+        assert!(parse_json("{} junk").is_err());
+        assert!(parse_json("{\"a\": 99999999999999999999999}").is_err());
+    }
+}

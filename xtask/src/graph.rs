@@ -1,0 +1,877 @@
+//! Lightweight symbol table and intra-workspace call graph.
+//!
+//! Built on the scrubbing [`lexer`](crate::lexer): a brace-depth walk
+//! over each library source recovers function definitions (with their
+//! enclosing `impl` type and module), and a token scan over each body
+//! recovers call sites. Resolution is name-based and deliberately
+//! conservative:
+//!
+//! * `Type::method(…)` / `module::func(…)` paths resolve against the
+//!   qualified index, filtered to the caller's crate and its first-party
+//!   dependency closure;
+//! * `.method(…)` resolves to every first-party method of that name in
+//!   scope, except a short list of pervasive trait names (`clone`,
+//!   `fmt`, `next`, …) that would otherwise shadow std dispatch;
+//! * bare `func(…)` resolves within the caller's crate first, then its
+//!   dependencies.
+//!
+//! Unresolved calls are leaves (std / vendored code). Over-approximation
+//! is acceptable — the audit passes prefer a spurious edge (reviewed
+//! once, then baselined or refuted) over a silently missed chain.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::Line;
+
+/// Pervasive trait-method names excluded from `.method(` resolution:
+/// they nearly always dispatch to std/derive impls, and linking them to
+/// same-named first-party methods floods the graph with false edges.
+const COMMON_TRAIT_METHODS: &[&str] = &[
+    "clone",
+    "fmt",
+    "drop",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "default",
+    "from",
+    "into",
+    "try_from",
+    "try_into",
+    "as_ref",
+    "as_mut",
+    "deref",
+    "index",
+    "next",
+    "to_string",
+    "to_owned",
+    "borrow",
+    "serialize",
+    "deserialize",
+    // Container-shaped names: `.len()` on a Vec resolving to some
+    // first-party `len` method would connect nearly every function.
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "clear",
+    "contains",
+    "extend",
+];
+
+/// Rust keywords and common macro-like identifiers that look like calls
+/// in a token scan but never are.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "else", "match", "while", "for", "loop", "return", "fn", "let", "in", "as", "move",
+    "ref", "mut", "pub", "use", "mod", "impl", "where", "unsafe", "dyn", "box", "await", "break",
+    "continue", "struct", "enum", "trait", "type", "const", "static", "crate", "super", "self",
+    "Self",
+];
+
+/// One function definition recovered from a source file.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Owning crate (package name).
+    pub crate_name: String,
+    /// Repo-relative file path.
+    pub file: String,
+    /// Bare function name.
+    pub name: String,
+    /// `Type::name` for methods, `name` for free functions.
+    pub qual: String,
+    /// `pub fn` (not `pub(crate)`/`pub(super)`) — a library API root.
+    pub is_pub: bool,
+    /// Defined inside an `impl` block.
+    pub is_method: bool,
+    /// 1-based line of the `fn` keyword.
+    pub decl_line: usize,
+    /// 0-based inclusive line range of the signature + body.
+    pub span: (usize, usize),
+}
+
+impl FnDef {
+    /// `crate::Type::name`-style display label for chain printing.
+    pub fn label(&self) -> String {
+        format!("{}::{}", self.crate_name, self.qual)
+    }
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Index of the calling function in [`CallGraph::fns`].
+    pub caller: usize,
+    /// Callee as written: `name`, `Type::name`, or `.name`.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Resolved callee indices (empty = external leaf).
+    pub resolved: Vec<usize>,
+}
+
+/// A parsed source file ready for graph building and the audit passes.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Owning crate (package name).
+    pub crate_name: String,
+    /// Repo-relative path.
+    pub file: String,
+    /// Scrubbed lines (code / comments / strings separated).
+    pub lines: Vec<Line>,
+    /// Functions defined in the file, in source order.
+    pub fns: Vec<FnDef>,
+}
+
+/// Parses one library source into its function definitions.
+pub fn parse_file(crate_name: &str, file: &str, lines: &[Line]) -> ParsedFile {
+    let mut fns: Vec<FnDef> = Vec::new();
+    // Stack of (kind, depth_when_opened). Depth counts `{` minus `}`
+    // *before* the frame opened.
+    enum Frame {
+        Impl(String),
+        Fn(usize), // index into fns
+    }
+    let mut stack: Vec<(Frame, i64)> = Vec::new();
+    let mut depth: i64 = 0;
+    // A fn/impl header may span lines before its `{`; hold it pending.
+    let mut pending: Option<(Frame, usize)> = None; // (frame, header line idx)
+
+    for (idx, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+
+        if pending.is_none() {
+            if let Some(ty) = impl_header(code) {
+                pending = Some((Frame::Impl(ty), idx));
+            } else if let Some((name, is_pub)) = fn_header(code) {
+                let impl_type = stack.iter().rev().find_map(|(f, _)| match f {
+                    Frame::Impl(t) => Some(t.clone()),
+                    _ => None,
+                });
+                let qual = match &impl_type {
+                    Some(t) => format!("{t}::{name}"),
+                    None => name.clone(),
+                };
+                fns.push(FnDef {
+                    crate_name: crate_name.to_string(),
+                    file: file.to_string(),
+                    name,
+                    qual,
+                    is_pub,
+                    is_method: impl_type.is_some(),
+                    decl_line: idx + 1,
+                    span: (idx, idx), // end fixed up on close
+                });
+                pending = Some((Frame::Fn(fns.len() - 1), idx));
+            }
+        }
+
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if let Some((frame, _)) = pending.take() {
+                        stack.push((frame, depth));
+                    } else {
+                        // An anonymous block; only track depth.
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    while let Some((frame, open_depth)) = stack.last() {
+                        if depth > *open_depth {
+                            break;
+                        }
+                        if let Frame::Fn(fi) = frame {
+                            if let Some(def) = fns.get_mut(*fi) {
+                                def.span.1 = idx;
+                            }
+                        }
+                        stack.pop();
+                    }
+                }
+                // A trait method declaration (`fn f(…) -> T;`) has no
+                // body: drop the pending frame at the `;`.
+                ';' => {
+                    if let Some((Frame::Fn(fi), _)) = &pending {
+                        // Remove the bodyless declaration entirely.
+                        if fi + 1 == fns.len() {
+                            fns.pop();
+                        }
+                        pending = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // Unclosed frames (truncated file): close at EOF.
+    for (frame, _) in stack {
+        if let Frame::Fn(fi) = frame {
+            if let Some(def) = fns.get_mut(fi) {
+                def.span.1 = lines.len().saturating_sub(1);
+            }
+        }
+    }
+    ParsedFile {
+        crate_name: crate_name.to_string(),
+        file: file.to_string(),
+        lines: lines.to_vec(),
+        fns,
+    }
+}
+
+/// The assembled workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Every function, in (file, source) order.
+    pub fns: Vec<FnDef>,
+    /// Call sites per function (indexed like [`CallGraph::fns`]).
+    pub calls: Vec<Vec<CallSite>>,
+    /// Flattened adjacency: resolved callee indices per function.
+    pub adjacency: Vec<Vec<usize>>,
+    /// Reverse adjacency: caller indices per function.
+    pub reverse: Vec<Vec<usize>>,
+    /// File index: `file -> [fn indices]` for site attribution.
+    pub fns_by_file: BTreeMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph over parsed files. `deps_closure` maps each
+    /// crate to its transitive first-party dependency closure
+    /// (including itself); calls only resolve within that scope.
+    pub fn build(files: &[ParsedFile], deps_closure: &BTreeMap<String, Vec<String>>) -> CallGraph {
+        let mut graph = CallGraph::default();
+        for pf in files {
+            for def in &pf.fns {
+                graph
+                    .fns_by_file
+                    .entry(def.file.clone())
+                    .or_default()
+                    .push(graph.fns.len());
+                graph.fns.push(def.clone());
+            }
+        }
+
+        // Name indices over the whole graph.
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_qual: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, def) in graph.fns.iter().enumerate() {
+            by_name.entry(def.name.as_str()).or_default().push(i);
+            by_qual.entry(def.qual.as_str()).or_default().push(i);
+        }
+
+        let in_scope = |caller_crate: &str, callee: &FnDef| -> bool {
+            match deps_closure.get(caller_crate) {
+                Some(scope) => scope.iter().any(|c| c == &callee.crate_name),
+                None => caller_crate == callee.crate_name,
+            }
+        };
+
+        for pf in files {
+            for def in &pf.fns {
+                let Some(&caller_idx) = graph
+                    .fns_by_file
+                    .get(&def.file)
+                    .and_then(|v| v.iter().find(|&&i| graph.fns[i].decl_line == def.decl_line))
+                else {
+                    continue;
+                };
+                let mut sites = Vec::new();
+                for li in def.span.0..=def.span.1.min(pf.lines.len().saturating_sub(1)) {
+                    let Some(line) = pf.lines.get(li) else {
+                        continue;
+                    };
+                    for raw in extract_calls(&line.code) {
+                        let resolved = resolve(
+                            &raw,
+                            &def.crate_name,
+                            &graph.fns,
+                            &by_name,
+                            &by_qual,
+                            &in_scope,
+                        );
+                        sites.push(CallSite {
+                            caller: caller_idx,
+                            text: raw,
+                            line: li + 1,
+                            resolved,
+                        });
+                    }
+                }
+                while graph.calls.len() <= caller_idx {
+                    graph.calls.push(Vec::new());
+                }
+                graph.calls[caller_idx] = sites;
+            }
+        }
+        while graph.calls.len() < graph.fns.len() {
+            graph.calls.push(Vec::new());
+        }
+
+        graph.adjacency = graph
+            .calls
+            .iter()
+            .map(|sites| {
+                let mut out: Vec<usize> = sites.iter().flat_map(|s| s.resolved.clone()).collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            })
+            .collect();
+        graph.reverse = vec![Vec::new(); graph.fns.len()];
+        for (caller, callees) in graph.adjacency.iter().enumerate() {
+            for &callee in callees {
+                graph.reverse[callee].push(caller);
+            }
+        }
+        graph
+    }
+
+    /// Index of the innermost function whose span covers `line_idx`
+    /// (0-based) in `file`.
+    pub fn enclosing_fn(&self, file: &str, line_idx: usize) -> Option<usize> {
+        let candidates = self.fns_by_file.get(file)?;
+        candidates
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let (s, e) = self.fns[i].span;
+                s <= line_idx && line_idx <= e
+            })
+            .max_by_key(|&i| self.fns[i].span.0)
+    }
+
+    /// Multi-source BFS: shortest path from any of `roots` to `target`,
+    /// as a list of fn indices (root first). `None` if unreachable.
+    pub fn shortest_chain(&self, roots: &[usize], target: usize) -> Option<Vec<usize>> {
+        let mut parent: Vec<Option<usize>> = vec![None; self.fns.len()];
+        let mut visited = vec![false; self.fns.len()];
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for &r in roots {
+            if !visited[r] {
+                visited[r] = true;
+                queue.push_back(r);
+            }
+        }
+        while let Some(at) = queue.pop_front() {
+            if at == target {
+                let mut chain = vec![at];
+                let mut cur = at;
+                while let Some(p) = parent[cur] {
+                    chain.push(p);
+                    cur = p;
+                }
+                chain.reverse();
+                return Some(chain);
+            }
+            for &next in &self.adjacency[at] {
+                if !visited[next] {
+                    visited[next] = true;
+                    parent[next] = Some(at);
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// All functions that can reach any function in `targets` (forward
+    /// edges), including the targets themselves.
+    pub fn reverse_reachable(&self, targets: &[usize]) -> Vec<bool> {
+        let mut reach = vec![false; self.fns.len()];
+        let mut queue: Vec<usize> = Vec::new();
+        for &t in targets {
+            if !reach[t] {
+                reach[t] = true;
+                queue.push(t);
+            }
+        }
+        while let Some(at) = queue.pop() {
+            for &caller in &self.reverse[at] {
+                if !reach[caller] {
+                    reach[caller] = true;
+                    queue.push(caller);
+                }
+            }
+        }
+        reach
+    }
+}
+
+/// `impl Type` / `impl Trait for Type` header → the implementing type.
+fn impl_header(code: &str) -> Option<String> {
+    let t = code.trim_start();
+    let rest = t.strip_prefix("impl")?;
+    // `impl` must be a standalone token (not `implements` etc).
+    let rest = match rest.chars().next() {
+        Some(c) if c.is_alphanumeric() || c == '_' => return None,
+        _ => rest,
+    };
+    // Skip generic parameters `<…>` (nesting-aware).
+    let rest = rest.trim_start();
+    let rest = if let Some(stripped) = rest.strip_prefix('<') {
+        let mut depth = 1;
+        let mut end = 0;
+        for (i, c) in stripped.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        &stripped[end.min(stripped.len())..]
+    } else {
+        rest
+    };
+    let rest = rest.trim_start();
+    // `impl Trait for Type` → the part after ` for `.
+    let target = match rest.find(" for ") {
+        Some(pos) => &rest[pos + 5..],
+        None => rest,
+    };
+    let target = target.trim_start();
+    // Strip leading `&`/`mut` and take the first path segment of the
+    // type name (`Foo<Bar>` → `Foo`, `foo::Foo` → last segment).
+    let name_end = target
+        .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == ':'))
+        .unwrap_or(target.len());
+    let path = &target[..name_end];
+    let name = path.rsplit("::").next().unwrap_or(path);
+    if name.is_empty() || !name.starts_with(|c: char| c.is_uppercase()) {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+/// `fn name` header → `(name, is_pub)`. Only matches definitions that
+/// start the declaration on this line (pub/const/async/unsafe/extern
+/// prefixes allowed).
+fn fn_header(code: &str) -> Option<(String, bool)> {
+    let t = code.trim_start();
+    let mut rest = t;
+    let mut is_pub = false;
+    loop {
+        rest = rest.trim_start();
+        if let Some(r) = rest.strip_prefix("pub") {
+            // `pub` / `pub(crate)` / `pub(super)` / `pub(in …)`.
+            let r = r.trim_start();
+            if let Some(paren) = r.strip_prefix('(') {
+                let close = paren.find(')')?;
+                rest = &paren[close + 1..];
+                // Restricted visibility is not a public API root.
+            } else {
+                rest = r;
+                is_pub = true;
+            }
+            continue;
+        }
+        let mut advanced = false;
+        for kw in ["const", "async", "unsafe", "extern"] {
+            if let Some(r) = rest.strip_prefix(kw) {
+                if r.starts_with(|c: char| c.is_whitespace() || c == '"') {
+                    rest = r.trim_start();
+                    // `extern "C"` carries a (scrubbed) string literal.
+                    if let Some(r2) = rest.strip_prefix('"') {
+                        rest = r2.split_once('"').map_or(r2, |(_, after)| after);
+                    }
+                    advanced = true;
+                    break;
+                }
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    let rest = rest.strip_prefix("fn")?;
+    let rest = match rest.chars().next() {
+        Some(c) if c.is_whitespace() => rest.trim_start(),
+        _ => return None,
+    };
+    let end = rest
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    Some((rest[..end].to_string(), is_pub))
+}
+
+/// Call-looking tokens in a scrubbed code line: `name(`, `Type::name(`
+/// and `.name(`. Macro invocations (`name!(`) are excluded.
+pub fn extract_calls(code: &str) -> Vec<String> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if !(chars[i].is_alphabetic() || chars[i] == '_') {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+            i += 1;
+        }
+        // Skip whitespace between the ident and a possible `(` — Rust
+        // allows none in practice for calls, so require adjacency.
+        if chars.get(i) != Some(&'(') {
+            continue;
+        }
+        let name: String = chars[start..i].iter().collect();
+        if NON_CALL_IDENTS.contains(&name.as_str()) {
+            continue;
+        }
+        // Macro? The char before the ident chain being `!` never
+        // happens (the `!` follows the name); check the previous
+        // non-ident char *after* the name instead — macros are
+        // `name!(`, so `(` preceded by `!` means macro.
+        // Here `chars[i]` is `(`; the char at `i-1` is the last ident
+        // char, so macros were already split at `!`. Check char before
+        // `start` for context instead.
+        let mut prev_idx = start;
+        let prev = loop {
+            if prev_idx == 0 {
+                break ' ';
+            }
+            prev_idx -= 1;
+            let c = chars[prev_idx];
+            if !c.is_whitespace() {
+                break c;
+            }
+        };
+        // An ident directly preceded by another word is usually a
+        // declaration (`fn name(`, `struct Name(`) or trait sugar
+        // (`dyn Fn(`), not a call — but `return foo(` is. Check the
+        // preceding word.
+        if prev.is_alphanumeric() || prev == '_' {
+            let mut w = prev_idx + 1;
+            while w > 0 && (chars[w - 1].is_alphanumeric() || chars[w - 1] == '_') {
+                w -= 1;
+            }
+            let word: String = chars[w..prev_idx + 1].iter().collect();
+            if [
+                "fn",
+                "struct",
+                "union",
+                "enum",
+                "trait",
+                "impl",
+                "dyn",
+                "Fn",
+                "FnMut",
+                "FnOnce",
+                "macro_rules",
+            ]
+            .contains(&word.as_str())
+            {
+                continue;
+            }
+        }
+        match prev {
+            // `name!(` never reaches here (the scan above stops at `!`
+            // and restarts after it), but `!name(` is negation — a call.
+            '.' => {
+                // Method call; look further back for a chained path
+                // (`x.f().g(` etc. — just the method name is enough).
+                out.push(format!(".{name}"));
+            }
+            ':' => {
+                // Path call `A::name(` — recover the previous segment.
+                let mut j = prev_idx;
+                // prev_idx sits on the second `:`; walk past `::`.
+                if j > 0 && chars[j - 1] == ':' {
+                    j -= 1;
+                }
+                let seg_end = j;
+                let mut k = seg_end;
+                while k > 0 && (chars[k - 1].is_alphanumeric() || chars[k - 1] == '_') {
+                    k -= 1;
+                }
+                let seg: String = chars[k..seg_end].iter().collect();
+                if seg.is_empty() {
+                    out.push(name);
+                } else {
+                    out.push(format!("{seg}::{name}"));
+                }
+            }
+            _ => out.push(name),
+        }
+    }
+    out
+}
+
+/// Resolves one extracted call against the graph's name indices.
+fn resolve(
+    raw: &str,
+    caller_crate: &str,
+    fns: &[FnDef],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    by_qual: &BTreeMap<&str, Vec<usize>>,
+    in_scope: &dyn Fn(&str, &FnDef) -> bool,
+) -> Vec<usize> {
+    if let Some(method) = raw.strip_prefix('.') {
+        if COMMON_TRAIT_METHODS.contains(&method) {
+            return Vec::new();
+        }
+        return by_name
+            .get(method)
+            .map(|cands| {
+                cands
+                    .iter()
+                    .copied()
+                    .filter(|&i| fns[i].is_method && in_scope(caller_crate, &fns[i]))
+                    .collect()
+            })
+            .unwrap_or_default();
+    }
+    if let Some((seg, name)) = raw.split_once("::") {
+        // `Type::name` — exact qualified match.
+        if seg.starts_with(|c: char| c.is_uppercase()) {
+            return by_qual
+                .get(raw)
+                .map(|cands| {
+                    cands
+                        .iter()
+                        .copied()
+                        .filter(|&i| in_scope(caller_crate, &fns[i]))
+                        .collect()
+                })
+                .unwrap_or_default();
+        }
+        // `module::name` — free functions in a matching file/crate.
+        let crate_style = seg.replace('_', "-");
+        return by_name
+            .get(name)
+            .map(|cands| {
+                cands
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        let f = &fns[i];
+                        if f.is_method || !in_scope(caller_crate, f) {
+                            return false;
+                        }
+                        file_matches_module(&f.file, seg)
+                            || f.crate_name == crate_style
+                            || f.crate_name == seg
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+    }
+    // Bare call: same crate first, then dependency crates.
+    let Some(cands) = by_name.get(raw) else {
+        return Vec::new();
+    };
+    let free: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&i| !fns[i].is_method && in_scope(caller_crate, &fns[i]))
+        .collect();
+    let same_crate: Vec<usize> = free
+        .iter()
+        .copied()
+        .filter(|&i| fns[i].crate_name == caller_crate)
+        .collect();
+    if same_crate.is_empty() {
+        free
+    } else {
+        same_crate
+    }
+}
+
+/// Whether `file` plausibly defines module `seg` (`…/seg.rs` or a
+/// `…/seg/` directory).
+fn file_matches_module(file: &str, seg: &str) -> bool {
+    file.ends_with(&format!("/{seg}.rs")) || file.contains(&format!("/{seg}/"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scrub;
+
+    fn parse(crate_name: &str, file: &str, src: &str) -> ParsedFile {
+        parse_file(crate_name, file, &scrub(src))
+    }
+
+    fn closure_of(pairs: &[(&str, &[&str])]) -> BTreeMap<String, Vec<String>> {
+        pairs
+            .iter()
+            .map(|(c, deps)| {
+                (
+                    c.to_string(),
+                    deps.iter().map(|d| d.to_string()).collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn functions_and_impl_methods_are_recovered() {
+        let src = "pub fn free() {}\n\
+                   impl Widget {\n    pub fn build(&self) -> u32 {\n        helper()\n    }\n    fn helper(&self) {}\n}\n\
+                   impl Display for Widget {\n    fn fmt(&self) {}\n}\n";
+        let pf = parse("demo", "src/lib.rs", src);
+        let quals: Vec<&str> = pf.fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(
+            quals,
+            vec!["free", "Widget::build", "Widget::helper", "Widget::fmt"]
+        );
+        assert!(pf.fns[0].is_pub);
+        assert!(pf.fns[1].is_pub && pf.fns[1].is_method);
+        assert!(!pf.fns[2].is_pub);
+    }
+
+    #[test]
+    fn pub_crate_is_not_a_public_root() {
+        let pf = parse("demo", "src/lib.rs", "pub(crate) fn internal() {}\n");
+        assert_eq!(pf.fns.len(), 1);
+        assert!(!pf.fns[0].is_pub);
+    }
+
+    #[test]
+    fn trait_declarations_without_bodies_are_skipped() {
+        let src =
+            "trait T {\n    fn abstract_one(&self);\n    fn with_default(&self) {\n    }\n}\n";
+        let pf = parse("demo", "src/lib.rs", src);
+        let names: Vec<&str> = pf.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["with_default"]);
+    }
+
+    #[test]
+    fn multiline_signatures_get_full_spans() {
+        let src = "pub fn long(\n    a: u32,\n    b: u32,\n) -> u32 {\n    a + b\n}\n";
+        let pf = parse("demo", "src/lib.rs", src);
+        assert_eq!(pf.fns[0].span, (0, 5));
+    }
+
+    #[test]
+    fn calls_are_extracted_and_classified() {
+        let calls = extract_calls("let x = helper(Type::build(a), obj.method(b));");
+        assert_eq!(calls, vec!["helper", "Type::build", ".method"]);
+        // Macros and keywords are not calls.
+        assert!(extract_calls("if cond { panic!(\"x\") }").is_empty());
+        assert_eq!(extract_calls("json::parse(s)"), vec!["json::parse"]);
+    }
+
+    #[test]
+    fn cross_crate_resolution_respects_dependency_scope() {
+        let lib_a = parse(
+            "crate-a",
+            "a/src/lib.rs",
+            "pub fn entry() {\n    deep_helper();\n}\n",
+        );
+        let lib_b = parse("crate-b", "b/src/lib.rs", "pub fn deep_helper() {}\n");
+        let lib_c = parse("crate-c", "c/src/lib.rs", "pub fn deep_helper() {}\n");
+        let closure = closure_of(&[
+            ("crate-a", &["crate-a", "crate-b"]),
+            ("crate-b", &["crate-b"]),
+            ("crate-c", &["crate-c"]),
+        ]);
+        let graph = CallGraph::build(&[lib_a, lib_b, lib_c], &closure);
+        let entry = graph.fns.iter().position(|f| f.name == "entry").unwrap();
+        let helper_b = graph
+            .fns
+            .iter()
+            .position(|f| f.name == "deep_helper" && f.crate_name == "crate-b")
+            .unwrap();
+        let helper_c = graph
+            .fns
+            .iter()
+            .position(|f| f.name == "deep_helper" && f.crate_name == "crate-c")
+            .unwrap();
+        assert!(graph.adjacency[entry].contains(&helper_b));
+        assert!(!graph.adjacency[entry].contains(&helper_c));
+    }
+
+    #[test]
+    fn shortest_chain_walks_three_crates() {
+        let a = parse(
+            "crate-a",
+            "a/src/lib.rs",
+            "pub fn root() {\n    Mid::step();\n}\n",
+        );
+        let b = parse(
+            "crate-b",
+            "b/src/lib.rs",
+            "pub struct Mid;\nimpl Mid {\n    pub fn step() {\n        leaf();\n    }\n}\n",
+        );
+        let c = parse("crate-c", "c/src/lib.rs", "pub fn leaf() {}\n");
+        let closure = closure_of(&[
+            ("crate-a", &["crate-a", "crate-b", "crate-c"]),
+            ("crate-b", &["crate-b", "crate-c"]),
+            ("crate-c", &["crate-c"]),
+        ]);
+        let graph = CallGraph::build(&[a, b, c], &closure);
+        let root = graph.fns.iter().position(|f| f.name == "root").unwrap();
+        let leaf = graph.fns.iter().position(|f| f.name == "leaf").unwrap();
+        let chain = graph.shortest_chain(&[root], leaf).unwrap();
+        let labels: Vec<String> = chain.iter().map(|&i| graph.fns[i].label()).collect();
+        assert_eq!(
+            labels,
+            vec!["crate-a::root", "crate-b::Mid::step", "crate-c::leaf"]
+        );
+    }
+
+    #[test]
+    fn common_trait_methods_are_not_linked() {
+        let a = parse(
+            "crate-a",
+            "a/src/lib.rs",
+            "pub fn show(x: &impl std::fmt::Debug) {\n    let _ = x.clone();\n}\n\
+             pub struct T;\nimpl T {\n    pub fn clone(&self) -> T {\n        T\n    }\n}\n",
+        );
+        let closure = closure_of(&[("crate-a", &["crate-a"])]);
+        let graph = CallGraph::build(&[a], &closure);
+        let show = graph.fns.iter().position(|f| f.name == "show").unwrap();
+        assert!(graph.adjacency[show].is_empty());
+    }
+
+    #[test]
+    fn enclosing_fn_finds_the_innermost_definition() {
+        let pf = parse(
+            "demo",
+            "src/lib.rs",
+            "pub fn outer() {\n    fn inner() {\n        work();\n    }\n    inner();\n}\n",
+        );
+        let closure = closure_of(&[("demo", &["demo"])]);
+        let graph = CallGraph::build(&[pf], &closure);
+        let at_2 = graph.enclosing_fn("src/lib.rs", 2).unwrap();
+        assert_eq!(graph.fns[at_2].name, "inner");
+        let at_4 = graph.enclosing_fn("src/lib.rs", 4).unwrap();
+        assert_eq!(graph.fns[at_4].name, "outer");
+    }
+
+    #[test]
+    fn reverse_reachability_includes_targets_and_callers() {
+        let a = parse(
+            "crate-a",
+            "a/src/lib.rs",
+            "pub fn producer() {}\npub fn feeds() {\n    producer();\n}\npub fn unrelated() {}\n",
+        );
+        let closure = closure_of(&[("crate-a", &["crate-a"])]);
+        let graph = CallGraph::build(&[a], &closure);
+        let producer = graph.fns.iter().position(|f| f.name == "producer").unwrap();
+        let reach = graph.reverse_reachable(&[producer]);
+        let feeds = graph.fns.iter().position(|f| f.name == "feeds").unwrap();
+        let unrelated = graph
+            .fns
+            .iter()
+            .position(|f| f.name == "unrelated")
+            .unwrap();
+        assert!(reach[producer] && reach[feeds] && !reach[unrelated]);
+    }
+}

@@ -42,13 +42,15 @@ pub enum FileKind {
     Example,
 }
 
-/// One finding, printed as `file:line: [rule] message`.
+/// One finding, printed as `file:line:col: [rule] message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// Repo-relative path.
     pub file: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column number (character count, editor convention).
+    pub col: usize,
     /// Rule identifier (`panic`, `safety`, `dispatch`, `cast`, `unit`).
     pub rule: &'static str,
     /// Human-readable description.
@@ -61,10 +63,15 @@ impl std::fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.msg
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.msg
         )
     }
+}
+
+/// 1-based column (in characters) of a byte position inside a line.
+pub fn col_at(code: &str, byte_pos: usize) -> usize {
+    code[..byte_pos.min(code.len())].chars().count() + 1
 }
 
 /// Per-file scan output; `features` feed the crate-wide dispatch check.
@@ -72,13 +79,14 @@ impl std::fmt::Display for Diagnostic {
 pub struct FileReport {
     /// All findings in this file.
     pub diags: Vec<Diagnostic>,
-    /// `(feature, line)` of every `#[target_feature(enable = …)]`.
-    pub features: Vec<(String, usize)>,
+    /// `(feature, line, col)` of every `#[target_feature(enable = …)]`.
+    pub features: Vec<(String, usize, usize)>,
     /// Features guarded by `is_x86_feature_detected!` in this file.
     pub guards: Vec<String>,
 }
 
-/// Crates whose library code must stay panic-free.
+/// Crates whose library code must stay panic-free. `xtask` polices
+/// itself: the audit library modules run under the same rule.
 pub const NO_PANIC_CRATES: &[&str] = &[
     "hotpotato",
     "hp-thermal",
@@ -88,6 +96,7 @@ pub const NO_PANIC_CRATES: &[&str] = &[
     "hp-faults",
     "hp-obs",
     "hp-campaign",
+    "xtask",
 ];
 
 /// Crates whose library math must not use bare `as` numeric casts.
@@ -143,7 +152,8 @@ pub fn check_source(file: &str, crate_name: &str, kind: FileKind, src: &str) -> 
         }
         if code.contains("target_feature") && code.contains("enable") {
             if let Some(feat) = line.strings.first() {
-                report.features.push((feat.clone(), n));
+                let col = code.find("target_feature").map_or(1, |p| col_at(code, p));
+                report.features.push((feat.clone(), n, col));
             }
         }
 
@@ -152,23 +162,27 @@ pub fn check_source(file: &str, crate_name: &str, kind: FileKind, src: &str) -> 
         }
 
         // --- safety: every `unsafe` needs a SAFETY justification.
-        if has_word(code, "unsafe") && !safety_justified(&lines, idx) {
-            report.diags.push(Diagnostic {
-                file: file.to_string(),
-                line: n,
-                rule: "safety",
-                msg: "`unsafe` without a `// SAFETY:` comment or `# Safety` doc section"
-                    .to_string(),
-                advisory: false,
-            });
+        if let Some(pos) = word_pos(code, "unsafe") {
+            if !safety_justified(&lines, idx) {
+                report.diags.push(Diagnostic {
+                    file: file.to_string(),
+                    line: n,
+                    col: col_at(code, pos),
+                    rule: "safety",
+                    msg: "`unsafe` without a `// SAFETY:` comment or `# Safety` doc section"
+                        .to_string(),
+                    advisory: false,
+                });
+            }
         }
 
         // --- panic: no panicking calls in library code of solver crates.
         if panic_scope && !allowed(&lines, idx, "panic") {
-            for what in panic_sites(code) {
+            for (what, pos) in panic_sites(code) {
                 report.diags.push(Diagnostic {
                     file: file.to_string(),
                     line: n,
+                    col: col_at(code, pos),
                     rule: "panic",
                     msg: format!(
                         "`{what}` in library code; return the crate's typed error \
@@ -181,10 +195,11 @@ pub fn check_source(file: &str, crate_name: &str, kind: FileKind, src: &str) -> 
 
         // --- cast: no bare `as` numeric casts in thermal/linalg math.
         if cast_scope && !allowed(&lines, idx, "cast") {
-            for ty in bare_casts(code) {
+            for (ty, pos) in bare_casts(code) {
                 report.diags.push(Diagnostic {
                     file: file.to_string(),
                     line: n,
+                    col: col_at(code, pos),
                     rule: "cast",
                     msg: format!(
                         "bare `as {ty}` cast in numeric code; use hp_linalg::convert \
@@ -203,9 +218,11 @@ pub fn check_source(file: &str, crate_name: &str, kind: FileKind, src: &str) -> 
                     && !UNIT_NAME_TOKENS.iter().any(|u| lower.contains(u))
                     && !doc_mentions_unit(&lines, idx)
                 {
+                    let col = code.find(name).map_or(1, |p| col_at(code, p));
                     report.diags.push(Diagnostic {
                         file: file.to_string(),
                         line: n,
+                        col,
                         rule: "unit",
                         msg: format!(
                             "public fn `{name}` takes/returns a physical quantity but \
@@ -245,6 +262,7 @@ pub fn check_indexing(file: &str, crate_name: &str, kind: FileKind, src: &str) -
                 out.push(Diagnostic {
                     file: file.to_string(),
                     line: idx + 1,
+                    col: i + 1,
                     rule: "index",
                     msg: "direct indexing; prefer `get()` unless the bound is structurally \
                           guaranteed"
@@ -258,8 +276,9 @@ pub fn check_indexing(file: &str, crate_name: &str, kind: FileKind, src: &str) -
     out
 }
 
-/// Whether `code` contains `word` as a standalone token.
-fn has_word(code: &str, word: &str) -> bool {
+/// Byte position of the first occurrence of `word` as a standalone
+/// token in `code`, if any.
+fn word_pos(code: &str, word: &str) -> Option<usize> {
     let mut from = 0;
     while let Some(pos) = code[from..].find(word) {
         let start = from + pos;
@@ -273,15 +292,15 @@ fn has_word(code: &str, word: &str) -> bool {
             !(c.is_alphanumeric() || c == '_')
         };
         if left_ok && right_ok {
-            return true;
+            return Some(start);
         }
         from = end;
     }
-    false
+    None
 }
 
 /// Marks every line inside a `#[cfg(test)] mod … { … }` region.
-fn test_regions(lines: &[Line]) -> Vec<bool> {
+pub fn test_regions(lines: &[Line]) -> Vec<bool> {
     let mut mask = vec![false; lines.len()];
     let mut i = 0;
     while i < lines.len() {
@@ -384,14 +403,16 @@ fn safety_justified(lines: &[Line], idx: usize) -> bool {
     false
 }
 
-/// Panicking constructs present in a scrubbed code line.
-fn panic_sites(code: &str) -> Vec<&'static str> {
+/// Panicking constructs present in a scrubbed code line, as
+/// `(token, byte position)` pairs. Shared with the audit's
+/// panic-reachability pass.
+pub fn panic_sites(code: &str) -> Vec<(&'static str, usize)> {
     let mut out = Vec::new();
-    if code.contains(".unwrap()") {
-        out.push(".unwrap()");
+    if let Some(pos) = code.find(".unwrap()") {
+        out.push((".unwrap()", pos));
     }
-    if code.contains(".expect(") {
-        out.push(".expect()");
+    if let Some(pos) = code.find(".expect(") {
+        out.push((".expect()", pos));
     }
     for mac in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
         if let Some(pos) = code.find(mac) {
@@ -400,30 +421,36 @@ fn panic_sites(code: &str) -> Vec<&'static str> {
                 !(prev.is_alphanumeric() || prev == '_')
             };
             if boundary {
-                out.push(match mac {
-                    "panic!" => "panic!",
-                    "unreachable!" => "unreachable!",
-                    "todo!" => "todo!",
-                    _ => "unimplemented!",
-                });
+                out.push((
+                    match mac {
+                        "panic!" => "panic!",
+                        "unreachable!" => "unreachable!",
+                        "todo!" => "todo!",
+                        _ => "unimplemented!",
+                    },
+                    pos,
+                ));
             }
         }
     }
+    out.sort_by_key(|&(_, pos)| pos);
     out
 }
 
-/// `as <numeric>` casts present in a scrubbed code line.
-fn bare_casts(code: &str) -> Vec<&'static str> {
+/// `as <numeric>` casts present in a scrubbed code line, as
+/// `(type, byte position of the `as` keyword)` pairs.
+fn bare_casts(code: &str) -> Vec<(&'static str, usize)> {
     let mut out = Vec::new();
-    let tokens: Vec<&str> = code
-        .split(|c: char| !(c.is_alphanumeric() || c == '_'))
-        .filter(|t| !t.is_empty())
-        .collect();
-    for w in tokens.windows(2) {
-        if w[0] == "as" {
-            if let Some(ty) = NUMERIC_TYPES.iter().find(|t| **t == w[1]) {
-                out.push(*ty);
-            }
+    let mut from = 0;
+    while let Some(pos) = word_pos(&code[from..], "as") {
+        let at = from + pos;
+        from = at + 2;
+        let rest = code[at + 2..].trim_start();
+        let ty_end = rest
+            .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .unwrap_or(rest.len());
+        if let Some(ty) = NUMERIC_TYPES.iter().find(|t| **t == &rest[..ty_end]) {
+            out.push((*ty, at));
         }
     }
     out
@@ -481,11 +508,12 @@ pub fn check_dispatch(crate_name: &str, reports: &[(String, FileReport)]) -> Vec
     let guards: Vec<&String> = reports.iter().flat_map(|(_, r)| &r.guards).collect();
     let mut out = Vec::new();
     for (file, report) in reports {
-        for (feat, line) in &report.features {
+        for (feat, line, col) in &report.features {
             if !guards.contains(&feat) {
                 out.push(Diagnostic {
                     file: file.clone(),
                     line: *line,
+                    col: *col,
                     rule: "dispatch",
                     msg: format!(
                         "#[target_feature(enable = \"{feat}\")] kernel in crate \
@@ -661,6 +689,33 @@ mod tests {
                 .diags
                 .is_empty()
         );
+    }
+
+    #[test]
+    fn columns_are_one_based_characters() {
+        let src = "fn g(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let diags = lib(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 2);
+        // 4 spaces of indent + `x` → `.unwrap()` starts at column 6.
+        assert_eq!(diags[0].col, 6);
+        assert!(
+            format!("{}", diags[0]).starts_with("fixture.rs:2:6: [panic]"),
+            "{}",
+            diags[0]
+        );
+        let cast = lib("fn h(n: usize) -> f64 {\n    n as f64\n}\n");
+        assert_eq!(cast.len(), 1, "{cast:?}");
+        // `as` keyword at column 7 on the cast line.
+        assert_eq!((cast[0].line, cast[0].col), (2, 7));
+    }
+
+    #[test]
+    fn xtask_library_code_is_in_the_no_panic_scope() {
+        let src = "fn g(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let diags = check_source("xtask/src/lints.rs", "xtask", FileKind::Lib, src).diags;
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "panic");
     }
 
     #[test]

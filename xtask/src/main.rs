@@ -2,24 +2,37 @@
 //!
 //! Subcommands:
 //!
-//! * `check [--pedantic]` — run the repo-specific static-analysis gate
-//!   over every workspace crate (see [`lints`] for the rule set). With
+//! * `check [--pedantic]` — the per-line static-analysis gate over every
+//!   workspace crate (see [`xtask::lints`] for the rule set). With
 //!   `--pedantic`, additionally print advisory notes about direct slice
 //!   indexing in the no-panic crates. Exits non-zero on any
 //!   non-advisory finding.
+//! * `audit [--baseline <path>] [--update-baseline] [--format json]
+//!   [--out <path>] [--pedantic]` — the semantic audit over the
+//!   first-party call graph (see [`xtask::audit`]): transitive
+//!   panic-reachability, determinism of report/trace paths, atomics and
+//!   lock discipline, stale-marker accounting. With `--baseline`, the
+//!   findings are diffed against the reviewed ledger and the gate fails
+//!   on any new or stale entry; `--update-baseline` rewrites the ledger
+//!   after review.
 //!
-//! The pass is intentionally dependency-free: it scrubs sources with a
-//! small hand-rolled lexer instead of a full parser, which keeps it
+//! Both gates are dependency-free: sources are scrubbed with a small
+//! hand-rolled lexer instead of a full parser, which keeps them
 //! runnable in offline/CI environments with nothing but the workspace
 //! itself.
 
-mod lexer;
-mod lints;
-
-use lints::{check_dispatch, check_indexing, check_source, Diagnostic, FileKind, FileReport};
 use std::collections::BTreeMap;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
+
+use xtask::audit::{run_audit, AuditOptions, Finding};
+use xtask::baseline::{diff, findings_to_json, Baseline};
+use xtask::graph::{parse_file, ParsedFile};
+use xtask::lexer::scrub;
+use xtask::lints::{
+    check_dispatch, check_indexing, check_source, Diagnostic, FileKind, FileReport,
+};
+use xtask::workspace::{workspace_root, Workspace};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,85 +41,59 @@ fn main() -> ExitCode {
             let pedantic = args.iter().any(|a| a == "--pedantic");
             check(pedantic)
         }
+        Some("audit") => audit(&args[1..]),
         Some(other) => {
-            eprintln!("unknown xtask subcommand `{other}`; try `cargo xtask check`");
+            eprintln!("unknown xtask subcommand `{other}`; try `cargo xtask check` or `cargo xtask audit`");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask check [--pedantic]");
+            eprintln!("usage: cargo xtask <check|audit> [options]");
+            eprintln!("  check [--pedantic]");
+            eprintln!("  audit [--baseline <path>] [--update-baseline] [--format json] [--out <path>] [--pedantic]");
             ExitCode::FAILURE
         }
     }
 }
 
+// ---------------------------------------------------------------------------
+// `cargo xtask check`
+// ---------------------------------------------------------------------------
+
 fn check(pedantic: bool) -> ExitCode {
     let root = workspace_root();
-    let mut files: Vec<(String, String, FileKind, PathBuf)> = Vec::new(); // (crate, rel, kind, abs)
-
-    // Workspace member crates under crates/ plus the xtask crate itself.
-    let mut crate_dirs: Vec<PathBuf> = Vec::new();
-    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
-        for e in entries.flatten() {
-            let p = e.path();
-            if p.is_dir() {
-                crate_dirs.push(p);
-            }
-        }
-    }
-    crate_dirs.push(root.join("xtask"));
-    crate_dirs.sort();
-
-    for dir in &crate_dirs {
-        let Some(name) = crate_name(dir) else {
-            continue;
-        };
-        for sub in ["src", "tests", "benches", "examples"] {
-            let mut found = Vec::new();
-            collect_rs(&dir.join(sub), &mut found);
-            for abs in found {
-                let kind = classify(&abs, sub);
-                let rel = rel_path(&root, &abs);
-                files.push((name.clone(), rel, kind, abs));
-            }
-        }
-    }
-    // Top-level examples/ and tests/ (wired into member crates by path);
-    // they are allowlisted kinds but still get the safety rule.
-    for (sub, kind) in [("examples", FileKind::Example), ("tests", FileKind::Test)] {
-        let mut found = Vec::new();
-        collect_rs(&root.join(sub), &mut found);
-        for abs in found {
-            let rel = rel_path(&root, &abs);
-            files.push(("workspace".to_string(), rel, kind, abs));
-        }
-    }
+    let ws = Workspace::discover(&root);
 
     let mut diags: Vec<Diagnostic> = Vec::new();
     let mut per_crate: BTreeMap<String, Vec<(String, FileReport)>> = BTreeMap::new();
     let mut scanned = 0usize;
 
-    for (crate_name, rel, kind, abs) in &files {
-        let Ok(src) = std::fs::read_to_string(abs) else {
-            eprintln!("warning: unreadable source file {rel}");
+    for spec in &ws.files {
+        let Ok(src) = std::fs::read_to_string(&spec.abs_path) else {
+            eprintln!("warning: unreadable source file {}", spec.rel_path);
             continue;
         };
         scanned += 1;
-        let report = check_source(rel, crate_name, *kind, &src);
+        let report = check_source(&spec.rel_path, &spec.crate_name, spec.kind, &src);
         diags.extend(report.diags.iter().cloned());
         if pedantic {
-            diags.extend(check_indexing(rel, crate_name, *kind, &src));
+            diags.extend(check_indexing(
+                &spec.rel_path,
+                &spec.crate_name,
+                spec.kind,
+                &src,
+            ));
         }
         per_crate
-            .entry(crate_name.clone())
+            .entry(spec.crate_name.clone())
             .or_default()
-            .push((rel.clone(), report));
+            .push((spec.rel_path.clone(), report));
     }
 
     for (crate_name, reports) in &per_crate {
         diags.extend(check_dispatch(crate_name, reports));
     }
 
-    diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    diags.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
     let hard = diags.iter().filter(|d| !d.advisory).count();
     let soft = diags.len() - hard;
     for d in &diags {
@@ -124,65 +111,205 @@ fn check(pedantic: bool) -> ExitCode {
     }
 }
 
-/// Repo root: parent of the xtask crate (compile-time manifest dir), or
-/// the current directory when run from a copied binary.
-fn workspace_root() -> PathBuf {
-    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    match manifest.parent() {
-        Some(p) if p.join("Cargo.toml").is_file() => p.to_path_buf(),
-        _ => PathBuf::from("."),
-    }
+// ---------------------------------------------------------------------------
+// `cargo xtask audit`
+// ---------------------------------------------------------------------------
+
+struct AuditArgs {
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+    json: bool,
+    out: Option<PathBuf>,
+    pedantic: bool,
 }
 
-/// Package name from a crate dir's Cargo.toml (`name = "…"`).
-fn crate_name(dir: &Path) -> Option<String> {
-    let manifest = std::fs::read_to_string(dir.join("Cargo.toml")).ok()?;
-    for line in manifest.lines() {
-        let t = line.trim();
-        if let Some(rest) = t.strip_prefix("name") {
-            let rest = rest.trim_start().strip_prefix('=')?.trim();
-            let rest = rest.strip_prefix('"')?;
-            let end = rest.find('"')?;
-            return Some(rest[..end].to_string());
+fn parse_audit_args(args: &[String]) -> Result<AuditArgs, String> {
+    let mut parsed = AuditArgs {
+        baseline: None,
+        update_baseline: false,
+        json: false,
+        out: None,
+        pedantic: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                let path = args.get(i).ok_or("--baseline needs a path")?;
+                parsed.baseline = Some(PathBuf::from(path));
+            }
+            "--update-baseline" => parsed.update_baseline = true,
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("json") => parsed.json = true,
+                    Some("text") => parsed.json = false,
+                    other => return Err(format!("unknown --format {other:?} (json|text)")),
+                }
+            }
+            "--out" => {
+                i += 1;
+                let path = args.get(i).ok_or("--out needs a path")?;
+                parsed.out = Some(PathBuf::from(path));
+            }
+            "--pedantic" => parsed.pedantic = true,
+            other => return Err(format!("unknown audit option `{other}`")),
         }
+        i += 1;
     }
-    None
+    if parsed.update_baseline && parsed.baseline.is_none() {
+        parsed.baseline = Some(PathBuf::from("xtask/audit.baseline.json"));
+    }
+    Ok(parsed)
 }
 
-fn classify(path: &Path, sub: &str) -> FileKind {
-    let s = path.to_string_lossy();
-    match sub {
-        "tests" => FileKind::Test,
-        "benches" => FileKind::Bench,
-        "examples" => FileKind::Example,
-        _ => {
-            if s.contains("/src/bin/") || s.ends_with("/src/main.rs") {
-                FileKind::Bin
-            } else {
-                FileKind::Lib
+fn audit(raw_args: &[String]) -> ExitCode {
+    let args = match parse_audit_args(raw_args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("xtask audit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let root = workspace_root();
+    let ws = Workspace::discover(&root);
+
+    // The audit covers library targets of first-party crates only:
+    // tests/benches/examples may panic freely, and binaries are glue.
+    let mut files: Vec<ParsedFile> = Vec::new();
+    for spec in &ws.files {
+        if spec.kind != FileKind::Lib || spec.crate_name == "workspace" {
+            continue;
+        }
+        let Ok(src) = std::fs::read_to_string(&spec.abs_path) else {
+            eprintln!("warning: unreadable source file {}", spec.rel_path);
+            continue;
+        };
+        files.push(parse_file(&spec.crate_name, &spec.rel_path, &scrub(&src)));
+    }
+
+    let deps_closure: BTreeMap<String, Vec<String>> = ws
+        .deps
+        .keys()
+        .map(|c| (c.clone(), ws.dep_closure(c)))
+        .collect();
+
+    let findings = run_audit(
+        &files,
+        &deps_closure,
+        &AuditOptions {
+            pedantic: args.pedantic,
+        },
+    );
+
+    // Findings JSON: to --out (always when given), or stdout with
+    // --format json.
+    if let Some(out) = &args.out {
+        let doc = findings_to_json(&findings);
+        if let Err(e) = std::fs::write(out, doc) {
+            eprintln!("xtask audit: cannot write {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("xtask audit: findings written to {}", out.display());
+    }
+    if args.json {
+        print!("{}", findings_to_json(&findings));
+        return summarize(&findings, &args, true);
+    }
+
+    summarize(&findings, &args, false)
+}
+
+fn summarize(findings: &[Finding], args: &AuditArgs, quiet: bool) -> ExitCode {
+    let suppressed = findings.iter().filter(|f| f.suppressed).count();
+    let advisory = findings.iter().filter(|f| f.advisory).count();
+    let failing: Vec<&Finding> = findings.iter().filter(|f| f.failing()).collect();
+
+    // Baseline maintenance mode: rewrite the reviewed ledger.
+    if args.update_baseline {
+        let Some(path) = &args.baseline else {
+            eprintln!("xtask audit: --update-baseline needs --baseline");
+            return ExitCode::FAILURE;
+        };
+        let baseline = Baseline::from_findings(findings);
+        if let Err(e) = std::fs::write(path, baseline.to_json()) {
+            eprintln!("xtask audit: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "xtask audit: baseline updated ({} entries, {} suppressed) at {}",
+            baseline.entries.len(),
+            suppressed,
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Gate mode with a reviewed baseline: diff both directions.
+    if let Some(path) = &args.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("xtask audit: cannot read baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("xtask audit: malformed baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let d = diff(findings, &baseline);
+        if !quiet {
+            for f in &d.new {
+                println!("NEW {f}");
+            }
+            for e in &d.stale {
+                println!(
+                    "STALE baseline entry `{}` — the finding is gone; remove it from {}",
+                    e.key,
+                    path.display()
+                );
             }
         }
+        eprintln!(
+            "xtask audit: {} finding(s) ({} suppressed, {} advisory); baseline diff: {} new, {} stale",
+            findings.len(),
+            suppressed,
+            advisory,
+            d.new.len(),
+            d.stale.len()
+        );
+        return if d.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
-}
 
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for e in entries.flatten() {
-        let p = e.path();
-        if p.is_dir() {
-            collect_rs(&p, out);
-        } else if p.extension().is_some_and(|x| x == "rs") {
-            out.push(p);
+    // Baseline-less mode: print everything failing.
+    if !quiet {
+        for f in &failing {
+            println!("{f}");
+        }
+        for f in findings.iter().filter(|f| f.advisory) {
+            println!("{f} (advisory)");
         }
     }
-    out.sort();
-}
-
-fn rel_path(root: &Path, abs: &Path) -> String {
-    abs.strip_prefix(root)
-        .unwrap_or(abs)
-        .to_string_lossy()
-        .into_owned()
+    eprintln!(
+        "xtask audit: {} finding(s) ({} suppressed, {} advisory, {} failing)",
+        findings.len(),
+        suppressed,
+        advisory,
+        failing.len()
+    );
+    if failing.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

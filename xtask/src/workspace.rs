@@ -1,0 +1,227 @@
+//! Workspace discovery: which source files exist, which crate and
+//! target kind each belongs to, and which first-party crates each crate
+//! depends on. Shared by `check` (flat file walk) and `audit` (call
+//! graph over the same files).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::lints::FileKind;
+
+/// One workspace source file, located and classified.
+#[derive(Debug, Clone)]
+pub struct SourceSpec {
+    /// Package name of the owning crate (`hp-thermal`, `xtask`, …).
+    pub crate_name: String,
+    /// Repo-relative path (diagnostics label).
+    pub rel_path: String,
+    /// How the file participates in the build.
+    pub kind: FileKind,
+    /// Absolute path for reading.
+    pub abs_path: PathBuf,
+}
+
+/// The discovered workspace: files plus the first-party dependency map.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Every first-party `.rs` file (crates/*, xtask, top-level
+    /// tests/ and examples/). Vendored stand-ins under vendor/ are
+    /// deliberately excluded — they mirror external code.
+    pub files: Vec<SourceSpec>,
+    /// First-party dependencies per crate (package names), direct only.
+    pub deps: BTreeMap<String, Vec<String>>,
+}
+
+impl Workspace {
+    /// Discovers all first-party sources under `root`.
+    pub fn discover(root: &Path) -> Workspace {
+        let mut ws = Workspace::default();
+        let mut crate_dirs: Vec<PathBuf> = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+            for e in entries.flatten() {
+                let p = e.path();
+                if p.is_dir() {
+                    crate_dirs.push(p);
+                }
+            }
+        }
+        crate_dirs.push(root.join("xtask"));
+        crate_dirs.sort();
+
+        for dir in &crate_dirs {
+            let Some(name) = crate_name(dir) else {
+                continue;
+            };
+            ws.deps
+                .insert(name.clone(), first_party_deps(&dir.join("Cargo.toml")));
+            for sub in ["src", "tests", "benches", "examples"] {
+                let mut found = Vec::new();
+                collect_rs(&dir.join(sub), &mut found);
+                for abs in found {
+                    let kind = classify(&abs, sub);
+                    ws.files.push(SourceSpec {
+                        crate_name: name.clone(),
+                        rel_path: rel_path(root, &abs),
+                        kind,
+                        abs_path: abs,
+                    });
+                }
+            }
+        }
+        // Top-level examples/ and tests/ (wired into member crates by
+        // path); allowlisted kinds but still under the safety rule.
+        for (sub, kind) in [("examples", FileKind::Example), ("tests", FileKind::Test)] {
+            let mut found = Vec::new();
+            collect_rs(&root.join(sub), &mut found);
+            for abs in found {
+                ws.files.push(SourceSpec {
+                    crate_name: "workspace".to_string(),
+                    rel_path: rel_path(root, &abs),
+                    kind,
+                    abs_path: abs,
+                });
+            }
+        }
+        ws
+    }
+
+    /// Transitive first-party dependency closure of `crate_name`,
+    /// including the crate itself.
+    pub fn dep_closure(&self, crate_name: &str) -> Vec<String> {
+        let mut seen: Vec<String> = vec![crate_name.to_string()];
+        let mut frontier = vec![crate_name.to_string()];
+        while let Some(c) = frontier.pop() {
+            if let Some(deps) = self.deps.get(&c) {
+                for d in deps {
+                    if !seen.contains(d) {
+                        seen.push(d.clone());
+                        frontier.push(d.clone());
+                    }
+                }
+            }
+        }
+        seen.sort();
+        seen
+    }
+}
+
+/// Repo root: parent of the xtask crate (compile-time manifest dir), or
+/// the current directory when run from a copied binary.
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    match manifest.parent() {
+        Some(p) if p.join("Cargo.toml").is_file() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    }
+}
+
+/// Package name from a crate dir's Cargo.toml (`name = "…"`).
+pub fn crate_name(dir: &Path) -> Option<String> {
+    let manifest = std::fs::read_to_string(dir.join("Cargo.toml")).ok()?;
+    for line in manifest.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("name") {
+            let rest = rest.trim_start().strip_prefix('=')?.trim();
+            let rest = rest.strip_prefix('"')?;
+            let end = rest.find('"')?;
+            return Some(rest[..end].to_string());
+        }
+    }
+    None
+}
+
+/// First-party dependency package names out of a crate manifest: every
+/// `hp-*` / `hotpotato` entry inside `[dependencies]`. Dev-dependencies
+/// are excluded — library code cannot call into them, and the call
+/// graph only covers library targets.
+fn first_party_deps(manifest: &Path) -> Vec<String> {
+    let Ok(src) = std::fs::read_to_string(manifest) else {
+        return Vec::new();
+    };
+    let mut deps = Vec::new();
+    let mut in_deps = false;
+    for line in src.lines() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            in_deps = t == "[dependencies]";
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        // `hp-thermal = { workspace = true }` / `hp-thermal.workspace = true`
+        let Some(name) = t
+            .split(|c: char| c == '=' || c == '.' || c.is_whitespace())
+            .next()
+        else {
+            continue;
+        };
+        if (name.starts_with("hp-") || name == "hotpotato") && !deps.contains(&name.to_string()) {
+            deps.push(name.to_string());
+        }
+    }
+    deps.sort();
+    deps
+}
+
+/// Target kind from the sub-tree a file was found in.
+pub fn classify(path: &Path, sub: &str) -> FileKind {
+    let s = path.to_string_lossy();
+    match sub {
+        "tests" => FileKind::Test,
+        "benches" => FileKind::Bench,
+        "examples" => FileKind::Example,
+        _ => {
+            if s.contains("/src/bin/") || s.ends_with("/src/main.rs") {
+                FileKind::Bin
+            } else {
+                FileKind::Lib
+            }
+        }
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+    out.sort();
+}
+
+fn rel_path(root: &Path, abs: &Path) -> String {
+    abs.strip_prefix(root)
+        .unwrap_or(abs)
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dep_lines_are_parsed() {
+        let dir = workspace_root().join("crates/campaign");
+        let deps = first_party_deps(&dir.join("Cargo.toml"));
+        assert!(deps.contains(&"hp-obs".to_string()), "{deps:?}");
+        assert!(deps.contains(&"hotpotato".to_string()), "{deps:?}");
+    }
+
+    #[test]
+    fn discovery_finds_the_audited_crates_and_skips_vendor() {
+        let ws = Workspace::discover(&workspace_root());
+        assert!(ws.files.iter().any(|f| f.crate_name == "hp-thermal"));
+        assert!(ws.files.iter().any(|f| f.crate_name == "xtask"));
+        assert!(!ws.files.iter().any(|f| f.rel_path.starts_with("vendor/")));
+        let closure = ws.dep_closure("hp-campaign");
+        assert!(closure.contains(&"hp-floorplan".to_string()), "{closure:?}");
+    }
+}

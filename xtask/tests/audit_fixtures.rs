@@ -1,0 +1,198 @@
+//! End-to-end audit-pass tests over the fixture corpus in
+//! `tests/fixtures/`. Each fixture is a standalone source file (data,
+//! not a compile target) fed through the same scrub → parse → audit
+//! pipeline as `cargo xtask audit`, pinning the externally visible
+//! behaviour of every pass: finding rules, chains, suppression,
+//! 1-based positions, JSON round-trips, and baseline diffs.
+
+use std::collections::BTreeMap;
+
+use xtask::audit::{run_audit, AuditOptions, Finding};
+use xtask::baseline::{diff, findings_from_json, findings_to_json, Baseline};
+use xtask::graph::parse_file;
+use xtask::lexer::scrub;
+
+/// Runs the full audit over one fixture source as crate `crate_name`.
+fn audit_fixture(crate_name: &str, src: &str) -> Vec<Finding> {
+    let pf = parse_file(crate_name, "src/lib.rs", &scrub(src));
+    let mut closure = BTreeMap::new();
+    closure.insert(crate_name.to_string(), vec![crate_name.to_string()]);
+    run_audit(&[pf], &closure, &AuditOptions::default())
+}
+
+#[test]
+fn panic_chain_fixture_reports_the_full_chain() {
+    let findings = audit_fixture("hp-sim", include_str!("fixtures/panic_chain.rs"));
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!(f.rule, "panic");
+    assert!(f.failing());
+    assert_eq!(f.detail, ".unwrap()");
+    assert_eq!(
+        f.chain,
+        vec!["hp-sim::api", "hp-sim::helper", "hp-sim::sink"],
+        "chain must run from the public root to the sink"
+    );
+    // The rendered finding includes the chain for reviewers.
+    let shown = f.to_string();
+    assert!(shown.contains("via: hp-sim::api -> hp-sim::helper -> hp-sim::sink"));
+}
+
+#[test]
+fn suppressed_panic_fixture_is_accountable_but_not_failing() {
+    let findings = audit_fixture("hp-sim", include_str!("fixtures/panic_suppressed.rs"));
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!(f.rule, "panic");
+    assert!(f.suppressed);
+    assert!(!f.failing());
+    assert!(f.accountable());
+    assert_eq!(f.reason, "callers uphold Some() by construction");
+}
+
+#[test]
+fn stale_marker_fixture_fails() {
+    let findings = audit_fixture("hp-sim", include_str!("fixtures/stale_marker.rs"));
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!(f.rule, "stale-marker");
+    assert!(f.failing());
+    assert!(f.detail.contains("panic"), "{f:?}");
+}
+
+#[test]
+fn hashmap_in_report_path_fixture_is_flagged() {
+    let findings = audit_fixture("hp-obs", include_str!("fixtures/hash_report.rs"));
+    let hash: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.rule == "nondet" && f.detail.starts_with("hash-iter"))
+        .collect();
+    // One site, detected both as a `for … in map` loop and as the
+    // `map.iter()` call it desugars from.
+    assert!(!hash.is_empty(), "{findings:?}");
+    for f in &hash {
+        assert!(f.failing());
+        assert!(
+            f.chain.last().is_some_and(|l| l.contains("RunReport")),
+            "chain must end at the report producer: {:?}",
+            f.chain
+        );
+    }
+}
+
+#[test]
+fn relaxed_fixture_separates_bare_from_justified() {
+    let findings = audit_fixture("hp-obs", include_str!("fixtures/relaxed_unjustified.rs"));
+    let relaxed: Vec<&Finding> = findings.iter().filter(|f| f.rule == "relaxed").collect();
+    assert_eq!(relaxed.len(), 2, "{findings:?}");
+    let bare: Vec<&&Finding> = relaxed.iter().filter(|f| f.failing()).collect();
+    let marked: Vec<&&Finding> = relaxed.iter().filter(|f| f.suppressed).collect();
+    assert_eq!(bare.len(), 1);
+    assert_eq!(marked.len(), 1);
+    assert_eq!(bare[0].function, "bump_bare");
+    assert_eq!(marked[0].function, "bump_justified");
+    assert_eq!(marked[0].reason, "monotonic tally, read only after join");
+}
+
+#[test]
+fn lock_cycle_fixture_names_both_locks() {
+    let findings = audit_fixture("hp-campaign", include_str!("fixtures/lock_cycle.rs"));
+    let cycles: Vec<&Finding> = findings.iter().filter(|f| f.rule == "lock-cycle").collect();
+    assert_eq!(cycles.len(), 1, "{findings:?}");
+    assert!(cycles[0].failing());
+    assert!(cycles[0].detail.contains("Pair::a"), "{:?}", cycles[0]);
+    assert!(cycles[0].detail.contains("Pair::b"), "{:?}", cycles[0]);
+}
+
+#[test]
+fn lock_io_fixture_names_the_held_lock() {
+    let findings = audit_fixture("hp-campaign", include_str!("fixtures/lock_io.rs"));
+    let io: Vec<&Finding> = findings.iter().filter(|f| f.rule == "lock-io").collect();
+    assert_eq!(io.len(), 1, "{findings:?}");
+    assert!(io[0].failing());
+    assert!(io[0].detail.contains("Sink::state"), "{:?}", io[0]);
+    assert!(io[0].detail.contains("fs::write"), "{:?}", io[0]);
+}
+
+#[test]
+fn nondet_chain_fixture_reaches_the_registry() {
+    let findings = audit_fixture("hp-sim", include_str!("fixtures/nondet_chain.rs"));
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!(f.rule, "nondet");
+    assert_eq!(f.detail, "Instant::now");
+    assert!(f.failing());
+    assert_eq!(f.chain, vec!["hp-sim::timed", "hp-sim::Registry::observe"]);
+}
+
+#[test]
+fn positions_are_one_based_lines_and_columns() {
+    let findings = audit_fixture("hp-thermal", include_str!("fixtures/columns.rs"));
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    // The sink sits on line 8 of the fixture; `.unwrap()` starts at
+    // the 12th character. Both are 1-based end to end — including the
+    // JSON export below.
+    assert_eq!((f.line, f.col), (8, 12));
+    let doc = findings_to_json(&findings);
+    let reparsed = findings_from_json(&doc).expect("round-trip");
+    assert_eq!((reparsed[0].line, reparsed[0].col), (8, 12));
+    assert!(f.to_string().starts_with("src/lib.rs:8:12: [audit/panic]"));
+}
+
+#[test]
+fn findings_json_round_trips_across_all_fixtures() {
+    let mut findings = Vec::new();
+    for (krate, src) in [
+        ("hp-sim", include_str!("fixtures/panic_chain.rs")),
+        ("hp-sim", include_str!("fixtures/panic_suppressed.rs")),
+        ("hp-sim", include_str!("fixtures/stale_marker.rs")),
+        ("hp-obs", include_str!("fixtures/hash_report.rs")),
+        ("hp-obs", include_str!("fixtures/relaxed_unjustified.rs")),
+        ("hp-campaign", include_str!("fixtures/lock_cycle.rs")),
+        ("hp-campaign", include_str!("fixtures/lock_io.rs")),
+        ("hp-sim", include_str!("fixtures/nondet_chain.rs")),
+    ] {
+        findings.extend(audit_fixture(krate, src));
+    }
+    assert!(findings.len() >= 8);
+
+    let doc = findings_to_json(&findings);
+    assert!(doc.contains("\"schema\": \"hp-audit-v1\""));
+    let reparsed = findings_from_json(&doc).expect("round-trip");
+    assert_eq!(findings.len(), reparsed.len());
+    for (a, b) in findings.iter().zip(&reparsed) {
+        assert_eq!(a.key(), b.key());
+        assert_eq!(a.rule, b.rule);
+        assert_eq!((a.line, a.col), (b.line, b.col));
+        assert_eq!(a.chain, b.chain);
+        assert_eq!(a.suppressed, b.suppressed);
+        assert_eq!(a.reason, b.reason);
+        assert_eq!(a.message, b.message);
+    }
+}
+
+#[test]
+fn baseline_gate_fails_on_new_and_stale_entries() {
+    let suppressed = audit_fixture("hp-sim", include_str!("fixtures/panic_suppressed.rs"));
+    let baseline = Baseline::from_findings(&suppressed);
+    assert!(diff(&suppressed, &baseline).is_clean());
+
+    // A finding absent from the reviewed ledger is NEW and fails.
+    let mut grown = suppressed;
+    grown.extend(audit_fixture(
+        "hp-obs",
+        include_str!("fixtures/relaxed_unjustified.rs"),
+    ));
+    let d = diff(&grown, &baseline);
+    assert!(!d.is_clean());
+    assert!(!d.new.is_empty());
+    assert!(d.stale.is_empty());
+
+    // A ledger entry no longer produced by the audit is STALE and fails.
+    let d = diff(&[], &baseline);
+    assert!(!d.is_clean());
+    assert!(d.new.is_empty());
+    assert_eq!(d.stale.len(), 1);
+    assert!(d.stale[0].key.starts_with("panic|src/lib.rs|"));
+}

@@ -1,0 +1,64 @@
+//! Runs the real semantic audit over the workspace and checks it
+//! against the reviewed ledger at `xtask/audit.baseline.json` — the
+//! same gate CI enforces. A failure here means either a new
+//! unjustified finding slipped in, or a justification became stale and
+//! the baseline needs a reviewed `--update-baseline` pass.
+
+use std::collections::BTreeMap;
+
+use xtask::audit::{run_audit, AuditOptions};
+use xtask::baseline::Baseline;
+use xtask::graph::{parse_file, ParsedFile};
+use xtask::lexer::scrub;
+use xtask::lints::FileKind;
+use xtask::workspace::{workspace_root, Workspace};
+
+#[test]
+fn workspace_audit_matches_the_reviewed_baseline() {
+    let root = workspace_root();
+    let ws = Workspace::discover(&root);
+
+    let mut files: Vec<ParsedFile> = Vec::new();
+    for spec in &ws.files {
+        if spec.kind != FileKind::Lib || spec.crate_name == "workspace" {
+            continue;
+        }
+        let src = std::fs::read_to_string(&spec.abs_path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", spec.rel_path));
+        files.push(parse_file(&spec.crate_name, &spec.rel_path, &scrub(&src)));
+    }
+    assert!(files.len() > 50, "workspace discovery looks broken");
+
+    let deps_closure: BTreeMap<String, Vec<String>> = ws
+        .deps
+        .keys()
+        .map(|c| (c.clone(), ws.dep_closure(c)))
+        .collect();
+    let findings = run_audit(&files, &deps_closure, &AuditOptions::default());
+
+    // Nothing may fail outright: every accountable finding must carry a
+    // justification marker...
+    let failing: Vec<String> = findings
+        .iter()
+        .filter(|f| f.failing())
+        .map(|f| f.to_string())
+        .collect();
+    assert!(
+        failing.is_empty(),
+        "unjustified findings:\n{}",
+        failing.join("\n")
+    );
+
+    // ...and the suppressed set must agree with the reviewed ledger in
+    // both directions.
+    let src = std::fs::read_to_string(root.join("xtask/audit.baseline.json"))
+        .expect("committed baseline");
+    let baseline = Baseline::parse(&src).expect("baseline parses");
+    let d = xtask::baseline::diff(&findings, &baseline);
+    assert!(
+        d.is_clean(),
+        "baseline drift — {} new, {} stale; run `cargo xtask audit --update-baseline` after review",
+        d.new.len(),
+        d.stale.len()
+    );
+}

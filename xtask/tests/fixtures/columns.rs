@@ -1,0 +1,9 @@
+//! Audit fixture pinning 1-based line:col normalisation. The panic
+//! sink below sits on line 8, and `.unwrap()` starts at column 12
+//! (1-based characters: four spaces of indent + `Some(1)`).
+
+// Padding so the site is not on an early line by accident.
+
+pub fn api() -> u32 {
+    Some(1).unwrap()
+}

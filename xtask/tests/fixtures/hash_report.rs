@@ -1,0 +1,19 @@
+//! Audit fixture: HashMap iteration inside a function that reaches a
+//! report producer (`RunReport`). Expected: a failing `nondet` finding
+//! whose detail names the iterated map and whose chain ends at the
+//! producer.
+
+pub struct RunReport;
+
+impl RunReport {
+    pub fn record_row(&mut self) {}
+}
+
+pub fn summarize() {
+    let map: HashMap<String, u32> = HashMap::new();
+    let mut report = RunReport;
+    for (key, value) in map.iter() {
+        let _ = (key, value);
+    }
+    report.record_row();
+}

@@ -1,0 +1,20 @@
+//! Audit fixture: two methods acquire the same two mutexes in opposite
+//! orders. Expected: one failing `lock-cycle` finding naming both
+//! `Pair::a` and `Pair::b`.
+
+pub struct Pair {
+    a: std::sync::Mutex<u32>,
+    b: std::sync::Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) {
+        let _first = self.a.lock();
+        let _second = self.b.lock();
+    }
+
+    pub fn backward(&self) {
+        let _first = self.b.lock();
+        let _second = self.a.lock();
+    }
+}

@@ -1,0 +1,13 @@
+//! Audit fixture: filesystem I/O performed while a mutex guard is
+//! live. Expected: one failing `lock-io` finding naming `Sink::state`.
+
+pub struct Sink {
+    state: std::sync::Mutex<u32>,
+}
+
+impl Sink {
+    pub fn record(&self) {
+        let _guard = self.state.lock();
+        let _ = fs::write("out.json", "{}");
+    }
+}

@@ -1,0 +1,15 @@
+//! Audit fixture: a wall-clock read in a function that feeds an
+//! observability producer (`Registry`). Expected: one failing `nondet`
+//! finding with the chain `timed -> Registry::observe`.
+
+pub struct Registry;
+
+impl Registry {
+    pub fn observe(&self) {}
+}
+
+pub fn timed(registry: &Registry) {
+    let start = Instant::now();
+    let _ = start;
+    registry.observe();
+}

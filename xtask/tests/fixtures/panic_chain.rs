@@ -1,0 +1,15 @@
+//! Audit fixture: a public API that reaches an unmarked panic site
+//! through two private helpers. Expected: one `panic` finding at the
+//! sink with the full call chain `api -> helper -> sink`.
+
+pub fn api(input: Option<u32>) -> u32 {
+    helper(input)
+}
+
+fn helper(input: Option<u32>) -> u32 {
+    sink(input)
+}
+
+fn sink(input: Option<u32>) -> u32 {
+    input.unwrap()
+}

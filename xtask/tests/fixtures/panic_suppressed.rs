@@ -1,0 +1,12 @@
+//! Audit fixture: the same reachable panic as `panic_chain.rs`, but
+//! the sink carries a justification marker. Expected: one suppressed,
+//! accountable `panic` finding (baselined, never failing).
+
+pub fn api(input: Option<u32>) -> u32 {
+    sink(input)
+}
+
+fn sink(input: Option<u32>) -> u32 {
+    // xtask: allow(panic) — callers uphold Some() by construction
+    input.unwrap()
+}

@@ -1,0 +1,12 @@
+//! Audit fixture: two `Ordering::Relaxed` sites, one bare and one
+//! justified. Expected: one failing and one suppressed `relaxed`
+//! finding.
+
+pub fn bump_bare(counter: &std::sync::atomic::AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn bump_justified(counter: &std::sync::atomic::AtomicU64) {
+    // xtask: allow(relaxed) — monotonic tally, read only after join
+    counter.fetch_add(1, Ordering::Relaxed);
+}

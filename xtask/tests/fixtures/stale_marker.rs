@@ -1,0 +1,8 @@
+//! Audit fixture: a justification marker with no matching site in the
+//! statement below it. Expected: one failing `stale-marker` finding at
+//! the marker line.
+
+pub fn api() -> u32 {
+    // xtask: allow(panic) — nothing below can actually panic any more
+    41 + 1
+}
