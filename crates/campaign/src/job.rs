@@ -172,6 +172,47 @@ impl CampaignJob {
     }
 }
 
+/// Deliberately misbehaving schedulers, hidden from [`SCHEDULER_NAMES`]:
+/// chaos fixtures for the supervision layer's tests and CI drills. They
+/// build through [`build_scheduler`] like any other name but are never
+/// suggested to users.
+mod chaos {
+    use hp_sim::{Action, Scheduler, SimView};
+
+    /// Panics on its first scheduling hook — exercises worker panic
+    /// isolation (`JobStatus::Panicked`).
+    #[derive(Debug, Default)]
+    pub struct ChaosPanic;
+
+    impl Scheduler for ChaosPanic {
+        fn name(&self) -> &str {
+            "chaos-panic"
+        }
+
+        fn schedule(&mut self, _view: &SimView<'_>) -> Vec<Action> {
+            // xtask: allow(panic) — this fixture exists to detonate so
+            // the campaign supervisor's catch_unwind path stays tested.
+            panic!("chaos-panic: deliberate test-fixture panic")
+        }
+    }
+
+    /// Never places a thread, so the workload makes no progress and only
+    /// a watchdog (interval budget / wall-clock deadline) or the horizon
+    /// ends the run — exercises `JobStatus::TimedOut`.
+    #[derive(Debug, Default)]
+    pub struct ChaosStall;
+
+    impl Scheduler for ChaosStall {
+        fn name(&self) -> &str {
+            "chaos-stall"
+        }
+
+        fn schedule(&mut self, _view: &SimView<'_>) -> Vec<Action> {
+            Vec::new()
+        }
+    }
+}
+
 /// FNV-1a 64-bit hash (dependency-free, stable across platforms).
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
@@ -236,6 +277,9 @@ pub fn build_scheduler(job: &CampaignJob, art: &ChipArtifacts) -> Result<Box<dyn
                 Box::new(PinnedScheduler::with_preferred_cores(preferred))
             }
         }
+        // Hidden chaos fixtures (see the `chaos` module).
+        "chaos-panic" => Box::new(chaos::ChaosPanic),
+        "chaos-stall" => Box::new(chaos::ChaosStall),
         other => {
             return Err(CampaignError::Spec(format!(
                 "unknown scheduler `{other}` (expected one of {SCHEDULER_NAMES:?})"

@@ -34,6 +34,11 @@ pub enum JobStatus {
     /// The job could not be set up (bad scheduler/spec/model); no
     /// simulation output exists.
     Failed,
+    /// The job's worker caught a panic; no simulation output exists.
+    Panicked,
+    /// A supervision watchdog (interval budget or wall-clock deadline)
+    /// aborted the job mid-run; partial metrics are retained.
+    TimedOut,
 }
 
 impl JobStatus {
@@ -43,6 +48,8 @@ impl JobStatus {
             JobStatus::Completed => "completed",
             JobStatus::Aborted => "aborted",
             JobStatus::Failed => "failed",
+            JobStatus::Panicked => "panicked",
+            JobStatus::TimedOut => "timed-out",
         }
     }
 
@@ -51,8 +58,20 @@ impl JobStatus {
             "completed" => Some(JobStatus::Completed),
             "aborted" => Some(JobStatus::Aborted),
             "failed" => Some(JobStatus::Failed),
+            "panicked" => Some(JobStatus::Panicked),
+            "timed-out" => Some(JobStatus::TimedOut),
             _ => None,
         }
+    }
+
+    /// Whether the supervision layer's retry policy applies: setup
+    /// failures, panics, and watchdog timeouts are worth another
+    /// attempt; completed and (deterministically) aborted jobs are not.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            JobStatus::Failed | JobStatus::Panicked | JobStatus::TimedOut
+        )
     }
 }
 
@@ -95,6 +114,12 @@ pub struct JobOutcome {
     /// Whether this outcome was loaded from a resume manifest instead of
     /// being re-run.
     pub resumed: bool,
+    /// Execution attempts this outcome took (1 = no retries).
+    pub attempts: u32,
+    /// Whether the job exhausted its retry budget and was quarantined:
+    /// the sweep finished without it and it should not be retried again
+    /// without investigation.
+    pub quarantined: bool,
     /// Hottest-junction trace series (empty unless the job asked for it).
     pub peak_series: Vec<f64>,
     /// The job's hp-obs run report (timings are wall-clock and excluded
@@ -142,6 +167,31 @@ impl CampaignReport {
     /// Outcomes that failed to set up.
     pub fn failed(&self) -> usize {
         self.count(JobStatus::Failed)
+    }
+
+    /// Outcomes whose worker caught a panic.
+    pub fn panicked(&self) -> usize {
+        self.count(JobStatus::Panicked)
+    }
+
+    /// Outcomes aborted by a supervision watchdog (a job count, not a
+    /// duration).
+    // xtask: allow(unit) — returns a job count; "time" here names the
+    // TimedOut status, not a physical quantity.
+    pub fn timed_out(&self) -> usize {
+        self.count(JobStatus::TimedOut)
+    }
+
+    /// Outcomes that exhausted their retry budget and were quarantined.
+    pub fn quarantined(&self) -> usize {
+        self.jobs.iter().filter(|j| j.quarantined).count()
+    }
+
+    /// Whether any outcome ended in a failure class (failed, panicked,
+    /// or timed out) — the sweep-level health verdict behind the CLI's
+    /// distinct exit codes.
+    pub fn has_failures(&self) -> bool {
+        self.jobs.iter().any(|j| j.status.is_retryable())
     }
 
     fn count(&self, status: JobStatus) -> usize {
@@ -216,7 +266,7 @@ pub(crate) fn job_to_json(job: &JobOutcome, include_report: bool) -> String {
          \"cause\": \"{}\", \"makespan_s\": {}, \"peak_c\": {}, \"simulated_s\": {}, \
          \"energy_j\": {}, \"avg_freq_ghz\": {}, \"dtm_intervals\": {}, \
          \"migrations\": {}, \"jobs_completed\": {}, \"jobs_total\": {}, \
-         \"resumed\": {}",
+         \"resumed\": {}, \"attempts\": {}, \"quarantined\": {}",
         json::escape(&job.label),
         json::escape(&job.scheduler),
         job.grid.0,
@@ -235,6 +285,8 @@ pub(crate) fn job_to_json(job: &JobOutcome, include_report: bool) -> String {
         job.jobs_completed,
         job.jobs_total,
         job.resumed,
+        job.attempts,
+        job.quarantined,
     );
     out.push_str(", \"peak_series\": [");
     for (i, v) in job.peak_series.iter().enumerate() {
@@ -285,6 +337,13 @@ pub(crate) fn job_from_json(item: &Json) -> Result<JobOutcome> {
     let status = JobStatus::from_label(&status_raw)
         .ok_or_else(|| CampaignError::Parse(format!("unknown status `{status_raw}`")))?;
     let resumed = matches!(item.get("resumed"), Some(Json::Bool(true)));
+    // Supervision fields are optional for pre-supervision manifests.
+    let attempts = item
+        .get("attempts")
+        .and_then(Json::as_u64)
+        .unwrap_or(1)
+        .max(1) as u32;
+    let quarantined = matches!(item.get("quarantined"), Some(Json::Bool(true)));
     let mut peak_series = Vec::new();
     if let Some(Json::Arr(items)) = item.get("peak_series") {
         for v in items {
@@ -318,6 +377,8 @@ pub(crate) fn job_from_json(item: &Json) -> Result<JobOutcome> {
         jobs_completed: u("jobs_completed")? as usize,
         jobs_total: u("jobs_total")? as usize,
         resumed,
+        attempts,
+        quarantined,
         peak_series,
         report,
     })
@@ -437,6 +498,8 @@ mod tests {
             jobs_completed: 2,
             jobs_total: 2,
             resumed: false,
+            attempts: 1,
+            quarantined: false,
             peak_series: vec![45.0, 61.5],
             report,
         }
@@ -518,5 +581,38 @@ mod tests {
         assert_eq!(report.completed(), 1);
         assert_eq!(report.aborted(), 1);
         assert_eq!(report.failed(), 0);
+        assert_eq!(report.panicked(), 0);
+        assert_eq!(report.timed_out(), 0);
+        assert!(!report.has_failures());
+    }
+
+    #[test]
+    fn supervision_statuses_round_trip_and_classify() {
+        let mut p = outcome();
+        p.status = JobStatus::Panicked;
+        p.cause = "panicked: boom".into();
+        p.attempts = 3;
+        p.quarantined = true;
+        let line = job_to_json(&p, false);
+        let parsed = job_from_json(&json::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed.status, JobStatus::Panicked);
+        assert_eq!(parsed.attempts, 3);
+        assert!(parsed.quarantined);
+
+        let report = CampaignReport {
+            jobs: vec![outcome(), p],
+            campaign: RunReport::new(),
+        };
+        assert_eq!(report.panicked(), 1);
+        assert_eq!(report.quarantined(), 1);
+        assert!(report.has_failures());
+
+        // Pre-supervision manifest lines (no attempts/quarantined keys)
+        // still parse, with conservative defaults.
+        let legacy =
+            job_to_json(&outcome(), false).replace(", \"attempts\": 1, \"quarantined\": false", "");
+        let parsed = job_from_json(&json::parse(&legacy).unwrap()).unwrap();
+        assert_eq!(parsed.attempts, 1);
+        assert!(!parsed.quarantined);
     }
 }

@@ -19,13 +19,15 @@
 use std::fmt::Write as _;
 use std::fs;
 use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 use hp_obs::json;
 use hp_obs::RunReport;
-use hp_sim::{SimError, Simulation};
+use hp_sim::{EngineCheckpoint, RunOptions, SimError, Simulation};
 
 use crate::cache::ModelCache;
 use crate::error::{CampaignError, Result};
@@ -53,6 +55,24 @@ pub struct CampaignConfig {
     /// Reuse digest-matching completed jobs from an existing manifest in
     /// `out_dir` instead of re-running them.
     pub resume: bool,
+    /// Extra attempts granted to jobs that end in a retryable status
+    /// (failed / panicked / timed-out). A job still retryable after
+    /// `1 + retries` attempts is quarantined. `0` disables both retry
+    /// and quarantine.
+    pub retries: u32,
+    /// Wall-clock watchdog per attempt, seconds: stragglers are aborted
+    /// with their partial metrics and classified
+    /// [`JobStatus::TimedOut`]. Wall-clock only decides *whether* a run
+    /// is cut short, never what the simulation computes.
+    pub job_timeout_seconds: Option<f64>,
+    /// Deterministic watchdog per attempt: abort after this many engine
+    /// intervals ([`JobStatus::TimedOut`], partials retained).
+    pub job_interval_budget: Option<u64>,
+    /// Simulated seconds between per-job engine checkpoints
+    /// (`job-NNN.ckpt.json` in `out_dir`; requires `out_dir`). With
+    /// `resume` a half-finished job continues from its last checkpoint
+    /// instead of restarting.
+    pub checkpoint_every_seconds: Option<f64>,
 }
 
 impl Default for CampaignConfig {
@@ -62,8 +82,31 @@ impl Default for CampaignConfig {
             cache_enabled: true,
             out_dir: None,
             resume: false,
+            retries: 0,
+            job_timeout_seconds: None,
+            job_interval_budget: None,
+            checkpoint_every_seconds: None,
         }
     }
+}
+
+/// `ckpt.*` counter aggregation across workers.
+#[derive(Default)]
+struct CkptCounters {
+    saves: AtomicU64,
+    resumes: AtomicU64,
+}
+
+/// Supervision context for one execution attempt.
+struct Attempt<'a> {
+    /// Per-job checkpoint file (requires `out_dir` + checkpoint cadence).
+    ckpt_path: Option<PathBuf>,
+    checkpoint_every_seconds: Option<f64>,
+    interval_budget: Option<u64>,
+    deadline: Option<Instant>,
+    /// Whether to seed the run from an existing on-disk checkpoint.
+    try_resume: bool,
+    ckpt: &'a CkptCounters,
 }
 
 /// Runs every job and assembles the deterministic campaign report.
@@ -92,6 +135,9 @@ pub fn run_campaign(jobs: &[CampaignJob], config: &CampaignConfig) -> Result<Cam
     let slots: Mutex<Vec<Option<JobOutcome>>> = Mutex::new(resumed);
     let cursor = AtomicUsize::new(0);
     let workers = config.workers.max(1).min(pending.len().max(1));
+    let ckpt = CkptCounters::default();
+    let retry_attempts = AtomicU64::new(0);
+    let retry_succeeded = AtomicU64::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -103,7 +149,15 @@ pub fn run_campaign(jobs: &[CampaignJob], config: &CampaignConfig) -> Result<Cam
                 let Some(&index) = pending.get(at) else {
                     break;
                 };
-                let outcome = execute_job(&jobs[index], &cache);
+                let outcome = supervise_job(
+                    index,
+                    &jobs[index],
+                    config,
+                    &cache,
+                    &ckpt,
+                    &retry_attempts,
+                    &retry_succeeded,
+                );
                 if let Some(sink) = &sink {
                     sink.record(index, &outcome);
                 }
@@ -116,43 +170,182 @@ pub fn run_campaign(jobs: &[CampaignJob], config: &CampaignConfig) -> Result<Cam
     });
 
     let outcomes = slots.into_inner().unwrap_or_else(PoisonError::into_inner);
-    let report = assemble(outcomes, &cache);
+    let mut report = assemble(outcomes, &cache);
+    // xtask: allow(relaxed) — single-threaded aggregation after the pool
+    // has joined; no concurrent writers remain.
+    let attempts = retry_attempts.load(Ordering::Relaxed);
+    // xtask: allow(relaxed) — post-join read, as above.
+    let succeeded = retry_succeeded.load(Ordering::Relaxed);
+    // xtask: allow(relaxed) — post-join read, as above.
+    let saves = ckpt.saves.load(Ordering::Relaxed);
+    // xtask: allow(relaxed) — post-join read, as above.
+    let resumes = ckpt.resumes.load(Ordering::Relaxed);
+    report
+        .campaign
+        .push_counter("campaign.retry.attempts", attempts);
+    report
+        .campaign
+        .push_counter("campaign.retry.succeeded", succeeded);
+    report.campaign.push_counter("ckpt.saves", saves);
+    report.campaign.push_counter("ckpt.resumes", resumes);
+    report.campaign.push_counter(
+        "campaign.quarantine",
+        report.jobs.iter().filter(|j| j.quarantined).count() as u64,
+    );
     if let Some(sink) = &sink {
         sink.finish(&report)?;
     }
     Ok(report)
 }
 
-/// Runs one job against the shared cache; never fails — setup and
-/// simulation errors fold into the outcome's status.
-fn execute_job(job: &CampaignJob, cache: &ModelCache) -> JobOutcome {
+/// Runs one job under the supervision policy: up to `1 + retries`
+/// attempts, each with its own watchdogs; a job still in a retryable
+/// state after the last attempt is quarantined (when retries are on).
+fn supervise_job(
+    index: usize,
+    job: &CampaignJob,
+    config: &CampaignConfig,
+    cache: &ModelCache,
+    ckpt: &CkptCounters,
+    retry_attempts: &AtomicU64,
+    retry_succeeded: &AtomicU64,
+) -> JobOutcome {
+    let ckpt_path = match (&config.out_dir, config.checkpoint_every_seconds) {
+        (Some(dir), Some(_)) => Some(dir.join(checkpoint_file_name(index))),
+        _ => None,
+    };
+    let mut attempt_no: u32 = 0;
+    loop {
+        attempt_no += 1;
+        let attempt = Attempt {
+            ckpt_path: ckpt_path.clone(),
+            checkpoint_every_seconds: config.checkpoint_every_seconds,
+            interval_budget: config.job_interval_budget,
+            // xtask: allow(nondet) — the wall-clock watchdog only decides
+            // *whether* an attempt is cut short (TimedOut vs Completed),
+            // never what the simulation computes; the deterministic
+            // interval budget is the reproducible variant.
+            deadline: config
+                .job_timeout_seconds
+                .map(|s| Instant::now() + Duration::from_secs_f64(s.max(0.0))),
+            // Retries of a checkpointing job continue from the last
+            // checkpoint instead of restarting (so watchdog-limited
+            // attempts still make forward progress).
+            try_resume: config.resume || attempt_no > 1,
+            ckpt,
+        };
+        let mut outcome = execute_job(job, cache, &attempt);
+        outcome.attempts = attempt_no;
+        if !outcome.status.is_retryable() {
+            if attempt_no > 1 && outcome.status == JobStatus::Completed {
+                // xtask: allow(relaxed) — monotonic tally, read after join.
+                retry_succeeded.fetch_add(1, Ordering::Relaxed);
+            }
+            return outcome;
+        }
+        if attempt_no > config.retries {
+            outcome.quarantined = config.retries > 0;
+            return outcome;
+        }
+        // xtask: allow(relaxed) — monotonic tally, read after join.
+        retry_attempts.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Runs one attempt of a job against the shared cache; never fails and
+/// never unwinds — setup errors, simulation errors, watchdog aborts and
+/// panics all fold into the outcome's status.
+fn execute_job(job: &CampaignJob, cache: &ModelCache, attempt: &Attempt<'_>) -> JobOutcome {
     let art = match cache.get_or_build(job.grid.0, job.grid.1) {
         Ok(art) => art,
         Err(e) => return failed_outcome(job, &e),
     };
-    let mut scheduler = match build_scheduler(job, &art) {
-        Ok(s) => s,
-        Err(e) => return failed_outcome(job, &e),
-    };
-    let mut sim = match Simulation::with_thermal(
-        art.machine.clone(),
-        art.model.clone(),
-        art.transient.clone(),
-        job.sim,
-    ) {
-        Ok(sim) => sim,
-        Err(e) => return failed_outcome(job, &e),
-    };
-    let workload = job.workload.materialize();
-    let jobs_total = workload.len();
-    let (status, cause, metrics) = match sim.run(workload, scheduler.as_mut()) {
-        Ok(m) => (JobStatus::Completed, String::new(), m),
-        Err(SimError::Aborted { cause, partial, .. }) => {
-            (JobStatus::Aborted, cause.to_string(), *partial)
+    let mut try_resume = attempt.try_resume;
+    let (sim, status, cause, metrics) = loop {
+        let mut scheduler = match build_scheduler(job, &art) {
+            Ok(s) => s,
+            Err(e) => return failed_outcome(job, &e),
+        };
+        let mut sim = match Simulation::with_thermal(
+            art.machine.clone(),
+            art.model.clone(),
+            art.transient.clone(),
+            job.sim,
+        ) {
+            Ok(sim) => sim,
+            Err(e) => return failed_outcome(job, &e),
+        };
+        let workload = job.workload.materialize();
+        let resume_from = match (&attempt.ckpt_path, try_resume) {
+            (Some(path), true) => EngineCheckpoint::load_from_path(path).ok(),
+            _ => None,
+        };
+        let resumed_from_ckpt = resume_from.is_some();
+        let options = RunOptions {
+            checkpoint_every_seconds: if attempt.ckpt_path.is_some() {
+                attempt.checkpoint_every_seconds
+            } else {
+                None
+            },
+            checkpoint_path: attempt.ckpt_path.clone(),
+            resume_from,
+            max_intervals: attempt.interval_budget,
+            deadline: attempt.deadline,
+        };
+        // Panic isolation: a scheduler or engine panic poisons this
+        // attempt only. `sim` and `scheduler` are plain owned state —
+        // both are discarded on unwind, so AssertUnwindSafe is sound.
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            sim.run_with_options(workload, scheduler.as_mut(), &options)
+        }));
+        // xtask: allow(relaxed) — monotonic tallies, read after join.
+        attempt
+            .ckpt
+            .saves
+            .fetch_add(sim.checkpoint_saves(), Ordering::Relaxed);
+        // xtask: allow(relaxed) — monotonic tallies, read after join.
+        attempt
+            .ckpt
+            .resumes
+            .fetch_add(sim.checkpoint_resumes(), Ordering::Relaxed);
+        match run {
+            Ok(Ok(m)) => break (sim, JobStatus::Completed, String::new(), m),
+            Ok(Err(SimError::Checkpoint(_))) if resumed_from_ckpt => {
+                // A stale or foreign on-disk checkpoint (e.g. a previous
+                // sweep in the same out_dir): drop it and run fresh.
+                if let Some(path) = &attempt.ckpt_path {
+                    let _ = fs::remove_file(path);
+                }
+                try_resume = false;
+                continue;
+            }
+            Ok(Err(SimError::Aborted { cause, partial, .. })) => {
+                let timed_out = matches!(
+                    &*cause,
+                    SimError::IntervalBudgetExhausted { .. } | SimError::DeadlineExceeded
+                );
+                let status = if timed_out {
+                    JobStatus::TimedOut
+                } else {
+                    JobStatus::Aborted
+                };
+                break (sim, status, cause.to_string(), *partial);
+            }
+            // Setup-stage failures inside run() carry no partials.
+            Ok(Err(e)) => return failed_outcome(job, &e),
+            // `as_ref` (not `&payload`): coercing `&Box<dyn Any>` would
+            // unsize the Box itself and defeat the downcasts.
+            Err(payload) => return panicked_outcome(job, payload.as_ref()),
         }
-        // Setup-stage failures inside run() carry no partials.
-        Err(e) => return failed_outcome(job, &e),
     };
+    if status == JobStatus::Completed {
+        // A finished job's mid-run checkpoint is dead state: drop it so
+        // a later resume never tries to continue a completed run.
+        if let Some(path) = &attempt.ckpt_path {
+            let _ = fs::remove_file(path);
+        }
+    }
+    let jobs_total = job.workload.materialize().len();
     let peak_series = if job.keep_peak_series {
         sim.trace().peak_series()
     } else {
@@ -176,6 +369,8 @@ fn execute_job(job: &CampaignJob, cache: &ModelCache) -> JobOutcome {
         jobs_completed: metrics.completed_jobs(),
         jobs_total,
         resumed: false,
+        attempts: 1,
+        quarantined: false,
         peak_series,
         report: metrics.observability,
     }
@@ -183,14 +378,29 @@ fn execute_job(job: &CampaignJob, cache: &ModelCache) -> JobOutcome {
 
 /// The outcome of a job that never produced simulation output.
 fn failed_outcome(job: &CampaignJob, cause: &dyn std::fmt::Display) -> JobOutcome {
+    no_output_outcome(job, JobStatus::Failed, cause.to_string())
+}
+
+/// The outcome of a job whose attempt unwound: the panic payload (the
+/// `&str`/`String` message when one exists) becomes the cause.
+fn panicked_outcome(job: &CampaignJob, payload: &(dyn std::any::Any + Send)) -> JobOutcome {
+    let message = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    no_output_outcome(job, JobStatus::Panicked, format!("panicked: {message}"))
+}
+
+fn no_output_outcome(job: &CampaignJob, status: JobStatus, cause: String) -> JobOutcome {
     JobOutcome {
         label: job.label.clone(),
         scheduler: job.scheduler.clone(),
         grid: job.grid,
         workload: job.workload.describe(),
         digest: job.digest(),
-        status: JobStatus::Failed,
-        cause: cause.to_string(),
+        status,
+        cause,
         makespan_seconds: 0.0,
         peak_celsius: 0.0,
         simulated_seconds: 0.0,
@@ -201,6 +411,8 @@ fn failed_outcome(job: &CampaignJob, cause: &dyn std::fmt::Display) -> JobOutcom
         jobs_completed: 0,
         jobs_total: 0,
         resumed: false,
+        attempts: 1,
+        quarantined: false,
         peak_series: Vec::new(),
         report: RunReport::new(),
     }
@@ -237,6 +449,8 @@ fn assemble(outcomes: Vec<Option<JobOutcome>>, cache: &ModelCache) -> CampaignRe
     campaign.push_counter("campaign.jobs.completed", count(JobStatus::Completed));
     campaign.push_counter("campaign.jobs.aborted", count(JobStatus::Aborted));
     campaign.push_counter("campaign.jobs.failed", count(JobStatus::Failed));
+    campaign.push_counter("campaign.jobs.panicked", count(JobStatus::Panicked));
+    campaign.push_counter("campaign.jobs.timed_out", count(JobStatus::TimedOut));
     campaign.push_counter(
         "campaign.jobs.resumed",
         jobs.iter().filter(|j| j.resumed).count() as u64,
@@ -255,6 +469,11 @@ fn assemble(outcomes: Vec<Option<JobOutcome>>, cache: &ModelCache) -> CampaignRe
 /// File name of a job's standalone report document.
 fn report_file_name(index: usize) -> String {
     format!("job-{index:03}.report.json")
+}
+
+/// File name of a job's mid-run engine checkpoint.
+pub(crate) fn checkpoint_file_name(index: usize) -> String {
+    format!("job-{index:03}.ckpt.json")
 }
 
 /// Loads reusable outcomes from an existing manifest: one slot per
@@ -311,7 +530,7 @@ struct OutputSink {
 }
 
 struct SinkState {
-    manifest: Option<fs::File>,
+    manifest: fs::File,
     first_error: Option<CampaignError>,
 }
 
@@ -319,10 +538,18 @@ impl OutputSink {
     fn open(dir: &Path) -> Result<Self> {
         fs::create_dir_all(dir)
             .map_err(|e| CampaignError::Io(format!("create {}: {e}", dir.display())))?;
+        // Opened eagerly, before any worker exists, so no file I/O ever
+        // happens while the sink lock is held — record() only appends an
+        // already-formatted line under the lock.
+        let manifest = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join(MANIFEST_FILE))
+            .map_err(|e| CampaignError::Io(format!("open {MANIFEST_FILE}: {e}")))?;
         Ok(OutputSink {
             dir: dir.to_path_buf(),
             state: Mutex::new(SinkState {
-                manifest: None,
+                manifest,
                 first_error: None,
             }),
         })
@@ -334,6 +561,9 @@ impl OutputSink {
         let file = report_file_name(index);
         let report_path = self.dir.join(&file);
         let write_result = fs::write(&report_path, outcome.report.to_json_string());
+        let mut line = job_to_json(outcome, false);
+        line.pop(); // strip the closing brace to splice the file name in
+        let _ = write!(line, ", \"file\": \"{file}\"}}");
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if let Err(e) = write_result {
             if state.first_error.is_none() {
@@ -344,34 +574,9 @@ impl OutputSink {
             }
             return;
         }
-        if state.manifest.is_none() {
-            // xtask: allow(lockio) — the manifest append must be serialised
-            // across workers; the sink lock is exactly that serialisation
-            // point and is never taken on a latency-sensitive path.
-            match fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(self.dir.join(MANIFEST_FILE))
-            {
-                Ok(f) => state.manifest = Some(f),
-                Err(e) => {
-                    if state.first_error.is_none() {
-                        state.first_error =
-                            Some(CampaignError::Io(format!("open {MANIFEST_FILE}: {e}")));
-                    }
-                    return;
-                }
-            }
-        }
-        let mut line = job_to_json(outcome, false);
-        line.pop(); // strip the closing brace to splice the file name in
-        let _ = write!(line, ", \"file\": \"{file}\"}}");
-        if let Some(manifest) = &mut state.manifest {
-            if let Err(e) = writeln!(manifest, "{line}") {
-                if state.first_error.is_none() {
-                    state.first_error =
-                        Some(CampaignError::Io(format!("append {MANIFEST_FILE}: {e}")));
-                }
+        if let Err(e) = writeln!(state.manifest, "{line}") {
+            if state.first_error.is_none() {
+                state.first_error = Some(CampaignError::Io(format!("append {MANIFEST_FILE}: {e}")));
             }
         }
     }
@@ -500,6 +705,112 @@ mod tests {
         assert_eq!(third.campaign.counter("campaign.jobs.resumed"), Some(1));
         assert!(third.jobs[0].resumed);
         assert!(!third.jobs[1].resumed);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_retried_and_quarantined() {
+        let jobs = vec![quick_job("ok", "pinned"), quick_job("boom", "chaos-panic")];
+        let config = CampaignConfig {
+            retries: 2,
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&jobs, &config).unwrap();
+        // The healthy job is untouched by its neighbour's panics.
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.jobs[0].status, JobStatus::Completed);
+        let boom = &report.jobs[1];
+        assert_eq!(boom.status, JobStatus::Panicked);
+        assert!(boom.cause.contains("chaos-panic"), "{}", boom.cause);
+        assert_eq!(boom.attempts, 3, "1 try + 2 retries");
+        assert!(boom.quarantined);
+        assert_eq!(report.campaign.counter("campaign.retry.attempts"), Some(2));
+        assert_eq!(report.campaign.counter("campaign.retry.succeeded"), Some(0));
+        assert_eq!(report.campaign.counter("campaign.quarantine"), Some(1));
+        assert_eq!(report.campaign.counter("campaign.jobs.panicked"), Some(1));
+    }
+
+    #[test]
+    fn without_retries_a_panicking_job_fails_once_and_is_not_quarantined() {
+        let jobs = vec![quick_job("boom", "chaos-panic")];
+        let report = run_campaign(&jobs, &CampaignConfig::default()).unwrap();
+        let boom = &report.jobs[0];
+        assert_eq!(boom.status, JobStatus::Panicked);
+        assert_eq!(boom.attempts, 1);
+        assert!(!boom.quarantined, "no retry budget, no quarantine verdict");
+        assert_eq!(report.campaign.counter("campaign.quarantine"), Some(0));
+    }
+
+    #[test]
+    fn stalled_job_hits_the_interval_budget_with_partials() {
+        let jobs = vec![quick_job("stall", "chaos-stall")];
+        let config = CampaignConfig {
+            job_interval_budget: Some(500),
+            retries: 1,
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&jobs, &config).unwrap();
+        let stall = &report.jobs[0];
+        assert_eq!(stall.status, JobStatus::TimedOut);
+        assert!(stall.cause.contains("interval budget"), "{}", stall.cause);
+        assert!(stall.simulated_seconds > 0.0, "partials retained");
+        assert_eq!(stall.attempts, 2);
+        assert!(stall.quarantined);
+        assert_eq!(report.campaign.counter("campaign.jobs.timed_out"), Some(1));
+    }
+
+    #[test]
+    fn expired_wall_clock_deadline_times_a_job_out() {
+        let jobs = vec![quick_job("late", "pinned")];
+        let config = CampaignConfig {
+            job_timeout_seconds: Some(0.0),
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&jobs, &config).unwrap();
+        let late = &report.jobs[0];
+        assert_eq!(late.status, JobStatus::TimedOut);
+        assert!(late.cause.contains("deadline"), "{}", late.cause);
+        assert!(!late.quarantined, "retries are off");
+    }
+
+    #[test]
+    fn mid_job_checkpoints_turn_retries_into_forward_progress() {
+        let dir = temp_dir("ckpt-retry");
+        let job = quick_job("steady", "pinned");
+        let golden = run_campaign(std::slice::from_ref(&job), &CampaignConfig::default()).unwrap();
+        assert_eq!(golden.completed(), 1);
+
+        // Each attempt gets an interval budget at a quarter of the full
+        // run, but checkpoints + retry-resume accumulate progress until
+        // the job completes — and the stitched-together run must report
+        // bit-identically to the uninterrupted golden.
+        let dt = 100e-6; // SimConfig::default().dt
+        let total_intervals = (golden.jobs[0].makespan_seconds / dt) as u64;
+        let budget = (total_intervals / 4).max(200);
+        let config = CampaignConfig {
+            out_dir: Some(dir.clone()),
+            retries: 10,
+            job_interval_budget: Some(budget),
+            checkpoint_every_seconds: Some(budget as f64 / 4.0 * dt),
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&[job], &config).unwrap();
+        let steady = &report.jobs[0];
+        assert_eq!(steady.status, JobStatus::Completed, "{}", steady.cause);
+        assert!(steady.attempts > 1, "budget forces at least one retry");
+        assert!(!steady.quarantined);
+        assert_eq!(report.campaign.counter("campaign.retry.succeeded"), Some(1));
+        assert!(report.campaign.counter("ckpt.saves") > Some(0));
+        assert!(report.campaign.counter("ckpt.resumes") > Some(0));
+        assert_eq!(steady.makespan_seconds, golden.jobs[0].makespan_seconds);
+        assert_eq!(
+            steady.report.without_timings(),
+            golden.jobs[0].report.without_timings()
+        );
+        assert!(
+            !dir.join(checkpoint_file_name(0)).exists(),
+            "completed job's checkpoint is cleaned up"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -198,7 +198,9 @@ impl SweepSpec {
             return Err(CampaignError::Spec("`schedulers` axis is empty".into()));
         }
         for s in &self.schedulers {
-            if !SCHEDULER_NAMES.contains(&s.as_str()) {
+            // `chaos-*` fixtures are accepted (supervision drills) but
+            // deliberately absent from the advertised name list.
+            if !SCHEDULER_NAMES.contains(&s.as_str()) && !s.starts_with("chaos-") {
                 return Err(CampaignError::Spec(format!(
                     "unknown scheduler `{s}` (expected one of {SCHEDULER_NAMES:?})"
                 )));

@@ -13,7 +13,7 @@ use hp_sched::{
     FallbackChain, FallbackConfig, HotPotatoDvfs, PcGov, PcMig, PcMigConfig, TspUniform,
 };
 use hp_sim::schedulers::PinnedScheduler;
-use hp_sim::{Metrics, Scheduler, SimConfig, Simulation};
+use hp_sim::{EngineCheckpoint, Metrics, RunOptions, Scheduler, SimConfig, Simulation};
 use hp_thermal::{tsp, RcThermalModel, ThermalConfig};
 use hp_workload::{closed_batch, open_poisson, Benchmark, Job, JobId};
 
@@ -37,6 +37,26 @@ impl std::fmt::Display for AbortedRun {
 }
 
 impl Error for AbortedRun {}
+
+/// Marker error for a sweep that finished but left unhealthy jobs.
+/// `main` maps it to exit 4 when any job was quarantined (retry budget
+/// exhausted — needs investigation) and exit 3 for plain failures
+/// (failed / panicked / timed-out), so batch wrappers can branch.
+#[derive(Debug)]
+pub struct SweepHealth {
+    /// Human-readable verdict.
+    pub message: String,
+    /// Exit code to report (3 or 4).
+    pub exit: u8,
+}
+
+impl std::fmt::Display for SweepHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl Error for SweepHealth {}
 
 fn machine(w: usize, h: usize) -> Result<Machine, Box<dyn Error>> {
     Ok(Machine::new(ArchConfig {
@@ -225,6 +245,42 @@ pub fn simulate(args: &ParsedArgs) -> CliResult {
     };
     faults.seed = args.get_or("fault-seed", faults.seed)?;
 
+    // Checkpoint/resume supervision (DESIGN.md §13): periodic engine
+    // checkpoints every `--checkpoint-every` simulated seconds into
+    // `--checkpoint-dir`, and `--resume-from` to continue an interrupted
+    // run bit-identically from its last checkpoint.
+    let ckpt_every: f64 = args.get_or("checkpoint-every", 0.0)?;
+    if ckpt_every < 0.0 || ckpt_every.is_nan() {
+        return Err(format!("--checkpoint-every {ckpt_every}: must be positive seconds").into());
+    }
+    let checkpoint_path = match (args.get("checkpoint-dir"), ckpt_every > 0.0) {
+        (Some(dir), true) => {
+            std::fs::create_dir_all(dir).map_err(|e| format!("--checkpoint-dir {dir}: {e}"))?;
+            Some(std::path::Path::new(dir).join("simulate.ckpt.json"))
+        }
+        (Some(_), false) => {
+            return Err("--checkpoint-dir requires --checkpoint-every SECONDS".into())
+        }
+        (None, true) => {
+            return Err("--checkpoint-every requires --checkpoint-dir DIR".into());
+        }
+        (None, false) => None,
+    };
+    let resume_from = match args.get("resume-from") {
+        Some(path) => Some(
+            EngineCheckpoint::load_from_path(std::path::Path::new(path))
+                .map_err(|e| format!("--resume-from {path}: {e}"))?,
+        ),
+        None => None,
+    };
+    let resumed = resume_from.is_some();
+    let options = RunOptions {
+        checkpoint_every_seconds: (ckpt_every > 0.0).then_some(ckpt_every),
+        checkpoint_path,
+        resume_from,
+        ..RunOptions::default()
+    };
+
     let sim_config = SimConfig {
         horizon,
         record_trace: args.get("trace").is_some(),
@@ -251,7 +307,7 @@ pub fn simulate(args: &ParsedArgs) -> CliResult {
         other => return Err(format!("unknown scheduler `{other}`").into()),
     };
 
-    let metrics = match sim.run(jobs, scheduler.as_mut()) {
+    let metrics = match sim.run_with_options(jobs, scheduler.as_mut(), &options) {
         Ok(m) => m,
         Err(e) => {
             let context = format!(
@@ -271,12 +327,23 @@ pub fn simulate(args: &ParsedArgs) -> CliResult {
                 print_simulate_metrics(partial, &scheduler_name, w, h);
                 write_trace(&sim, args, "partial temperature trace")?;
                 write_report(partial, args, &scheduler_name, w, h, Some(&note))?;
+                if let Some(path) = &options.checkpoint_path {
+                    if sim.checkpoint_saves() > 0 {
+                        println!("  resume with: --resume-from {}", path.display());
+                    }
+                }
                 return Err(Box::new(AbortedRun(context)));
             }
             return Err(context.into());
         }
     };
     print_simulate_metrics(&metrics, &scheduler_name, w, h);
+    if resumed {
+        println!("  resumed from checkpoint (bit-identical to an uninterrupted run)");
+    }
+    if sim.checkpoint_saves() > 0 {
+        println!("  {} checkpoint(s) written", sim.checkpoint_saves());
+    }
     write_trace(&sim, args, "temperature trace")?;
     write_report(&metrics, args, &scheduler_name, w, h, None)?;
     Ok(())
@@ -298,11 +365,30 @@ pub fn sweep(args: &ParsedArgs) -> CliResult {
     if workers == 0 {
         return Err("--jobs 0: need at least one worker".into());
     }
+    // Supervision policy: bounded retries with quarantine, wall-clock
+    // and interval watchdogs, and per-job mid-run checkpoints.
+    let retries: u32 = args.get_or("retries", 0)?;
+    let job_timeout: f64 = args.get_or("job-timeout", 0.0)?;
+    if job_timeout < 0.0 || job_timeout.is_nan() {
+        return Err(format!("--job-timeout {job_timeout}: must be positive seconds").into());
+    }
+    let interval_budget: u64 = args.get_or("interval-budget", 0)?;
+    let ckpt_every: f64 = args.get_or("checkpoint-every", 0.0)?;
+    if ckpt_every < 0.0 || ckpt_every.is_nan() {
+        return Err(format!("--checkpoint-every {ckpt_every}: must be positive seconds").into());
+    }
+    if ckpt_every > 0.0 && args.get("out").is_none() {
+        return Err("sweep --checkpoint-every requires --out DIR".into());
+    }
     let config = CampaignConfig {
         workers,
         cache_enabled: !matches!(args.get("cache"), Some("off" | "false" | "0")),
         out_dir: args.get("out").map(std::path::PathBuf::from),
         resume: matches!(args.get("resume"), Some("true" | "1" | "yes")),
+        retries,
+        job_timeout_seconds: (job_timeout > 0.0).then_some(job_timeout),
+        job_interval_budget: (interval_budget > 0).then_some(interval_budget),
+        checkpoint_every_seconds: (ckpt_every > 0.0).then_some(ckpt_every),
     };
     println!(
         "sweep: {} jobs on {} workers (cache {})",
@@ -316,6 +402,8 @@ pub fn sweep(args: &ParsedArgs) -> CliResult {
             hp_campaign::JobStatus::Completed => "ok     ",
             hp_campaign::JobStatus::Aborted => "aborted",
             hp_campaign::JobStatus::Failed => "FAILED ",
+            hp_campaign::JobStatus::Panicked => "PANIC  ",
+            hp_campaign::JobStatus::TimedOut => "TIMEOUT",
         };
         println!(
             "  [{status}] {} | peak {:.1} C | makespan {:.1} ms | {}/{} jobs",
@@ -325,29 +413,63 @@ pub fn sweep(args: &ParsedArgs) -> CliResult {
             outcome.jobs_completed,
             outcome.jobs_total
         );
+        if outcome.attempts > 1 || outcome.quarantined {
+            println!(
+                "            attempts: {}{}",
+                outcome.attempts,
+                if outcome.quarantined {
+                    " — QUARANTINED"
+                } else {
+                    ""
+                }
+            );
+        }
         if !outcome.cause.is_empty() {
             println!("            cause: {}", outcome.cause);
         }
     }
     let counter = |name: &str| report.campaign.counter(name).unwrap_or(0);
     println!(
-        "sweep done: {} completed, {} aborted, {} failed, {} resumed | \
-         cache {} hits / {} misses",
+        "sweep done: {} completed, {} aborted, {} failed, {} panicked, {} timed out, \
+         {} resumed | cache {} hits / {} misses",
         report.completed(),
         report.aborted(),
         report.failed(),
+        report.panicked(),
+        report.timed_out(),
         counter("campaign.jobs.resumed"),
         counter("campaign.cache.hits"),
         counter("campaign.cache.misses"),
     );
+    if counter("campaign.retry.attempts") > 0 || report.quarantined() > 0 {
+        println!(
+            "  supervision: {} retry attempt(s), {} recovered, {} quarantined",
+            counter("campaign.retry.attempts"),
+            counter("campaign.retry.succeeded"),
+            report.quarantined(),
+        );
+    }
     if let Some(dir) = &config.out_dir {
         println!(
             "  campaign written to {}",
             dir.join("campaign.json").display()
         );
     }
-    if report.failed() > 0 {
-        return Err(format!("sweep: {} job(s) failed to run", report.failed()).into());
+    // Distinct nonzero exit codes (pinned in tests/exit_codes.rs):
+    // quarantine outranks plain failure — it means the retry budget was
+    // spent and a human has to look.
+    if report.quarantined() > 0 {
+        return Err(Box::new(SweepHealth {
+            message: format!("sweep: {} job(s) quarantined", report.quarantined()),
+            exit: 4,
+        }));
+    }
+    let unhealthy = report.failed() + report.panicked() + report.timed_out();
+    if unhealthy > 0 {
+        return Err(Box::new(SweepHealth {
+            message: format!("sweep: {unhealthy} job(s) failed to run"),
+            exit: 3,
+        }));
     }
     Ok(())
 }

@@ -9,12 +9,18 @@
 //!                        [--cores N] [--jobs J] [--rate R] [--horizon S]
 //!                        [--trace FILE] [--report FILE]
 //!                        [--faults PLAN.json] [--fault-seed N]
+//!                        [--checkpoint-every S --checkpoint-dir D]
+//!                        [--resume-from CKPT.json]
 //! hotpotato-cli sweep    --spec SPEC.json [--jobs N] [--out DIR]
 //!                        [--resume true] [--cache off]
+//!                        [--retries N] [--job-timeout S]
+//!                        [--interval-budget N] [--checkpoint-every S]
 //! ```
 //!
 //! Exit codes: 0 success, 1 failure, 2 aborted-with-partials (the
-//! simulation stopped mid-run but the partial trace/report was written).
+//! simulation stopped mid-run but the partial trace/report was
+//! written), 3 sweep finished with failed/panicked/timed-out jobs,
+//! 4 sweep finished with quarantined jobs (retry budget exhausted).
 
 mod args;
 mod commands;
@@ -34,14 +40,20 @@ USAGE:
                          [--cores N] [--jobs J] [--rate R] [--horizon S]
                          [--trace FILE] [--report FILE]
                          [--faults PLAN.json] [--fault-seed N]
+                         [--checkpoint-every S --checkpoint-dir D]
+                         [--resume-from CKPT.json]
   hotpotato-cli sweep    --spec SPEC.json [--jobs N] [--out DIR]
                          [--resume true] [--cache off]
+                         [--retries N] [--job-timeout S]
+                         [--interval-budget N] [--checkpoint-every S]
 
 SCHEDULERS: hotpotato (default), hybrid, fallback, pcmig, pcgov, tsp, pinned
 BENCHMARKS: blackscholes bodytrack canneal dedup fluidanimate
             streamcluster swaptions x264 (or `mixed` with --jobs/--rate)
 
 EXIT CODES: 0 success | 1 failure | 2 simulation aborted, partials written
+            3 sweep had failed/panicked/timed-out jobs | 4 sweep had
+            quarantined jobs (retry budget exhausted)
 
 EXAMPLES:
   hotpotato-cli rings --grid 8x8
@@ -50,7 +62,11 @@ EXAMPLES:
   hotpotato-cli simulate --benchmark mixed --jobs 12 --rate 40 --trace t.csv
   hotpotato-cli simulate --scheduler hotpotato --report report.json
   hotpotato-cli simulate --scheduler fallback --faults plan.json --fault-seed 42
+  hotpotato-cli simulate --checkpoint-every 5 --checkpoint-dir ckpt/
+  hotpotato-cli simulate --resume-from ckpt/simulate.ckpt.json
   hotpotato-cli sweep --spec sweep.json --jobs 8 --out results/
+  hotpotato-cli sweep --spec sweep.json --out results/ --resume true \\
+                      --retries 2 --job-timeout 300 --checkpoint-every 5
 ";
 
 fn main() -> ExitCode {
@@ -82,6 +98,11 @@ fn main() -> ExitCode {
             // failed, but the partial trace/report was written.
             if e.downcast_ref::<commands::AbortedRun>().is_some() {
                 return ExitCode::from(2);
+            }
+            // Sweep health verdicts: 3 = failed/panicked/timed-out jobs,
+            // 4 = quarantined jobs (see commands::SweepHealth).
+            if let Some(health) = e.downcast_ref::<commands::SweepHealth>() {
+                return ExitCode::from(health.exit);
             }
             ExitCode::FAILURE
         }

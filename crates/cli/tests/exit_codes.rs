@@ -1,7 +1,9 @@
 //! Exit-code contract of the `hotpotato-cli` binary.
 //!
 //! 0 — success; 1 — failure (bad arguments, setup errors); 2 — the
-//! simulation aborted mid-run but the partial trace/report was written.
+//! simulation aborted mid-run but the partial trace/report was written;
+//! 3 — a sweep finished with failed/panicked/timed-out jobs; 4 — a
+//! sweep finished with quarantined jobs (retry budget exhausted).
 //! Pinned here by spawning the real binary, because the codes are the
 //! scriptable API: CI and sweep wrappers branch on them.
 
@@ -84,4 +86,142 @@ fn aborted_run_exits_two_and_writes_partials() {
 
     std::fs::remove_file(&trace).ok();
     std::fs::remove_file(&report).ok();
+}
+
+/// A sweep spec with one healthy job and one chaos job that panics on
+/// its first scheduling hook.
+fn chaos_spec(name: &str) -> PathBuf {
+    let path = tmp(name);
+    std::fs::write(
+        &path,
+        "{\"schedulers\": [\"pinned\", \"chaos-panic\"], \"grids\": [\"4x4\"], \
+         \"loads\": [0.25], \"horizon_seconds\": 2}",
+    )
+    .expect("spec written");
+    path
+}
+
+#[test]
+fn sweep_with_failing_job_exits_three() {
+    let spec = chaos_spec("fail_spec.json");
+    let out = cli()
+        .args([
+            "sweep",
+            "--spec",
+            spec.to_str().expect("utf-8"),
+            "--jobs",
+            "2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("failed to run"), "stderr: {stderr}");
+    std::fs::remove_file(&spec).ok();
+}
+
+#[test]
+fn sweep_with_quarantined_job_exits_four() {
+    let spec = chaos_spec("quarantine_spec.json");
+    let out = cli()
+        .args([
+            "sweep",
+            "--spec",
+            spec.to_str().expect("utf-8"),
+            "--jobs",
+            "2",
+            "--retries",
+            "1",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("quarantined"), "stderr: {stderr}");
+    // The healthy neighbour still completed and was reported.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 completed"), "stdout: {stdout}");
+    assert!(stdout.contains("QUARANTINED"), "stdout: {stdout}");
+    std::fs::remove_file(&spec).ok();
+}
+
+#[test]
+fn simulate_checkpoints_and_resumes_bit_identically() {
+    let dir = tmp("ckpt_dir");
+    let _ = std::fs::remove_dir_all(&dir);
+    let base = [
+        "simulate",
+        "--grid",
+        "4x4",
+        "--benchmark",
+        "canneal",
+        "--cores",
+        "4",
+        "--scheduler",
+        "pinned",
+    ];
+    // First leg: run to completion with periodic checkpoints on disk.
+    let out = cli()
+        .args(base)
+        .args([
+            "--checkpoint-every",
+            "0.01",
+            "--checkpoint-dir",
+            dir.to_str().expect("utf-8"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let ckpt = dir.join("simulate.ckpt.json");
+    assert!(ckpt.is_file(), "periodic checkpoint left on disk");
+
+    // Second leg: resume the same run from the last checkpoint — it must
+    // complete successfully and say so.
+    let out = cli()
+        .args(base)
+        .args(["--resume-from", ckpt.to_str().expect("utf-8")])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("resumed from checkpoint"),
+        "stdout: {stdout}"
+    );
+
+    // A checkpoint from this run must not resume a different workload.
+    let out = cli()
+        .args([
+            "simulate",
+            "--grid",
+            "4x4",
+            "--benchmark",
+            "swaptions",
+            "--cores",
+            "4",
+            "--scheduler",
+            "pinned",
+            "--resume-from",
+            ckpt.to_str().expect("utf-8"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("spec"), "stderr: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn simulate_checkpoint_flags_must_pair() {
+    let out = cli()
+        .args(["simulate", "--checkpoint-every", "1"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let out = cli()
+        .args(["simulate", "--checkpoint-dir", "/tmp/nowhere"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
 }

@@ -119,6 +119,21 @@ impl StatsCells {
             cell.store(0, Ordering::Relaxed);
         }
     }
+
+    fn restore(&self, stats: Alg1Stats) {
+        let cells = [
+            (&self.batch_calls, stats.batch_calls),
+            (&self.batched_candidates, stats.batched_candidates),
+            (&self.decay_cache_hits, stats.decay_cache_hits),
+            (&self.decay_cache_misses, stats.decay_cache_misses),
+        ];
+        for (cell, value) in cells {
+            // xtask: allow(relaxed) — counters are overwritten between
+            // measured runs (checkpoint resume), while no solver calls
+            // are in flight.
+            cell.store(value, Ordering::Relaxed);
+        }
+    }
 }
 
 /// One steady-cycle weight of paper Eq. (10):
@@ -319,6 +334,34 @@ impl RotationPeakSolver {
     /// Zeroes the activity tallies (start of a new measured run).
     pub fn reset_stats(&self) {
         self.stats.reset();
+    }
+
+    /// Overwrites the activity tallies with a previously captured
+    /// [`Alg1Stats`] — the checkpoint-resume path, where the resumed
+    /// run must report the same cumulative counters as an uninterrupted
+    /// one. Call after any cache warming so the restored values are not
+    /// perturbed by warm-up lookups.
+    pub fn restore_stats(&self, stats: Alg1Stats) {
+        self.stats.restore(stats);
+    }
+
+    /// The epoch lengths currently held in the decay cache, for
+    /// checkpointing cache warmth.
+    pub fn cached_taus(&self) -> Vec<f64> {
+        let cache = self
+            .decay_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        cache.keys().map(|&bits| f64::from_bits(bits)).collect()
+    }
+
+    /// Precomputes (and caches) the decay data for one epoch length,
+    /// counting the usual hit/miss. A resuming run warms the cache for
+    /// every τ a checkpoint recorded ([`Self::cached_taus`]) *before*
+    /// restoring stats so the resumed counter stream matches an
+    /// uninterrupted run's.
+    pub fn warm_decay_cache(&self, tau: f64) {
+        let _ = self.decay_for(tau);
     }
 
     /// Cached `e^{λτ}` decay data for one epoch length.

@@ -33,7 +33,7 @@ use hp_obs::{Registry, RunReport};
 use hp_sim::{Action, Scheduler, SchedulerHealth, SimView, ThreadId};
 use hp_thermal::RcThermalModel;
 
-use crate::{EpochPowerSequence, Result, RingRotation, RotationPeakSolver};
+use crate::{Alg1Stats, EpochPowerSequence, Result, RingRotation, RotationPeakSolver};
 
 /// Tuning knobs of the HotPotato scheduler.
 ///
@@ -132,6 +132,11 @@ pub struct HotPotato {
     /// Number of Algorithm-1 evaluations that failed (malformed sequence
     /// or solver error) and were read as `T_peak = ∞`.
     solver_failures: u64,
+    /// Ring occupancy restored from a checkpoint before the rings
+    /// themselves exist ([`Scheduler::restore`] has no machine access);
+    /// applied and consumed by the first `schedule` call after the lazy
+    /// ring construction. `None` outside that window.
+    restored_slots: Option<Vec<Vec<(usize, ThreadId)>>>,
     /// Probe wall-clock histograms and policy counters, surfaced through
     /// [`Scheduler::observability`].
     obs: Registry,
@@ -176,6 +181,7 @@ impl HotPotato {
             powers: BTreeMap::new(),
             evaluations: 0,
             solver_failures: 0,
+            restored_slots: None,
             obs: Registry::new(),
         })
     }
@@ -431,6 +437,51 @@ impl HotPotato {
     }
 }
 
+/// Encodes an `f64` for a scheduler snapshot blob: finite values as JSON
+/// numbers in shortest round-trip form, non-finite values as the strings
+/// `"inf"` / `"-inf"` / `"nan"` (JSON has no literals for them).
+fn snap_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "\"nan\"".to_string()
+    } else if v > 0.0 {
+        "\"inf\"".to_string()
+    } else {
+        "\"-inf\"".to_string()
+    }
+}
+
+/// Decodes a float written by [`snap_f64`].
+fn unsnap_f64(v: &hp_obs::json::Json, what: &str) -> std::result::Result<f64, String> {
+    use hp_obs::json::Json;
+    let parsed = match v {
+        Json::Num(_) => v.as_f64(),
+        Json::Str(s) => match s.as_str() {
+            "inf" => Some(f64::INFINITY),
+            "-inf" => Some(f64::NEG_INFINITY),
+            "nan" => Some(f64::NAN),
+            _ => None,
+        },
+        _ => None,
+    };
+    parsed.ok_or_else(|| format!("hotpotato snapshot: bad {what}"))
+}
+
+/// Decodes a non-negative integer field of a scheduler snapshot blob.
+fn unsnap_u64(v: &hp_obs::json::Json, what: &str) -> std::result::Result<u64, String> {
+    v.as_u64()
+        .ok_or_else(|| format!("hotpotato snapshot: bad {what}"))
+}
+
+/// Decodes a boolean field of a scheduler snapshot blob.
+fn unsnap_bool(v: &hp_obs::json::Json, what: &str) -> std::result::Result<bool, String> {
+    match v {
+        hp_obs::json::Json::Bool(b) => Ok(*b),
+        _ => Err(format!("hotpotato snapshot: bad {what}")),
+    }
+}
+
 impl Scheduler for HotPotato {
     fn name(&self) -> &str {
         "hotpotato"
@@ -462,6 +513,197 @@ impl Scheduler for HotPotato {
         Some(report)
     }
 
+    // The snapshot captures every field that influences future decisions
+    // or final counters: ring occupancy (as `[slot, job, thread]` triples
+    // per ring, `null` when the lazy construction has not happened yet),
+    // the τ ladder position, rotation phase, Algorithm-1 bookkeeping, the
+    // per-thread power cache, and the solver's counters plus the τ values
+    // whose decay chains it has cached (so a resumed run re-warms exactly
+    // those and the hit/miss counters stay bit-identical). The probe
+    // histograms in `obs` are wall-clock noise and deliberately excluded —
+    // reports are compared with timings stripped.
+    fn snapshot(&self) -> Option<String> {
+        use std::fmt::Write as _;
+        let mut s = String::from("{\"rings\":");
+        if let Some(pending) = &self.restored_slots {
+            // Restored occupancy not yet applied (no `schedule` call since
+            // `restore`): re-emit it verbatim so a checkpoint taken in
+            // that window still carries the seats.
+            s.push('[');
+            for (ri, seats) in pending.iter().enumerate() {
+                if ri > 0 {
+                    s.push(',');
+                }
+                s.push('[');
+                for (si, (slot, t)) in seats.iter().enumerate() {
+                    if si > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "[{},{},{}]", slot, t.job.0, t.index);
+                }
+                s.push(']');
+            }
+            s.push(']');
+        } else if self.rings.is_empty() {
+            s.push_str("null");
+        } else {
+            s.push('[');
+            for (ri, ring) in self.rings.iter().enumerate() {
+                if ri > 0 {
+                    s.push(',');
+                }
+                s.push('[');
+                let mut first = true;
+                for slot in 0..ring.capacity() {
+                    if let Some(t) = ring.occupant(slot) {
+                        if !first {
+                            s.push(',');
+                        }
+                        first = false;
+                        let _ = write!(s, "[{},{},{}]", slot, t.job.0, t.index);
+                    }
+                }
+                s.push(']');
+            }
+            s.push(']');
+        }
+        let _ = write!(s, ",\"tau_index\":{}", self.tau_index);
+        let _ = write!(s, ",\"rotating\":{}", self.rotating);
+        let _ = write!(s, ",\"last_rotation\":{}", snap_f64(self.last_rotation));
+        let _ = write!(s, ",\"last_peak\":{}", snap_f64(self.last_peak));
+        let _ = write!(s, ",\"last_evaluation\":{}", snap_f64(self.last_evaluation));
+        let _ = write!(s, ",\"assignment_dirty\":{}", self.assignment_dirty);
+        s.push_str(",\"powers\":[");
+        for (i, (t, p)) in self.powers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[{},{},{}]", t.job.0, t.index, snap_f64(*p));
+        }
+        s.push(']');
+        let _ = write!(s, ",\"evaluations\":{}", self.evaluations);
+        let _ = write!(s, ",\"solver_failures\":{}", self.solver_failures);
+        let st = self.solver.stats();
+        let _ = write!(
+            s,
+            ",\"alg1_stats\":[{},{},{},{}]",
+            st.batch_calls, st.batched_candidates, st.decay_cache_hits, st.decay_cache_misses
+        );
+        s.push_str(",\"cached_taus\":[");
+        for (i, tau) in self.solver.cached_taus().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{}", snap_f64(*tau));
+        }
+        s.push_str("]}");
+        Some(s)
+    }
+
+    fn restore(&mut self, state: &str) -> std::result::Result<(), String> {
+        use hp_obs::json::Json;
+        let doc = hp_obs::json::parse(state).map_err(|e| format!("hotpotato snapshot: {e}"))?;
+        let field = |name: &str| {
+            doc.get(name)
+                .ok_or_else(|| format!("hotpotato snapshot: missing `{name}`"))
+        };
+
+        // Ring occupancy: stash for the first `schedule` call — rings are
+        // built lazily from the machine, which `restore` cannot see.
+        self.restored_slots = match field("rings")? {
+            Json::Null => None,
+            Json::Arr(rings) => {
+                let mut all = Vec::with_capacity(rings.len());
+                for ring in rings {
+                    let Json::Arr(entries) = ring else {
+                        return Err("hotpotato snapshot: ring must be a list".into());
+                    };
+                    let mut seats = Vec::with_capacity(entries.len());
+                    for e in entries {
+                        let Json::Arr(t) = e else {
+                            return Err("hotpotato snapshot: seat must be a triple".into());
+                        };
+                        let (Some(slot), Some(job), Some(index)) = (t.first(), t.get(1), t.get(2))
+                        else {
+                            return Err("hotpotato snapshot: seat must be a triple".into());
+                        };
+                        let slot = unsnap_u64(slot, "seat slot")? as usize;
+                        let tid = ThreadId {
+                            job: hp_sim::JobId(unsnap_u64(job, "seat job")? as usize),
+                            index: unsnap_u64(index, "seat thread index")? as usize,
+                        };
+                        seats.push((slot, tid));
+                    }
+                    all.push(seats);
+                }
+                Some(all)
+            }
+            _ => return Err("hotpotato snapshot: `rings` must be null or a list".into()),
+        };
+
+        let tau_index = unsnap_u64(field("tau_index")?, "tau_index")? as usize;
+        if tau_index >= self.config.tau_levels.len() {
+            return Err(format!(
+                "hotpotato snapshot: tau_index {tau_index} out of range for {} levels",
+                self.config.tau_levels.len()
+            ));
+        }
+        self.tau_index = tau_index;
+        self.rotating = unsnap_bool(field("rotating")?, "rotating")?;
+        self.last_rotation = unsnap_f64(field("last_rotation")?, "last_rotation")?;
+        self.last_peak = unsnap_f64(field("last_peak")?, "last_peak")?;
+        self.last_evaluation = unsnap_f64(field("last_evaluation")?, "last_evaluation")?;
+        self.assignment_dirty = unsnap_bool(field("assignment_dirty")?, "assignment_dirty")?;
+
+        let Json::Arr(powers) = field("powers")? else {
+            return Err("hotpotato snapshot: `powers` must be a list".into());
+        };
+        self.powers.clear();
+        for e in powers {
+            let Json::Arr(t) = e else {
+                return Err("hotpotato snapshot: power entry must be a triple".into());
+            };
+            let (Some(job), Some(index), Some(power)) = (t.first(), t.get(1), t.get(2)) else {
+                return Err("hotpotato snapshot: power entry must be a triple".into());
+            };
+            let tid = ThreadId {
+                job: hp_sim::JobId(unsnap_u64(job, "power job")? as usize),
+                index: unsnap_u64(index, "power thread index")? as usize,
+            };
+            self.powers.insert(tid, unsnap_f64(power, "power value")?);
+        }
+
+        self.evaluations = unsnap_u64(field("evaluations")?, "evaluations")?;
+        self.solver_failures = unsnap_u64(field("solver_failures")?, "solver_failures")?;
+
+        let Json::Arr(stats) = field("alg1_stats")? else {
+            return Err("hotpotato snapshot: `alg1_stats` must be a list".into());
+        };
+        let (Some(bc), Some(bs), Some(h), Some(m)) =
+            (stats.first(), stats.get(1), stats.get(2), stats.get(3))
+        else {
+            return Err("hotpotato snapshot: `alg1_stats` must hold four counters".into());
+        };
+        let Json::Arr(taus) = field("cached_taus")? else {
+            return Err("hotpotato snapshot: `cached_taus` must be a list".into());
+        };
+        // Re-warm exactly the decay chains the snapshotted solver had
+        // cached, then overwrite the stats (discarding the warm-up
+        // misses) so every subsequent lookup hits and the alg1.* counters
+        // in the final report match an uninterrupted run bit-for-bit.
+        self.solver.reset_stats();
+        for tau in taus {
+            self.solver.warm_decay_cache(unsnap_f64(tau, "cached tau")?);
+        }
+        self.solver.restore_stats(Alg1Stats {
+            batch_calls: unsnap_u64(bc, "alg1 batch_calls")?,
+            batched_candidates: unsnap_u64(bs, "alg1 batched_candidates")?,
+            decay_cache_hits: unsnap_u64(h, "alg1 decay_cache_hits")?,
+            decay_cache_misses: unsnap_u64(m, "alg1 decay_cache_misses")?,
+        });
+        Ok(())
+    }
+
     fn schedule(&mut self, view: &SimView<'_>) -> Vec<Action> {
         // Lazy ring construction from the machine's AMD rings.
         if self.rings.is_empty() {
@@ -471,6 +713,18 @@ impl Scheduler for HotPotato {
                 .iter()
                 .map(|r| RingRotation::new(r.cores().to_vec()))
                 .collect();
+        }
+        // Re-seat checkpoint-restored occupancy now that the rings exist.
+        // The engine's spec-hash binding guarantees the machine (and so
+        // the ring structure) matches the one that produced the snapshot.
+        if let Some(pending) = self.restored_slots.take() {
+            for (ring, slots) in self.rings.iter_mut().zip(pending) {
+                for (slot, tid) in slots {
+                    if slot < ring.capacity() && ring.occupant(slot).is_none() {
+                        ring.occupy(slot, tid);
+                    }
+                }
+            }
         }
 
         let mut actions = Vec::new();
@@ -1087,5 +1341,49 @@ mod tests {
             merged.meta_value("gemm_backend"),
             Matrix::gemm_backend().into()
         );
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_restore() {
+        // Drive the scheduler through a real run so every field
+        // (rings, powers, tau ladder, solver stats) is non-trivial,
+        // then check snapshot -> restore -> snapshot is a fixpoint.
+        let mut sim = Simulation::new(
+            machine_4x4(),
+            ThermalConfig::default(),
+            SimConfig::default(),
+        )
+        .unwrap();
+        let mut hp = HotPotato::new(model_4x4(), HotPotatoConfig::default()).unwrap();
+        sim.run(blackscholes_job(), &mut hp).unwrap();
+        let blob = hp.snapshot().expect("hotpotato snapshots");
+
+        let mut fresh = HotPotato::new(model_4x4(), HotPotatoConfig::default()).unwrap();
+        fresh.restore(&blob).expect("restore accepts own snapshot");
+        assert_eq!(
+            fresh.snapshot().expect("snapshot after restore"),
+            blob,
+            "snapshot/restore must be a fixpoint"
+        );
+        assert_eq!(fresh.evaluations(), hp.evaluations());
+        assert_eq!(fresh.solver_failures(), hp.solver_failures());
+        assert_eq!(fresh.tau(), hp.tau());
+        assert_eq!(fresh.is_rotating(), hp.is_rotating());
+        let a = fresh.solver().stats();
+        let b = hp.solver().stats();
+        assert_eq!(a.decay_cache_hits, b.decay_cache_hits);
+        assert_eq!(a.decay_cache_misses, b.decay_cache_misses);
+    }
+
+    #[test]
+    fn restore_rejects_malformed_snapshots() {
+        let mut hp = HotPotato::new(model_4x4(), HotPotatoConfig::default()).unwrap();
+        assert!(hp.restore("not json").is_err());
+        assert!(hp.restore("{}").is_err(), "missing fields rejected");
+        // tau_index beyond the ladder must be refused, not clamped.
+        let blob = hp.snapshot().expect("snapshots");
+        let bad = blob.replace("\"tau_index\":1", "\"tau_index\":99");
+        assert_ne!(bad, blob);
+        assert!(hp.restore(&bad).is_err());
     }
 }

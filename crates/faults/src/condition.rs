@@ -1,5 +1,21 @@
 use crate::inject::SensorReading;
 
+/// A serializable capture of a [`SensorConditioner`]'s mutable state
+/// (held values, staleness counters, seen flags), sufficient to resume
+/// conditioning exactly where it stopped
+/// ([`SensorConditioner::restore`]). Configuration (neighbours, budget,
+/// fallback temperature) is not captured — the restoring caller rebuilds
+/// the conditioner from the same configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConditionerSnapshot {
+    /// Per-core last delivered reading, °C.
+    pub last_good_celsius: Vec<f64>,
+    /// Per-core consecutive missed readings.
+    pub staleness: Vec<u64>,
+    /// Per-core whether any reading was ever delivered.
+    pub seen: Vec<bool>,
+}
+
 /// The conditioned per-core temperature view schedulers consume.
 ///
 /// Confidence is in `[0, 1]` per core: `1.0` for a fresh reading,
@@ -81,6 +97,34 @@ impl SensorConditioner {
     /// Number of cores this conditioner tracks.
     pub fn cores(&self) -> usize {
         self.neighbors.len()
+    }
+
+    /// Captures the conditioner's mutable state for checkpointing.
+    pub fn snapshot(&self) -> ConditionerSnapshot {
+        ConditionerSnapshot {
+            last_good_celsius: self.last_good_celsius.clone(),
+            staleness: self.staleness.clone(),
+            seen: self.seen.clone(),
+        }
+    }
+
+    /// Restores a previously captured [`ConditionerSnapshot`].
+    ///
+    /// Returns `false` (leaving the conditioner untouched) when the
+    /// snapshot's per-core vectors do not match this conditioner's core
+    /// count — a wrong-run snapshot.
+    pub fn restore(&mut self, snap: &ConditionerSnapshot) -> bool {
+        let cores = self.neighbors.len();
+        if snap.last_good_celsius.len() != cores
+            || snap.staleness.len() != cores
+            || snap.seen.len() != cores
+        {
+            return false;
+        }
+        self.last_good_celsius.clone_from(&snap.last_good_celsius);
+        self.staleness.clone_from(&snap.staleness);
+        self.seen.clone_from(&snap.seen);
+        true
     }
 
     /// Conditions one interval's readings. `readings` beyond the
@@ -305,6 +349,30 @@ mod tests {
         assert_eq!(n.len(), 6);
         assert_eq!(n[0], vec![3, 1]);
         assert_eq!(n[4], vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_conditioning() {
+        let feed: Vec<Vec<SensorReading>> = vec![
+            vec![Some(50.0), Some(60.0), Some(70.0), Some(80.0)],
+            vec![None, Some(60.5), None, Some(80.5)],
+            vec![None, None, None, Some(81.0)],
+            vec![Some(52.0), None, Some(71.0), None],
+        ];
+        let mut golden = SensorConditioner::new(mesh_neighbors(2, 2), 2, 45.0);
+        let mut live = SensorConditioner::new(mesh_neighbors(2, 2), 2, 45.0);
+        for r in &feed[..2] {
+            assert_eq!(golden.condition(r), live.condition(r));
+        }
+        let snap = live.snapshot();
+        let mut resumed = SensorConditioner::new(mesh_neighbors(2, 2), 2, 45.0);
+        assert!(resumed.restore(&snap));
+        for r in &feed[2..] {
+            assert_eq!(golden.condition(r), resumed.condition(r));
+        }
+        // A wrong-sized snapshot is refused.
+        let mut other = SensorConditioner::new(mesh_neighbors(3, 3), 2, 45.0);
+        assert!(!other.restore(&snap));
     }
 
     #[test]

@@ -30,6 +30,32 @@ pub struct FaultStats {
     pub power_spikes: u64,
 }
 
+/// A serializable capture of a [`FaultInjector`]'s mutable runtime
+/// state — RNG cursor, stuck/blackout/spike windows and the accumulated
+/// [`FaultStats`] — sufficient to resume the fault stream exactly where
+/// it stopped ([`FaultInjector::restore`]). The plan itself is *not*
+/// part of the snapshot: the restoring caller must hold the same plan,
+/// which checkpoint formats bind via their spec hash.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectorSnapshot {
+    /// Raw xoshiro256++ state of the fault RNG.
+    pub rng_state: [u64; 4],
+    /// Per-core stuck-episode end intervals.
+    pub stuck_until: Vec<u64>,
+    /// Per-core captured stuck values, °C.
+    pub stuck_value_celsius: Vec<f64>,
+    /// Migration-blackout end interval.
+    pub blackout_until: u64,
+    /// Core carrying the active power spike.
+    pub spike_core: usize,
+    /// Power-spike end interval.
+    pub spike_until: u64,
+    /// Current interval index.
+    pub interval: u64,
+    /// Counters accumulated so far.
+    pub stats: FaultStats,
+}
+
 /// Draws the faults described by a [`FaultPlan`] from a deterministic
 /// RNG.
 ///
@@ -99,6 +125,47 @@ impl FaultInjector {
     /// Counters accumulated so far.
     pub fn stats(&self) -> &FaultStats {
         &self.stats
+    }
+
+    /// Captures the injector's mutable runtime state for checkpointing.
+    pub fn snapshot(&self) -> InjectorSnapshot {
+        InjectorSnapshot {
+            rng_state: self.rng.state(),
+            stuck_until: self.stuck_until.clone(),
+            stuck_value_celsius: self.stuck_value_celsius.clone(),
+            blackout_until: self.blackout_until,
+            spike_core: self.spike_core,
+            spike_until: self.spike_until,
+            interval: self.interval,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores a previously captured [`InjectorSnapshot`], resuming the
+    /// fault stream exactly where the snapshot was taken.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidParameter`] when the snapshot's
+    /// per-core vectors do not match this injector's core count (a
+    /// wrong-run snapshot).
+    pub fn restore(&mut self, snap: &InjectorSnapshot) -> Result<()> {
+        if snap.stuck_until.len() != self.cores || snap.stuck_value_celsius.len() != self.cores {
+            return Err(FaultError::InvalidParameter {
+                name: "snapshot cores",
+                value: snap.stuck_until.len() as f64,
+            });
+        }
+        self.rng = StdRng::from_state(snap.rng_state);
+        self.stuck_until.clone_from(&snap.stuck_until);
+        self.stuck_value_celsius
+            .clone_from(&snap.stuck_value_celsius);
+        self.blackout_until = snap.blackout_until;
+        self.spike_core = snap.spike_core;
+        self.spike_until = snap.spike_until;
+        self.interval = snap.interval;
+        self.stats = snap.stats;
+        Ok(())
     }
 
     /// Advances to the next interval and rolls for a new power spike
@@ -328,6 +395,45 @@ mod tests {
         assert_eq!(spiking.len(), 1);
         assert_eq!(inj.power_spike_watts(spiking[0]), 4.0);
         assert_eq!(inj.stats().power_spikes, 1);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_fault_stream() {
+        let plan = noisy_plan();
+        let mut golden = FaultInjector::new(&plan, 4).expect("valid plan");
+        let mut live = FaultInjector::new(&plan, 4).expect("valid plan");
+        // Advance both in lockstep, then fork `live` through a snapshot.
+        for t in 0..50 {
+            golden.begin_interval();
+            live.begin_interval();
+            for core in 0..4 {
+                let temp = 50.0 + f64::from(t);
+                assert_eq!(golden.sense(core, temp), live.sense(core, temp));
+            }
+            assert_eq!(golden.migration_fails(), live.migration_fails());
+        }
+        let snap = live.snapshot();
+        let mut resumed = FaultInjector::new(&plan, 4).expect("valid plan");
+        resumed.restore(&snap).expect("matching cores");
+        assert_eq!(*resumed.stats(), *golden.stats());
+        for t in 50..150 {
+            golden.begin_interval();
+            resumed.begin_interval();
+            for core in 0..4 {
+                let temp = 50.0 + f64::from(t);
+                assert_eq!(golden.sense(core, temp), resumed.sense(core, temp));
+            }
+            assert_eq!(golden.migration_fails(), resumed.migration_fails());
+        }
+        assert_eq!(*resumed.stats(), *golden.stats());
+    }
+
+    #[test]
+    fn restore_rejects_wrong_core_count() {
+        let plan = noisy_plan();
+        let donor = FaultInjector::new(&plan, 2).expect("valid plan");
+        let mut target = FaultInjector::new(&plan, 4).expect("valid plan");
+        assert!(target.restore(&donor.snapshot()).is_err());
     }
 
     #[test]

@@ -35,9 +35,9 @@ mod error;
 mod inject;
 mod plan;
 
-pub use condition::{mesh_neighbors, SensorConditioner, TrustedTemps};
+pub use condition::{mesh_neighbors, ConditionerSnapshot, SensorConditioner, TrustedTemps};
 pub use error::FaultError;
-pub use inject::{FaultInjector, FaultStats, SensorReading};
+pub use inject::{FaultInjector, FaultStats, InjectorSnapshot, SensorReading};
 pub use plan::FaultPlan;
 
 /// Crate-wide result alias.

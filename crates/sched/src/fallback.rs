@@ -242,6 +242,50 @@ impl Scheduler for FallbackChain {
         report.push_counter("fallback.active", u64::from(self.degraded));
         Some(report)
     }
+
+    // The chain's own state is four scalars; the wrapped rotation
+    // scheduler's snapshot rides along as an escaped string. (The
+    // FallbackConfig knobs are construction parameters, re-supplied by
+    // whoever builds the chain for the resumed run and pinned by the
+    // engine's spec hash.)
+    fn snapshot(&self) -> Option<String> {
+        let primary = self.primary.snapshot()?;
+        Some(format!(
+            "{{\"degraded\":{},\"hooks_on_fallback\":{},\"degradations\":{},\"recoveries\":{},\"primary\":\"{}\"}}",
+            self.degraded,
+            self.hooks_on_fallback,
+            self.degradations,
+            self.recoveries,
+            hp_obs::json::escape(&primary)
+        ))
+    }
+
+    fn restore(&mut self, state: &str) -> std::result::Result<(), String> {
+        use hp_obs::json::Json;
+        let doc =
+            hp_obs::json::parse(state).map_err(|e| format!("fallback-chain snapshot: {e}"))?;
+        let field = |name: &str| {
+            doc.get(name)
+                .ok_or_else(|| format!("fallback-chain snapshot: missing `{name}`"))
+        };
+        self.degraded = match field("degraded")? {
+            Json::Bool(b) => *b,
+            _ => return Err("fallback-chain snapshot: bad `degraded`".into()),
+        };
+        self.hooks_on_fallback = field("hooks_on_fallback")?
+            .as_u64()
+            .ok_or("fallback-chain snapshot: bad `hooks_on_fallback`")?;
+        self.degradations = field("degradations")?
+            .as_u64()
+            .ok_or("fallback-chain snapshot: bad `degradations`")?;
+        self.recoveries = field("recoveries")?
+            .as_u64()
+            .ok_or("fallback-chain snapshot: bad `recoveries`")?;
+        let primary = field("primary")?
+            .as_str()
+            .ok_or("fallback-chain snapshot: missing `primary`")?;
+        self.primary.restore(primary)
+    }
 }
 
 #[cfg(test)]

@@ -141,6 +141,41 @@ impl Scheduler for HotPotatoDvfs {
         report.push_counter("dvfs.throttled", u64::from(self.throttle.is_some()));
         Some(report)
     }
+
+    // The valve's only state is the chip-wide throttle level; the wrapped
+    // rotation scheduler's snapshot rides along as an escaped string.
+    fn snapshot(&self) -> Option<String> {
+        let inner = self.inner.snapshot()?;
+        let throttle = match self.throttle {
+            None => "null".to_string(),
+            Some(level) => level.index().to_string(),
+        };
+        Some(format!(
+            "{{\"throttle\":{throttle},\"inner\":\"{}\"}}",
+            hp_obs::json::escape(&inner)
+        ))
+    }
+
+    fn restore(&mut self, state: &str) -> std::result::Result<(), String> {
+        use hp_obs::json::Json;
+        let doc =
+            hp_obs::json::parse(state).map_err(|e| format!("hotpotato-dvfs snapshot: {e}"))?;
+        self.throttle = match doc
+            .get("throttle")
+            .ok_or("hotpotato-dvfs snapshot: missing `throttle`")?
+        {
+            Json::Null => None,
+            v => Some(DvfsLevel(
+                v.as_u64()
+                    .ok_or("hotpotato-dvfs snapshot: bad `throttle`")? as usize,
+            )),
+        };
+        let inner = doc
+            .get("inner")
+            .and_then(Json::as_str)
+            .ok_or("hotpotato-dvfs snapshot: missing `inner`")?;
+        self.inner.restore(inner)
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::time::Instant;
 
 use hp_faults::{mesh_neighbors, FaultError, FaultInjector, SensorConditioner, SensorReading};
@@ -7,10 +8,14 @@ use hp_floorplan::CoreId;
 use hp_linalg::Vector;
 use hp_manycore::Machine;
 use hp_power::DvfsLevel;
-use hp_thermal::{RcThermalModel, ThermalConfig, TransientSolver};
+use hp_thermal::{RcThermalModel, ThermalConfig, TransientSolver, TransientStats};
 use hp_workload::{Job, JobId};
 
-use crate::job::{JobRuntime, ThreadId, ThreadPhaseState};
+use crate::checkpoint::{
+    self, ActiveJobState, CheckpointError, CheckpointState, EngineCheckpoint, FaultState,
+    MetricsState, ObsState, ThreadState, TraceState,
+};
+use crate::job::{JobRuntime, PowerHistory, ThreadId, ThreadPhaseState, ThreadRuntime};
 use crate::metrics::{JobRecord, Metrics};
 use crate::scheduler::{Action, PendingJobView, Scheduler, SchedulerHealth, SimView, ThreadView};
 use crate::trace::{TemperatureTrace, TraceEventKind};
@@ -40,6 +45,42 @@ pub struct Simulation {
     solver: TransientSolver,
     config: SimConfig,
     trace: TemperatureTrace,
+    /// Checkpoints written during the last run (never folded into the
+    /// run's own `RunReport`: a resumed run must report bit-identically
+    /// to an uninterrupted one, and the uninterrupted run wrote none).
+    ckpt_saves: u64,
+    /// Whether the last run started from a checkpoint (0 or 1).
+    ckpt_resumes: u64,
+}
+
+/// Supervision and recovery options for [`Simulation::run_with_options`]
+/// (DESIGN.md §13). The default runs unsupervised and from scratch —
+/// exactly [`Simulation::run`].
+#[derive(Debug, Default)]
+pub struct RunOptions {
+    /// Capture an [`EngineCheckpoint`] every this many simulated seconds
+    /// (rounded to whole intervals, minimum one interval). Requires
+    /// [`checkpoint_path`](RunOptions::checkpoint_path).
+    pub checkpoint_every_seconds: Option<f64>,
+    /// Where periodic checkpoints land. Each capture overwrites the file
+    /// atomically (tmp + rename), so a crash mid-write never corrupts
+    /// the previous good checkpoint.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Resume mid-run from a verified checkpoint instead of starting at
+    /// t = 0. The workload, configuration, machine and scheduler must be
+    /// the ones the checkpoint was taken under
+    /// ([`CheckpointError::SpecMismatch`] otherwise), and the resumed
+    /// run's trace and `without_timings` report are bit-identical to an
+    /// uninterrupted run's.
+    pub resume_from: Option<EngineCheckpoint>,
+    /// Deterministic watchdog: abort (as [`SimError::Aborted`] carrying
+    /// [`SimError::IntervalBudgetExhausted`], partials preserved) after
+    /// this many intervals *in this invocation* with work still pending.
+    pub max_intervals: Option<u64>,
+    /// Wall-clock soft deadline, polled every 64 intervals: crossing it
+    /// aborts the run as [`SimError::Aborted`] carrying
+    /// [`SimError::DeadlineExceeded`], partials preserved.
+    pub deadline: Option<Instant>,
 }
 
 /// Fault-layer runtime for one run: the injector, the conditioning
@@ -153,6 +194,8 @@ impl Simulation {
             solver,
             config,
             trace: TemperatureTrace::new(),
+            ckpt_saves: 0,
+            ckpt_resumes: 0,
         })
     }
 
@@ -192,12 +235,89 @@ impl Simulation {
     /// * Validation errors for malformed scheduler actions
     ///   ([`SimError::CoreConflict`], [`SimError::PlacementArity`], …).
     pub fn run(&mut self, jobs: Vec<Job>, scheduler: &mut dyn Scheduler) -> Result<Metrics> {
-        let mut st = self.init_run(jobs, scheduler.name())?;
+        self.run_with_options(jobs, scheduler, &RunOptions::default())
+    }
+
+    /// Runs `jobs` under `scheduler` with supervision and recovery
+    /// options: periodic checkpoints, resume-from-checkpoint, a
+    /// deterministic interval budget and a wall-clock deadline
+    /// (DESIGN.md §13).
+    ///
+    /// The contract for checkpointing is bit-identity: a run interrupted
+    /// at any checkpoint boundary and resumed via
+    /// [`RunOptions::resume_from`] produces exactly the trace and
+    /// `RunReport::without_timings` of an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Simulation::run`] can raise, plus — all wrapped in
+    /// [`SimError::Aborted`] so partial metrics survive —
+    /// [`SimError::IntervalBudgetExhausted`], [`SimError::DeadlineExceeded`]
+    /// and [`SimError::Checkpoint`] for failures writing a checkpoint.
+    /// Invalid options and a checkpoint that cannot be re-bound to this
+    /// run fail before the first interval, without partials.
+    pub fn run_with_options(
+        &mut self,
+        jobs: Vec<Job>,
+        scheduler: &mut dyn Scheduler,
+        opts: &RunOptions,
+    ) -> Result<Metrics> {
+        self.ckpt_saves = 0;
+        self.ckpt_resumes = 0;
+        let ckpt_every = match opts.checkpoint_every_seconds {
+            None => None,
+            Some(s) => {
+                if !s.is_finite() || s <= 0.0 {
+                    return Err(SimError::InvalidParameter {
+                        name: "checkpoint_every_seconds",
+                        value: s,
+                    });
+                }
+                if opts.checkpoint_path.is_none() {
+                    return Err(SimError::InvalidParameter {
+                        name: "checkpoint_path",
+                        value: f64::NAN,
+                    });
+                }
+                Some(((s / self.config.dt).round() as u64).max(1))
+            }
+        };
+        // The spec fingerprint binds checkpoints to this exact run;
+        // computed before init consumes the workload vector.
+        let spec = checkpoint::spec_hash(&self.machine, &self.config, &jobs, scheduler.name());
+        let mut st = match &opts.resume_from {
+            None => self.init_run(jobs, scheduler.name())?,
+            Some(ckpt) => self.resume_run(jobs, scheduler, ckpt, spec)?,
+        };
+        let mut intervals_done: u64 = 0;
         let outcome = loop {
             match self.step_interval(&mut st, scheduler) {
                 Ok(false) => {}
                 Ok(true) => break Ok(()),
                 Err(e) => break Err(e),
+            }
+            intervals_done += 1;
+            if let (Some(every), Some(path)) = (ckpt_every, opts.checkpoint_path.as_deref()) {
+                if st.step.is_multiple_of(every) {
+                    let ckpt = self.capture_checkpoint(&st, scheduler, spec);
+                    if let Err(e) = ckpt.save_to_path(path) {
+                        break Err(SimError::Checkpoint(e));
+                    }
+                    self.ckpt_saves += 1;
+                }
+            }
+            if let Some(budget) = opts.max_intervals {
+                if intervals_done >= budget && st.completed < st.total_jobs {
+                    break Err(SimError::IntervalBudgetExhausted { budget });
+                }
+            }
+            if let Some(deadline) = opts.deadline {
+                // xtask: allow(nondet) — the wall-clock watchdog is
+                // nondeterministic by design; it only decides *whether*
+                // the run aborts, never what a completed run reports.
+                if intervals_done.is_multiple_of(64) && Instant::now() >= deadline {
+                    break Err(SimError::DeadlineExceeded);
+                }
             }
         };
         let obs = std::mem::take(&mut st.obs);
@@ -214,6 +334,19 @@ impl Simulation {
                 partial: Box::new(metrics),
             }),
         }
+    }
+
+    /// Checkpoints written during the last
+    /// [`run_with_options`](Simulation::run_with_options) invocation.
+    /// Deliberately *not* part of the run's own report (see the field
+    /// docs); campaign runners fold this into their own counters.
+    pub fn checkpoint_saves(&self) -> u64 {
+        self.ckpt_saves
+    }
+
+    /// Whether the last run resumed from a checkpoint (0 or 1).
+    pub fn checkpoint_resumes(&self) -> u64 {
+        self.ckpt_resumes
     }
 
     /// Assembles the run's observability report: the live registry
@@ -335,6 +468,377 @@ impl Simulation {
         st.metrics.robustness.watchdog_intervals = st.metrics.dtm_intervals;
         st.metrics.jobs = st.records.into_values().collect();
         st.metrics
+    }
+
+    /// Freezes the run state into an [`EngineCheckpoint`] at an interval
+    /// boundary. Everything `step_interval` mutates is captured; the
+    /// `Job` structs themselves are not (they are re-bound from the
+    /// workload at resume, which the spec hash guarantees matches).
+    fn capture_checkpoint(
+        &self,
+        st: &RunState,
+        scheduler: &dyn Scheduler,
+        spec: u64,
+    ) -> EngineCheckpoint {
+        let active: Vec<ActiveJobState> = st
+            .active
+            .values()
+            .map(|jr| ActiveJobState {
+                job: jr.job.id.0,
+                phase: jr.phase,
+                completed: jr.completed,
+                threads: jr
+                    .threads
+                    .iter()
+                    .map(|t| ThreadState {
+                        core: t.core.index(),
+                        running: match t.state {
+                            ThreadPhaseState::Running { remaining } => Some(remaining),
+                            ThreadPhaseState::AtBarrier => None,
+                        },
+                        stall_until: t.stall_until,
+                        warmup_until: t.warmup_until,
+                        history: t.history.raw_parts(),
+                        last_cpi: t.last_cpi,
+                        migrations: t.migrations,
+                        instructions_retired: t.instructions_retired,
+                        energy: t.energy,
+                    })
+                    .collect(),
+            })
+            .collect();
+        // Counters, gauges and metadata are seed-deterministic and
+        // resumable; wall-clock histograms are dropped (they are
+        // excluded from `without_timings` golden comparisons anyway).
+        let report = st.obs.snapshot();
+        let obs = ObsState {
+            counters: report
+                .counters
+                .iter()
+                .map(|c| (c.name.clone(), c.value))
+                .collect(),
+            gauges: report
+                .gauges
+                .iter()
+                .map(|g| (g.name.clone(), g.value))
+                .collect(),
+            meta: report
+                .meta
+                .iter()
+                .map(|m| (m.name.clone(), m.value.clone()))
+                .collect(),
+        };
+        let trace = TraceState {
+            times: self.trace.times().to_vec(),
+            temps: (0..self.trace.len())
+                .map(|k| self.trace.sample(k).to_vec())
+                .collect(),
+            events: self.trace.events().to_vec(),
+        };
+        let faults = st.faults.as_ref().map(|fr| FaultState {
+            injector: fr.injector.snapshot(),
+            conditioner: fr.conditioner.snapshot(),
+            sensed_temps: fr.sensed_temps.as_slice().to_vec(),
+            confidence: fr.confidence.clone(),
+            sensors_degraded: fr.sensors_degraded,
+        });
+        let s = self.solver.stats();
+        EngineCheckpoint {
+            spec_hash: spec,
+            state: CheckpointState {
+                step: st.step,
+                node_temps: st.node_temps.as_slice().to_vec(),
+                levels: st.levels.iter().map(|l| l.index()).collect(),
+                occupancy: st.occupancy.clone(),
+                pending: st.pending.iter().map(|j| j.id.0).collect(),
+                arrivals: st.arrivals.iter().map(|j| j.id.0).collect(),
+                active,
+                records: st.records.values().cloned().collect(),
+                completed: st.completed as u64,
+                dtm_last_interval: st.dtm_last_interval,
+                dtm_core_latch: st.dtm_core_latch.clone(),
+                busy_freq_integral: st.busy_freq_integral,
+                busy_time: st.busy_time,
+                sched_was_degraded: st.sched_was_degraded,
+                metrics: MetricsState {
+                    makespan: st.metrics.makespan,
+                    peak_temperature: st.metrics.peak_temperature,
+                    dtm_intervals: st.metrics.dtm_intervals,
+                    migrations: st.metrics.migrations,
+                    energy: st.metrics.energy,
+                    simulated_time: st.metrics.simulated_time,
+                },
+                robustness: st.metrics.robustness,
+                faults,
+                obs,
+                trace,
+                thermal_stats: [
+                    s.batch_calls,
+                    s.batched_states,
+                    s.decay_cache_hits,
+                    s.decay_cache_misses,
+                ],
+                scheduler_name: scheduler.name().to_string(),
+                scheduler_blob: scheduler.snapshot(),
+            },
+        }
+    }
+
+    /// Rebuilds a mid-flight `RunState` from a verified checkpoint: the
+    /// resume half of the bit-identity contract.
+    ///
+    /// The supplied workload and scheduler must be the ones the
+    /// checkpoint was captured under; `Job` structs are re-bound by id.
+    /// The thermal solver's decay cache is warmed for the run's `dt`
+    /// *before* its stats are overwritten, so the resumed run's cache
+    /// counters continue exactly where the interrupted run's left off.
+    fn resume_run(
+        &mut self,
+        jobs: Vec<Job>,
+        scheduler: &mut dyn Scheduler,
+        ckpt: &EngineCheckpoint,
+        spec: u64,
+    ) -> Result<RunState> {
+        fn invalid(message: String) -> SimError {
+            SimError::Checkpoint(CheckpointError::Invalid { message })
+        }
+        if ckpt.spec_hash != spec {
+            return Err(SimError::Checkpoint(CheckpointError::SpecMismatch {
+                expected: spec,
+                found: ckpt.spec_hash,
+            }));
+        }
+        let s = &ckpt.state;
+        let n = self.machine.core_count();
+        if s.scheduler_name != scheduler.name() {
+            return Err(invalid(format!(
+                "checkpoint was taken under scheduler `{}`, resuming under `{}`",
+                s.scheduler_name,
+                scheduler.name()
+            )));
+        }
+        if s.levels.len() != n || s.occupancy.len() != n || s.dtm_core_latch.len() != n {
+            return Err(invalid(format!(
+                "checkpoint core count disagrees with the machine's {n} cores"
+            )));
+        }
+        if s.node_temps.len() != self.thermal.ambient_state().as_slice().len() {
+            return Err(invalid(format!(
+                "checkpoint thermal state has {} nodes, the model expects {}",
+                s.node_temps.len(),
+                self.thermal.ambient_state().as_slice().len()
+            )));
+        }
+
+        let total_jobs = jobs.len();
+        let mut by_id: BTreeMap<usize, Job> = BTreeMap::new();
+        for j in jobs {
+            if let Some(dup) = by_id.insert(j.id.0, j) {
+                return Err(invalid(format!("duplicate {} in the workload", dup.id)));
+            }
+        }
+        let mut take = |id: usize| -> Result<Job> {
+            by_id.remove(&id).ok_or_else(|| {
+                invalid(format!(
+                    "checkpoint references job {id} not in the workload"
+                ))
+            })
+        };
+        let arrivals: VecDeque<Job> = s
+            .arrivals
+            .iter()
+            .map(|&id| take(id))
+            .collect::<Result<_>>()?;
+        let pending: VecDeque<Job> = s
+            .pending
+            .iter()
+            .map(|&id| take(id))
+            .collect::<Result<_>>()?;
+        let mut active: BTreeMap<JobId, JobRuntime> = BTreeMap::new();
+        for a in &s.active {
+            let job = take(a.job)?;
+            if a.threads.len() != job.spec.thread_count() {
+                return Err(invalid(format!(
+                    "checkpoint has {} threads for {}, its spec has {}",
+                    a.threads.len(),
+                    job.id,
+                    job.spec.thread_count()
+                )));
+            }
+            let id = job.id;
+            let threads: Vec<ThreadRuntime> = a
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    if t.core >= n {
+                        return Err(invalid(format!(
+                            "checkpoint places {id}.t{i} on core {} of {n}",
+                            t.core
+                        )));
+                    }
+                    let (samples, window, total_time, total_energy) = t.history.clone();
+                    Ok(ThreadRuntime {
+                        id: ThreadId { job: id, index: i },
+                        core: CoreId(t.core),
+                        state: match t.running {
+                            Some(remaining) => ThreadPhaseState::Running { remaining },
+                            None => ThreadPhaseState::AtBarrier,
+                        },
+                        stall_until: t.stall_until,
+                        warmup_until: t.warmup_until,
+                        history: PowerHistory::from_raw_parts(
+                            samples,
+                            window,
+                            total_time,
+                            total_energy,
+                        ),
+                        last_cpi: t.last_cpi,
+                        migrations: t.migrations,
+                        instructions_retired: t.instructions_retired,
+                        energy: t.energy,
+                    })
+                })
+                .collect::<Result<_>>()?;
+            active.insert(
+                id,
+                JobRuntime {
+                    job,
+                    phase: a.phase,
+                    threads,
+                    completed: a.completed,
+                },
+            );
+        }
+        let records: BTreeMap<JobId, JobRecord> =
+            s.records.iter().map(|r| (r.job, r.clone())).collect();
+
+        let dvfs = &self.machine.config().dvfs;
+        let levels: Vec<DvfsLevel> = s
+            .levels
+            .iter()
+            .map(|&i| {
+                let level = DvfsLevel(i);
+                dvfs.check(level)
+                    .map(|()| level)
+                    .map_err(|_| invalid(format!("checkpoint DVFS level {i} is off the ladder")))
+            })
+            .collect::<Result<_>>()?;
+
+        let faults = if self.config.faults.is_inert() {
+            if s.faults.is_some() {
+                return Err(invalid(
+                    "checkpoint carries fault state but the fault plan is inert".into(),
+                ));
+            }
+            None
+        } else {
+            let fz = s.faults.as_ref().ok_or_else(|| {
+                invalid("fault plan is active but the checkpoint has no fault state".into())
+            })?;
+            let mut injector = FaultInjector::new(&self.config.faults, n).map_err(fault_error)?;
+            injector
+                .restore(&fz.injector)
+                .map_err(|e| invalid(format!("fault injector rejected the snapshot: {e}")))?;
+            let arch = self.machine.config();
+            let mut conditioner = SensorConditioner::new(
+                mesh_neighbors(arch.grid_height, arch.grid_width),
+                self.config.sensor_staleness_budget_intervals,
+                self.thermal.config().ambient,
+            );
+            if !conditioner.restore(&fz.conditioner) {
+                return Err(invalid(
+                    "sensor conditioner rejected the snapshot (core count mismatch)".into(),
+                ));
+            }
+            if fz.sensed_temps.len() != n || fz.confidence.len() != n {
+                return Err(invalid(
+                    "checkpoint sensor view disagrees with the machine's core count".into(),
+                ));
+            }
+            Some(FaultRuntime {
+                injector,
+                conditioner,
+                sensed_temps: Vector::from(fz.sensed_temps.clone()),
+                confidence: fz.confidence.clone(),
+                sensors_degraded: fz.sensors_degraded,
+            })
+        };
+
+        if let Some(blob) = &s.scheduler_blob {
+            scheduler
+                .restore(blob)
+                .map_err(|m| invalid(format!("scheduler rejected its snapshot: {m}")))?;
+        }
+
+        let obs = hp_obs::Registry::new();
+        for (name, v) in &s.obs.counters {
+            obs.set_counter(name, *v);
+        }
+        for (name, v) in &s.obs.gauges {
+            obs.set_gauge(name, *v);
+        }
+        for (name, v) in &s.obs.meta {
+            obs.set_meta(name, v);
+        }
+
+        // Resumed trace continues in place; the t = 0 sample (if traced)
+        // is already inside, so nothing is re-pushed here.
+        self.trace = TemperatureTrace::from_parts(
+            s.trace.times.clone(),
+            s.trace.temps.clone(),
+            s.trace.events.clone(),
+        );
+        // Warm the decay cache for the fixed dt first, then overwrite
+        // the tallies: the warm-up miss is discarded and every in-run
+        // lookup hits, so the final counters match an uninterrupted run.
+        self.solver.reset_stats();
+        self.solver.warm_decay_cache(self.config.dt);
+        self.solver.restore_stats(TransientStats {
+            batch_calls: s.thermal_stats[0],
+            batched_states: s.thermal_stats[1],
+            decay_cache_hits: s.thermal_stats[2],
+            decay_cache_misses: s.thermal_stats[3],
+        });
+        self.ckpt_resumes = 1;
+
+        let completed = usize::try_from(s.completed)
+            .map_err(|_| invalid(format!("completed count {} overflows", s.completed)))?;
+        let metrics = Metrics {
+            scheduler: scheduler.name().to_string(),
+            makespan: s.metrics.makespan,
+            peak_temperature: s.metrics.peak_temperature,
+            dtm_intervals: s.metrics.dtm_intervals,
+            migrations: s.metrics.migrations,
+            energy: s.metrics.energy,
+            simulated_time: s.metrics.simulated_time,
+            robustness: s.robustness,
+            ..Metrics::default()
+        };
+        Ok(RunState {
+            total_jobs,
+            arrivals,
+            n,
+            dt: self.config.dt,
+            sched_every: (self.config.sched_period / self.config.dt).round().max(1.0) as u64,
+            node_temps: Vector::from(s.node_temps.clone()),
+            levels,
+            occupancy: s.occupancy.clone(),
+            pending,
+            active,
+            records,
+            metrics,
+            completed,
+            step: s.step,
+            dtm_last_interval: s.dtm_last_interval,
+            dtm_core_latch: s.dtm_core_latch.clone(),
+            busy_freq_integral: s.busy_freq_integral,
+            busy_time: s.busy_time,
+            full_confidence: vec![1.0; n],
+            faults,
+            sched_was_degraded: s.sched_was_degraded,
+            obs,
+        })
     }
 
     /// Simulates one interval. Returns `Ok(true)` when the workload has

@@ -47,6 +47,23 @@ pub enum SimError {
         /// Jobs still incomplete.
         unfinished: usize,
     },
+    /// The supervised run consumed its deterministic interval budget
+    /// ([`RunOptions::max_intervals`](crate::RunOptions)) with jobs
+    /// still unfinished — the watchdog verdict for a stuck or runaway
+    /// job. Raised inside [`SimError::Aborted`] so partials survive.
+    IntervalBudgetExhausted {
+        /// The budget, in simulation intervals.
+        budget: u64,
+    },
+    /// The supervised run crossed its wall-clock deadline
+    /// ([`RunOptions::deadline`](crate::RunOptions)) — the soft-timeout
+    /// watchdog verdict. Raised inside [`SimError::Aborted`] so
+    /// partials survive.
+    DeadlineExceeded,
+    /// A checkpoint document failed to load, verify, or match this run
+    /// (see [`CheckpointError`](crate::CheckpointError) for the typed
+    /// causes: parse, digest, version, spec-hash, semantic rebind).
+    Checkpoint(crate::checkpoint::CheckpointError),
     /// A run ended mid-flight but the work done up to that point was
     /// recovered: `partial` holds the metrics (and the engine keeps the
     /// trace) accumulated before `cause` stopped the run. Raised for
@@ -96,6 +113,16 @@ impl fmt::Display for SimError {
                 f,
                 "simulation horizon of {horizon} s exceeded with {unfinished} unfinished jobs"
             ),
+            SimError::IntervalBudgetExhausted { budget } => {
+                write!(
+                    f,
+                    "supervised run consumed its interval budget of {budget} intervals"
+                )
+            }
+            SimError::DeadlineExceeded => {
+                write!(f, "supervised run crossed its wall-clock deadline")
+            }
+            SimError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
             SimError::Aborted { at, cause, .. } => {
                 write!(
                     f,
@@ -116,6 +143,7 @@ impl Error for SimError {
             SimError::Thermal(e) => Some(e),
             SimError::Manycore(e) => Some(e),
             SimError::Floorplan(e) => Some(e),
+            SimError::Checkpoint(e) => Some(e),
             _ => None,
         }
     }
@@ -147,6 +175,12 @@ impl From<ManycoreError> for SimError {
 impl From<FloorplanError> for SimError {
     fn from(e: FloorplanError) -> Self {
         SimError::Floorplan(e)
+    }
+}
+
+impl From<crate::checkpoint::CheckpointError> for SimError {
+    fn from(e: crate::checkpoint::CheckpointError) -> Self {
+        SimError::Checkpoint(e)
     }
 }
 

@@ -39,6 +39,7 @@
 //! # }
 //! ```
 
+mod checkpoint;
 mod config;
 mod engine;
 mod error;
@@ -49,10 +50,15 @@ mod trace;
 
 pub mod schedulers;
 
+pub use checkpoint::{CheckpointError, EngineCheckpoint, CHECKPOINT_SCHEMA};
 pub use config::{DtmScope, SimConfig};
-pub use engine::Simulation;
+pub use engine::{RunOptions, Simulation};
 pub use error::SimError;
 pub use job::ThreadId;
+// Re-exported so downstream schedulers can name the type behind
+// `ThreadId::job` (e.g. when decoding a checkpoint snapshot) without a
+// direct hp-workload dependency.
+pub use hp_workload::JobId;
 pub use metrics::{JobRecord, Metrics, Robustness};
 pub use scheduler::{Action, PendingJobView, Scheduler, SchedulerHealth, SimView, ThreadView};
 pub use trace::{TemperatureTrace, TraceEvent, TraceEventKind};

@@ -168,6 +168,38 @@ pub trait Scheduler {
     fn observability(&self) -> Option<hp_obs::RunReport> {
         None
     }
+
+    /// A serialised snapshot of the policy's mutable internal state, for
+    /// engine checkpoints (DESIGN.md §13).
+    ///
+    /// Called at every checkpoint boundary. The returned string is
+    /// opaque to the engine (stored verbatim inside the checkpoint and
+    /// handed back to [`restore`](Scheduler::restore) on resume); the
+    /// contract is that `snapshot` → fresh instance → `restore` leaves
+    /// the policy bit-identical in its future decisions. A policy whose
+    /// behaviour is a pure function of the [`SimView`] may keep the
+    /// default `None` — the engine then calls `restore` never and the
+    /// run stays resumable.
+    fn snapshot(&self) -> Option<String> {
+        None
+    }
+
+    /// Restores the state captured by [`snapshot`](Scheduler::snapshot)
+    /// into a freshly constructed instance of the same policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when `state` cannot be applied.
+    /// The default rejects every blob: a policy that emits snapshots
+    /// must implement the matching restore, and handing a stateful blob
+    /// to a stateless policy is a configuration error, not a silent
+    /// no-op.
+    fn restore(&mut self, _state: &str) -> std::result::Result<(), String> {
+        Err(format!(
+            "scheduler {} does not support snapshot/restore",
+            self.name()
+        ))
+    }
 }
 
 #[cfg(test)]

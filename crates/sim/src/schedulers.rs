@@ -91,6 +91,42 @@ impl Scheduler for PinnedScheduler {
         }
         actions
     }
+
+    // The only mutable state is the one-shot preferred placement, which
+    // `schedule` consumes: the snapshot records whether (and where) it
+    // is still armed.
+    fn snapshot(&self) -> Option<String> {
+        let body = match &self.preferred {
+            None => "null".to_string(),
+            Some(cores) => {
+                let list: Vec<String> = cores.iter().map(|c| c.index().to_string()).collect();
+                format!("[{}]", list.join(","))
+            }
+        };
+        Some(format!("{{\"preferred\":{body}}}"))
+    }
+
+    fn restore(&mut self, state: &str) -> std::result::Result<(), String> {
+        let doc = hp_obs::json::parse(state).map_err(|e| format!("pinned snapshot: {e}"))?;
+        let preferred = doc
+            .get("preferred")
+            .ok_or("pinned snapshot: missing `preferred`")?;
+        self.preferred = match preferred {
+            hp_obs::json::Json::Null => None,
+            hp_obs::json::Json::Arr(items) => Some(
+                items
+                    .iter()
+                    .map(|v| {
+                        v.as_u64()
+                            .map(|i| CoreId(i as usize))
+                            .ok_or_else(|| "pinned snapshot: non-integer core".to_string())
+                    })
+                    .collect::<std::result::Result<Vec<_>, _>>()?,
+            ),
+            _ => return Err("pinned snapshot: `preferred` must be null or a list".into()),
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -36,6 +36,21 @@ impl TraceEventKind {
             TraceEventKind::ActionsDropped => "actions_dropped",
         }
     }
+
+    /// Inverse of [`label`](TraceEventKind::label) — used when decoding
+    /// checkpointed traces. `None` for an unknown label.
+    pub fn from_label(label: &str) -> Option<Self> {
+        Some(match label {
+            "watchdog_engaged" => TraceEventKind::WatchdogEngaged,
+            "watchdog_released" => TraceEventKind::WatchdogReleased,
+            "fallback_engaged" => TraceEventKind::FallbackEngaged,
+            "fallback_recovered" => TraceEventKind::FallbackRecovered,
+            "sensors_degraded" => TraceEventKind::SensorsDegraded,
+            "sensors_recovered" => TraceEventKind::SensorsRecovered,
+            "actions_dropped" => TraceEventKind::ActionsDropped,
+            _ => return None,
+        })
+    }
 }
 
 /// One timestamped degradation transition, recorded unconditionally
@@ -78,6 +93,19 @@ impl TemperatureTrace {
             kind,
             detail,
         });
+    }
+
+    /// Rebuilds a trace from checkpointed parts (the engine resume path).
+    pub(crate) fn from_parts(
+        times: Vec<f64>,
+        temps: Vec<Vec<f64>>,
+        events: Vec<TraceEvent>,
+    ) -> Self {
+        TemperatureTrace {
+            times,
+            temps,
+            events,
+        }
     }
 
     /// Degradation transitions recorded during the run, in time order.

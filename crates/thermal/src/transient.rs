@@ -65,6 +65,21 @@ impl StatsCells {
             cell.store(0, Ordering::Relaxed);
         }
     }
+
+    fn restore(&self, stats: TransientStats) {
+        let cells = [
+            (&self.batch_calls, stats.batch_calls),
+            (&self.batched_states, stats.batched_states),
+            (&self.decay_cache_hits, stats.decay_cache_hits),
+            (&self.decay_cache_misses, stats.decay_cache_misses),
+        ];
+        for (cell, value) in cells {
+            // xtask: allow(relaxed) — counters are overwritten between
+            // measured runs (checkpoint resume), while no solver calls
+            // are in flight.
+            cell.store(value, Ordering::Relaxed);
+        }
+    }
 }
 
 /// MatEx-style transient temperature solver.
@@ -200,6 +215,23 @@ impl TransientSolver {
     /// Zeroes the activity tallies (start of a new measured run).
     pub fn reset_stats(&self) {
         self.stats.reset();
+    }
+
+    /// Overwrites the activity tallies with a previously captured
+    /// [`TransientStats`] — the checkpoint-resume path, where the
+    /// resumed run must report the same cumulative counters as an
+    /// uninterrupted one. Call after any cache warming so the restored
+    /// values are not perturbed by warm-up lookups.
+    pub fn restore_stats(&self, stats: TransientStats) {
+        self.stats.restore(stats);
+    }
+
+    /// Precomputes (and caches) the decay factors for one step length,
+    /// counting the usual hit/miss. A resuming run warms the cache for
+    /// its fixed `dt` *before* restoring stats so the resumed counter
+    /// stream matches an uninterrupted run's.
+    pub fn warm_decay_cache(&self, dt: f64) {
+        let _ = self.decay_for(dt);
     }
 
     /// Cached decay factors `e^{λᵢ·dt}` for one step length.

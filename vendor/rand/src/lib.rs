@@ -142,6 +142,20 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for checkpointing the stream
+        /// position. Restoring via [`StdRng::from_state`] resumes the
+        /// stream exactly where [`StdRng::state`] captured it.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a captured [`StdRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let out = self.s[0]
@@ -191,6 +205,18 @@ mod tests {
             assert!((0.25..0.75).contains(&y));
             let z = rng.gen_range(5u64..=5);
             assert_eq!(z, 5);
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_stream() {
+        let mut a = StdRng::seed_from_u64(13);
+        for _ in 0..17 {
+            a.next_u64_pub();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64_pub(), b.next_u64_pub());
         }
     }
 
