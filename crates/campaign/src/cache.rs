@@ -8,9 +8,12 @@
 //! [`ChipArtifacts`] per grid size; jobs then *clone* the handles — a
 //! plain matrix copy — instead of re-factorizing.
 //!
-//! The cache is keyed by grid dimensions only: a campaign always runs
-//! with the default RC parameters ([`ThermalConfig::default`]), so the
-//! grid fully determines the model (DESIGN.md §11).
+//! The cache is keyed by grid dimensions plus the named
+//! [`ThermalProfile`]: within one profile the RC parameters are fixed,
+//! so that pair fully determines the model (DESIGN.md §11). Profiles
+//! other than [`ThermalProfile::Default`] exist for numerical-integrity
+//! drills — the `ill-conditioned` profile builds a model stiff enough
+//! to arm the solvers' dense fallback at construction.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -22,6 +25,51 @@ use hp_manycore::{ArchConfig, Machine};
 use hp_thermal::{RcThermalModel, ThermalConfig, TransientSolver};
 
 use crate::error::{CampaignError, Result};
+
+/// Named RC parameter set of a campaign job.
+///
+/// A campaign sweeps scenarios, not physics: jobs pick one of a small
+/// set of named profiles rather than free-form `ThermalConfig`s, so the
+/// model cache can key on the name and the spec grammar stays flat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum ThermalProfile {
+    /// The paper's RC parameters ([`ThermalConfig::default`]).
+    #[default]
+    Default,
+    /// [`ThermalConfig::ill_conditioned`]: a deliberately stiff model
+    /// (capacitance ratio beyond the condition threshold) that arms the
+    /// solvers' verified dense fallback at construction — the chaos
+    /// fixture for numerical-integrity drills.
+    IllConditioned,
+}
+
+impl ThermalProfile {
+    /// Spec / report label of the profile.
+    pub fn name(self) -> &'static str {
+        match self {
+            ThermalProfile::Default => "default",
+            ThermalProfile::IllConditioned => "ill-conditioned",
+        }
+    }
+
+    /// Inverse of [`name`](ThermalProfile::name). `None` for unknown
+    /// labels.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "default" => Some(ThermalProfile::Default),
+            "ill-conditioned" => Some(ThermalProfile::IllConditioned),
+            _ => None,
+        }
+    }
+
+    /// The RC parameters the profile names.
+    pub fn config(self) -> ThermalConfig {
+        match self {
+            ThermalProfile::Default => ThermalConfig::default(),
+            ThermalProfile::IllConditioned => ThermalConfig::ill_conditioned(),
+        }
+    }
+}
 
 /// The memoized per-chip-configuration artifacts, built once per grid
 /// size and shared across every job of a campaign via `Arc`.
@@ -43,17 +91,20 @@ pub struct ChipArtifacts {
 }
 
 impl ChipArtifacts {
-    /// Builds the artifacts for a `width × height` grid with the default
-    /// thermal configuration: one machine, one LU factorization, one
+    /// Builds the artifacts for a `width × height` grid with the given
+    /// thermal profile: one machine, one LU factorization, one
     /// eigendecomposition shared by both solvers.
     ///
     /// # Errors
     ///
     /// Returns [`CampaignError::Build`] on invalid grids or failed
     /// factorizations.
-    pub fn build(width: usize, height: usize) -> Result<Self> {
+    pub fn build(width: usize, height: usize, thermal: ThermalProfile) -> Result<Self> {
         let build_err = |what: &str, e: &dyn std::fmt::Display| -> CampaignError {
-            CampaignError::Build(format!("{width}x{height} grid: {what}: {e}"))
+            CampaignError::Build(format!(
+                "{width}x{height} grid ({} thermal): {what}: {e}",
+                thermal.name()
+            ))
         };
         let machine = Machine::new(ArchConfig {
             grid_width: width,
@@ -61,7 +112,7 @@ impl ChipArtifacts {
             ..ArchConfig::default()
         })
         .map_err(|e| build_err("machine", &e))?;
-        let model = RcThermalModel::new(machine.floorplan(), &ThermalConfig::default())
+        let model = RcThermalModel::new(machine.floorplan(), &thermal.config())
             .map_err(|e| build_err("thermal model", &e))?;
         let eigen = SystemEigen::new(model.a_diag(), model.b())
             .map_err(|e| build_err("eigendecomposition", &e))?;
@@ -76,8 +127,8 @@ impl ChipArtifacts {
     }
 }
 
-/// Thread-safe memoization of [`ChipArtifacts`] by grid size, with
-/// deterministic hit/miss counters.
+/// Thread-safe memoization of [`ChipArtifacts`] by grid size and
+/// thermal profile, with deterministic hit/miss counters.
 ///
 /// Lookups serialize on one mutex and build missing entries under the
 /// lock, so each grid is factorized exactly once no matter how many
@@ -91,7 +142,7 @@ impl ChipArtifacts {
 #[derive(Debug)]
 pub struct ModelCache {
     enabled: bool,
-    entries: Mutex<BTreeMap<(usize, usize), Arc<ChipArtifacts>>>,
+    entries: Mutex<BTreeMap<(usize, usize, ThermalProfile), Arc<ChipArtifacts>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -108,30 +159,36 @@ impl ModelCache {
         }
     }
 
-    /// The artifacts for a `width × height` grid, built on first use.
+    /// The artifacts for a `width × height` grid under the given thermal
+    /// profile, built on first use.
     ///
     /// # Errors
     ///
     /// Propagates [`ChipArtifacts::build`] failures.
-    pub fn get_or_build(&self, width: usize, height: usize) -> Result<Arc<ChipArtifacts>> {
+    pub fn get_or_build(
+        &self,
+        width: usize,
+        height: usize,
+        thermal: ThermalProfile,
+    ) -> Result<Arc<ChipArtifacts>> {
         if !self.enabled {
             // xtask: allow(relaxed) — monotonic tally; read only after the
             // worker pool joins, so no ordering is needed for correctness.
             self.misses.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::new(ChipArtifacts::build(width, height)?));
+            return Ok(Arc::new(ChipArtifacts::build(width, height, thermal)?));
         }
         // A poisoned lock only means another worker panicked mid-insert;
         // the map holds immutable Arcs, so its contents stay valid.
         let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
-        if let Some(art) = entries.get(&(width, height)) {
+        if let Some(art) = entries.get(&(width, height, thermal)) {
             // xtask: allow(relaxed) — monotonic tally, read after join.
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(art));
         }
         // xtask: allow(relaxed) — monotonic tally, read after join.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let art = Arc::new(ChipArtifacts::build(width, height)?);
-        entries.insert((width, height), Arc::clone(&art));
+        let art = Arc::new(ChipArtifacts::build(width, height, thermal)?);
+        entries.insert((width, height, thermal), Arc::clone(&art));
         Ok(art)
     }
 
@@ -161,20 +218,44 @@ mod tests {
     #[test]
     fn hits_and_misses_are_counted() {
         let cache = ModelCache::new(true);
-        let a = cache.get_or_build(4, 4).unwrap();
-        let b = cache.get_or_build(4, 4).unwrap();
+        let a = cache.get_or_build(4, 4, ThermalProfile::Default).unwrap();
+        let b = cache.get_or_build(4, 4, ThermalProfile::Default).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "second lookup shares the entry");
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 1);
-        cache.get_or_build(2, 2).unwrap();
+        cache.get_or_build(2, 2, ThermalProfile::Default).unwrap();
         assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn thermal_profiles_get_distinct_entries() {
+        let cache = ModelCache::new(true);
+        let healthy = cache.get_or_build(4, 4, ThermalProfile::Default).unwrap();
+        let stiff = cache
+            .get_or_build(4, 4, ThermalProfile::IllConditioned)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&healthy, &stiff), "profiles must not alias");
+        assert_eq!(cache.misses(), 2);
+        assert!(!healthy.transient.degraded(), "default profile is healthy");
+        assert!(
+            stiff.transient.degraded() && stiff.peak.degraded(),
+            "ill-conditioned profile arms the dense fallback at build time"
+        );
+    }
+
+    #[test]
+    fn profile_names_round_trip() {
+        for p in [ThermalProfile::Default, ThermalProfile::IllConditioned] {
+            assert_eq!(ThermalProfile::from_name(p.name()), Some(p));
+        }
+        assert_eq!(ThermalProfile::from_name("toasty"), None);
     }
 
     #[test]
     fn disabled_cache_rebuilds_every_time() {
         let cache = ModelCache::new(false);
-        let a = cache.get_or_build(2, 2).unwrap();
-        let b = cache.get_or_build(2, 2).unwrap();
+        let a = cache.get_or_build(2, 2, ThermalProfile::Default).unwrap();
+        let b = cache.get_or_build(2, 2, ThermalProfile::Default).unwrap();
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(cache.hits(), 0);
         assert_eq!(cache.misses(), 2);
@@ -183,14 +264,16 @@ mod tests {
     #[test]
     fn invalid_grid_is_a_build_error() {
         let cache = ModelCache::new(true);
-        let err = cache.get_or_build(0, 4).unwrap_err();
+        let err = cache
+            .get_or_build(0, 4, ThermalProfile::Default)
+            .unwrap_err();
         assert!(matches!(err, CampaignError::Build(_)), "{err}");
     }
 
     #[test]
     fn cached_solvers_match_fresh_construction() {
         use hp_linalg::Vector;
-        let art = ChipArtifacts::build(4, 4).unwrap();
+        let art = ChipArtifacts::build(4, 4, ThermalProfile::Default).unwrap();
         let fresh = TransientSolver::new(&art.model).unwrap();
         let power = Vector::constant(16, 2.0);
         let t0 = art.model.ambient_state();

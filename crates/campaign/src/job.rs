@@ -15,7 +15,7 @@ use hp_sim::schedulers::PinnedScheduler;
 use hp_sim::{Scheduler, SimConfig};
 use hp_workload::{closed_batch, open_poisson, Benchmark, Job};
 
-use crate::cache::ChipArtifacts;
+use crate::cache::{ChipArtifacts, ThermalProfile};
 use crate::error::{CampaignError, Result};
 
 /// Scheduler names accepted by [`build_scheduler`], mirroring the CLI.
@@ -115,6 +115,8 @@ pub struct CampaignJob {
     pub workload: Workload,
     /// Engine configuration (horizon, DTM, faults, tracing).
     pub sim: SimConfig,
+    /// Named RC parameter set (the model-cache key alongside the grid).
+    pub thermal: ThermalProfile,
     /// Fixed rotation interval for HotPotato-family schedulers, seconds
     /// (`None` keeps the default adaptive τ ladder).
     pub fixed_tau_seconds: Option<f64>,
@@ -140,6 +142,7 @@ impl CampaignJob {
             grid,
             workload,
             sim,
+            thermal: ThermalProfile::default(),
             fixed_tau_seconds: None,
             preferred_cores: Vec::new(),
             keep_peak_series: false,
@@ -151,7 +154,7 @@ impl CampaignJob {
     /// reused when its recorded digest matches the current expansion.
     pub fn digest(&self) -> u64 {
         let desc = format!(
-            "{}|{}|{}x{}|{}|h={}|dt={}|sp={}|dtm={}:{:?}:{}|trace={}|tau={:?}|pref={:?}|faults={}",
+            "{}|{}|{}x{}|{}|h={}|dt={}|sp={}|dtm={}:{:?}:{}|trace={}|tau={:?}|pref={:?}|faults={}|thermal={}",
             self.label,
             self.scheduler,
             self.grid.0,
@@ -167,6 +170,7 @@ impl CampaignJob {
             self.fixed_tau_seconds,
             self.preferred_cores,
             self.sim.faults.to_json_string(),
+            self.thermal.name(),
         );
         fnv1a(desc.as_bytes())
     }
@@ -310,7 +314,9 @@ mod tests {
     #[test]
     fn every_known_scheduler_builds() {
         let cache = ModelCache::new(true);
-        let art = cache.get_or_build(4, 4).unwrap();
+        let art = cache
+            .get_or_build(4, 4, crate::cache::ThermalProfile::Default)
+            .unwrap();
         for name in SCHEDULER_NAMES {
             let s = build_scheduler(&job(name), &art).unwrap();
             assert!(!s.name().is_empty());
@@ -329,6 +335,9 @@ mod tests {
         let mut d = job("hotpotato");
         d.scheduler = "pcmig".into();
         assert_ne!(a.digest(), d.digest());
+        let mut e = job("hotpotato");
+        e.thermal = crate::cache::ThermalProfile::IllConditioned;
+        assert_ne!(a.digest(), e.digest(), "thermal profile moves the digest");
     }
 
     #[test]

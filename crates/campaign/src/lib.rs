@@ -50,7 +50,7 @@ mod report;
 mod runner;
 mod spec;
 
-pub use cache::{ChipArtifacts, ModelCache};
+pub use cache::{ChipArtifacts, ModelCache, ThermalProfile};
 pub use error::{CampaignError, Result};
 pub use job::{build_scheduler, CampaignJob, Workload, SCHEDULER_NAMES};
 pub use report::{CampaignReport, JobOutcome, JobStatus, SCHEMA};

@@ -28,6 +28,13 @@ pub const SCHEMA: &str = "hp-campaign-v1";
 pub enum JobStatus {
     /// The workload ran to completion.
     Completed,
+    /// The workload ran to completion, but the thermal solver spent at
+    /// least part of the run on its verified dense numerical fallback
+    /// (`numerics.fallback.activations ≥ 1` in the job report). The
+    /// metrics are valid — the dense path is authoritative — but the
+    /// eigen fast path was not trusted, which is worth investigating.
+    /// Deterministic, so never retried.
+    DegradedNumerics,
     /// The engine aborted mid-run ([`hp_sim::SimError::Aborted`]); the
     /// outcome carries the partial metrics and report.
     Aborted,
@@ -46,6 +53,7 @@ impl JobStatus {
     pub fn label(self) -> &'static str {
         match self {
             JobStatus::Completed => "completed",
+            JobStatus::DegradedNumerics => "degraded-numerics",
             JobStatus::Aborted => "aborted",
             JobStatus::Failed => "failed",
             JobStatus::Panicked => "panicked",
@@ -56,6 +64,7 @@ impl JobStatus {
     fn from_label(s: &str) -> Option<Self> {
         match s {
             "completed" => Some(JobStatus::Completed),
+            "degraded-numerics" => Some(JobStatus::DegradedNumerics),
             "aborted" => Some(JobStatus::Aborted),
             "failed" => Some(JobStatus::Failed),
             "panicked" => Some(JobStatus::Panicked),
@@ -157,6 +166,11 @@ impl CampaignReport {
     /// Outcomes that completed.
     pub fn completed(&self) -> usize {
         self.count(JobStatus::Completed)
+    }
+
+    /// Outcomes that completed on the dense numerical fallback.
+    pub fn degraded_numerics(&self) -> usize {
+        self.count(JobStatus::DegradedNumerics)
     }
 
     /// Outcomes that aborted mid-run (partials retained).

@@ -25,6 +25,7 @@ use hp_obs::json::{self, Json};
 use hp_sim::SimConfig;
 use hp_workload::Benchmark;
 
+use crate::cache::ThermalProfile;
 use crate::error::{CampaignError, Result};
 use crate::job::{CampaignJob, Workload, SCHEDULER_NAMES};
 use crate::report::{compact, parse_grid, render_json};
@@ -50,6 +51,11 @@ pub struct SweepSpec {
     pub seeds: Vec<u64>,
     /// Fault plans (the default is a single inert plan).
     pub fault_plans: Vec<FaultPlan>,
+    /// Named RC parameter set every job runs under (`"default"` or
+    /// `"ill-conditioned"` in the JSON grammar). Not an axis: numerical
+    /// drills sweep scenarios within one profile, they do not mix
+    /// physics inside a campaign.
+    pub thermal: ThermalProfile,
     /// Simulation horizon per job, seconds.
     pub horizon_seconds: f64,
     /// Job count for [`MIXED`] workloads at load 1.0.
@@ -69,6 +75,7 @@ impl SweepSpec {
             grids: vec![(8, 8)],
             seeds: vec![42],
             fault_plans: vec![FaultPlan::default()],
+            thermal: ThermalProfile::Default,
             horizon_seconds: 10.0,
             open_jobs: 16,
             rate_per_s: 50.0,
@@ -94,6 +101,7 @@ impl SweepSpec {
             "grids",
             "seeds",
             "fault_plans",
+            "thermal",
             "horizon_seconds",
             "open_jobs",
             "rate_per_s",
@@ -132,6 +140,16 @@ impl SweepSpec {
                 );
             }
             spec.fault_plans = plans;
+        }
+        if let Some(v) = doc.get("thermal") {
+            let raw = v
+                .as_str()
+                .ok_or_else(|| CampaignError::Spec("`thermal` must be a string".into()))?;
+            spec.thermal = ThermalProfile::from_name(raw).ok_or_else(|| {
+                CampaignError::Spec(format!(
+                    "unknown thermal profile `{raw}` (expected \"default\" or \"ill-conditioned\")"
+                ))
+            })?;
         }
         if let Some(v) = doc.get("horizon_seconds") {
             spec.horizon_seconds = v
@@ -181,6 +199,7 @@ impl SweepSpec {
             .map(|p| compact(&p.to_json_string()))
             .collect();
         let _ = writeln!(out, "  \"fault_plans\": [{}],", plans.join(", "));
+        let _ = writeln!(out, "  \"thermal\": \"{}\",", self.thermal.name());
         let _ = writeln!(out, "  \"horizon_seconds\": {},", self.horizon_seconds);
         let _ = writeln!(out, "  \"open_jobs\": {},", self.open_jobs);
         let _ = writeln!(out, "  \"rate_per_s\": {}", self.rate_per_s);
@@ -293,13 +312,15 @@ impl SweepSpec {
                                     ..SimConfig::default()
                                 };
                                 sim.faults = *plan;
-                                jobs.push(CampaignJob::new(
+                                let mut job = CampaignJob::new(
                                     label,
                                     scheduler.clone(),
                                     (w, h),
                                     workload,
                                     sim,
-                                ));
+                                );
+                                job.thermal = self.thermal;
+                                jobs.push(job);
                             }
                         }
                     }
@@ -432,9 +453,32 @@ mod tests {
         let mut spec = SweepSpec::new(["hotpotato", "tsp"]);
         spec.loads = vec![0.25, 1.0];
         spec.grids = vec![(4, 4), (6, 6)];
+        spec.thermal = ThermalProfile::IllConditioned;
         let text = spec.to_json_string();
         let parsed = SweepSpec::from_json_str(&text).unwrap();
         assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn thermal_profile_parses_and_reaches_every_job() {
+        let spec = SweepSpec::from_json_str(
+            "{\"schedulers\": [\"hotpotato\"], \"thermal\": \"ill-conditioned\", \
+             \"grids\": [\"4x4\"], \"seeds\": [1, 2]}",
+        )
+        .unwrap();
+        assert_eq!(spec.thermal, ThermalProfile::IllConditioned);
+        let jobs = spec.expand().unwrap();
+        assert!(jobs
+            .iter()
+            .all(|j| j.thermal == ThermalProfile::IllConditioned));
+        // Absent key keeps the default profile.
+        let plain = SweepSpec::from_json_str("{\"schedulers\": [\"hotpotato\"]}").unwrap();
+        assert_eq!(plain.thermal, ThermalProfile::Default);
+        // Unknown profiles fail loudly.
+        let err =
+            SweepSpec::from_json_str("{\"schedulers\": [\"hotpotato\"], \"thermal\": \"toasty\"}")
+                .unwrap_err();
+        assert!(err.to_string().contains("thermal profile"), "{err}");
     }
 
     #[test]

@@ -400,6 +400,7 @@ pub fn sweep(args: &ParsedArgs) -> CliResult {
     for outcome in &report.jobs {
         let status = match outcome.status {
             hp_campaign::JobStatus::Completed => "ok     ",
+            hp_campaign::JobStatus::DegradedNumerics => "DEGRADE",
             hp_campaign::JobStatus::Aborted => "aborted",
             hp_campaign::JobStatus::Failed => "FAILED ",
             hp_campaign::JobStatus::Panicked => "PANIC  ",
@@ -429,10 +430,17 @@ pub fn sweep(args: &ParsedArgs) -> CliResult {
         }
     }
     let counter = |name: &str| report.campaign.counter(name).unwrap_or(0);
+    if report.degraded_numerics() > 0 {
+        println!(
+            "  numerics: {} job(s) completed on the dense fallback (degraded-numerics) — \
+             run `validate` against this spec for the conditioning facts",
+            report.degraded_numerics()
+        );
+    }
     println!(
         "sweep done: {} completed, {} aborted, {} failed, {} panicked, {} timed out, \
          {} resumed | cache {} hits / {} misses",
-        report.completed(),
+        report.completed() + report.degraded_numerics(),
         report.aborted(),
         report.failed(),
         report.panicked(),
@@ -470,6 +478,80 @@ pub fn sweep(args: &ParsedArgs) -> CliResult {
             message: format!("sweep: {unhealthy} job(s) failed to run"),
             exit: 3,
         }));
+    }
+    Ok(())
+}
+
+/// `validate`: check a sweep spec, fault plan, and/or thermal model for
+/// well-formedness *without simulating anything* — the preflight for
+/// long campaigns. Exit 0 when everything checks out, 1 otherwise; an
+/// ill-conditioned (but valid) model passes with a warning since runs
+/// on it complete via the verified dense fallback.
+pub fn validate(args: &ParsedArgs) -> CliResult {
+    let mut validated_any = false;
+    if let Some(path) = args.get("spec") {
+        let raw = std::fs::read_to_string(path).map_err(|e| format!("--spec {path}: {e}"))?;
+        let spec = SweepSpec::from_json_str(&raw).map_err(|e| format!("--spec {path}: {e}"))?;
+        let jobs = spec.expand().map_err(|e| format!("--spec {path}: {e}"))?;
+        println!("spec {path}: {} job(s) expand cleanly", jobs.len());
+        let mut grids: Vec<(usize, usize)> = jobs.iter().map(|j| j.grid).collect();
+        grids.sort_unstable();
+        grids.dedup();
+        for (w, h) in grids {
+            validate_model(w, h, spec.thermal)?;
+        }
+        validated_any = true;
+    }
+    if let Some(path) = args.get("faults") {
+        let raw = std::fs::read_to_string(path).map_err(|e| format!("--faults {path}: {e}"))?;
+        let plan = FaultPlan::from_json_str(&raw).map_err(|e| format!("--faults {path}: {e}"))?;
+        println!("fault plan {path}: parses cleanly (seed {})", plan.seed);
+        validated_any = true;
+    }
+    if !validated_any || args.get("grid").is_some() || args.get("thermal").is_some() {
+        let (w, h) = args.grid_or("grid", 8, 8)?;
+        let name = args.get("thermal").unwrap_or("default");
+        let profile = hp_campaign::ThermalProfile::from_name(name)
+            .ok_or_else(|| format!("--thermal {name}: expected `default` or `ill-conditioned`"))?;
+        validate_model(w, h, profile)?;
+    }
+    Ok(())
+}
+
+/// Builds and validates one RC model, printing its conditioning facts.
+fn validate_model(w: usize, h: usize, profile: hp_campaign::ThermalProfile) -> CliResult {
+    let model =
+        RcThermalModel::new(&GridFloorplan::new(w, h)?, &profile.config()).map_err(|e| {
+            format!(
+                "{w}x{h} ({}): model construction failed: {e}",
+                profile.name()
+            )
+        })?;
+    let health = model
+        .validate()
+        .map_err(|e| format!("{w}x{h} ({}): model validation failed: {e}", profile.name()))?;
+    println!(
+        "model {w}x{h} ({}): cond(B) ~ {:.2e} | capacitance ratio {:.2e} | \
+         time constants [{:.2e}, {:.2e}] s",
+        profile.name(),
+        health.condition_estimate,
+        health.capacitance_ratio,
+        health.min_time_constant,
+        health.max_time_constant
+    );
+    if health.ill_conditioned {
+        println!(
+            "  WARNING: stiffness {:.2e} exceeds the dense-fallback threshold {:.0e}; \
+             solvers arm the verified dense path and runs complete as degraded-numerics",
+            health.stiffness,
+            hp_thermal::CONDITION_FALLBACK_THRESHOLD
+        );
+    } else {
+        println!(
+            "  healthy: stiffness {:.2e} is below the dense-fallback threshold {:.0e}",
+            health.stiffness,
+            hp_thermal::CONDITION_FALLBACK_THRESHOLD
+        );
     }
     Ok(())
 }
@@ -824,6 +906,48 @@ mod tests {
         let err = sweep(&args).unwrap_err().to_string();
         assert!(err.contains("--jobs 0"), "got: {err}");
         std::fs::remove_file(&spec_path).ok();
+    }
+
+    #[test]
+    fn validate_checks_models_specs_and_plans_without_simulating() {
+        // Bare: validates the default 8x8 model.
+        let args = ParsedArgs::parse(["validate"]).unwrap();
+        validate(&args).unwrap();
+        // Ill-conditioned profile is valid (passes with a warning).
+        let args = ParsedArgs::parse(["validate", "--grid", "4x4", "--thermal", "ill-conditioned"])
+            .unwrap();
+        validate(&args).unwrap();
+        // Unknown profile fails.
+        let args = ParsedArgs::parse(["validate", "--thermal", "toasty"]).unwrap();
+        assert!(validate(&args).is_err());
+
+        // A good spec + fault plan pass; a bad spec fails.
+        let spec_path = std::env::temp_dir().join("hp_cli_validate_spec_test.json");
+        let plan_path = std::env::temp_dir().join("hp_cli_validate_plan_test.json");
+        std::fs::write(
+            &spec_path,
+            "{\"schedulers\": [\"hotpotato\"], \"grids\": [\"4x4\"], \
+             \"thermal\": \"ill-conditioned\"}",
+        )
+        .unwrap();
+        std::fs::write(&plan_path, "{\"seed\": 3}").unwrap();
+        let args = ParsedArgs::parse([
+            "validate",
+            "--spec",
+            spec_path.to_str().unwrap(),
+            "--faults",
+            plan_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        validate(&args).unwrap();
+        std::fs::write(&spec_path, "{\"schedulers\": [\"magic\"]}").unwrap();
+        let args = ParsedArgs::parse(["validate", "--spec", spec_path.to_str().unwrap()]).unwrap();
+        assert!(validate(&args).is_err());
+        // Missing files fail too.
+        let args = ParsedArgs::parse(["validate", "--spec", "/nonexistent/s.json"]).unwrap();
+        assert!(validate(&args).is_err());
+        std::fs::remove_file(&spec_path).ok();
+        std::fs::remove_file(&plan_path).ok();
     }
 
     #[test]

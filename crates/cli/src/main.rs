@@ -15,6 +15,8 @@
 //!                        [--resume true] [--cache off]
 //!                        [--retries N] [--job-timeout S]
 //!                        [--interval-budget N] [--checkpoint-every S]
+//! hotpotato-cli validate [--spec SPEC.json] [--faults PLAN.json]
+//!                        [--grid WxH] [--thermal default|ill-conditioned]
 //! ```
 //!
 //! Exit codes: 0 success, 1 failure, 2 aborted-with-partials (the
@@ -46,6 +48,8 @@ USAGE:
                          [--resume true] [--cache off]
                          [--retries N] [--job-timeout S]
                          [--interval-budget N] [--checkpoint-every S]
+  hotpotato-cli validate [--spec SPEC.json] [--faults PLAN.json]
+                         [--grid WxH] [--thermal default|ill-conditioned]
 
 SCHEDULERS: hotpotato (default), hybrid, fallback, pcmig, pcgov, tsp, pinned
 BENCHMARKS: blackscholes bodytrack canneal dedup fluidanimate
@@ -67,6 +71,8 @@ EXAMPLES:
   hotpotato-cli sweep --spec sweep.json --jobs 8 --out results/
   hotpotato-cli sweep --spec sweep.json --out results/ --resume true \\
                       --retries 2 --job-timeout 300 --checkpoint-every 5
+  hotpotato-cli validate --spec sweep.json --faults plan.json
+  hotpotato-cli validate --grid 8x8 --thermal ill-conditioned
 ";
 
 fn main() -> ExitCode {
@@ -88,6 +94,7 @@ fn main() -> ExitCode {
         "tsp" => commands::tsp(&parsed),
         "simulate" => commands::simulate(&parsed),
         "sweep" => commands::sweep(&parsed),
+        "validate" => commands::validate(&parsed),
         other => Err(format!("unknown subcommand `{other}`").into()),
     };
     match result {

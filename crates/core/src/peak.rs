@@ -51,19 +51,86 @@
 //! matrices, plus a per-τ cache of the `e^{λτ}` decay data).
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use hp_floorplan::CoreId;
 use hp_linalg::eigen::SystemEigen;
-use hp_linalg::{Matrix, Vector};
-use hp_thermal::RcThermalModel;
+use hp_linalg::{Matrix, NumericalError, Vector};
+use hp_thermal::{DenseStepper, NumericsStats, RcThermalModel, CONDITION_FALLBACK_THRESHOLD};
 
 use crate::{EpochPowerSequence, HotPotatoError, Result};
 
 /// Distinct τ values cached per solver; the scheduler's τ-acceleration
 /// explores a handful, so the cap only guards against pathological churn.
 const DECAY_CACHE_CAP: usize = 64;
+
+/// Basis residual `‖V·V⁻¹ − I‖∞` beyond which the eigendecomposition is
+/// not trusted even if the eigenvalue spread looks acceptable (the same
+/// threshold the transient solver applies).
+const BASIS_RESIDUAL_THRESHOLD: f64 = 1e-6;
+
+/// Peak outputs may undershoot ambient by round-off but never by a
+/// degree; anything below trips the runtime invariant guard.
+const GUARD_SLACK_CELSIUS: f64 = 1.0;
+
+/// Physical ceiling above ambient — an eigen-path peak beyond a
+/// kilokelvin rise is numerical garbage, not physics.
+const GUARD_CEILING_RISE_CELSIUS: f64 = 1000.0;
+
+/// Interior-mutable counter cells behind the solver's [`NumericsStats`].
+#[derive(Debug, Default)]
+struct NumericsCells {
+    fallback_activations: AtomicU64,
+    fallback_steps: AtomicU64,
+    guard_trips: AtomicU64,
+}
+
+impl NumericsCells {
+    fn snapshot(&self) -> NumericsStats {
+        NumericsStats {
+            // xtask: allow(relaxed) — monotonic tallies; snapshots are
+            // taken between batches, so ordering carries no information.
+            fallback_activations: self.fallback_activations.load(Ordering::Relaxed),
+            fallback_steps: self.fallback_steps.load(Ordering::Relaxed),
+            guard_trips: self.guard_trips.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        for cell in [
+            &self.fallback_activations,
+            &self.fallback_steps,
+            &self.guard_trips,
+        ] {
+            // xtask: allow(relaxed) — counters are zeroed between measured
+            // runs, while no solver calls are in flight.
+            cell.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn restore(&self, stats: NumericsStats) {
+        let cells = [
+            (&self.fallback_activations, stats.fallback_activations),
+            (&self.fallback_steps, stats.fallback_steps),
+            (&self.guard_trips, stats.guard_trips),
+        ];
+        for (cell, value) in cells {
+            // xtask: allow(relaxed) — counters are overwritten between
+            // measured runs (checkpoint resume), while no solver calls
+            // are in flight.
+            cell.store(value, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Per-τ affine epoch map of the dense fallback: `T ↦ M·T + S·f` over
+/// one epoch, extracted once from a [`DenseStepper`].
+#[derive(Debug)]
+struct DenseEpochMap {
+    m: Matrix,
+    s: Matrix,
+}
 
 /// Snapshot of an Algorithm-1 solver's activity tallies, taken with
 /// [`RotationPeakSolver::stats`]. All values count events since
@@ -251,6 +318,19 @@ pub struct RotationPeakSolver {
     decay_cache: Mutex<BTreeMap<u64, Arc<EpochDecay>>>,
     /// Activity tallies for run reports ([`RotationPeakSolver::stats`]).
     stats: StatsCells,
+    /// Construction-time verdict: the eigendecomposition failed its trust
+    /// checks, so every peak evaluation routes through the dense cycle
+    /// fallback from the start. Immutable — a property of the model.
+    armed: bool,
+    /// Runtime verdict: an invariant guard tripped on an eigen-path peak.
+    /// Sticky for the solver's lifetime.
+    tripped: AtomicBool,
+    /// `τ.to_bits() → dense epoch map`, lazily built per epoch length for
+    /// the fallback path (an `O(N³)` extraction, amortized across every
+    /// candidate at that τ).
+    dense_cache: Mutex<BTreeMap<u64, Arc<DenseEpochMap>>>,
+    /// Numerical-integrity tallies ([`RotationPeakSolver::numerics`]).
+    numerics: NumericsCells,
 }
 
 impl Clone for RotationPeakSolver {
@@ -272,6 +352,13 @@ impl Clone for RotationPeakSolver {
             // A clone starts its own tally: stats describe what *this*
             // handle performed, not its ancestry.
             stats: StatsCells::default(),
+            armed: self.armed,
+            // The degradation verdict is inherited: it describes the
+            // model, and a clone evaluates the same model.
+            // xtask: allow(relaxed) — single flag, no ordering payload.
+            tripped: AtomicBool::new(self.tripped.load(Ordering::Relaxed)),
+            dense_cache: Mutex::new(BTreeMap::new()),
+            numerics: NumericsCells::default(),
         }
     }
 }
@@ -306,6 +393,10 @@ impl RotationPeakSolver {
         let v_junction = Matrix::from_fn(cores, nodes, |c, k| v[(c, k)]);
         let proj_t = proj.transpose();
         let v_junction_t = v_junction.transpose();
+        // Construction-time trust verdict on the fast path, mirroring the
+        // transient solver's arming rule.
+        let armed = eigen.eigenvalue_spread() >= CONDITION_FALLBACK_THRESHOLD
+            || eigen.basis_residual() > BASIS_RESIDUAL_THRESHOLD;
         RotationPeakSolver {
             model,
             eigen,
@@ -316,7 +407,34 @@ impl RotationPeakSolver {
             v_junction_t,
             decay_cache: Mutex::new(BTreeMap::new()),
             stats: StatsCells::default(),
+            armed,
+            tripped: AtomicBool::new(false),
+            dense_cache: Mutex::new(BTreeMap::new()),
+            numerics: NumericsCells::default(),
         }
+    }
+
+    /// Whether peak evaluations currently route through the dense cycle
+    /// fallback instead of the Algorithm-1 eigen path — either because
+    /// the eigendecomposition failed its construction-time trust checks
+    /// or because a runtime invariant guard tripped (sticky).
+    pub fn degraded(&self) -> bool {
+        // xtask: allow(relaxed) — single sticky flag, no ordering payload.
+        self.armed || self.tripped.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the numerical-integrity tallies (fallback activations
+    /// and cycle-epoch steps, guard trips) since construction or the last
+    /// [`reset_stats`](RotationPeakSolver::reset_stats).
+    pub fn numerics(&self) -> NumericsStats {
+        self.numerics.snapshot()
+    }
+
+    /// Overwrites the numerical-integrity tallies with a previously
+    /// captured [`NumericsStats`] — the checkpoint-resume path, mirroring
+    /// [`restore_stats`](RotationPeakSolver::restore_stats).
+    pub fn restore_numerics(&self, stats: NumericsStats) {
+        self.numerics.restore(stats);
     }
 
     /// The thermal model the solver was built for.
@@ -331,9 +449,12 @@ impl RotationPeakSolver {
         self.stats.snapshot()
     }
 
-    /// Zeroes the activity tallies (start of a new measured run).
+    /// Zeroes the activity and numerical-integrity tallies (start of a
+    /// new measured run). The sticky degradation flag is *not* cleared:
+    /// a guard trip indicts the model's eigendecomposition, not the run.
     pub fn reset_stats(&self) {
         self.stats.reset();
+        self.numerics.reset();
     }
 
     /// Overwrites the activity tallies with a previously captured
@@ -389,6 +510,140 @@ impl RotationPeakSolver {
         d
     }
 
+    /// Rejects non-finite epoch power at the API boundary: a NaN power
+    /// map would propagate silently through both the eigen and the dense
+    /// path, so it is named up front instead.
+    fn check_seq_finite(seq: &EpochPowerSequence) -> Result<()> {
+        for e in 0..seq.delta() {
+            if seq.epoch(e).iter().any(|v| !v.is_finite()) {
+                return Err(HotPotatoError::Linalg(
+                    NumericalError::NonFinite {
+                        what: "epoch power map",
+                    }
+                    .into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether an eigen-path peak violates the physical envelope.
+    fn peak_violates_envelope(&self, peak: f64) -> bool {
+        let amb = self.model.config().ambient;
+        !peak.is_finite()
+            || peak < amb - GUARD_SLACK_CELSIUS
+            || peak > amb + GUARD_CEILING_RISE_CELSIUS
+    }
+
+    /// Cached dense affine epoch map `T ↦ M·T + S·f` for one τ.
+    fn dense_map_for(&self, tau: f64) -> Result<Arc<DenseEpochMap>> {
+        // Poisoned-lock policy matches decay_for: contents stay valid.
+        let mut cache = self
+            .dense_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(map) = cache.get(&tau.to_bits()) {
+            return Ok(Arc::clone(map));
+        }
+        if cache.len() >= DECAY_CACHE_CAP {
+            cache.clear();
+        }
+        let stepper = DenseStepper::new(&self.model, tau)?;
+        let (m, s) = stepper.epoch_map()?;
+        let map = Arc::new(DenseEpochMap { m, s });
+        cache.insert(tau.to_bits(), Arc::clone(&map));
+        Ok(map)
+    }
+
+    /// Dense-fallback form of [`peak`](RotationPeakSolver::peak): the
+    /// steady cycle is obtained from the backward-Euler epoch map instead
+    /// of the eigenbasis.
+    ///
+    /// Composing the per-epoch affine maps over one period gives
+    /// `T_cycle = M_cyc·T + c_cyc`; the cycle's fixed point solves
+    /// `(I − M_cyc)·T* = c_cyc` (unique because every mode of the
+    /// A-stable map contracts), via an iteratively refined LU solve.
+    /// Replaying one period from `T*` yields every boundary state.
+    fn peak_report_dense(&self, seq: &EpochPowerSequence) -> Result<PeakReport> {
+        let delta = seq.delta();
+        let nodes = self.model.node_count();
+        // xtask: allow(relaxed) — monotonic tallies, read via snapshot().
+        if self.numerics.fallback_steps.load(Ordering::Relaxed) == 0 {
+            // First dense evaluation of this measured run: one activation
+            // episode (counting episodes keeps the tally deterministic
+            // across batch-size choices).
+            // xtask: allow(relaxed) — monotonic tally.
+            self.numerics
+                .fallback_activations
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let map = self.dense_map_for(seq.tau())?;
+        let forcings: Vec<Vector> = (0..delta)
+            .map(|e| self.model.forcing(seq.epoch(e)))
+            .collect::<std::result::Result<_, _>>()?;
+
+        // One period as a single affine map: T ↦ M_cyc·T + c_cyc.
+        let mut m_cyc = Matrix::identity(nodes);
+        let mut c_cyc = Vector::zeros(nodes);
+        for f in &forcings {
+            m_cyc = map.m.mul_matrix(&m_cyc)?;
+            c_cyc = &map.m.mul_vector(&c_cyc) + &map.s.mul_vector(f);
+        }
+        let i_minus = Matrix::from_fn(nodes, nodes, |i, j| {
+            let id = if i == j { 1.0 } else { 0.0 };
+            id - m_cyc[(i, j)]
+        });
+        let lu = i_minus.lu()?;
+        let t_star = lu.solve_refined(&i_minus, &c_cyc)?;
+
+        // Replay one period from the fixed point, recording boundaries.
+        let mut boundary_temps = Vec::with_capacity(delta);
+        let mut peak = f64::NEG_INFINITY;
+        let mut critical_core = CoreId(0);
+        let mut critical_epoch = 0;
+        let mut t = t_star;
+        for (e, f) in forcings.iter().enumerate() {
+            t = &map.m.mul_vector(&t) + &map.s.mul_vector(f);
+            let cores = self.model.core_temperatures(&t);
+            if cores.iter().any(|v| !v.is_finite()) {
+                return Err(HotPotatoError::Linalg(
+                    NumericalError::NonFinite {
+                        what: "dense cycle boundary temperatures",
+                    }
+                    .into(),
+                ));
+            }
+            if let Some(idx) = cores.argmax() {
+                if cores[idx] > peak {
+                    peak = cores[idx];
+                    critical_core = CoreId(idx);
+                    critical_epoch = e;
+                }
+            }
+            boundary_temps.push(cores);
+        }
+        // xtask: allow(cast) — usize→u64 is lossless on every supported
+        // target.
+        // xtask: allow(relaxed) — monotonic tally, read via snapshot().
+        self.numerics
+            .fallback_steps
+            .fetch_add(delta as u64, Ordering::Relaxed);
+        Ok(PeakReport {
+            peak_celsius: peak,
+            critical_core,
+            critical_epoch,
+            boundary_temps,
+        })
+    }
+
+    /// Trips the sticky degradation flag after a guard violation.
+    fn trip_guard(&self) {
+        // xtask: allow(relaxed) — monotonic tally, read via snapshot().
+        self.numerics.guard_trips.fetch_add(1, Ordering::Relaxed);
+        // xtask: allow(relaxed) — single sticky flag.
+        self.tripped.store(true, Ordering::Relaxed);
+    }
+
     /// Run-time phase: steady-cycle boundary temperatures and their peak
     /// for the rotation described by `seq`.
     ///
@@ -398,6 +653,10 @@ impl RotationPeakSolver {
     ///   number of cores than the model.
     /// * Propagated thermal/solver errors.
     pub fn peak(&self, seq: &EpochPowerSequence) -> Result<PeakReport> {
+        if self.degraded() {
+            self.validate_seq(seq)?;
+            return self.peak_report_dense(seq);
+        }
         let (delta, nodes, decay, ys) = self.prepare(seq)?;
 
         let mut z = cycle_start(delta, nodes, &decay, &as_rows(&ys));
@@ -430,6 +689,14 @@ impl RotationPeakSolver {
                 }
             }
             boundary_temps.push(cores);
+        }
+
+        // Runtime invariant guard: an eigen-path peak outside the
+        // physical envelope is numerical garbage. Trip the sticky flag
+        // and redo the cycle densely — the dense result is authoritative.
+        if self.peak_violates_envelope(peak) {
+            self.trip_guard();
+            return self.peak_report_dense(seq);
         }
 
         Ok(PeakReport {
@@ -489,11 +756,7 @@ impl RotationPeakSolver {
     ///
     /// Same as [`peak`](RotationPeakSolver::peak).
     pub fn peak_reference(&self, seq: &EpochPowerSequence) -> Result<f64> {
-        if seq.core_count() != self.model.core_count() {
-            return Err(HotPotatoError::InvalidSequence(
-                "power vectors do not match the model's core count",
-            ));
-        }
+        self.validate_seq(seq)?;
         let delta = seq.delta();
         let nodes = self.model.node_count();
         let decay = self.decay_for(seq.tau());
@@ -526,15 +789,21 @@ impl RotationPeakSolver {
     /// Shared validation + precomputation: returns
     /// `(delta, node_count, decay data for τ, eigen-space steady states
     /// per epoch)` where `ys[e] = V⁻¹·T_ss(P_e)`.
-    fn prepare(
-        &self,
-        seq: &EpochPowerSequence,
-    ) -> Result<(usize, usize, Arc<EpochDecay>, Vec<Vector>)> {
+    /// Shared input validation: core count and power finiteness.
+    fn validate_seq(&self, seq: &EpochPowerSequence) -> Result<()> {
         if seq.core_count() != self.model.core_count() {
             return Err(HotPotatoError::InvalidSequence(
                 "power vectors do not match the model's core count",
             ));
         }
+        Self::check_seq_finite(seq)
+    }
+
+    fn prepare(
+        &self,
+        seq: &EpochPowerSequence,
+    ) -> Result<(usize, usize, Arc<EpochDecay>, Vec<Vector>)> {
+        self.validate_seq(seq)?;
         let nodes = self.model.node_count();
         let decay = self.decay_for(seq.tau());
         let ys: Vec<Vector> = (0..seq.delta())
@@ -553,6 +822,10 @@ impl RotationPeakSolver {
     ///
     /// Same as [`peak`](RotationPeakSolver::peak).
     pub fn peak_celsius(&self, seq: &EpochPowerSequence) -> Result<f64> {
+        if self.degraded() {
+            self.validate_seq(seq)?;
+            return Ok(self.peak_report_dense(seq)?.peak_celsius);
+        }
         let (delta, nodes, decay, ys) = self.prepare(seq)?;
         let cores = self.model.core_count();
         let mut z = cycle_start(delta, nodes, &decay, &as_rows(&ys));
@@ -566,6 +839,10 @@ impl RotationPeakSolver {
                 let t: f64 = row.iter().zip(z.iter()).map(|(a, b)| a * b).sum();
                 peak = peak.max(t);
             }
+        }
+        if self.peak_violates_envelope(peak) {
+            self.trip_guard();
+            return Ok(self.peak_report_dense(seq)?.peak_celsius);
         }
         Ok(peak)
     }
@@ -614,11 +891,15 @@ impl RotationPeakSolver {
         let cores = self.model.core_count();
         let nodes = self.model.node_count();
         for seq in seqs {
-            if seq.core_count() != cores {
-                return Err(HotPotatoError::InvalidSequence(
-                    "power vectors do not match the model's core count",
-                ));
-            }
+            self.validate_seq(seq)?;
+        }
+        if self.degraded() {
+            // The dense epoch map is cached per τ, so a batch at one τ
+            // still amortizes the expensive extraction.
+            return seqs
+                .iter()
+                .map(|seq| Ok(self.peak_report_dense(seq)?.peak_celsius))
+                .collect();
         }
         let total: usize = seqs.iter().map(EpochPowerSequence::delta).sum();
 
@@ -672,6 +953,13 @@ impl RotationPeakSolver {
             }
             peaks.push(peak);
             row0 += seq.delta();
+        }
+        if peaks.iter().any(|&p| self.peak_violates_envelope(p)) {
+            self.trip_guard();
+            return seqs
+                .iter()
+                .map(|seq| Ok(self.peak_report_dense(seq)?.peak_celsius))
+                .collect();
         }
         Ok(peaks)
     }
@@ -1170,5 +1458,119 @@ mod tests {
         for b in &report.boundary_temps {
             assert!(b.min() > 45.0);
         }
+    }
+
+    fn solver_stiff_4x4() -> RotationPeakSolver {
+        let fp = GridFloorplan::new(4, 4).unwrap();
+        let model = RcThermalModel::new(&fp, &ThermalConfig::ill_conditioned()).unwrap();
+        RotationPeakSolver::new(model).unwrap()
+    }
+
+    #[test]
+    fn healthy_solver_is_not_degraded() {
+        let s = solver_4x4();
+        assert!(!s.degraded());
+        assert_eq!(s.numerics(), NumericsStats::default());
+    }
+
+    #[test]
+    fn stiff_model_peak_completes_via_dense_fallback() {
+        let s = solver_stiff_4x4();
+        assert!(s.degraded());
+        let seq = fig1_sequence(0.5e-3);
+        let report = s.peak(&seq).unwrap();
+        assert!(report.peak_celsius.is_finite());
+        assert!(report.peak_celsius > s.model().config().ambient);
+        for b in &report.boundary_temps {
+            assert!(b.iter().all(|v| v.is_finite()));
+        }
+        let n = s.numerics();
+        assert_eq!(n.fallback_activations, 1);
+        assert_eq!(n.fallback_steps, 4);
+        // Scalar and batch entry points agree on the dense path too.
+        let scalar = s.peak_celsius(&seq).unwrap();
+        let batch = s.peak_celsius_many(&[seq]).unwrap();
+        assert_eq!(scalar.to_bits(), report.peak_celsius.to_bits());
+        assert_eq!(batch[0].to_bits(), scalar.to_bits());
+    }
+
+    #[test]
+    fn stiff_model_rotation_still_beats_pinning() {
+        // The dense path preserves the paper's headline ordering.
+        let s = solver_stiff_4x4();
+        let mut pinned_p = Vector::constant(16, 0.3);
+        pinned_p[5] = 7.0;
+        pinned_p[10] = 7.0;
+        let pinned = EpochPowerSequence::new(0.5e-3, vec![pinned_p]).unwrap();
+        let rotated = fig1_sequence(0.5e-3);
+        let p_pin = s.peak_celsius(&pinned).unwrap();
+        let p_rot = s.peak_celsius(&rotated).unwrap();
+        assert!(p_rot < p_pin, "rotation {p_rot:.2} vs pinned {p_pin:.2}");
+    }
+
+    #[test]
+    fn dense_cycle_matches_eigen_on_healthy_model() {
+        // Differential pin: on a well-conditioned model the dense cycle
+        // fixed point must land within a millikelvin of Algorithm 1.
+        let s = solver_4x4();
+        for tau in [0.5e-3, 2e-3] {
+            let seq = fig1_sequence(tau);
+            let eigen = s.peak(&seq).unwrap();
+            let dense = s.peak_report_dense(&seq).unwrap();
+            assert!(
+                (eigen.peak_celsius - dense.peak_celsius).abs() < 1e-3,
+                "tau {tau}: eigen {} vs dense {}",
+                eigen.peak_celsius,
+                dense.peak_celsius
+            );
+            // critical_core is not compared: the rotation is symmetric, so
+            // several cores peak within femtokelvins and the argmax is a
+            // coin flip between the two paths.
+            for (a, b) in eigen.boundary_temps.iter().zip(&dense.boundary_temps) {
+                assert!((&(a.clone()) - b).norm_inf() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn nonfinite_epoch_power_rejected() {
+        let s = solver_4x4();
+        let mut p = Vector::constant(16, 0.3);
+        p[7] = f64::NAN;
+        let seq = EpochPowerSequence::new(1e-3, vec![p]).unwrap();
+        assert!(matches!(
+            s.peak_celsius_many(std::slice::from_ref(&seq)),
+            Err(HotPotatoError::Linalg(_))
+        ));
+        assert!(s.peak(&seq).is_err());
+        assert!(s.peak_celsius(&seq).is_err());
+        assert!(s.peak_reference(&seq).is_err());
+        // Rejected inputs never degrade the solver.
+        assert!(!s.degraded());
+    }
+
+    #[test]
+    fn clone_inherits_degradation_with_fresh_tallies() {
+        let s = solver_stiff_4x4();
+        s.peak_celsius(&fig1_sequence(0.5e-3)).unwrap();
+        let fresh = s.clone();
+        assert!(fresh.degraded());
+        assert_eq!(fresh.numerics(), NumericsStats::default());
+        // Reset clears tallies but not the degradation verdict.
+        s.reset_stats();
+        assert_eq!(s.numerics(), NumericsStats::default());
+        assert!(s.degraded());
+    }
+
+    #[test]
+    fn restore_numerics_round_trips() {
+        let s = solver_4x4();
+        let stats = NumericsStats {
+            fallback_activations: 2,
+            fallback_steps: 17,
+            guard_trips: 1,
+        };
+        s.restore_numerics(stats);
+        assert_eq!(s.numerics(), stats);
     }
 }

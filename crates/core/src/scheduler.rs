@@ -506,6 +506,11 @@ impl Scheduler for HotPotato {
         report.push_counter("alg1.batched_candidates", s.batched_candidates);
         report.push_counter("alg1.decay_cache_hits", s.decay_cache_hits);
         report.push_counter("alg1.decay_cache_misses", s.decay_cache_misses);
+        let n = self.solver.numerics();
+        report.push_counter("numerics.fallback.activations", n.fallback_activations);
+        report.push_counter("numerics.fallback.steps", n.fallback_steps);
+        report.push_counter("numerics.guard.trips", n.guard_trips);
+        report.push_counter("numerics.degraded", u64::from(self.solver.degraded()));
         report.push_counter("rotation.active", u64::from(self.rotating));
         report.push_gauge("rotation.tau_seconds", self.tau());
         report.push_gauge("alg1.estimated_peak_celsius", self.last_peak);
@@ -588,6 +593,12 @@ impl Scheduler for HotPotato {
             s,
             ",\"alg1_stats\":[{},{},{},{}]",
             st.batch_calls, st.batched_candidates, st.decay_cache_hits, st.decay_cache_misses
+        );
+        let nu = self.solver.numerics();
+        let _ = write!(
+            s,
+            ",\"numerics_stats\":[{},{},{}]",
+            nu.fallback_activations, nu.fallback_steps, nu.guard_trips
         );
         s.push_str(",\"cached_taus\":[");
         for (i, tau) in self.solver.cached_taus().iter().enumerate() {
@@ -701,6 +712,18 @@ impl Scheduler for HotPotato {
             decay_cache_hits: unsnap_u64(h, "alg1 decay_cache_hits")?,
             decay_cache_misses: unsnap_u64(m, "alg1 decay_cache_misses")?,
         });
+        // Numerics tallies: optional for snapshots taken before the
+        // numerical-integrity layer existed (absent means all-zero).
+        if let Some(Json::Arr(nu)) = doc.get("numerics_stats") {
+            let (Some(a), Some(st), Some(g)) = (nu.first(), nu.get(1), nu.get(2)) else {
+                return Err("hotpotato snapshot: `numerics_stats` must hold three counters".into());
+            };
+            self.solver.restore_numerics(hp_thermal::NumericsStats {
+                fallback_activations: unsnap_u64(a, "numerics fallback_activations")?,
+                fallback_steps: unsnap_u64(st, "numerics fallback_steps")?,
+                guard_trips: unsnap_u64(g, "numerics guard_trips")?,
+            });
+        }
         Ok(())
     }
 

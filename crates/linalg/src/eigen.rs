@@ -17,10 +17,10 @@
 //! negative, which is what makes the geometric-series closed forms of the
 //! paper's Eq. (9) legitimate.
 
-use crate::{LinalgError, Matrix, Result, Vector};
+use crate::{LinalgError, Matrix, NumericalError, Result, Vector};
 
 /// Maximum number of full Jacobi sweeps before declaring non-convergence.
-const MAX_SWEEPS: usize = 64;
+const MAX_SWEEPS: u32 = 64;
 
 /// Eigendecomposition `M = Q Λ Qᵀ` of a symmetric matrix, with `Q` orthogonal.
 ///
@@ -55,8 +55,12 @@ impl SymmetricEigen {
     /// * [`LinalgError::NotSquare`] for rectangular input.
     /// * [`LinalgError::NotSymmetric`] if the asymmetry exceeds
     ///   `1e-8 · ‖M‖∞`.
-    /// * [`LinalgError::NoConvergence`] if off-diagonal mass persists after
+    /// * [`NumericalError::NonConvergence`] (wrapped in
+    ///   [`LinalgError::Numerical`]) if off-diagonal mass persists after
     ///   the sweep budget (practically unreachable for symmetric input).
+    ///   The error carries the sweep count, the residual off-diagonal
+    ///   norm, and the diagonal at abort as the partial eigenvalue
+    ///   estimates.
     pub fn new(m: &Matrix) -> Result<Self> {
         if !m.is_square() {
             return Err(LinalgError::NotSquare {
@@ -132,10 +136,17 @@ impl SymmetricEigen {
                 }
             }
         }
-        Err(LinalgError::NoConvergence {
-            algorithm: "cyclic jacobi",
-            iterations: MAX_SWEEPS,
-        })
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off = off.max(a[(i, j)].abs());
+            }
+        }
+        Err(LinalgError::Numerical(NumericalError::NonConvergence {
+            sweeps: MAX_SWEEPS,
+            off_norm: off,
+            partial: a.diagonal(),
+        }))
     }
 
     fn sorted(values: Vector, vectors: Matrix) -> Self {
@@ -162,13 +173,15 @@ impl SymmetricEigen {
 
     /// Reconstructs `Q Λ Qᵀ` (for validation).
     pub fn reconstruct(&self) -> Matrix {
-        let lambda = Matrix::from_diagonal(&self.eigenvalues);
-        // xtask: allow(panic) — Q and Λ are square n×n by construction,
-        // so these products cannot shape-mismatch.
-        self.eigenvectors
-            .mul_matrix(&lambda)
-            .and_then(|ql| ql.mul_matrix(&self.eigenvectors.transpose()))
-            .expect("shape")
+        let n = self.eigenvalues.len();
+        let q = &self.eigenvectors;
+        // Element-wise Q·Λ·Qᵀ — no intermediate products, no shape checks
+        // to fail.
+        Matrix::from_fn(n, n, |i, j| {
+            (0..n)
+                .map(|k| q[(i, k)] * self.eigenvalues[k] * q[(j, k)])
+                .sum()
+        })
     }
 }
 
@@ -256,6 +269,46 @@ impl SystemEigen {
     /// Inverse eigenvector matrix `V⁻¹`.
     pub fn v_inv(&self) -> &Matrix {
         &self.v_inv
+    }
+
+    /// Eigenvalue spread `max|λ| / min|λ|` — the condition number of the
+    /// diagonalized system. A huge spread means the fast and slow thermal
+    /// modes differ by many orders of magnitude and the eigen route's
+    /// round-off is no longer negligible; solvers use this to decide
+    /// whether to arm their dense fallback.
+    ///
+    /// Returns infinity if any eigenvalue is (numerically) zero.
+    pub fn eigenvalue_spread(&self) -> f64 {
+        let mut min_abs = f64::INFINITY;
+        let mut max_abs = 0.0f64;
+        for &l in &self.eigenvalues {
+            min_abs = min_abs.min(l.abs());
+            max_abs = max_abs.max(l.abs());
+        }
+        if min_abs == 0.0 {
+            return f64::INFINITY;
+        }
+        max_abs / min_abs
+    }
+
+    /// Residual `‖V·V⁻¹ − I‖∞` of the eigenbasis — a cheap spot check that
+    /// the decomposition still inverts cleanly. For a healthy model this
+    /// is at round-off level (≲ 1e-12); values far above that mean the
+    /// congruence transform lost accuracy.
+    pub fn basis_residual(&self) -> f64 {
+        let n = self.dim();
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += self.v[(i, k)] * self.v_inv[(k, j)];
+                }
+                let expect = if i == j { 1.0 } else { 0.0 };
+                worst = worst.max((acc - expect).abs());
+            }
+        }
+        worst
     }
 
     /// Evaluates `e^{C·t} · x` without forming the full exponential.
@@ -411,6 +464,26 @@ mod tests {
         let a_diag = Vector::from(vec![1.0, 0.0]);
         let b = Matrix::identity(2);
         assert!(SystemEigen::new(&a_diag, &b).is_err());
+    }
+
+    #[test]
+    fn eigenvalue_spread_and_basis_residual_healthy() {
+        let a_diag = Vector::from(vec![0.5, 1.5, 1.0]);
+        let b =
+            Matrix::from_rows(&[&[2.0, -0.5, 0.0], &[-0.5, 3.0, -1.0], &[0.0, -1.0, 2.5]]).unwrap();
+        let sys = SystemEigen::new(&a_diag, &b).unwrap();
+        let spread = sys.eigenvalue_spread();
+        assert!((1.0..1e3).contains(&spread), "spread {spread:e}");
+        assert!(sys.basis_residual() < 1e-12);
+    }
+
+    #[test]
+    fn eigenvalue_spread_grows_with_capacitance_ratio() {
+        // Widely split capacitances stretch the mode spectrum.
+        let a_diag = Vector::from(vec![1e-9, 1.0]);
+        let b = Matrix::from_rows(&[&[2.0, -1.0], &[-1.0, 2.0]]).unwrap();
+        let sys = SystemEigen::new(&a_diag, &b).unwrap();
+        assert!(sys.eigenvalue_spread() > 1e8);
     }
 
     #[test]

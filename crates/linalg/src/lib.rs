@@ -51,7 +51,7 @@ pub mod lu;
 
 pub use cholesky::CholeskyDecomposition;
 pub use eigen::SymmetricEigen;
-pub use error::LinalgError;
+pub use error::{LinalgError, NumericalError};
 pub use expm::expm;
 pub use lu::LuDecomposition;
 pub use matrix::Matrix;

@@ -252,6 +252,21 @@ impl Matrix {
         self.data.iter().fold(0.0, |m, &x| m.max(x.abs()))
     }
 
+    /// Induced 1-norm: the largest absolute column sum. This is the norm
+    /// the Hager condition estimator works in
+    /// ([`LuDecomposition::condition_estimate`]).
+    pub fn norm_one(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for j in 0..self.cols {
+            let mut sum = 0.0;
+            for i in 0..self.rows {
+                sum += self[(i, j)].abs();
+            }
+            worst = worst.max(sum);
+        }
+        worst
+    }
+
     /// Largest absolute asymmetry `max |m[i][j] - m[j][i]|` (square matrices).
     ///
     /// # Panics
@@ -288,7 +303,8 @@ impl Matrix {
     /// # Errors
     ///
     /// Returns [`LinalgError::NotSymmetric`] if the matrix is noticeably
-    /// asymmetric, or [`LinalgError::NoConvergence`] if Jacobi fails.
+    /// asymmetric, or [`LinalgError::Numerical`] if Jacobi exhausts its
+    /// sweep budget.
     pub fn symmetric_eigen(&self) -> Result<SymmetricEigen> {
         SymmetricEigen::new(self)
     }

@@ -287,6 +287,10 @@ pub(crate) struct CheckpointState {
     /// `TransientStats` of the thermal solver, in declaration order:
     /// `[batch_calls, batched_states, decay_cache_hits, decay_cache_misses]`.
     pub thermal_stats: [u64; 4],
+    /// `NumericsStats` of the thermal solver, in declaration order:
+    /// `[fallback_activations, fallback_steps, guard_trips]`. Absent in
+    /// checkpoints predating the numerical-integrity layer (all zero).
+    pub numerics_stats: [u64; 3],
     pub scheduler_name: String,
     pub scheduler_blob: Option<String>,
 }
@@ -728,6 +732,8 @@ fn encode_state(s: &CheckpointState) -> String {
     o.push_str("]}");
     o.push_str(",\"thermal_stats\":");
     push_u64_arr(&mut o, &s.thermal_stats);
+    o.push_str(",\"numerics_stats\":");
+    push_u64_arr(&mut o, &s.numerics_stats);
     let _ = write!(
         o,
         ",\"scheduler\":{{\"name\":\"{}\"",
@@ -986,6 +992,13 @@ fn decode_state(v: &Json) -> CkptResult<CheckpointState> {
     let thermal_stats: [u64; 4] = ts
         .try_into()
         .map_err(|_| shape("thermal_stats", "an array of 4 counters"))?;
+    // Optional: absent in checkpoints predating the numerical-integrity layer.
+    let numerics_stats: [u64; 3] = match v.get("numerics_stats") {
+        Some(j) => dec_u64_vec(j, "numerics_stats")?
+            .try_into()
+            .map_err(|_| shape("numerics_stats", "an array of 3 counters"))?,
+        None => [0, 0, 0],
+    };
     let sc = field(v, "scheduler")?;
     let scheduler_name = dec_str(field(sc, "name")?, "scheduler.name")?;
     let scheduler_blob = match field(sc, "blob")? {
@@ -1013,6 +1026,7 @@ fn decode_state(v: &Json) -> CkptResult<CheckpointState> {
         obs,
         trace,
         thermal_stats,
+        numerics_stats,
         scheduler_name,
         scheduler_blob,
     })
@@ -1238,6 +1252,7 @@ mod tests {
                 }],
             },
             thermal_stats: [42, 42, 41, 1],
+            numerics_stats: [0, 0, 0],
             scheduler_name: "hotpotato".into(),
             scheduler_blob: Some("{\"tau_index\":1}".into()),
         }

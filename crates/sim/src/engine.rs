@@ -361,6 +361,11 @@ impl Simulation {
         report.push_counter("thermal.batched_states", s.batched_states);
         report.push_counter("thermal.decay_cache_hits", s.decay_cache_hits);
         report.push_counter("thermal.decay_cache_misses", s.decay_cache_misses);
+        let nu = self.solver.numerics();
+        report.push_counter("numerics.fallback.activations", nu.fallback_activations);
+        report.push_counter("numerics.fallback.steps", nu.fallback_steps);
+        report.push_counter("numerics.guard.trips", nu.guard_trips);
+        report.push_counter("numerics.degraded", u64::from(self.solver.degraded()));
         report.push_meta("gemm_backend", hp_linalg::Matrix::gemm_backend());
         for ev in self.trace.events() {
             report.push_event(ev.time_seconds, ev.kind.label(), &ev.detail);
@@ -578,6 +583,10 @@ impl Simulation {
                     s.decay_cache_hits,
                     s.decay_cache_misses,
                 ],
+                numerics_stats: {
+                    let nu = self.solver.numerics();
+                    [nu.fallback_activations, nu.fallback_steps, nu.guard_trips]
+                },
                 scheduler_name: scheduler.name().to_string(),
                 scheduler_blob: scheduler.snapshot(),
             },
@@ -799,6 +808,14 @@ impl Simulation {
             batched_states: s.thermal_stats[1],
             decay_cache_hits: s.thermal_stats[2],
             decay_cache_misses: s.thermal_stats[3],
+        });
+        // Numerics tallies resume the same way (reset_stats above zeroed
+        // them alongside the activity stats; any dense-stepper warm-up is
+        // counted before the restore overwrites it).
+        self.solver.restore_numerics(hp_thermal::NumericsStats {
+            fallback_activations: s.numerics_stats[0],
+            fallback_steps: s.numerics_stats[1],
+            guard_trips: s.numerics_stats[2],
         });
         self.ckpt_resumes = 1;
 
@@ -1124,6 +1141,26 @@ impl Simulation {
             .step(&self.thermal, &st.node_temps, &power, dt)?;
         st.obs
             .observe_seconds("engine.thermal_step", thermal_start.elapsed().as_secs_f64());
+        // Record the (at most one per run) transition onto the dense
+        // numerical fallback. Deduplicated against the trace itself so a
+        // checkpoint-resumed run does not re-emit the event.
+        if self.solver.degraded()
+            && !self
+                .trace
+                .events()
+                .iter()
+                .any(|e| e.kind == TraceEventKind::NumericalDegradation)
+        {
+            let nu = self.solver.numerics();
+            self.trace.push_event(
+                now + dt,
+                TraceEventKind::NumericalDegradation,
+                format!(
+                    "dense fallback engaged (guard trips {}, fallback steps {})",
+                    nu.guard_trips, nu.fallback_steps
+                ),
+            );
+        }
         let after = self.thermal.core_temperatures(&st.node_temps);
         st.metrics.peak_temperature = st.metrics.peak_temperature.max(after.max());
         st.metrics.energy += power.sum() * dt;

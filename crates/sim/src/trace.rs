@@ -20,6 +20,9 @@ pub enum TraceEventKind {
     /// The engine dropped scheduler actions invalidated by injected
     /// faults (lenient mode).
     ActionsDropped,
+    /// The thermal solver degraded to its dense numerical fallback (a
+    /// construction-time arming or a runtime invariant-guard trip).
+    NumericalDegradation,
 }
 
 impl TraceEventKind {
@@ -34,6 +37,7 @@ impl TraceEventKind {
             TraceEventKind::SensorsDegraded => "sensors_degraded",
             TraceEventKind::SensorsRecovered => "sensors_recovered",
             TraceEventKind::ActionsDropped => "actions_dropped",
+            TraceEventKind::NumericalDegradation => "numerical_degradation",
         }
     }
 
@@ -48,6 +52,7 @@ impl TraceEventKind {
             "sensors_degraded" => TraceEventKind::SensorsDegraded,
             "sensors_recovered" => TraceEventKind::SensorsRecovered,
             "actions_dropped" => TraceEventKind::ActionsDropped,
+            "numerical_degradation" => TraceEventKind::NumericalDegradation,
             _ => return None,
         })
     }

@@ -136,6 +136,26 @@ impl ThermalConfig {
         Ok(())
     }
 
+    /// An intentionally ill-conditioned configuration for numerics-chaos
+    /// testing: the junction capacitance is shrunk by nine orders of
+    /// magnitude, pushing the capacitance ratio `max(A)/min(A)` to ~5e12
+    /// and the system's eigenvalue spread past
+    /// [`CONDITION_FALLBACK_THRESHOLD`], so every solver built on this
+    /// profile arms its dense fallback at construction. All parameters
+    /// stay positive and finite — the model *builds*; it is the eigen
+    /// fast path that cannot be trusted on it.
+    ///
+    /// [`CONDITION_FALLBACK_THRESHOLD`]: crate::CONDITION_FALLBACK_THRESHOLD
+    pub fn ill_conditioned() -> Self {
+        ThermalConfig {
+            // Ten orders below the physical value: the junction reacts
+            // ~1e10× faster than the sink, a stiffness the eigen route
+            // cannot resolve in f64.
+            c_junction: 7.1e-14,
+            ..ThermalConfig::default()
+        }
+    }
+
     /// Junction thermal time constant `C/G` of an isolated core, seconds.
     ///
     /// Rotations faster than this constant average heat effectively; the
@@ -177,6 +197,14 @@ mod tests {
             ..ThermalConfig::default()
         };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn ill_conditioned_profile_is_valid_but_stiff() {
+        let cfg = ThermalConfig::ill_conditioned();
+        assert!(cfg.validate().is_ok());
+        let ratio = cfg.c_sink / cfg.c_junction;
+        assert!(ratio > 1e12, "capacitance ratio {ratio:e}");
     }
 
     #[test]

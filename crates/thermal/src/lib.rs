@@ -47,6 +47,7 @@
 
 mod config;
 mod error;
+mod fallback;
 mod model;
 mod transient;
 
@@ -55,8 +56,9 @@ pub mod tsp;
 
 pub use config::ThermalConfig;
 pub use error::ThermalError;
-pub use model::{Layer, RcThermalModel};
-pub use transient::{TransientSolver, TransientStats};
+pub use fallback::{DenseStepper, DENSE_SUBSTEPS};
+pub use model::{Layer, ModelHealth, RcThermalModel, CONDITION_FALLBACK_THRESHOLD};
+pub use transient::{NumericsStats, TransientSolver, TransientStats};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ThermalError>;

@@ -1,17 +1,30 @@
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use hp_linalg::convert::usize_to_f64;
 use hp_linalg::eigen::SystemEigen;
-use hp_linalg::{Matrix, Vector};
+use hp_linalg::{Matrix, NumericalError, Vector};
 
-use crate::{RcThermalModel, Result, ThermalError};
+use crate::{DenseStepper, RcThermalModel, Result, ThermalError, CONDITION_FALLBACK_THRESHOLD};
 
 /// Distinct `dt` values cached per solver; an interval simulator steps at
 /// one fixed `dt` (plus the occasional trace sub-step), so the cap only
 /// guards against pathological churn.
 const DECAY_CACHE_CAP: usize = 64;
+
+/// Solver outputs may undershoot ambient by round-off but never by a
+/// degree; anything below trips the runtime invariant guard.
+const GUARD_SLACK_CELSIUS: f64 = 1.0;
+
+/// Physical ceiling above ambient: no silicon the model describes
+/// survives a kilokelvin rise, so an eigen-path output beyond it is
+/// numerical garbage, not physics.
+const GUARD_CEILING_RISE_CELSIUS: f64 = 1000.0;
+
+/// Basis residual `‖V·V⁻¹ − I‖∞` beyond which the eigendecomposition is
+/// not trusted even if the eigenvalue spread looks acceptable.
+const BASIS_RESIDUAL_THRESHOLD: f64 = 1e-6;
 
 /// Snapshot of a solver's internal activity tallies, taken with
 /// [`TransientSolver::stats`]. All values count events since
@@ -72,6 +85,71 @@ impl StatsCells {
             (&self.batched_states, stats.batched_states),
             (&self.decay_cache_hits, stats.decay_cache_hits),
             (&self.decay_cache_misses, stats.decay_cache_misses),
+        ];
+        for (cell, value) in cells {
+            // xtask: allow(relaxed) — counters are overwritten between
+            // measured runs (checkpoint resume), while no solver calls
+            // are in flight.
+            cell.store(value, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Numerical-integrity tallies of a solver, taken with
+/// [`TransientSolver::numerics`]. Like [`TransientStats`] these are
+/// seed-deterministic: they depend only on the model and the call
+/// sequence, never on timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NumericsStats {
+    /// Episodes of dense-fallback engagement: incremented when the first
+    /// fallback step after construction (or a stats reset/restore) runs.
+    /// `≥ 1` in a run report means the run's temperatures came (at least
+    /// partly) from the backward-Euler path.
+    pub fallback_activations: u64,
+    /// `(state, power)` pairs advanced by the dense fallback stepper.
+    pub fallback_steps: u64,
+    /// Runtime invariant-guard trips: eigen-path outputs that were
+    /// non-finite or outside the physical envelope and triggered a dense
+    /// recomputation.
+    pub guard_trips: u64,
+}
+
+/// Interior-mutable counter cells behind [`NumericsStats`].
+#[derive(Debug, Default)]
+struct NumericsCells {
+    fallback_activations: AtomicU64,
+    fallback_steps: AtomicU64,
+    guard_trips: AtomicU64,
+}
+
+impl NumericsCells {
+    fn snapshot(&self) -> NumericsStats {
+        NumericsStats {
+            // xtask: allow(relaxed) — monotonic tallies; snapshots are
+            // taken between batches, so ordering carries no information.
+            fallback_activations: self.fallback_activations.load(Ordering::Relaxed),
+            fallback_steps: self.fallback_steps.load(Ordering::Relaxed),
+            guard_trips: self.guard_trips.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        for cell in [
+            &self.fallback_activations,
+            &self.fallback_steps,
+            &self.guard_trips,
+        ] {
+            // xtask: allow(relaxed) — counters are zeroed between measured
+            // runs, while no solver calls are in flight.
+            cell.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn restore(&self, stats: NumericsStats) {
+        let cells = [
+            (&self.fallback_activations, stats.fallback_activations),
+            (&self.fallback_steps, stats.fallback_steps),
+            (&self.guard_trips, stats.guard_trips),
         ];
         for (cell, value) in cells {
             // xtask: allow(relaxed) — counters are overwritten between
@@ -147,6 +225,20 @@ pub struct TransientSolver {
     decay_cache: Mutex<BTreeMap<u64, Arc<Vector>>>,
     /// Activity tallies for run reports ([`TransientSolver::stats`]).
     stats: StatsCells,
+    /// Construction-time verdict: the eigendecomposition's spread or
+    /// basis residual exceeded its trust threshold, so every step routes
+    /// through the dense fallback from the start. Immutable — it is a
+    /// property of the model, not of the run.
+    armed: bool,
+    /// Runtime verdict: an invariant guard tripped on an eigen-path
+    /// output. Sticky by design — once the fast path has produced
+    /// garbage on this model there is no evidence later steps would not.
+    tripped: AtomicBool,
+    /// `dt.to_bits() → DenseStepper`, lazily factorized per step length
+    /// for the fallback path.
+    dense_cache: Mutex<BTreeMap<u64, Arc<DenseStepper>>>,
+    /// Numerical-integrity tallies ([`TransientSolver::numerics`]).
+    numerics: NumericsCells,
 }
 
 impl Clone for TransientSolver {
@@ -164,6 +256,13 @@ impl Clone for TransientSolver {
             // A clone starts its own tally: stats describe what *this*
             // handle performed, not its ancestry.
             stats: StatsCells::default(),
+            armed: self.armed,
+            // The degradation verdict is inherited: it describes the
+            // model, and a clone steps the same model.
+            // xtask: allow(relaxed) — single flag, no ordering payload.
+            tripped: AtomicBool::new(self.tripped.load(Ordering::Relaxed)),
+            dense_cache: Mutex::new(BTreeMap::new()),
+            numerics: NumericsCells::default(),
         }
     }
 }
@@ -191,13 +290,47 @@ impl TransientSolver {
     pub fn with_eigen(eigen: SystemEigen) -> Self {
         let v_t = eigen.v().transpose();
         let v_inv_t = eigen.v_inv().transpose();
+        // Construction-time trust verdict on the fast path: an eigenvalue
+        // spread beyond the condition threshold or a basis that fails to
+        // invert cleanly means eigen-path outputs cannot be trusted, so
+        // the solver routes through the dense fallback from step one.
+        let armed = eigen.eigenvalue_spread() >= CONDITION_FALLBACK_THRESHOLD
+            || eigen.basis_residual() > BASIS_RESIDUAL_THRESHOLD;
         TransientSolver {
             eigen,
             v_t,
             v_inv_t,
             decay_cache: Mutex::new(BTreeMap::new()),
             stats: StatsCells::default(),
+            armed,
+            tripped: AtomicBool::new(false),
+            dense_cache: Mutex::new(BTreeMap::new()),
+            numerics: NumericsCells::default(),
         }
+    }
+
+    /// Whether solver calls currently route through the dense
+    /// backward-Euler fallback instead of the eigen fast path — either
+    /// because the eigendecomposition failed its construction-time trust
+    /// checks (`armed`) or because a runtime invariant guard tripped on an
+    /// eigen-path output (`tripped`, sticky for the solver's lifetime).
+    pub fn degraded(&self) -> bool {
+        // xtask: allow(relaxed) — single sticky flag, no ordering payload.
+        self.armed || self.tripped.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the numerical-integrity tallies (fallback activations
+    /// and steps, guard trips) since construction or the last
+    /// [`reset_stats`](TransientSolver::reset_stats).
+    pub fn numerics(&self) -> NumericsStats {
+        self.numerics.snapshot()
+    }
+
+    /// Overwrites the numerical-integrity tallies with a previously
+    /// captured [`NumericsStats`] — the checkpoint-resume path, mirroring
+    /// [`restore_stats`](TransientSolver::restore_stats).
+    pub fn restore_numerics(&self, stats: NumericsStats) {
+        self.numerics.restore(stats);
     }
 
     /// The underlying eigendecomposition of `C = −A⁻¹B`.
@@ -212,9 +345,12 @@ impl TransientSolver {
         self.stats.snapshot()
     }
 
-    /// Zeroes the activity tallies (start of a new measured run).
+    /// Zeroes the activity and numerical-integrity tallies (start of a
+    /// new measured run). The sticky degradation flag is *not* cleared:
+    /// a guard trip indicts the model's eigendecomposition, not the run.
     pub fn reset_stats(&self) {
         self.stats.reset();
+        self.numerics.reset();
     }
 
     /// Overwrites the activity tallies with a previously captured
@@ -267,6 +403,95 @@ impl TransientSolver {
         Ok(())
     }
 
+    /// Rejects non-finite state or power input at the API boundary: a NaN
+    /// fed into the exponential kernel propagates silently through every
+    /// GEMM, so it is cheaper and clearer to name the offender up front.
+    fn check_finite(vector: &Vector, what: &'static str) -> Result<()> {
+        if vector.iter().any(|v| !v.is_finite()) {
+            return Err(ThermalError::Linalg(
+                NumericalError::NonFinite { what }.into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_pairs_finite(pairs: &[(&Vector, &Vector)]) -> Result<()> {
+        for (temps, power) in pairs {
+            Self::check_finite(temps, "input node temperatures")?;
+            Self::check_finite(power, "input core power")?;
+        }
+        Ok(())
+    }
+
+    /// Whether an eigen-path output violates the physical envelope: every
+    /// node temperature must be finite and within
+    /// `[ambient − GUARD_SLACK, ambient + GUARD_CEILING_RISE]`.
+    fn violates_envelope(model: &RcThermalModel, temps: &Vector) -> bool {
+        let lo = model.config().ambient - GUARD_SLACK_CELSIUS;
+        let hi = model.config().ambient + GUARD_CEILING_RISE_CELSIUS;
+        temps.iter().any(|&v| !v.is_finite() || v < lo || v > hi)
+    }
+
+    /// Cached dense fallback stepper for one step length.
+    fn dense_for(&self, model: &RcThermalModel, dt: f64) -> Result<Arc<DenseStepper>> {
+        // Poisoned-lock policy matches decay_for: contents stay valid.
+        let mut cache = self
+            .dense_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(s) = cache.get(&dt.to_bits()) {
+            return Ok(Arc::clone(s));
+        }
+        if cache.len() >= DECAY_CACHE_CAP {
+            cache.clear();
+        }
+        let stepper = Arc::new(DenseStepper::new(model, dt)?);
+        cache.insert(dt.to_bits(), Arc::clone(&stepper));
+        Ok(stepper)
+    }
+
+    /// Dense-fallback form of [`step_many`](TransientSolver::step_many):
+    /// backward-Euler stepping through the cached [`DenseStepper`],
+    /// counting fallback steps and (on the first step after construction
+    /// or a stats reset) one activation episode.
+    fn step_many_dense(
+        &self,
+        model: &RcThermalModel,
+        pairs: &[(&Vector, &Vector)],
+        dt: f64,
+    ) -> Result<Vec<Vector>> {
+        if dt == 0.0 {
+            // The exact solution is the identity at dt = 0; the dense
+            // stepper cannot be factorized for it, and needn't be.
+            return Ok(pairs.iter().map(|(t, _)| (*t).clone()).collect());
+        }
+        // xtask: allow(relaxed) — monotonic tallies, read via snapshot().
+        if self.numerics.fallback_steps.load(Ordering::Relaxed) == 0 {
+            // First dense step of this measured run: one activation
+            // episode. Counting episodes (not steps) keeps the counter
+            // deterministic across batch-size choices.
+            // xtask: allow(relaxed) — monotonic tally.
+            self.numerics
+                .fallback_activations
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let stepper = self.dense_for(model, dt)?;
+        let mut out = Vec::with_capacity(pairs.len());
+        for (temps, power) in pairs {
+            let forcing = model.forcing(power)?;
+            let next = stepper.step(temps, &forcing)?;
+            Self::check_finite(&next, "dense fallback output")?;
+            out.push(next);
+        }
+        // xtask: allow(cast) — usize→u64 is lossless on every supported
+        // target.
+        // xtask: allow(relaxed) — monotonic tally, read via snapshot().
+        self.numerics
+            .fallback_steps
+            .fetch_add(pairs.len() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
     /// Advances the node state by `dt` seconds under a constant per-core
     /// power map.
     ///
@@ -304,9 +529,22 @@ impl TransientSolver {
     /// which is why the batch is bit-identical to the serial
     /// [`step_reference`](TransientSolver::step_reference) form.
     ///
+    /// # Degradation
+    ///
+    /// On a [`degraded`](TransientSolver::degraded) solver the batch is
+    /// advanced by the dense backward-Euler fallback instead (counted in
+    /// [`numerics`](TransientSolver::numerics)). On a healthy solver the
+    /// eigen outputs are checked against the physical envelope
+    /// (finite, within `[ambient − 1 °C, ambient + 1000 °C]`); a
+    /// violation trips the sticky degradation flag and the batch is
+    /// recomputed densely.
+    ///
     /// # Errors
     ///
-    /// Same as [`step`](TransientSolver::step), applied to every pair.
+    /// Same as [`step`](TransientSolver::step), applied to every pair;
+    /// additionally [`ThermalError::Linalg`] wrapping
+    /// [`NumericalError::NonFinite`] for non-finite input temperatures or
+    /// power.
     pub fn step_many(
         &self,
         model: &RcThermalModel,
@@ -314,6 +552,7 @@ impl TransientSolver {
         dt: f64,
     ) -> Result<Vec<Vector>> {
         Self::check_dt(dt, "dt")?;
+        Self::check_pairs_finite(pairs)?;
         if pairs.is_empty() {
             return Ok(Vec::new());
         }
@@ -325,6 +564,9 @@ impl TransientSolver {
         self.stats
             .batched_states
             .fetch_add(pairs.len() as u64, Ordering::Relaxed);
+        if self.degraded() {
+            return self.step_many_dense(model, pairs, dt);
+        }
         let n = self.eigen.dim();
         let m = self.decay_for(dt);
 
@@ -347,11 +589,23 @@ impl TransientSolver {
         }
         let decayed = y.mul_matrix(&self.v_t)?; // B × N, node space
 
-        Ok(steadies
+        let out: Vec<Vector> = steadies
             .into_iter()
             .enumerate()
             .map(|(r, t_steady)| Vector::from_fn(n, |i| t_steady[i] + decayed[(r, i)]))
-            .collect())
+            .collect();
+
+        // Runtime invariant guard: an eigen output outside the physical
+        // envelope is numerical garbage. Trip the sticky flag and redo
+        // the whole batch densely — the dense result is authoritative.
+        if out.iter().any(|t| Self::violates_envelope(model, t)) {
+            // xtask: allow(relaxed) — monotonic tally, read via snapshot().
+            self.numerics.guard_trips.fetch_add(1, Ordering::Relaxed);
+            // xtask: allow(relaxed) — single sticky flag.
+            self.tripped.store(true, Ordering::Relaxed);
+            return self.step_many_dense(model, pairs, dt);
+        }
+        Ok(out)
     }
 
     /// Serial mat-vec form of [`step`](TransientSolver::step) — the
@@ -371,6 +625,8 @@ impl TransientSolver {
         dt: f64,
     ) -> Result<Vector> {
         Self::check_dt(dt, "dt")?;
+        Self::check_finite(node_temps, "input node temperatures")?;
+        Self::check_finite(core_power, "input core power")?;
         let t_steady = model.steady_state(core_power)?;
         let deviation = node_temps - &t_steady;
         let decayed = self.eigen.exp_apply(dt, &deviation);
@@ -400,6 +656,11 @@ impl TransientSolver {
         horizon: f64,
     ) -> Result<(f64, f64)> {
         Self::check_dt(horizon, "horizon")?;
+        Self::check_finite(node_temps, "input node temperatures")?;
+        Self::check_finite(core_power, "input core power")?;
+        if self.degraded() {
+            return self.peak_within_dense(model, node_temps, core_power, horizon);
+        }
         let t_steady = model.steady_state(core_power)?;
         let deviation = node_temps - &t_steady;
         let w = self.eigen.v_inv().mul_vector(&deviation);
@@ -468,11 +729,63 @@ impl TransientSolver {
         }
         let t_ref = 0.5 * (lo + hi);
         let v_ref = peak_at(t_ref);
-        if v_ref > best_v {
-            Ok((v_ref, t_ref))
+        let (peak, at) = if v_ref > best_v {
+            (v_ref, t_ref)
         } else {
-            Ok((best_v, best_t))
+            (best_v, best_t)
+        };
+        // Both candidate times come from rounded arithmetic — the scan
+        // instants `horizon·s/S` and the bracket midpoint `(lo+hi)/2` can
+        // each land one ULP past `horizon`; clamp so the reported peak
+        // time honours the `[0, horizon]` contract exactly.
+        let at = at.clamp(0.0, horizon);
+        // Runtime invariant guard on the scalar result (the trajectories
+        // above are eigen reconstructions too).
+        let lo_ok = model.config().ambient - GUARD_SLACK_CELSIUS;
+        let hi_ok = model.config().ambient + GUARD_CEILING_RISE_CELSIUS;
+        if !peak.is_finite() || peak < lo_ok || peak > hi_ok {
+            // xtask: allow(relaxed) — monotonic tally, read via snapshot().
+            self.numerics.guard_trips.fetch_add(1, Ordering::Relaxed);
+            // xtask: allow(relaxed) — single sticky flag.
+            self.tripped.store(true, Ordering::Relaxed);
+            return self.peak_within_dense(model, node_temps, core_power, horizon);
         }
+        Ok((peak, at))
+    }
+
+    /// Dense-fallback form of [`peak_within`](TransientSolver::peak_within):
+    /// a backward-Euler sampling scan over the horizon. No golden-section
+    /// refinement — the dense path trades the last digit of peak-time
+    /// precision for unconditional stability.
+    fn peak_within_dense(
+        &self,
+        model: &RcThermalModel,
+        node_temps: &Vector,
+        core_power: &Vector,
+        horizon: f64,
+    ) -> Result<(f64, f64)> {
+        let mut best_v = model.core_temperatures(node_temps).max();
+        let mut best_t = 0.0;
+        if horizon == 0.0 {
+            return Ok((best_v, best_t));
+        }
+        const SAMPLES: usize = 48;
+        let sub = horizon / usize_to_f64(SAMPLES);
+        let mut state = node_temps.clone();
+        for s in 1..=SAMPLES {
+            let mut out = self.step_many_dense(model, &[(&state, core_power)], sub)?;
+            // xtask: allow(panic) — step_many_dense returns one state per
+            // input pair, so a batch of one always pops.
+            state = out.pop().expect("batch of one");
+            let val = model.core_temperatures(&state).max();
+            if val > best_v {
+                best_v = val;
+                // `sub·S` can round one ULP past `horizon`; clamp to keep
+                // the reported time inside the queried window.
+                best_t = (sub * usize_to_f64(s)).min(horizon);
+            }
+        }
+        Ok((best_v, best_t))
     }
 
     /// Evaluates the full trajectory at `samples` evenly spaced instants in
@@ -495,6 +808,11 @@ impl TransientSolver {
         samples: usize,
     ) -> Result<Vec<Vector>> {
         Self::check_dt(dt, "dt")?;
+        Self::check_finite(node_temps, "input node temperatures")?;
+        Self::check_finite(core_power, "input core power")?;
+        if self.degraded() {
+            return self.trajectory_dense(model, node_temps, core_power, dt, samples);
+        }
         let t_steady = model.steady_state(core_power)?;
         let deviation = node_temps - &t_steady;
         let y = self.eigen.v_inv().mul_vector(&deviation);
@@ -510,9 +828,41 @@ impl TransientSolver {
             }
         }
         let decayed = e.mul_matrix(&self.v_t)?; // samples × N
-        Ok((0..samples)
+        let out: Vec<Vector> = (0..samples)
             .map(|k| Vector::from_fn(n, |i| t_steady[i] + decayed[(k, i)]))
-            .collect())
+            .collect();
+        if out.iter().any(|t| Self::violates_envelope(model, t)) {
+            // xtask: allow(relaxed) — monotonic tally, read via snapshot().
+            self.numerics.guard_trips.fetch_add(1, Ordering::Relaxed);
+            // xtask: allow(relaxed) — single sticky flag.
+            self.tripped.store(true, Ordering::Relaxed);
+            return self.trajectory_dense(model, node_temps, core_power, dt, samples);
+        }
+        Ok(out)
+    }
+
+    /// Dense-fallback form of [`trajectory`](TransientSolver::trajectory):
+    /// the sample instants are reached by chained backward-Euler substeps
+    /// of `dt / samples`.
+    fn trajectory_dense(
+        &self,
+        model: &RcThermalModel,
+        node_temps: &Vector,
+        core_power: &Vector,
+        dt: f64,
+        samples: usize,
+    ) -> Result<Vec<Vector>> {
+        let sub = dt / usize_to_f64(samples);
+        let mut state = node_temps.clone();
+        let mut out = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut step = self.step_many_dense(model, &[(&state, core_power)], sub)?;
+            // xtask: allow(panic) — step_many_dense returns one state per
+            // input pair, so a batch of one always pops.
+            state = step.pop().expect("batch of one");
+            out.push(state.clone());
+        }
+        Ok(out)
     }
 
     /// Serial form of [`trajectory`](TransientSolver::trajectory): one
@@ -532,6 +882,8 @@ impl TransientSolver {
         samples: usize,
     ) -> Result<Vec<Vector>> {
         Self::check_dt(dt, "dt")?;
+        Self::check_finite(node_temps, "input node temperatures")?;
+        Self::check_finite(core_power, "input core power")?;
         let t_steady = model.steady_state(core_power)?;
         let deviation = node_temps - &t_steady;
         let mut out = Vec::with_capacity(samples);
@@ -831,6 +1183,154 @@ mod tests {
         assert_eq!(fresh.stats(), TransientStats::default());
         solver.reset_stats();
         assert_eq!(solver.stats(), TransientStats::default());
+    }
+
+    fn setup_stiff() -> (RcThermalModel, TransientSolver) {
+        let fp = GridFloorplan::new(4, 4).unwrap();
+        let model = RcThermalModel::new(&fp, &ThermalConfig::ill_conditioned()).unwrap();
+        let solver = TransientSolver::new(&model).unwrap();
+        (model, solver)
+    }
+
+    #[test]
+    fn stiff_model_arms_dense_fallback_at_construction() {
+        let (model, solver) = setup_stiff();
+        assert!(solver.degraded());
+        assert_eq!(solver.numerics(), NumericsStats::default());
+        let mut p = Vector::constant(16, 0.3);
+        p[5] = 7.0;
+        let mut t = model.ambient_state();
+        for _ in 0..5 {
+            t = solver.step(&model, &t, &p, 5e-4).unwrap();
+            assert!(t.iter().all(|v| v.is_finite()));
+            assert!(t.min() > model.config().ambient - 1.0);
+        }
+        let n = solver.numerics();
+        // One activation episode regardless of how many steps ran.
+        assert_eq!(n.fallback_activations, 1);
+        assert_eq!(n.fallback_steps, 5);
+        assert_eq!(n.guard_trips, 0);
+    }
+
+    #[test]
+    fn degraded_zero_dt_is_identity() {
+        let (model, solver) = setup_stiff();
+        let t0 = model.ambient_state();
+        let p = Vector::constant(16, 2.0);
+        let t1 = solver.step(&model, &t0, &p, 0.0).unwrap();
+        assert!((&t1 - &t0).norm_inf() < 1e-12);
+        // dt = 0 never engages the dense stepper.
+        assert_eq!(solver.numerics().fallback_steps, 0);
+    }
+
+    #[test]
+    fn degraded_trajectory_and_peak_are_finite() {
+        let (model, solver) = setup_stiff();
+        let mut p = Vector::constant(16, 0.3);
+        p[5] = 7.0;
+        let t0 = model.ambient_state();
+        let traj = solver.trajectory(&model, &t0, &p, 2e-3, 4).unwrap();
+        assert_eq!(traj.len(), 4);
+        for state in &traj {
+            assert!(state.iter().all(|v| v.is_finite()));
+        }
+        let (peak, at) = solver.peak_within(&model, &t0, &p, 2e-3).unwrap();
+        assert!(peak.is_finite() && peak >= model.config().ambient - 1.0);
+        assert!((0.0..=2e-3).contains(&at));
+        assert_eq!(solver.numerics().fallback_activations, 1);
+    }
+
+    #[test]
+    fn healthy_solver_is_not_degraded() {
+        let (_, solver) = setup();
+        assert!(!solver.degraded());
+        assert_eq!(solver.numerics(), NumericsStats::default());
+    }
+
+    #[test]
+    fn nonfinite_inputs_rejected() {
+        let (model, solver) = setup();
+        let t0 = model.ambient_state();
+        let mut bad_p = Vector::constant(16, 0.3);
+        bad_p[3] = f64::NAN;
+        assert!(matches!(
+            solver.step(&model, &t0, &bad_p, 1e-3),
+            Err(ThermalError::Linalg(_))
+        ));
+        let mut bad_t = model.ambient_state();
+        bad_t[7] = f64::INFINITY;
+        let p = Vector::constant(16, 0.3);
+        assert!(solver.step(&model, &bad_t, &p, 1e-3).is_err());
+        assert!(solver.step_reference(&model, &bad_t, &p, 1e-3).is_err());
+        assert!(solver.trajectory(&model, &t0, &bad_p, 1e-3, 4).is_err());
+        assert!(solver.peak_within(&model, &bad_t, &p, 1e-3).is_err());
+        // Rejected inputs never degrade the solver.
+        assert!(!solver.degraded());
+    }
+
+    #[test]
+    fn reset_clears_numerics_but_degradation_is_sticky() {
+        let (model, solver) = setup_stiff();
+        let p = Vector::constant(16, 0.5);
+        solver
+            .step(&model, &model.ambient_state(), &p, 1e-3)
+            .unwrap();
+        assert_eq!(solver.numerics().fallback_activations, 1);
+        solver.reset_stats();
+        assert_eq!(solver.numerics(), NumericsStats::default());
+        assert!(solver.degraded());
+        // The next dense step opens a fresh activation episode.
+        solver
+            .step(&model, &model.ambient_state(), &p, 1e-3)
+            .unwrap();
+        assert_eq!(solver.numerics().fallback_activations, 1);
+    }
+
+    #[test]
+    fn clone_inherits_degradation_with_fresh_tallies() {
+        let (model, solver) = setup_stiff();
+        let p = Vector::constant(16, 0.5);
+        solver
+            .step(&model, &model.ambient_state(), &p, 1e-3)
+            .unwrap();
+        let fresh = solver.clone();
+        assert!(fresh.degraded());
+        assert_eq!(fresh.numerics(), NumericsStats::default());
+        // The original keeps its tallies — cloning is not a reset.
+        assert_eq!(solver.numerics().fallback_activations, 1);
+    }
+
+    #[test]
+    fn restore_numerics_round_trips() {
+        let (_, solver) = setup();
+        let stats = NumericsStats {
+            fallback_activations: 1,
+            fallback_steps: 42,
+            guard_trips: 3,
+        };
+        solver.restore_numerics(stats);
+        assert_eq!(solver.numerics(), stats);
+    }
+
+    #[test]
+    fn dense_fallback_tracks_eigen_on_healthy_model() {
+        // Force the dense path on a *healthy* model via a clone whose
+        // guard we trip artificially through restore + envelope violation
+        // is not possible from outside; instead compare step_many_dense
+        // through the public API of a stiff-armed solver sharing the
+        // healthy model's eigen basis. Simplest honest check: the
+        // fallback stepper itself is pinned against the eigen path in
+        // fallback.rs; here we pin the routed outputs' agreement.
+        let (model, solver) = setup();
+        let mut p = Vector::constant(16, 0.3);
+        p[5] = 7.0;
+        let t0 = model.ambient_state();
+        let eigen_out = solver.step(&model, &t0, &p, 1e-4).unwrap();
+        let dense_out = {
+            let mut out = solver.step_many_dense(&model, &[(&t0, &p)], 1e-4).unwrap();
+            out.pop().unwrap()
+        };
+        assert!((&eigen_out - &dense_out).norm_inf() < 1e-6);
     }
 
     #[test]

@@ -9,6 +9,12 @@
 //!   solver crates (`hotpotato`, `hp-thermal`, `hp-linalg`, `hp-sim`,
 //!   `hp-sched`). Tests, benches, binaries and examples are allowlisted;
 //!   a justified site carries a `// xtask: allow(panic) — why` marker.
+//! * **`numerics`** — `unwrap()` / `expect()` on eigen/LU/solver results
+//!   in library code of the numerics crates needs its own
+//!   `// xtask: allow(numerics) — why` marker, *in addition to* any panic
+//!   waiver: numerical failure is expected behaviour there (DESIGN.md
+//!   §14) and must propagate as the typed `NumericalError` instead of
+//!   aborting the run.
 //! * **`safety`** — every `unsafe` keyword (block, fn, impl) must be
 //!   justified by a `// SAFETY:` comment on or just above the line, or a
 //!   `# Safety` section in the item's doc block.
@@ -102,6 +108,14 @@ pub const NO_PANIC_CRATES: &[&str] = &[
 /// Crates whose library math must not use bare `as` numeric casts.
 pub const NO_CAST_CRATES: &[&str] = &["hp-linalg", "hp-thermal"];
 
+/// Crates where unwrapping an eigen/LU/solver result needs the stronger
+/// `// xtask: allow(numerics)` waiver: these own (or sit directly on) the
+/// numerical fast paths, where solver failure is a *recoverable* outcome
+/// routed through `NumericalError` and the dense fallback — a panic there
+/// defeats the whole integrity layer.
+pub const NUMERICS_CRATES: &[&str] =
+    &["hp-linalg", "hp-thermal", "hotpotato", "hp-sim", "hp-sched"];
+
 /// Crates whose public API must name physical units.
 pub const UNIT_CRATES: &[&str] = &[
     "hotpotato",
@@ -139,6 +153,7 @@ pub fn check_source(file: &str, crate_name: &str, kind: FileKind, src: &str) -> 
     let panic_scope = lib && NO_PANIC_CRATES.contains(&crate_name);
     let cast_scope = lib && NO_CAST_CRATES.contains(&crate_name);
     let unit_scope = lib && UNIT_CRATES.contains(&crate_name);
+    let numerics_scope = lib && NUMERICS_CRATES.contains(&crate_name);
 
     for (idx, line) in lines.iter().enumerate() {
         let n = idx + 1;
@@ -187,6 +202,31 @@ pub fn check_source(file: &str, crate_name: &str, kind: FileKind, src: &str) -> 
                     msg: format!(
                         "`{what}` in library code; return the crate's typed error \
                          (or mark `// xtask: allow(panic) — why`)"
+                    ),
+                    advisory: false,
+                });
+            }
+        }
+
+        // --- numerics: no unwrapping of eigen/LU/solver results, even
+        //     with a panic waiver — the typed NumericalError must flow.
+        if numerics_scope
+            && statement_mentions_numerics(&lines, idx)
+            && !allowed(&lines, idx, "numerics")
+        {
+            for (what, pos) in panic_sites(code) {
+                if what != ".unwrap()" && what != ".expect()" {
+                    continue;
+                }
+                report.diags.push(Diagnostic {
+                    file: file.to_string(),
+                    line: n,
+                    col: col_at(code, pos),
+                    rule: "numerics",
+                    msg: format!(
+                        "`{what}` on a numerical solver result; propagate the typed \
+                         NumericalError so the dense fallback can engage \
+                         (or mark `// xtask: allow(numerics) — why`)"
                     ),
                     advisory: false,
                 });
@@ -368,6 +408,57 @@ fn allowed(lines: &[Line], idx: usize, rule: &str) -> bool {
         let comment_only = code.is_empty();
         if !comment_only && (code.ends_with(';') || code.ends_with('{') || code.ends_with('}')) {
             return false;
+        }
+    }
+    false
+}
+
+/// Whether an identifier names a numerical-solver artifact: eigensystems,
+/// LU factorizations, matrix exponentials, linear solves, condition
+/// estimates. Matched on whole identifiers so `resolve`/`absolute` and
+/// similar bystanders never trigger the rule.
+fn numerics_ident(tok: &str) -> bool {
+    let t = tok.to_lowercase();
+    t.contains("eigen")
+        || t.contains("expm")
+        || t.contains("cholesky")
+        || t.contains("condition_estimate")
+        || t.contains("steady_state")
+        || t == "lu"
+        || t.starts_with("lu_")
+        || t.ends_with("_lu")
+        || t == "solve"
+        || t == "solver"
+        || t.starts_with("solve_")
+        || t.ends_with("_solve")
+        || t.ends_with("_solver")
+}
+
+/// Whether the (possibly wrapped) statement containing line `idx` touches
+/// a numerical-solver identifier. Walks the same statement window as
+/// [`allowed`]: the line itself plus earlier continuation lines, stopping
+/// at the first line that ends a previous statement.
+fn statement_mentions_numerics(lines: &[Line], idx: usize) -> bool {
+    let mentions = |l: &Line| {
+        l.code
+            .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .any(numerics_ident)
+    };
+    if mentions(&lines[idx]) {
+        return true;
+    }
+    let mut j = idx;
+    let mut budget = 8;
+    while j > 0 && budget > 0 {
+        j -= 1;
+        budget -= 1;
+        let l = &lines[j];
+        let code = l.code.trim();
+        if !code.is_empty() && (code.ends_with(';') || code.ends_with('{') || code.ends_with('}')) {
+            return false;
+        }
+        if mentions(l) {
+            return true;
         }
     }
     false
@@ -647,6 +738,60 @@ mod tests {
         let diags = lib(src);
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn unwrap_on_eigen_result_needs_numerics_waiver() {
+        // A panic waiver alone is not enough on a solver result: the
+        // numerics rule still fires until its own marker is present.
+        let src = "fn f(m: &M) -> E {\n    // xtask: allow(panic) — justified elsewhere\n    m.eigen_decompose().unwrap()\n}\n";
+        let diags = lib(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "numerics");
+        assert_eq!(diags[0].line, 3);
+        assert!(diags[0].msg.contains("NumericalError"));
+    }
+
+    #[test]
+    fn numerics_waiver_suppresses_but_panic_still_applies() {
+        let both = "fn f(m: &M) -> E {\n    // xtask: allow(panic) — infallible on SPD input\n    // xtask: allow(numerics) — infallible on SPD input\n    m.lu_solve(&b).unwrap()\n}\n";
+        assert!(lib(both).is_empty(), "{:?}", lib(both));
+        let numerics_only = "fn f(m: &M) -> E {\n    // xtask: allow(numerics) — infallible on SPD input\n    m.lu_solve(&b).unwrap()\n}\n";
+        let diags = lib(numerics_only);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "panic");
+    }
+
+    #[test]
+    fn numerics_rule_covers_wrapped_statements() {
+        let src = "fn f(s: &S) -> V {\n    let state = s.solver\n        .expect(\"always present\");\n    state\n}\n";
+        let diags = lib(src);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().any(|d| d.rule == "numerics"));
+        assert!(diags.iter().any(|d| d.rule == "panic"));
+    }
+
+    #[test]
+    fn numerics_rule_ignores_bystander_identifiers() {
+        // `resolve`/`absolute` contain the letters but are not solver
+        // artifacts; only the panic rule fires.
+        let src = "fn f(p: &Path) -> PathBuf {\n    p.resolve().unwrap()\n}\n";
+        let diags = lib(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "panic");
+    }
+
+    #[test]
+    fn numerics_rule_only_in_scoped_crates() {
+        let src = "fn f(m: &M) -> E {\n    m.eigen_decompose().unwrap()\n}\n";
+        let diags = check_source("f.rs", "hp-campaign", FileKind::Lib, src).diags;
+        assert!(
+            diags.iter().all(|d| d.rule == "panic"),
+            "hp-campaign is outside the numerics scope: {diags:?}"
+        );
+        assert!(check_source("f.rs", "hp-linalg", FileKind::Test, src)
+            .diags
+            .is_empty());
     }
 
     #[test]
